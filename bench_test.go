@@ -1,0 +1,374 @@
+// Package repro's root benchmark suite regenerates every table and
+// figure of the paper's evaluation (§V) as Go benchmarks, plus the
+// DESIGN.md §4 ablations. Each benchmark reports the figure's headline
+// numbers as custom metrics (F1×1000, precision/recall×1000) so
+// `go test -bench` output doubles as the reproduction record, and
+// prints the full table once per run.
+//
+// The expensive part — scoring every response with every approach —
+// runs once per process in shared setup; the timed loop measures the
+// evaluation sweep (threshold search + metric computation), which is
+// the part a practitioner reruns while exploring operating points.
+package repro
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// benchItems keeps full-suite benchmarks tractable while covering all
+// 16 topics several times; use cmd/experiments for the full n=120 run.
+const benchItems = 64
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+	suiteErr  error
+)
+
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		set, err := dataset.Generate(20250612, benchItems)
+		if err != nil {
+			suiteErr = err
+			return
+		}
+		suite = experiments.NewSuite(set, experiments.DefaultWorkers)
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+var printOnce sync.Map
+
+// printTable prints a figure's table exactly once per process.
+func printTable(key, table string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Printf("\n== %s ==\n%s", key, table)
+	}
+}
+
+// BenchmarkTable1Taxonomy exercises Table I: the three contradiction
+// examples classified sentence-by-sentence by the proposed detector
+// against their own prompts (no external context — the paper's table
+// is illustrative, so the benchmark measures raw verification cost on
+// those inputs).
+func BenchmarkTable1Taxonomy(b *testing.B) {
+	d, err := core.NewProposed()
+	if err != nil {
+		b.Fatal(err)
+	}
+	examples := dataset.ContradictionExamples()
+	ctx := context.Background()
+	var triples []core.Triple
+	for _, ex := range examples {
+		triples = append(triples, core.Triple{Question: ex.Prompt, Context: ex.Prompt, Response: ex.Response})
+	}
+	if err := d.Calibrate(ctx, triples); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ex := range examples {
+			if _, err := d.Score(ctx, ex.Prompt, ex.Prompt, ex.Response); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// fig3Bench reproduces one panel of Fig. 3 (and the matching Fig. 4
+// panel shares its computation).
+func fig3Bench(b *testing.B, contrast dataset.Label, panel string) {
+	s := benchSuite(b)
+	ctx := context.Background()
+	var rows []experiments.ApproachResult
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err = s.Fig3(ctx, contrast)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printTable(panel, experiments.FormatFig3(rows))
+	for _, r := range rows {
+		b.ReportMetric(r.BestF1.F1()*1000, "f1e3_"+sanitize(r.Approach))
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkFig3aBestF1Wrong: best F1 detecting correct vs wrong for
+// all five approaches (paper: all high, ≈0.89–0.99).
+func BenchmarkFig3aBestF1Wrong(b *testing.B) { fig3Bench(b, dataset.LabelWrong, "fig3a") }
+
+// BenchmarkFig3bBestF1Partial: best F1 detecting correct vs partial
+// (paper: proposed highest at 0.81, +11% over ChatGPT, +6.6% over
+// P(yes)).
+func BenchmarkFig3bBestF1Partial(b *testing.B) { fig3Bench(b, dataset.LabelPartial, "fig3b") }
+
+// fig4Bench reproduces one panel of Fig. 4: best precision subject to
+// recall ≥ 0.5.
+func fig4Bench(b *testing.B, contrast dataset.Label, panel string) {
+	s := benchSuite(b)
+	ctx := context.Background()
+	var rows []experiments.ApproachResult
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err = s.Fig4(ctx, contrast)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printTable(panel, experiments.FormatFig4(rows))
+	for _, r := range rows {
+		b.ReportMetric(r.BestPrec.Precision()*1000, "pe3_"+sanitize(r.Approach))
+		b.ReportMetric(r.BestPrec.Recall()*1000, "re3_"+sanitize(r.Approach))
+	}
+}
+
+// BenchmarkFig4aPrecisionWrong: paper's Fig. 4(a) — singles reach high
+// precision only at low recall; the proposed method keeps recall.
+func BenchmarkFig4aPrecisionWrong(b *testing.B) { fig4Bench(b, dataset.LabelWrong, "fig4a") }
+
+// BenchmarkFig4bPrecisionPartial: Fig. 4(b), the harder contrast.
+func BenchmarkFig4bPrecisionPartial(b *testing.B) { fig4Bench(b, dataset.LabelPartial, "fig4b") }
+
+// fig5Bench reproduces one panel of Fig. 5: best F1 per aggregation
+// mean over the proposed two-SLM pipeline.
+func fig5Bench(b *testing.B, contrast dataset.Label, panel string) {
+	s := benchSuite(b)
+	ctx := context.Background()
+	var rows []experiments.MeanResult
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err = s.Fig5(ctx, contrast)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printTable(panel, experiments.FormatFig5(rows))
+	for _, r := range rows {
+		b.ReportMetric(r.BestF1.F1()*1000, "f1e3_"+r.Mean.String())
+	}
+}
+
+// BenchmarkFig5aMeansWrong: paper range 0.75–0.99 with max on top.
+func BenchmarkFig5aMeansWrong(b *testing.B) { fig5Bench(b, dataset.LabelWrong, "fig5a") }
+
+// BenchmarkFig5bMeansPartial: paper — harmonic best (0.81), max
+// collapses, min worst (0.66).
+func BenchmarkFig5bMeansPartial(b *testing.B) { fig5Bench(b, dataset.LabelPartial, "fig5b") }
+
+// BenchmarkFig6Distributions regenerates the proposed-vs-P(yes) score
+// histograms (Fig. 6).
+func BenchmarkFig6Distributions(b *testing.B) {
+	s := benchSuite(b)
+	ctx := context.Background()
+	var proposed, pyes *experiments.Distribution
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proposed, pyes, err = s.Fig6(ctx, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printTable("fig6", "(a) "+experiments.FormatDistribution(proposed, 40)+
+		"(b) "+experiments.FormatDistribution(pyes, 40))
+}
+
+// BenchmarkFig7MeanDistributions regenerates the geometric-vs-harmonic
+// histograms (Fig. 7).
+func BenchmarkFig7MeanDistributions(b *testing.B) {
+	s := benchSuite(b)
+	ctx := context.Background()
+	var geo, har *experiments.Distribution
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		geo, har, err = s.Fig7(ctx, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printTable("fig7", "(a) "+experiments.FormatDistribution(geo, 40)+
+		"(b) "+experiments.FormatDistribution(har, 40))
+}
+
+// --- DESIGN.md §4 ablations ---
+
+// BenchmarkAblationEnsembleSize varies the number of SLMs (1, 2, 3).
+func BenchmarkAblationEnsembleSize(b *testing.B) {
+	s := benchSuite(b)
+	ctx := context.Background()
+	var rows []experiments.AblationRow
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err = s.AblationEnsembleSize(ctx, dataset.LabelPartial)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printTable("ablation: ensemble size (vs partial)", experiments.FormatAblation("", rows))
+	for _, r := range rows {
+		b.ReportMetric(r.BestF1.F1()*1000, "f1e3_"+sanitize(r.Config))
+	}
+}
+
+// BenchmarkAblationGating compares Eq. 5's uniform mean with the §VI
+// gating combiners.
+func BenchmarkAblationGating(b *testing.B) {
+	s := benchSuite(b)
+	ctx := context.Background()
+	var rows []experiments.AblationRow
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err = s.AblationGating(ctx, dataset.LabelPartial)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printTable("ablation: gating (vs partial)", experiments.FormatAblation("", rows))
+}
+
+// BenchmarkAblationNormalization toggles Eq. 4's z-normalization.
+func BenchmarkAblationNormalization(b *testing.B) {
+	s := benchSuite(b)
+	ctx := context.Background()
+	var rows []experiments.AblationRow
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err = s.AblationNormalization(ctx, dataset.LabelPartial)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printTable("ablation: normalization (vs partial)", experiments.FormatAblation("", rows))
+}
+
+// BenchmarkAblationSplitter toggles sentence splitting at a fixed
+// two-model harmonic configuration.
+func BenchmarkAblationSplitter(b *testing.B) {
+	s := benchSuite(b)
+	ctx := context.Background()
+	var rows []experiments.AblationRow
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err = s.AblationSplitter(ctx, dataset.LabelPartial)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printTable("ablation: splitter (vs partial)", experiments.FormatAblation("", rows))
+}
+
+// BenchmarkAblationTopK swaps the gold context for top-k retrieved
+// context. Retrieval noise costs accuracy; more context dilutes the
+// verifier (§IV-A's motivation seen from the retrieval side).
+func BenchmarkAblationTopK(b *testing.B) {
+	s := benchSuite(b)
+	ctx := context.Background()
+	var rows []experiments.AblationRow
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err = s.AblationTopK(ctx, dataset.LabelPartial, []int{1, 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printTable("ablation: retrieval top-k (vs partial)", experiments.FormatAblation("", rows))
+}
+
+// BenchmarkDetectorScore measures the end-to-end cost of verifying one
+// response with the proposed two-SLM pipeline (cold signature caches
+// excluded by the warmup call).
+func BenchmarkDetectorScore(b *testing.B) {
+	d, err := core.NewProposed()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	q := "What are the working hours?"
+	contextText := "The store operates from 9 AM to 5 PM, from Sunday to Saturday. There should be at least three shopkeepers to run a shop."
+	response := "The working hours are 9 AM to 5 PM. The store is open from Monday to Friday."
+	if err := d.Calibrate(ctx, []core.Triple{{Question: q, Context: contextText, Response: response}}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Score(ctx, q, contextText, response); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThresholdSweep isolates the metric sweep on a realistic
+// score distribution — the inner loop of every figure.
+func BenchmarkThresholdSweep(b *testing.B) {
+	s := benchSuite(b)
+	ctx := context.Background()
+	rows, err := s.Fig3(ctx, dataset.LabelPartial)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = rows
+	sc, err := s.Fig3(ctx, dataset.LabelWrong)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = sc
+	// Rebuild one approach's samples for the sweep benchmark.
+	d, err := core.NewProposed()
+	if err != nil {
+		b.Fatal(err)
+	}
+	scores, err := experiments.ScoreApproach(ctx, d, s.Set, experiments.DefaultWorkers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := scores.SamplesVs(dataset.LabelPartial)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.BestF1(samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

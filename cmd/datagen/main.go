@@ -1,0 +1,68 @@
+// Command datagen emits the synthetic HR-handbook evaluation dataset
+// (the stand-in for the paper's Lane Crawford data, §V-A) as JSON.
+//
+// Usage:
+//
+//	datagen [-n items] [-seed n] [-o file] [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/splitter"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", dataset.DefaultSize, "number of question/context sets")
+		seed  = flag.Uint64("seed", 20250612, "generation seed")
+		out   = flag.String("o", "", "output file (default stdout)")
+		stats = flag.Bool("stats", false, "print dataset statistics to stderr")
+	)
+	flag.Parse()
+	if err := run(*n, *seed, *out, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, seed uint64, out string, stats bool) error {
+	set, err := dataset.Generate(seed, n)
+	if err != nil {
+		return err
+	}
+	if stats {
+		printStats(set)
+	}
+	if out == "" {
+		return set.Save(os.Stdout)
+	}
+	return set.SaveFile(out)
+}
+
+func printStats(set *dataset.Set) {
+	topics := map[string]int{}
+	categories := map[string]int{}
+	sentences := 0
+	responses := 0
+	for _, it := range set.Items {
+		topics[it.Topic]++
+		categories[it.Category]++
+		for _, r := range it.Responses {
+			sentences += splitter.Count(r.Text)
+			responses++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "items: %d  responses: %d  avg sentences/response: %.2f\n",
+		len(set.Items), responses, float64(sentences)/float64(responses))
+	fmt.Fprintf(os.Stderr, "topics (%d):\n", len(topics))
+	for t, c := range topics {
+		fmt.Fprintf(os.Stderr, "  %-20s %d\n", t, c)
+	}
+	for c, n := range categories {
+		fmt.Fprintf(os.Stderr, "category %-12s %d\n", c, n)
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunWritesLoadableFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "set.json")
+	if err := run(24, 7, path, false); err != nil {
+		t.Fatal(err)
+	}
+	set, err := dataset.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Items) != 24 || set.Seed != 7 {
+		t.Errorf("loaded set n=%d seed=%d", len(set.Items), set.Seed)
+	}
+}
+
+func TestRunRejectsBadN(t *testing.T) {
+	if err := run(0, 1, "", false); err == nil {
+		t.Error("n=0 accepted")
+	}
+}

@@ -1,0 +1,149 @@
+// Command hallucheck scores responses for hallucinations with the
+// proposed multi-SLM framework.
+//
+// Two modes:
+//
+//	# score one triple from flags
+//	hallucheck -q "What are the working hours?" \
+//	           -c "The store operates from 9 AM to 5 PM..." \
+//	           -r "The working hours are 9 AM to 9 PM."
+//
+//	# score every response in a dataset JSON (from cmd/datagen)
+//	hallucheck -data dataset.json [-threshold 3.2] [-v]
+//
+// The exit status of single-triple mode is 0 when the response is
+// accepted and 2 when it is flagged as hallucinated, so the tool can
+// gate scripts.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		question  = flag.String("q", "", "question")
+		ctxText   = flag.String("c", "", "retrieved context")
+		response  = flag.String("r", "", "response to verify")
+		dataPath  = flag.String("data", "", "dataset JSON to score (overrides -q/-c/-r)")
+		threshold = flag.Float64("threshold", 3.2, "accept responses with score strictly above this")
+		verbose   = flag.Bool("v", false, "print per-sentence detail")
+		agg       = flag.String("mean", "harmonic", "sentence aggregation: harmonic, arithmetic, geometric, max, min")
+	)
+	flag.Parse()
+	code, err := run(*question, *ctxText, *response, *dataPath, *threshold, *verbose, *agg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hallucheck:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func parseMean(name string) (core.Mean, error) {
+	for _, m := range core.Means() {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mean %q", name)
+}
+
+func run(question, ctxText, response, dataPath string, threshold float64, verbose bool, aggName string) (int, error) {
+	mean, err := parseMean(aggName)
+	if err != nil {
+		return 1, err
+	}
+	detector, err := core.NewProposedWithMean(mean)
+	if err != nil {
+		return 1, err
+	}
+	ctx := context.Background()
+	if dataPath != "" {
+		return runDataset(ctx, detector, dataPath, threshold, verbose)
+	}
+	if question == "" || ctxText == "" || response == "" {
+		return 1, fmt.Errorf("need either -data or all of -q, -c, -r")
+	}
+	// Single triple: calibrate on the triple itself so the z-scores
+	// have moments; scores in this mode are relative, which the help
+	// text of -threshold documents.
+	if err := detector.Calibrate(ctx, []core.Triple{{Question: question, Context: ctxText, Response: response}}); err != nil {
+		return 1, err
+	}
+	verdict, err := detector.Score(ctx, question, ctxText, response)
+	if err != nil {
+		return 1, err
+	}
+	printVerdict(response, verdict, threshold, verbose)
+	if verdict.IsCorrect(threshold) {
+		return 0, nil
+	}
+	return 2, nil
+}
+
+func runDataset(ctx context.Context, detector *core.Detector, path string, threshold float64, verbose bool) (int, error) {
+	set, err := dataset.LoadFile(path)
+	if err != nil {
+		return 1, err
+	}
+	var triples []core.Triple
+	type ref struct {
+		item  int
+		label dataset.Label
+	}
+	var refs []ref
+	for _, it := range set.Items {
+		for _, r := range it.Responses {
+			triples = append(triples, core.Triple{Question: it.Question, Context: it.Context, Response: r.Text})
+			refs = append(refs, ref{item: it.ID, label: r.Label})
+		}
+	}
+	if err := detector.Calibrate(ctx, triples); err != nil {
+		return 1, err
+	}
+	scored, err := detector.BatchScore(ctx, triples, 8)
+	if err != nil {
+		return 1, err
+	}
+	correctByLabel := map[dataset.Label]int{}
+	totalByLabel := map[dataset.Label]int{}
+	for i, s := range scored {
+		accepted := s.Verdict.IsCorrect(threshold)
+		totalByLabel[refs[i].label]++
+		if accepted {
+			correctByLabel[refs[i].label]++
+		}
+		if verbose {
+			fmt.Printf("item %3d  %-8s score=%.4f accepted=%v\n",
+				refs[i].item, refs[i].label, s.Verdict.Score, accepted)
+		}
+	}
+	fmt.Printf("threshold %.3f — acceptance rate by ground-truth label:\n", threshold)
+	for _, l := range dataset.Labels() {
+		fmt.Printf("  %-8s %3d/%3d accepted\n", l, correctByLabel[l], totalByLabel[l])
+	}
+	return 0, nil
+}
+
+func printVerdict(response string, v core.Verdict, threshold float64, verbose bool) {
+	status := "ACCEPTED"
+	if !v.IsCorrect(threshold) {
+		status = "FLAGGED (possible hallucination)"
+	}
+	fmt.Printf("score %.4f (threshold %.3f): %s\n", v.Score, threshold, status)
+	if verbose {
+		for _, s := range v.Sentences {
+			fmt.Printf("  s=%+.3f  %q\n", s.Combined, s.Sentence)
+			for m, p := range s.Raw {
+				fmt.Printf("      %-24s P(yes)=%.4f\n", m, p)
+			}
+		}
+	}
+	_ = response
+}

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestParseMean(t *testing.T) {
+	for _, name := range []string{"harmonic", "arithmetic", "geometric", "max", "min"} {
+		m, err := parseMean(name)
+		if err != nil {
+			t.Errorf("parseMean(%q): %v", name, err)
+		}
+		if m.String() != name {
+			t.Errorf("parseMean(%q) = %s", name, m)
+		}
+	}
+	if _, err := parseMean("median"); err == nil {
+		t.Error("unknown mean accepted")
+	}
+}
+
+func TestRunSingleTriple(t *testing.T) {
+	contextText := "The store operates from 9 AM to 5 PM, from Sunday to Saturday."
+	// A wrong response must be flagged (exit code 2) at a mid-range
+	// threshold.
+	code, err := run("What are the working hours?", contextText,
+		"The working hours are 9 AM to 9 PM. You do not need to work on weekends.",
+		"", 3.0, false, "harmonic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("wrong response exit code = %d, want 2", code)
+	}
+}
+
+func TestRunMissingFlags(t *testing.T) {
+	if _, err := run("", "", "", "", 3.0, false, "harmonic"); err == nil {
+		t.Error("missing flags accepted")
+	}
+	if _, err := run("q", "c", "r", "", 3.0, false, "bogus"); err == nil {
+		t.Error("bogus mean accepted")
+	}
+}

@@ -1,0 +1,240 @@
+// Command ragserver runs the end-to-end system of Fig. 2 as an HTTP
+// service: documents are ingested into the vector database, questions
+// are answered with retrieval-augmented generation, and every answer
+// is verified by the multi-SLM framework before being returned.
+//
+// Endpoints (JSON):
+//
+//	POST /ingest   {"text": "..."}               → {"chunks": n}
+//	POST /ask      {"question": "..."}           → answer + verdict
+//	POST /verify   {"question","context","response"} → verdict
+//	GET  /healthz                                → {"status":"ok","docs":n}
+//
+// Usage:
+//
+//	ragserver [-addr :8080] [-topk 3] [-threshold 3.2] [-seed-demo]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rag"
+	"repro/internal/vecdb"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		topK      = flag.Int("topk", 3, "retrieved passages per question")
+		threshold = flag.Float64("threshold", 3.2, "verification acceptance threshold")
+		seedDemo  = flag.Bool("seed-demo", false, "preload the synthetic HR handbook and calibrate on it")
+	)
+	flag.Parse()
+	srv, err := newServer(*topK, *threshold, *seedDemo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ragserver:", err)
+		os.Exit(1)
+	}
+	log.Printf("ragserver listening on %s (topk=%d threshold=%.2f)", *addr, *topK, *threshold)
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := httpServer.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "ragserver:", err)
+		os.Exit(1)
+	}
+}
+
+// server wires the RAG pipeline behind HTTP handlers.
+type server struct {
+	db       *vecdb.DB
+	pipeline *rag.Pipeline
+	detector *core.Detector
+}
+
+func newServer(topK int, threshold float64, seedDemo bool) (*server, error) {
+	db, err := vecdb.NewDefault(256)
+	if err != nil {
+		return nil, err
+	}
+	detector, err := core.NewProposed()
+	if err != nil {
+		return nil, err
+	}
+	pipeline, err := rag.NewPipeline(rag.PipelineConfig{
+		DB:        db,
+		TopK:      topK,
+		Generator: rag.ExtractiveGenerator{MaxSentences: 2},
+		Detector:  detector,
+		Threshold: threshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &server{db: db, pipeline: pipeline, detector: detector}
+	if seedDemo {
+		if err := s.seedDemo(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// seedDemo ingests the synthetic handbook and calibrates the
+// detector's normalization moments on its responses (Eq. 4's
+// "previous responses").
+func (s *server) seedDemo() error {
+	set, err := dataset.Default()
+	if err != nil {
+		return err
+	}
+	for _, ctxText := range set.Contexts() {
+		if _, err := s.db.Add(ctxText, nil); err != nil {
+			return err
+		}
+	}
+	var triples []core.Triple
+	for _, it := range set.Items {
+		for _, r := range it.Responses {
+			triples = append(triples, core.Triple{
+				Question: it.Question, Context: it.Context, Response: r.Text,
+			})
+		}
+	}
+	log.Printf("seeding demo: %d passages, calibrating on %d responses", s.db.Len(), len(triples))
+	return s.detector.Calibrate(context.Background(), triples)
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/ask", s.handleAsk)
+	mux.HandleFunc("/verify", s.handleVerify)
+	return mux
+}
+
+// writeJSON sends v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("ragserver: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status": "ok",
+		"docs":   s.db.Len(),
+	})
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req struct {
+		Text string `json:"text"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	n, err := s.pipeline.Ingest(req.Text, rag.DefaultChunker())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"chunks": n})
+}
+
+// verdictJSON is the wire form of a core.Verdict.
+type verdictJSON struct {
+	Score     float64        `json:"score"`
+	Trusted   bool           `json:"trusted"`
+	Sentences []sentenceJSON `json:"sentences"`
+}
+
+type sentenceJSON struct {
+	Sentence string             `json:"sentence"`
+	Combined float64            `json:"combined"`
+	Raw      map[string]float64 `json:"raw"`
+}
+
+func toVerdictJSON(v core.Verdict, trusted bool) verdictJSON {
+	out := verdictJSON{Score: v.Score, Trusted: trusted}
+	for _, s := range v.Sentences {
+		out.Sentences = append(out.Sentences, sentenceJSON{
+			Sentence: s.Sentence, Combined: s.Combined, Raw: s.Raw,
+		})
+	}
+	return out
+}
+
+func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req struct {
+		Question string `json:"question"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Question == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty question"))
+		return
+	}
+	ans, err := s.pipeline.Ask(r.Context(), req.Question)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"question": ans.Question,
+		"context":  ans.Context,
+		"response": ans.Response,
+		"verdict":  toVerdictJSON(ans.Verdict, ans.Trusted),
+	})
+}
+
+func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req struct {
+		Question string `json:"question"`
+		Context  string `json:"context"`
+		Response string `json:"response"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := s.detector.Score(r.Context(), req.Question, req.Context, req.Response)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toVerdictJSON(v, v.IsCorrect(s.pipeline.Threshold)))
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// newTestServer builds an un-seeded server and calibrates it on a tiny
+// fixture so /verify has score moments.
+func newTestServer(t *testing.T) *server {
+	t.Helper()
+	s, err := newServer(2, 3.2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body interface{}) *httptest.ResponseRecorder {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(buf))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	s.routes().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var out map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["status"] != "ok" {
+		t.Errorf("health = %v", out)
+	}
+}
+
+func TestIngestAskVerifyFlow(t *testing.T) {
+	s := newTestServer(t)
+	h := s.routes()
+
+	// Ingest a small handbook.
+	doc := "The store operates from 9 AM to 5 PM, from Sunday to Saturday. " +
+		"There should be at least three shopkeepers to run a shop. " +
+		"Employees are entitled to 14 days of paid annual leave per year."
+	rec := postJSON(t, h, "/ingest", map[string]string{"text": doc})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", rec.Code, rec.Body)
+	}
+	var ing struct {
+		Chunks int `json:"chunks"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Chunks == 0 {
+		t.Fatal("no chunks ingested")
+	}
+
+	// Ask a question through the verified pipeline.
+	rec = postJSON(t, h, "/ask", map[string]string{"question": "What are the working hours?"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ask status %d: %s", rec.Code, rec.Body)
+	}
+	var ans struct {
+		Response string `json:"response"`
+		Verdict  struct {
+			Score     float64 `json:"score"`
+			Sentences []struct {
+				Sentence string `json:"sentence"`
+			} `json:"sentences"`
+		} `json:"verdict"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Response == "" || len(ans.Verdict.Sentences) == 0 {
+		t.Fatalf("incomplete answer: %s", rec.Body)
+	}
+
+	// Verify a known hallucination directly.
+	rec = postJSON(t, h, "/verify", map[string]string{
+		"question": "What are the working hours?",
+		"context":  doc,
+		"response": "The working hours are 9 AM to 9 PM. You do not need to work on weekends.",
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("verify status %d: %s", rec.Code, rec.Body)
+	}
+	var bad struct {
+		Score float64 `json:"score"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &bad); err != nil {
+		t.Fatal(err)
+	}
+	rec = postJSON(t, h, "/verify", map[string]string{
+		"question": "What are the working hours?",
+		"context":  doc,
+		"response": "The working hours are 9 AM to 5 PM. The store is open from Sunday to Saturday.",
+	})
+	var good struct {
+		Score float64 `json:"score"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &good); err != nil {
+		t.Fatal(err)
+	}
+	if good.Score <= bad.Score {
+		t.Errorf("grounded score %.3f not above hallucinated %.3f", good.Score, bad.Score)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := newTestServer(t)
+	h := s.routes()
+
+	// Wrong method.
+	req := httptest.NewRequest(http.MethodGet, "/ask", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /ask status = %d", rec.Code)
+	}
+	// Malformed JSON.
+	req = httptest.NewRequest(http.MethodPost, "/ask", bytes.NewReader([]byte("{")))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed /ask status = %d", rec.Code)
+	}
+	// Empty question.
+	rec = postJSON(t, h, "/ask", map[string]string{"question": ""})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("empty question status = %d", rec.Code)
+	}
+	// Verify with empty response.
+	rec = postJSON(t, h, "/verify", map[string]string{"question": "q", "context": "c", "response": ""})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("empty response status = %d", rec.Code)
+	}
+}
+
+func TestSeedDemo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seeding calibrates on 360 responses")
+	}
+	s, err := newServer(2, 3.2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.db.Len() == 0 {
+		t.Error("demo seed indexed nothing")
+	}
+}

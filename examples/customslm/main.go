@@ -1,0 +1,96 @@
+// customslm: extend the framework with your own verifier model. Any
+// type implementing slm.Model — here a tiny keyword-overlap judge and
+// a calibrated verifier with a custom profile — can join the checker's
+// ensemble, and the per-model z-normalization (Eq. 4) absorbs its
+// score scale automatically.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/slm"
+	"repro/internal/textproc"
+)
+
+// KeywordJudge is a from-scratch slm.Model: it scores a claim by raw
+// stemmed-unigram overlap with the context. Crude, biased toward long
+// claims — exactly the kind of heterogeneous judge the normalization
+// layer exists to absorb.
+type KeywordJudge struct{}
+
+// Name implements slm.Model.
+func (KeywordJudge) Name() string { return "keyword-judge" }
+
+// YesProbability implements slm.Model.
+func (KeywordJudge) YesProbability(ctx context.Context, req slm.VerifyRequest) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if err := req.Validate(); err != nil {
+		return 0, err
+	}
+	claim := textproc.ContentWords(req.Claim)
+	evidence := textproc.ContentWords(req.Context)
+	// Squash into (0,1) with a floor so downstream math never sees 0.
+	p := 0.02 + 0.96*textproc.OverlapRatio(claim, evidence)
+	return p, nil
+}
+
+func main() {
+	// A custom calibrated profile: blunter and noisier than the
+	// built-ins, as if simulating an even smaller checkpoint.
+	tiny, err := slm.NewCalibrated(slm.Profile{
+		Name: "tiny-350m", Sharpness: 1.6, Bias: 0.1,
+		NoiseAmp: 1.6, WeightJitter: 0.3, DilutionHalfLife: 6,
+		OutputScale: 0.5, OutputShift: 0.3,
+		QuantityMissRate: 0.3, PolarityMissRate: 0.3, FalseAlarmRate: 0.3,
+		SubtletyBlindness: 0.95,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	detector, err := core.NewDetector("custom-ensemble", core.Config{
+		Models:    []slm.Model{slm.NewQwen2(), KeywordJudge{}, tiny},
+		Aggregate: core.Harmonic,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	question := "How many days of annual leave do employees receive?"
+	contextText := "Full-time employees are entitled to 14 days of paid annual leave per year. " +
+		"A maximum of five unused leave days may be carried over to the next year."
+	candidates := []string{
+		"Employees receive 14 days of paid annual leave each year.",
+		"Employees receive 30 days of paid annual leave each year.",
+		"Employees receive 14 days of leave. Unused days cannot be carried over.",
+	}
+
+	ctx := context.Background()
+	var triples []core.Triple
+	for _, r := range candidates {
+		triples = append(triples, core.Triple{Question: question, Context: contextText, Response: r})
+	}
+	if err := detector.Calibrate(ctx, triples); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, r := range candidates {
+		v, err := detector.Score(ctx, question, contextText, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("score=%.4f  %q\n", v.Score, r)
+		for _, s := range v.Sentences {
+			fmt.Printf("    s_ij=%+.3f", s.Combined)
+			for _, m := range detector.Models() {
+				fmt.Printf("  %s=%.3f", m.Name(), s.Raw[m.Name()])
+			}
+			fmt.Printf("  %q\n", s.Sentence)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package repro
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rag"
+	"repro/internal/slm"
+	"repro/internal/vecdb"
+)
+
+// TestEndToEndFlow exercises the complete Fig. 2 system in one test:
+// dataset → vector database → retrieval → generation → verification,
+// asserting the cross-module invariants that no package-level test can
+// see.
+func TestEndToEndFlow(t *testing.T) {
+	ctx := context.Background()
+	set, err := dataset.Generate(31, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Index the handbook with an HNSW-backed store to cover the
+	// approximate-index path end to end.
+	embedder, err := vecdb.NewHashedEmbedder(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, err := vecdb.NewHNSWIndex(vecdb.Cosine, 128, 8, 48, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := vecdb.New(embedder, index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AddAll(set.Contexts()); err != nil {
+		t.Fatal(err)
+	}
+
+	detector, err := core.NewProposed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var triples []core.Triple
+	for _, it := range set.Items {
+		for _, r := range it.Responses {
+			triples = append(triples, core.Triple{Question: it.Question, Context: it.Context, Response: r.Text})
+		}
+	}
+	if err := detector.Calibrate(ctx, triples); err != nil {
+		t.Fatal(err)
+	}
+
+	pipeline, err := rag.NewPipeline(rag.PipelineConfig{
+		DB: db, TopK: 2,
+		Generator: rag.ExtractiveGenerator{MaxSentences: 2},
+		Detector:  detector,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range set.Items[:5] {
+		ans, err := pipeline.Ask(ctx, it.Question)
+		if err != nil {
+			t.Fatalf("ask %q: %v", it.Question, err)
+		}
+		if ans.Response == "" || len(ans.Verdict.Sentences) == 0 {
+			t.Errorf("incomplete answer for %q", it.Question)
+		}
+	}
+}
+
+// TestOracleDetectorSeparatesPerfectly: with the noise-free Oracle as
+// the only model, correct responses must outscore their wrong siblings
+// on every single item — the framework adds no noise of its own.
+func TestOracleDetectorSeparatesPerfectly(t *testing.T) {
+	ctx := context.Background()
+	set, err := dataset.Generate(5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.NewDetector("oracle", core.Config{
+		Models: []slm.Model{slm.Oracle{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var triples []core.Triple
+	for _, it := range set.Items {
+		for _, r := range it.Responses {
+			triples = append(triples, core.Triple{Question: it.Question, Context: it.Context, Response: r.Text})
+		}
+	}
+	if err := d.Calibrate(ctx, triples); err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range set.Items {
+		correct, _ := it.Response(dataset.LabelCorrect)
+		wrong, _ := it.Response(dataset.LabelWrong)
+		vc, err := d.Score(ctx, it.Question, it.Context, correct.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vw, err := d.Score(ctx, it.Question, it.Context, wrong.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vc.Score <= vw.Score {
+			t.Errorf("item %d (%s): oracle correct %.3f ≤ wrong %.3f",
+				it.ID, it.Topic, vc.Score, vw.Score)
+		}
+	}
+}
+
+// TestPartialScoresBetweenWrongAndCorrect checks the paper's Fig. 6
+// ordering at the aggregate level: mean(wrong) < mean(partial) <
+// mean(correct) under the proposed detector.
+func TestPartialScoresBetweenWrongAndCorrect(t *testing.T) {
+	ctx := context.Background()
+	set, err := dataset.Generate(41, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.NewProposed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var triples []core.Triple
+	for _, it := range set.Items {
+		for _, r := range it.Responses {
+			triples = append(triples, core.Triple{Question: it.Question, Context: it.Context, Response: r.Text})
+		}
+	}
+	if err := d.Calibrate(ctx, triples); err != nil {
+		t.Fatal(err)
+	}
+	means := map[dataset.Label]float64{}
+	for _, it := range set.Items {
+		for _, l := range dataset.Labels() {
+			r, _ := it.Response(l)
+			v, err := d.Score(ctx, it.Question, it.Context, r.Text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			means[l] += v.Score
+		}
+	}
+	if !(means[dataset.LabelWrong] < means[dataset.LabelPartial] &&
+		means[dataset.LabelPartial] < means[dataset.LabelCorrect]) {
+		n := float64(len(set.Items))
+		t.Errorf("mean ordering broken: wrong=%.3f partial=%.3f correct=%.3f",
+			means[dataset.LabelWrong]/n, means[dataset.LabelPartial]/n, means[dataset.LabelCorrect]/n)
+	}
+}

@@ -1,0 +1,126 @@
+// Package core implements the paper's contribution (§IV): the
+// hallucination-detection framework that splits an LLM response into
+// sentences, obtains each sentence's first-token yes-probability from
+// multiple small language models, z-normalizes per model (Eq. 4),
+// averages across models (Eq. 5), aggregates sentence scores into a
+// response score (Eq. 6–10), and thresholds it — plus the baseline
+// configurations evaluated in §V-C (ChatGPT P(True), P(yes) without a
+// splitter, and single-SLM variants).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Mean selects the sentence-score aggregation of §V-E.
+type Mean int
+
+// Aggregation strategies. Harmonic is Eq. 6 (the proposed default);
+// the rest are Eq. 7–10.
+const (
+	Harmonic Mean = iota
+	Arithmetic
+	Geometric
+	Max
+	Min
+)
+
+// Means lists every aggregation in the order Fig. 5 reports them.
+func Means() []Mean { return []Mean{Geometric, Arithmetic, Max, Min, Harmonic} }
+
+// String names the mean as the paper's figures label it.
+func (m Mean) String() string {
+	switch m {
+	case Harmonic:
+		return "harmonic"
+	case Arithmetic:
+		return "arithmetic"
+	case Geometric:
+		return "geometric"
+	case Max:
+		return "max"
+	case Min:
+		return "min"
+	default:
+		return fmt.Sprintf("mean(%d)", int(m))
+	}
+}
+
+// ErrNoScores is returned when aggregating an empty score list.
+var ErrNoScores = errors.New("core: no sentence scores to aggregate")
+
+// DefaultShift is added to every sentence score before aggregation,
+// implementing the paper's note under Eq. 6 ("to avoid issues with
+// non-positive values, any values less than or equal to zero are
+// adjusted") while preserving magnitude ordering: cross-model z-scores
+// concentrate in [-3, 3], so a shift of 3 moves nearly all of them
+// above zero.
+const DefaultShift = 3.0
+
+// DefaultFloor is the positive value that scores still non-positive
+// after the shift are clamped to, so the positivity-requiring means
+// (harmonic, geometric) are always defined.
+const DefaultFloor = 0.05
+
+// Aggregate combines per-sentence scores s_{i,j} into the response
+// score s_i. floor replaces values ≤ 0 for the positivity-requiring
+// means (harmonic, geometric); pass DefaultFloor unless ablating.
+func (m Mean) Aggregate(scores []float64, floor float64) (float64, error) {
+	if len(scores) == 0 {
+		return 0, ErrNoScores
+	}
+	if floor <= 0 {
+		return 0, fmt.Errorf("core: floor must be positive, got %v", floor)
+	}
+	switch m {
+	case Harmonic:
+		// Eq. 6: |S| / Σ 1/s_{i,j}.
+		var invSum float64
+		for _, s := range scores {
+			if s <= 0 {
+				s = floor
+			}
+			invSum += 1 / s
+		}
+		return float64(len(scores)) / invSum, nil
+	case Arithmetic:
+		// Eq. 7.
+		var sum float64
+		for _, s := range scores {
+			sum += s
+		}
+		return sum / float64(len(scores)), nil
+	case Geometric:
+		// Eq. 8: exp(mean(log s)), s > 0 enforced by the floor.
+		var logSum float64
+		for _, s := range scores {
+			if s <= 0 {
+				s = floor
+			}
+			logSum += math.Log(s)
+		}
+		return math.Exp(logSum / float64(len(scores))), nil
+	case Max:
+		// Eq. 10.
+		best := scores[0]
+		for _, s := range scores[1:] {
+			if s > best {
+				best = s
+			}
+		}
+		return best, nil
+	case Min:
+		// Eq. 9.
+		worst := scores[0]
+		for _, s := range scores[1:] {
+			if s < worst {
+				worst = s
+			}
+		}
+		return worst, nil
+	default:
+		return 0, fmt.Errorf("core: unknown mean %v", m)
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/slm"
+)
+
+// This file wires the five approaches of §V-C. Each constructor
+// returns a fresh Detector with its own normalization state.
+
+// proposedModels returns fresh instances of the paper's two SLMs.
+func proposedModels() []slm.Model {
+	return []slm.Model{slm.NewQwen2(), slm.NewMiniCPM()}
+}
+
+// NewProposed builds the paper's proposed framework: Qwen2 and MiniCPM
+// as the SLMs, sentence splitting, per-model z-normalization and
+// harmonic aggregation.
+func NewProposed() (*Detector, error) {
+	return NewDetector("Proposed", Config{
+		Models:    proposedModels(),
+		Aggregate: Harmonic,
+	})
+}
+
+// NewProposedWithMean is NewProposed with a different sentence
+// aggregation — the §V-E means study.
+func NewProposedWithMean(m Mean) (*Detector, error) {
+	return NewDetector(fmt.Sprintf("Proposed[%s]", m), Config{
+		Models:    proposedModels(),
+		Aggregate: m,
+	})
+}
+
+// NewSingleSLM builds the single-model variants ("Qwen2", "MiniCPM"):
+// the proposed pipeline with only one SLM.
+func NewSingleSLM(name string, model slm.Model) (*Detector, error) {
+	return NewDetector(name, Config{
+		Models:    []slm.Model{model},
+		Aggregate: Harmonic,
+	})
+}
+
+// NewPYes builds the P(yes) baseline: the whole response is checked in
+// one call with Qwen2's raw first-token probability — no splitter, no
+// normalization.
+func NewPYes() (*Detector, error) {
+	return NewDetector("P(yes)", Config{
+		Models:    []slm.Model{slm.NewQwen2()},
+		Split:     WholeResponse,
+		Aggregate: Arithmetic, // single value; any mean is identical
+		Scale:     Identity{},
+	})
+}
+
+// NewChatGPT builds the ChatGPT baseline: whole-response P(True)
+// estimated through an API-style judge (quantized probabilities).
+func NewChatGPT() (*Detector, error) {
+	return NewDetector("ChatGPT", Config{
+		Models:    []slm.Model{slm.NewChatGPTStyle()},
+		Split:     WholeResponse,
+		Aggregate: Arithmetic,
+		Scale:     Identity{},
+	})
+}
+
+// Approaches returns the full §V-C lineup in the paper's order:
+// Proposed, ChatGPT, P(yes), Qwen2, MiniCPM. Each detector is freshly
+// constructed with independent normalization state.
+func Approaches() ([]*Detector, error) {
+	proposed, err := NewProposed()
+	if err != nil {
+		return nil, err
+	}
+	chatgpt, err := NewChatGPT()
+	if err != nil {
+		return nil, err
+	}
+	pyes, err := NewPYes()
+	if err != nil {
+		return nil, err
+	}
+	qwen, err := NewSingleSLM("Qwen2", slm.NewQwen2())
+	if err != nil {
+		return nil, err
+	}
+	minicpm, err := NewSingleSLM("MiniCPM", slm.NewMiniCPM())
+	if err != nil {
+		return nil, err
+	}
+	return []*Detector{proposed, chatgpt, pyes, qwen, minicpm}, nil
+}
+
+// ScoredTriple pairs a Triple with its Verdict.
+type ScoredTriple struct {
+	Triple
+	Verdict Verdict
+}
+
+// BatchScore scores many triples concurrently with `workers`
+// goroutines (1 = sequential), preserving input order in the result.
+// The detector's scaler must be frozen (or stateless) when workers > 1.
+func (d *Detector) BatchScore(ctx context.Context, triples []Triple, workers int) ([]ScoredTriple, error) {
+	if workers <= 1 {
+		out := make([]ScoredTriple, 0, len(triples))
+		for _, t := range triples {
+			v, err := d.Score(ctx, t.Question, t.Context, t.Response)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ScoredTriple{Triple: t, Verdict: v})
+		}
+		return out, nil
+	}
+	if n, ok := d.scale.(*Normalizer); ok && !n.Frozen() {
+		return nil, fmt.Errorf("core: parallel batch requires a frozen normalizer (calibrate first)")
+	}
+	out := make([]ScoredTriple, len(triples))
+	idx := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				t := triples[i]
+				v, err := d.Score(cctx, t.Question, t.Context, t.Response)
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					continue
+				}
+				out[i] = ScoredTriple{Triple: t, Verdict: v}
+			}
+		}()
+	}
+	for i := range triples {
+		select {
+		case idx <- i:
+		case <-cctx.Done():
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// The caller's context may have been cancelled before any job was
+	// dispatched; don't return a silently-zeroed result set.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Combiner merges the M standardized per-model scores of one sentence
+// into s_{i,j}. The paper's Eq. 5 is the uniform mean; §VI names
+// gating mechanisms (mixture-of-experts routing) as future work, which
+// ConfidenceGate and AgreementGate implement.
+type Combiner interface {
+	// Combine reduces one sentence's standardized scores, ordered as
+	// the detector's model list, into a single value.
+	Combine(zscores []float64) float64
+	// Name labels the combiner in reports.
+	Name() string
+}
+
+// UniformCombiner is Eq. 5: the plain average across models.
+type UniformCombiner struct{}
+
+// Name implements Combiner.
+func (UniformCombiner) Name() string { return "uniform" }
+
+// Combine implements Combiner.
+func (UniformCombiner) Combine(z []float64) float64 {
+	if len(z) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range z {
+		sum += v
+	}
+	return sum / float64(len(z))
+}
+
+// ConfidenceGate weights each model by the softmax of its score
+// magnitude: a model that is decisive about this particular sentence
+// (|z| large) carries more weight than one sitting on the fence — the
+// expert-choice routing of the paper's future-work reference, applied
+// per sentence. Temperature controls the sharpness: 0 recovers the
+// uniform mean, large values approach winner-take-all.
+type ConfidenceGate struct {
+	// Temperature scales |z| before the softmax. Must be ≥ 0.
+	Temperature float64
+}
+
+// Name implements Combiner.
+func (g ConfidenceGate) Name() string {
+	return fmt.Sprintf("confidence-gate(τ=%.2f)", g.Temperature)
+}
+
+// Combine implements Combiner.
+func (g ConfidenceGate) Combine(z []float64) float64 {
+	if len(z) == 0 {
+		return 0
+	}
+	maxAbs := 0.0
+	for _, v := range z {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	var wSum, acc float64
+	for _, v := range z {
+		w := math.Exp(g.Temperature * (math.Abs(v) - maxAbs))
+		wSum += w
+		acc += w * v
+	}
+	return acc / wSum
+}
+
+// AgreementGate down-weights outliers: each model's weight decays with
+// its distance from the ensemble median, so a single model's blunder
+// (miss or false alarm) is suppressed when the others agree. Scale
+// sets the distance at which weight halves; it must be positive.
+type AgreementGate struct {
+	// Scale is the z-distance from the median at which a model's
+	// weight drops to exp(-1).
+	Scale float64
+}
+
+// Name implements Combiner.
+func (g AgreementGate) Name() string {
+	return fmt.Sprintf("agreement-gate(s=%.2f)", g.Scale)
+}
+
+// Combine implements Combiner.
+func (g AgreementGate) Combine(z []float64) float64 {
+	if len(z) == 0 {
+		return 0
+	}
+	if len(z) == 1 {
+		return z[0]
+	}
+	med := median(z)
+	scale := g.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	var wSum, acc float64
+	for _, v := range z {
+		w := math.Exp(-math.Abs(v-med) / scale)
+		wSum += w
+		acc += w * v
+	}
+	return acc / wSum
+}
+
+// median returns the middle value (mean of the central pair for even
+// lengths) without mutating its input.
+func median(z []float64) float64 {
+	cp := append([]float64(nil), z...)
+	// Insertion sort: the ensembles are tiny (M ≤ a handful).
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// NewGatedProposed builds the proposed two-SLM pipeline with a gating
+// combiner in place of Eq. 5's uniform mean — the §VI extension.
+func NewGatedProposed(gate Combiner) (*Detector, error) {
+	if gate == nil {
+		return nil, fmt.Errorf("core: nil gate")
+	}
+	return NewDetector(fmt.Sprintf("Proposed[%s]", gate.Name()), Config{
+		Models:    proposedModels(),
+		Aggregate: Harmonic,
+		Combine:   gate,
+	})
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformCombiner(t *testing.T) {
+	u := UniformCombiner{}
+	if got := u.Combine([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("uniform = %v, want 2", got)
+	}
+	if got := u.Combine(nil); got != 0 {
+		t.Errorf("empty = %v, want 0", got)
+	}
+	if u.Name() != "uniform" {
+		t.Error("name")
+	}
+}
+
+func TestConfidenceGateLimits(t *testing.T) {
+	z := []float64{0.1, -2.0, 0.3}
+	// τ = 0 is the uniform mean.
+	flat := (ConfidenceGate{Temperature: 0}).Combine(z)
+	if math.Abs(flat-(UniformCombiner{}).Combine(z)) > 1e-12 {
+		t.Errorf("τ=0 gate = %v, want uniform mean", flat)
+	}
+	// Large τ approaches the most-confident model's score.
+	sharp := (ConfidenceGate{Temperature: 50}).Combine(z)
+	if math.Abs(sharp-(-2.0)) > 1e-6 {
+		t.Errorf("τ→∞ gate = %v, want -2 (winner take all)", sharp)
+	}
+}
+
+func TestConfidenceGateWeightsDecisiveModels(t *testing.T) {
+	// One decisive negative, one fence-sitter: the gate must land
+	// closer to the decisive score than the plain mean does.
+	z := []float64{-1.5, 0.1}
+	mean := (UniformCombiner{}).Combine(z)
+	gated := (ConfidenceGate{Temperature: 1.5}).Combine(z)
+	if !(gated < mean) {
+		t.Errorf("gate %v not below mean %v", gated, mean)
+	}
+}
+
+func TestAgreementGateSuppressesOutlier(t *testing.T) {
+	// Two models agree the sentence is fine; a third blunders.
+	z := []float64{0.9, 1.0, -1.8}
+	mean := (UniformCombiner{}).Combine(z)
+	gated := (AgreementGate{Scale: 0.5}).Combine(z)
+	if !(gated > mean) {
+		t.Errorf("agreement gate %v did not suppress the outlier vs mean %v", gated, mean)
+	}
+	// Single model: identity.
+	if got := (AgreementGate{Scale: 0.5}).Combine([]float64{0.7}); got != 0.7 {
+		t.Errorf("single-model gate = %v", got)
+	}
+	// Non-positive scale falls back to 1, not NaN.
+	if got := (AgreementGate{}).Combine(z); math.IsNaN(got) {
+		t.Error("zero-scale gate produced NaN")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("even median = %v", got)
+	}
+	in := []float64{3, 1, 2}
+	median(in)
+	if in[0] != 3 {
+		t.Error("median mutated input")
+	}
+}
+
+// Property: every combiner's output lies within [min(z), max(z)] —
+// they are all weighted means with non-negative weights.
+func TestCombinersBoundedQuick(t *testing.T) {
+	combiners := []Combiner{
+		UniformCombiner{},
+		ConfidenceGate{Temperature: 2},
+		AgreementGate{Scale: 1},
+	}
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		z := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			v = math.Mod(v, 5)
+			if math.IsNaN(v) {
+				v = 0
+			}
+			z[i] = v
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		for _, c := range combiners {
+			got := c.Combine(z)
+			if got < lo-1e-9 || got > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewGatedProposed(t *testing.T) {
+	if _, err := NewGatedProposed(nil); err == nil {
+		t.Error("nil gate accepted")
+	}
+	d, err := NewGatedProposed(ConfidenceGate{Temperature: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := "What are the working hours?"
+	correct := "The working hours are 9 AM to 5 PM."
+	wrong := "The working hours are 9 AM to 9 PM."
+	if err := d.Calibrate(ctx, []Triple{{q, detCtx, correct}, {q, detCtx, wrong}}); err != nil {
+		t.Fatal(err)
+	}
+	vc, err := d.Score(ctx, q, detCtx, correct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vw, err := d.Score(ctx, q, detCtx, wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.Score <= vw.Score {
+		t.Errorf("gated detector: correct %.3f not above wrong %.3f", vc.Score, vw.Score)
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Normalizer implements Eq. 4: each model's raw yes-probabilities are
+// standardized by that model's own mean and standard deviation,
+// "computed based on previous responses". Different SLMs have
+// different scales (means and variances), and without this step Eq. 5's
+// cross-model average would be dominated by whichever model runs
+// hotter.
+//
+// A Normalizer starts in the observing state, where Standardize both
+// uses and updates the running moments (the online reading of the
+// paper). Freeze switches to fixed moments so that scoring becomes a
+// pure function — the mode the experiment harness uses after a
+// calibration pass, and the mode required for parallel batch scoring.
+// Safe for concurrent use.
+type Normalizer struct {
+	mu     sync.RWMutex
+	models map[string]*stats.Running
+	frozen map[string]stats.Snapshot
+}
+
+// NewNormalizer returns an empty, observing normalizer.
+func NewNormalizer() *Normalizer {
+	return &Normalizer{models: map[string]*stats.Running{}}
+}
+
+// Observe folds one raw probability into the model's running moments.
+// It is a no-op after Freeze.
+func (n *Normalizer) Observe(model string, p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.frozen != nil {
+		return
+	}
+	r, ok := n.models[model]
+	if !ok {
+		r = &stats.Running{}
+		n.models[model] = r
+	}
+	r.Observe(p)
+}
+
+// Standardize returns (p − μ_m)/σ_m with the model's current (or
+// frozen) moments. Unknown models and degenerate moments (σ = 0 or
+// fewer than two observations) fall back to centering only, so the
+// checker degrades gracefully on cold start.
+func (n *Normalizer) Standardize(model string, p float64) float64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.frozen != nil {
+		s, ok := n.frozen[model]
+		if !ok || s.N < 2 || s.StdDev == 0 {
+			mean := 0.0
+			if ok {
+				mean = s.Mean
+			}
+			return p - mean
+		}
+		return (p - s.Mean) / s.StdDev
+	}
+	r, ok := n.models[model]
+	if !ok {
+		return p
+	}
+	return r.Standardize(p)
+}
+
+// Freeze fixes the current moments; subsequent Observe calls are
+// ignored and Standardize becomes a pure function. Freeze is
+// idempotent.
+func (n *Normalizer) Freeze() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.frozen != nil {
+		return
+	}
+	n.frozen = make(map[string]stats.Snapshot, len(n.models))
+	for name, r := range n.models {
+		n.frozen[name] = r.Snapshot()
+	}
+}
+
+// Frozen reports whether Freeze has been called.
+func (n *Normalizer) Frozen() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.frozen != nil
+}
+
+// Moments returns the model's current moments and whether the model
+// has been observed at all.
+func (n *Normalizer) Moments(model string) (stats.Snapshot, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.frozen != nil {
+		s, ok := n.frozen[model]
+		return s, ok
+	}
+	r, ok := n.models[model]
+	if !ok {
+		return stats.Snapshot{}, false
+	}
+	return r.Snapshot(), true
+}
+
+// String summarizes the per-model moments for logs.
+func (n *Normalizer) String() string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := "normalizer{"
+	first := true
+	describe := func(name string, s stats.Snapshot) {
+		if !first {
+			out += ", "
+		}
+		first = false
+		out += fmt.Sprintf("%s: μ=%.3f σ=%.3f n=%d", name, s.Mean, s.StdDev, s.N)
+	}
+	if n.frozen != nil {
+		for name, s := range n.frozen {
+			describe(name, s)
+		}
+	} else {
+		for name, r := range n.models {
+			describe(name, r.Snapshot())
+		}
+	}
+	return out + "}"
+}
+
+// Identity is a pass-through normalizer used by the raw-probability
+// baselines (P(yes), ChatGPT P(True)): scores are already on a common
+// [0, 1] scale because only one model produces them.
+type Identity struct{}
+
+// Observe implements the same observing surface as Normalizer; it
+// discards the observation.
+func (Identity) Observe(string, float64) {}
+
+// Standardize returns p unchanged.
+func (Identity) Standardize(_ string, p float64) float64 { return p }
+
+// Freeze is a no-op.
+func (Identity) Freeze() {}
+
+// Scaler is the normalization strategy a Detector applies to raw
+// per-model probabilities (Eq. 4 or the identity for raw baselines).
+type Scaler interface {
+	// Observe feeds a raw probability into the calibration state.
+	Observe(model string, p float64)
+	// Standardize maps a raw probability onto the common scale.
+	Standardize(model string, p float64) float64
+	// Freeze fixes calibration state, making Standardize pure.
+	Freeze()
+}
+
+var (
+	_ Scaler = (*Normalizer)(nil)
+	_ Scaler = Identity{}
+)

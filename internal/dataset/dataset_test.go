@@ -1,0 +1,303 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/splitter"
+	"repro/internal/textproc"
+)
+
+func defaultSet(t *testing.T) *Set {
+	t.Helper()
+	set, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestGenerateSizeAndValidity(t *testing.T) {
+	set := defaultSet(t)
+	if len(set.Items) != DefaultSize {
+		t.Fatalf("items = %d, want %d", len(set.Items), DefaultSize)
+	}
+	if DefaultSize <= 100 {
+		t.Error("paper requires over 100 sets")
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(7, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(7, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Items {
+		if a.Items[i].Context != b.Items[i].Context {
+			t.Fatalf("item %d context differs across same-seed runs", i)
+		}
+		for j := range a.Items[i].Responses {
+			if a.Items[i].Responses[j] != b.Items[i].Responses[j] {
+				t.Fatalf("item %d response %d differs", i, j)
+			}
+		}
+	}
+	c, err := Generate(8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Items {
+		if a.Items[i].Context == c.Items[i].Context {
+			same++
+		}
+	}
+	if same == len(a.Items) {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateInvalidN(t *testing.T) {
+	if _, err := Generate(1, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestTopicCoverage(t *testing.T) {
+	set := defaultSet(t)
+	topics := map[string]int{}
+	categories := map[string]int{}
+	for _, it := range set.Items {
+		topics[it.Topic]++
+		categories[it.Category]++
+	}
+	if len(topics) != TopicCount() {
+		t.Errorf("topics covered = %d, want %d", len(topics), TopicCount())
+	}
+	// The paper's three categories all appear.
+	for _, cat := range []string{"Employment", "Policy", "Other"} {
+		if categories[cat] == 0 {
+			t.Errorf("category %s missing", cat)
+		}
+	}
+}
+
+func TestResponsesPerLabel(t *testing.T) {
+	set := defaultSet(t)
+	for _, it := range set.Items {
+		for _, l := range Labels() {
+			r, err := it.Response(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Label != l {
+				t.Fatalf("item %d: Response(%s) returned %s", it.ID, l, r.Label)
+			}
+		}
+		if _, err := it.Response(Label("bogus")); err == nil {
+			t.Error("bogus label accepted")
+		}
+	}
+}
+
+// TestPartialMixesCorrectAndWrong verifies the defining property of
+// partial responses: at least one sentence from the correct response
+// and at least one from the wrong response.
+func TestPartialMixesCorrectAndWrong(t *testing.T) {
+	set := defaultSet(t)
+	for _, it := range set.Items {
+		correct, _ := it.Response(LabelCorrect)
+		partial, _ := it.Response(LabelPartial)
+		wrong, _ := it.Response(LabelWrong)
+
+		correctSents := map[string]bool{}
+		for _, s := range splitter.Split(correct.Text) {
+			correctSents[s] = true
+		}
+		wrongSents := map[string]bool{}
+		for _, s := range splitter.Split(wrong.Text) {
+			wrongSents[s] = true
+		}
+		var fromCorrect, fromWrong, orphans int
+		for _, s := range splitter.Split(partial.Text) {
+			switch {
+			case correctSents[s]:
+				fromCorrect++
+			case wrongSents[s]:
+				fromWrong++
+			default:
+				orphans++
+			}
+		}
+		if fromCorrect == 0 || fromWrong == 0 {
+			t.Errorf("item %d (%s): partial has %d correct / %d wrong sentences",
+				it.ID, it.Topic, fromCorrect, fromWrong)
+		}
+		if orphans != 0 {
+			t.Errorf("item %d: %d partial sentences match neither source", it.ID, orphans)
+		}
+	}
+}
+
+// TestWrongDiffersFromCorrect: every wrong response must differ from
+// the correct one in every sentence.
+func TestWrongDiffersFromCorrect(t *testing.T) {
+	set := defaultSet(t)
+	for _, it := range set.Items {
+		correct, _ := it.Response(LabelCorrect)
+		wrong, _ := it.Response(LabelWrong)
+		cs := splitter.Split(correct.Text)
+		ws := splitter.Split(wrong.Text)
+		if len(cs) != len(ws) {
+			t.Errorf("item %d: sentence counts differ (%d vs %d)", it.ID, len(cs), len(ws))
+			continue
+		}
+		for j := range cs {
+			if cs[j] == ws[j] {
+				t.Errorf("item %d sentence %d identical in correct and wrong: %q", it.ID, j, cs[j])
+			}
+		}
+	}
+}
+
+// TestCorrectGroundedInContext: the correct response must be lexically
+// supported by its context — otherwise the labels are wrong at the
+// source.
+func TestCorrectGroundedInContext(t *testing.T) {
+	set := defaultSet(t)
+	for _, it := range set.Items {
+		correct, _ := it.Response(LabelCorrect)
+		support := textproc.OverlapRatio(
+			textproc.ContentWords(correct.Text),
+			textproc.ContentWords(it.Context),
+		)
+		if support < 0.5 {
+			t.Errorf("item %d (%s): correct response support %.2f < 0.5", it.ID, it.Topic, support)
+		}
+		// And it must never contradict the context numerically.
+		conf, _ := textproc.QuantityConflicts(
+			textproc.ExtractQuantities(correct.Text),
+			textproc.ExtractQuantities(it.Context),
+		)
+		if conf > 0 {
+			t.Errorf("item %d (%s): correct response has %d quantity conflicts", it.ID, it.Topic, conf)
+		}
+	}
+}
+
+func TestResponsesAreMultiSentence(t *testing.T) {
+	set := defaultSet(t)
+	for _, it := range set.Items {
+		for _, r := range it.Responses {
+			if n := splitter.Count(r.Text); n < 2 {
+				t.Errorf("item %d %s response has %d sentences, want ≥2", it.ID, r.Label, n)
+			}
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	set, err := Generate(99, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Seed != set.Seed || loaded.Name != set.Name {
+		t.Error("header fields lost")
+	}
+	if len(loaded.Items) != len(set.Items) {
+		t.Fatalf("items %d != %d", len(loaded.Items), len(set.Items))
+	}
+	for i := range set.Items {
+		if set.Items[i].Context != loaded.Items[i].Context {
+			t.Fatalf("item %d context changed in round trip", i)
+		}
+	}
+}
+
+func TestLoadRejectsInvalid(t *testing.T) {
+	if _, err := Load(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"items":[]}`)); err == nil {
+		t.Error("empty set accepted")
+	}
+	bad := `{"items":[{"id":1,"context":"c","question":"q","responses":[
+		{"text":"t","label":"correct"},{"text":"t","label":"correct"},{"text":"t","label":"wrong"}]}]}`
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Error("duplicate-label set accepted")
+	}
+}
+
+func TestValidateCatchesBadLabel(t *testing.T) {
+	s := &Set{Items: []Item{{
+		ID: 1, Context: "c", Question: "q",
+		Responses: []Response{
+			{Text: "a", Label: "correct"},
+			{Text: "b", Label: "partial"},
+			{Text: "c", Label: "nonsense"},
+		},
+	}}}
+	if err := s.Validate(); err == nil {
+		t.Error("invalid label accepted")
+	}
+}
+
+func TestContexts(t *testing.T) {
+	set, _ := Generate(5, 8)
+	cs := set.Contexts()
+	if len(cs) != 8 {
+		t.Fatalf("Contexts len = %d", len(cs))
+	}
+	for i, c := range cs {
+		if c != set.Items[i].Context {
+			t.Fatal("Contexts order broken")
+		}
+	}
+}
+
+func TestContradictionExamplesTable1(t *testing.T) {
+	ex := ContradictionExamples()
+	if len(ex) != 3 {
+		t.Fatalf("Table I rows = %d, want 3", len(ex))
+	}
+	wantTypes := []string{"Logical", "Prompt", "Factual"}
+	for i, e := range ex {
+		if e.Type != wantTypes[i] {
+			t.Errorf("row %d type = %s, want %s", i, e.Type, wantTypes[i])
+		}
+		if e.Prompt == "" || e.Response == "" {
+			t.Errorf("row %d incomplete", i)
+		}
+	}
+	// The Madison example carries the paper's 500K figure.
+	if !strings.Contains(ex[0].Response, "500K") {
+		t.Error("logical example lost the 500K residents detail")
+	}
+}
+
+func TestLabelValid(t *testing.T) {
+	for _, l := range Labels() {
+		if !l.Valid() {
+			t.Errorf("label %s invalid", l)
+		}
+	}
+	if Label("x").Valid() {
+		t.Error("bogus label valid")
+	}
+}

@@ -1,0 +1,654 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// sentencePair couples a true statement with its hallucinated twin.
+// Responses are assembled from pairs: the correct response uses every
+// .correct sentence, the wrong response every .wrong sentence, and the
+// partial response flips exactly one position — reproducing the
+// paper's structure where a partial answer mixes accurate and
+// inaccurate sentences.
+type sentencePair struct {
+	correct string
+	wrong   string
+}
+
+// rendered is one topic instantiation before assembly into an Item.
+type rendered struct {
+	topic      string
+	category   string
+	context    []string // fact sentences, in order
+	distractor string   // extra context information not asked about
+	question   string
+	pairs      []sentencePair
+}
+
+// hourString formats a 24-hour value the way handbooks write it.
+func hourString(h int) string {
+	switch {
+	case h == 0:
+		return "midnight"
+	case h < 12:
+		return fmt.Sprintf("%d AM", h)
+	case h == 12:
+		return "noon"
+	default:
+		return fmt.Sprintf("%d PM", h-12)
+	}
+}
+
+// pick returns a uniformly chosen element.
+func pick(src *rng.Source, options ...string) string {
+	return options[src.Intn(len(options))]
+}
+
+// pickInt returns a uniformly chosen int.
+func pickInt(src *rng.Source, options ...int) int {
+	return options[src.Intn(len(options))]
+}
+
+// otherInt returns a choice different from current.
+func otherInt(src *rng.Source, current int, options ...int) int {
+	for {
+		v := options[src.Intn(len(options))]
+		if v != current {
+			return v
+		}
+	}
+}
+
+// numberWord spells small counts out ("three shopkeepers"), matching
+// handbook prose; larger values stay numeric.
+func numberWord(n int) string {
+	words := []string{"zero", "one", "two", "three", "four", "five",
+		"six", "seven", "eight", "nine", "ten"}
+	if n >= 0 && n < len(words) {
+		return words[n]
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+var distractors = []string{
+	"All staff must display their identity badge while on duty.",
+	"The staff canteen is located on the third floor.",
+	"Lockers are assigned by the facilities team on request.",
+	"Fire drills are conducted twice a year in every store.",
+	"The company intranet hosts the latest version of this handbook.",
+	"Questions about this policy should be directed to Human Resources.",
+	"Managers review this policy with new joiners during orientation.",
+	"A copy of the signed acknowledgement is kept in the personnel file.",
+}
+
+// topicGenerators enumerate the handbook topics of §V-A across the
+// paper's three categories (Employment, Policy, Other). Each generator
+// draws its own fact values from src, so repeated instantiations of
+// one topic yield different items.
+var topicGenerators = []func(src *rng.Source) rendered{
+	genWorkingHours,
+	genProbation,
+	genAnnualLeave,
+	genSickLeave,
+	genSalaryPayment,
+	genOvertime,
+	genMedicalBenefits,
+	genUniform,
+	genEmailPolicy,
+	genMediaRequests,
+	genPersonalDevices,
+	genLunchBreak,
+	genResignationNotice,
+	genExpenseClaims,
+	genTraining,
+	genPublicHolidays,
+}
+
+// TopicCount returns the number of distinct handbook topics.
+func TopicCount() int { return len(topicGenerators) }
+
+// genWorkingHours reproduces the paper's running example: store hours,
+// opening days and minimum staffing.
+func genWorkingHours(src *rng.Source) rendered {
+	open := pickInt(src, 8, 9, 10, 11)
+	close := pickInt(src, 17, 18, 19, 20)
+	staff := pickInt(src, 2, 3, 4, 5)
+	fullWeek := src.Intn(2) == 0
+	var days, wrongDays string
+	if fullWeek {
+		days, wrongDays = "Sunday to Saturday", "Monday to Friday"
+	} else {
+		days, wrongDays = "Monday to Saturday", "Tuesday to Friday"
+	}
+	wrongClose := otherInt(src, close, 19, 20, 21)
+	return rendered{
+		topic:    "working-hours",
+		category: "Employment",
+		context: []string{
+			fmt.Sprintf("The store operates from %s to %s, from %s.", hourString(open), hourString(close), days),
+			fmt.Sprintf("There should be at least %s shopkeepers to run a shop.", numberWord(staff)),
+		},
+		distractor: distractors[src.Intn(len(distractors))],
+		question:   "What are the working hours and staffing requirements?",
+		pairs: []sentencePair{
+			{
+				correct: fmt.Sprintf("The working hours are %s to %s.", hourString(open), hourString(close)),
+				wrong:   fmt.Sprintf("The working hours are %s to %s.", hourString(open), hourString(wrongClose)),
+			},
+			{
+				correct: fmt.Sprintf("The store is open from %s.", days),
+				wrong:   fmt.Sprintf("The store is open from %s.", wrongDays),
+			},
+			{
+				correct: fmt.Sprintf("At least %s shopkeepers are needed to run a shop.", numberWord(staff)),
+				wrong:   fmt.Sprintf("At least %s shopkeepers are needed to run a shop.", numberWord(staff+2)),
+			},
+		},
+	}
+}
+
+func genProbation(src *rng.Source) rendered {
+	months := pickInt(src, 3, 6)
+	notice := pickInt(src, 7, 14)
+	wrongMonths := otherInt(src, months, 1, 2, 9, 12)
+	wrongNotice := otherInt(src, notice, 3, 30)
+	// Subtle items hallucinate values adjacent to the truth — the
+	// hard tail that caps every approach's precision (Fig. 4).
+	if src.Float64() < 0.25 {
+		wrongMonths = months + 1
+		wrongNotice = notice + 1
+	}
+	return rendered{
+		topic:    "probation",
+		category: "Employment",
+		context: []string{
+			fmt.Sprintf("New employees serve a probation period of %s months.", numberWord(months)),
+			fmt.Sprintf("During probation, either party may terminate employment with %s days of written notice.", numberWord(notice)),
+		},
+		distractor: distractors[src.Intn(len(distractors))],
+		question:   "How long is the probation period and what notice applies during it?",
+		pairs: []sentencePair{
+			{
+				correct: fmt.Sprintf("The probation period lasts %s months.", numberWord(months)),
+				wrong:   fmt.Sprintf("The probation period lasts %s months.", numberWord(wrongMonths)),
+			},
+			{
+				correct: fmt.Sprintf("During probation, employment can be terminated with %s days of written notice.", numberWord(notice)),
+				wrong:   fmt.Sprintf("During probation, employment can be terminated with %s days of written notice.", numberWord(wrongNotice)),
+			},
+		},
+	}
+}
+
+func genAnnualLeave(src *rng.Source) rendered {
+	days := pickInt(src, 12, 14, 15, 18, 20)
+	carry := pickInt(src, 3, 5, 7)
+	notice := pickInt(src, 5, 7, 10)
+	wrongDays := otherInt(src, days, 10, 21, 25, 30)
+	return rendered{
+		topic:    "annual-leave",
+		category: "Employment",
+		context: []string{
+			fmt.Sprintf("Full-time employees are entitled to %d days of paid annual leave per year.", days),
+			fmt.Sprintf("A maximum of %s unused leave days may be carried over to the next year.", numberWord(carry)),
+			fmt.Sprintf("Leave requests must be submitted at least %s days in advance.", numberWord(notice)),
+		},
+		distractor: distractors[src.Intn(len(distractors))],
+		question:   "How many days of annual leave do employees receive, and how many can be carried over?",
+		pairs: []sentencePair{
+			{
+				correct: fmt.Sprintf("Employees receive %d days of paid annual leave each year.", days),
+				wrong:   fmt.Sprintf("Employees receive %d days of paid annual leave each year.", wrongDays),
+			},
+			{
+				correct: fmt.Sprintf("Up to %s unused days can be carried over to the following year.", numberWord(carry)),
+				wrong:   "Unused days cannot be carried over to the following year.",
+			},
+			{
+				correct: fmt.Sprintf("Requests must be submitted at least %s days in advance.", numberWord(notice)),
+				wrong:   fmt.Sprintf("Requests must be submitted at least %s days in advance.", numberWord(notice+14)),
+			},
+		},
+	}
+}
+
+func genSickLeave(src *rng.Source) rendered {
+	paid := pickInt(src, 10, 12, 14)
+	certDays := pickInt(src, 2, 3)
+	wrongPaid := otherInt(src, paid, 5, 20, 25)
+	return rendered{
+		topic:    "sick-leave",
+		category: "Employment",
+		context: []string{
+			fmt.Sprintf("Employees are entitled to %d days of paid sick leave per year.", paid),
+			fmt.Sprintf("A medical certificate is required for sick leave longer than %s days.", numberWord(certDays)),
+			"Employees must notify their manager before 10 AM on the first day of sickness.",
+		},
+		distractor: distractors[src.Intn(len(distractors))],
+		question:   "What is the sick leave entitlement and when is a medical certificate required?",
+		pairs: []sentencePair{
+			{
+				correct: fmt.Sprintf("Paid sick leave is %d days per year.", paid),
+				wrong:   fmt.Sprintf("Paid sick leave is %d days per year.", wrongPaid),
+			},
+			{
+				correct: fmt.Sprintf("A medical certificate is needed when sick leave exceeds %s days.", numberWord(certDays)),
+				wrong:   "A medical certificate is never needed for sick leave.",
+			},
+			{
+				correct: "The manager must be notified before 10 AM on the first day of sickness.",
+				wrong:   "The manager must be notified before 4 PM on the first day of sickness.",
+			},
+		},
+	}
+}
+
+func genSalaryPayment(src *rng.Source) rendered {
+	day := pickInt(src, 25, 26, 28)
+	wrongDay := otherInt(src, day, 1, 5, 15)
+	subtle := src.Float64() < 0.25
+	if subtle {
+		wrongDay = day + 1 // near-miss hallucination (see genProbation)
+	}
+	return rendered{
+		topic:    "salary-payment",
+		category: "Employment",
+		context: []string{
+			fmt.Sprintf("Salaries are paid on day %d of each month by bank transfer.", day),
+			"Payslips are available through the employee self-service portal.",
+		},
+		distractor: distractors[src.Intn(len(distractors))],
+		question:   "When and how are salaries paid?",
+		pairs: []sentencePair{
+			{
+				correct: fmt.Sprintf("Salaries are paid on day %d of the month.", day),
+				wrong:   fmt.Sprintf("Salaries are paid on day %d of the month.", wrongDay),
+			},
+			{
+				correct: "Payment is made by bank transfer, and payslips are on the self-service portal.",
+				wrong:   salaryMethodWrong(subtle),
+			},
+		},
+	}
+}
+
+// salaryMethodWrong returns the hallucinated payment-method sentence;
+// the subtle variant differs only in an unverifiable detail.
+func salaryMethodWrong(subtle bool) string {
+	if subtle {
+		return "Payment is made by bank transfer, and payslips are on the finance portal."
+	}
+	return "Payment is made in cash, and payslips are mailed to your home address."
+}
+
+func genOvertime(src *rng.Source) rendered {
+	rate := pick(src, "1.5", "2")
+	wrongRate := "3"
+	if rate == "2" {
+		wrongRate = "1.5"
+	}
+	return rendered{
+		topic:    "overtime",
+		category: "Employment",
+		context: []string{
+			fmt.Sprintf("Approved overtime is compensated at %s times the hourly rate.", rate),
+			"Overtime must be approved by the department manager in advance.",
+		},
+		distractor: distractors[src.Intn(len(distractors))],
+		question:   "How is overtime compensated and who must approve it?",
+		pairs: []sentencePair{
+			{
+				correct: fmt.Sprintf("Overtime is paid at %s times the normal hourly rate.", rate),
+				wrong:   fmt.Sprintf("Overtime is paid at %s times the normal hourly rate.", wrongRate),
+			},
+			{
+				correct: "Overtime requires advance approval from the department manager.",
+				wrong:   "Overtime does not require any approval from the department manager.",
+			},
+		},
+	}
+}
+
+func genMedicalBenefits(src *rng.Source) rendered {
+	pct := pickInt(src, 80, 90, 100)
+	cap := pickInt(src, 20, 30, 50)
+	wrongPct := otherInt(src, pct, 50, 60, 70)
+	return rendered{
+		topic:    "medical-benefits",
+		category: "Employment",
+		context: []string{
+			fmt.Sprintf("The medical plan reimburses %d%% of outpatient consultation fees.", pct),
+			fmt.Sprintf("Annual reimbursement is capped at %d thousand dollars per employee.", cap),
+			"Dental care is included in the medical plan.",
+		},
+		distractor: distractors[src.Intn(len(distractors))],
+		question:   "What portion of outpatient fees is reimbursed and what is the annual cap?",
+		pairs: []sentencePair{
+			{
+				correct: fmt.Sprintf("The plan reimburses %d%% of outpatient fees.", pct),
+				wrong:   fmt.Sprintf("The plan reimburses %d%% of outpatient fees.", wrongPct),
+			},
+			{
+				correct: fmt.Sprintf("Reimbursement is capped at %d thousand dollars per year.", cap),
+				wrong:   "Reimbursement has no annual cap at all.",
+			},
+			{
+				correct: "Dental care is included in the plan.",
+				wrong:   "Dental care is excluded from the plan.",
+			},
+		},
+	}
+}
+
+func genUniform(src *rng.Source) rendered {
+	sets := pickInt(src, 2, 3)
+	wrongSets := otherInt(src, sets, 1, 5)
+	return rendered{
+		topic:    "uniform",
+		category: "Policy",
+		context: []string{
+			fmt.Sprintf("Store staff receive %s sets of uniform upon joining.", numberWord(sets)),
+			"Uniforms must be worn at all times on the shop floor, and casual dress is prohibited during shifts.",
+		},
+		distractor: distractors[src.Intn(len(distractors))],
+		question:   "How many uniform sets are provided and when must they be worn?",
+		pairs: []sentencePair{
+			{
+				correct: fmt.Sprintf("Staff are given %s sets of uniform when they join.", numberWord(sets)),
+				wrong:   fmt.Sprintf("Staff are given %s sets of uniform when they join.", numberWord(wrongSets)),
+			},
+			{
+				correct: "The uniform must be worn at all times on the shop floor.",
+				wrong:   "Casual dress is allowed on the shop floor during shifts.",
+			},
+		},
+	}
+}
+
+func genEmailPolicy(src *rng.Source) rendered {
+	years := pickInt(src, 3, 5, 7)
+	wrongYears := otherInt(src, years, 1, 10)
+	return rendered{
+		topic:    "email-policy",
+		category: "Policy",
+		context: []string{
+			"Company email accounts are for business use, and personal use of company email is prohibited.",
+			fmt.Sprintf("Business emails are retained for %s years for audit purposes.", numberWord(years)),
+		},
+		distractor: distractors[src.Intn(len(distractors))],
+		question:   "Can company email be used personally, and how long are emails retained?",
+		pairs: []sentencePair{
+			{
+				correct: "Personal use of company email is prohibited.",
+				wrong:   "Personal use of company email is allowed.",
+			},
+			{
+				correct: fmt.Sprintf("Business emails are kept for %s years for audit purposes.", numberWord(years)),
+				wrong:   fmt.Sprintf("Business emails are kept for %s years for audit purposes.", numberWord(wrongYears)),
+			},
+		},
+	}
+}
+
+func genMediaRequests(src *rng.Source) rendered {
+	dept := pick(src, "Corporate Communications", "the Public Relations office")
+	return rendered{
+		topic:    "media-requests",
+		category: "Other",
+		context: []string{
+			fmt.Sprintf("All media enquiries must be referred to %s.", dept),
+			"Employees must not speak to journalists on behalf of the company without written authorization.",
+		},
+		distractor: distractors[src.Intn(len(distractors))],
+		question:   "How should employees handle requests from the media?",
+		pairs: []sentencePair{
+			{
+				correct: fmt.Sprintf("Media enquiries must be referred to %s.", dept),
+				wrong:   "Media enquiries must be referred to the Facilities team.",
+			},
+			{
+				correct: "Employees may not speak to journalists for the company without written authorization.",
+				wrong:   "Employees may speak to journalists for the company without any authorization.",
+			},
+		},
+	}
+}
+
+func genPersonalDevices(src *rng.Source) rendered {
+	return rendered{
+		topic:    "personal-devices",
+		category: "Other",
+		context: []string{
+			"Personal devices may be brought to work, and they must be registered with the IT department before connecting to the office network.",
+			"Unregistered devices are blocked from the corporate network.",
+		},
+		distractor: distractors[src.Intn(len(distractors))],
+		question:   "Can employees bring personal devices to work?",
+		pairs: []sentencePair{
+			{
+				correct: "Personal devices are allowed at work after registration with the IT department.",
+				wrong:   "Personal devices are forbidden at work in all circumstances.",
+			},
+			{
+				correct: "Devices that are not registered are blocked from the corporate network.",
+				wrong:   "Devices that are not registered can still connect to the corporate network.",
+			},
+		},
+	}
+}
+
+func genLunchBreak(src *rng.Source) rendered {
+	mins := pickInt(src, 45, 60)
+	from := pickInt(src, 11, 12)
+	to := from + pickInt(src, 2, 3)
+	wrongMins := otherInt(src, mins, 30, 90)
+	wrongShift := 4
+	if src.Float64() < 0.25 {
+		wrongMins = mins + 1 // near-miss hallucination (see genProbation)
+		wrongShift = 1
+	}
+	return rendered{
+		topic:    "lunch-break",
+		category: "Policy",
+		context: []string{
+			fmt.Sprintf("Employees take a %d minute lunch break, scheduled between %s and %s.", mins, hourString(from), hourString(to)),
+			"Break times are coordinated within each team so the floor stays covered.",
+		},
+		distractor: distractors[src.Intn(len(distractors))],
+		question:   "How long is the lunch break and when can it be taken?",
+		pairs: []sentencePair{
+			{
+				correct: fmt.Sprintf("The lunch break is %d minutes long.", mins),
+				wrong:   fmt.Sprintf("The lunch break is %d minutes long.", wrongMins),
+			},
+			{
+				correct: fmt.Sprintf("Lunch is taken between %s and %s.", hourString(from), hourString(to)),
+				wrong:   fmt.Sprintf("Lunch is taken between %s and %s.", hourString(from+wrongShift), hourString(to+wrongShift)),
+			},
+		},
+	}
+}
+
+func genResignationNotice(src *rng.Source) rendered {
+	months := pickInt(src, 1, 2, 3)
+	wrongMonths := otherInt(src, months, 6)
+	return rendered{
+		topic:    "resignation-notice",
+		category: "Employment",
+		context: []string{
+			fmt.Sprintf("After probation, resignation requires %s months of written notice.", numberWord(months)),
+			"Payment in lieu of notice may be accepted at the company's discretion.",
+		},
+		distractor: distractors[src.Intn(len(distractors))],
+		question:   "How much notice must an employee give when resigning?",
+		pairs: []sentencePair{
+			{
+				correct: fmt.Sprintf("Resignation requires %s months of written notice after probation.", numberWord(months)),
+				wrong:   fmt.Sprintf("Resignation requires %s months of written notice after probation.", numberWord(wrongMonths)),
+			},
+			{
+				correct: "The company may accept payment in lieu of notice at its discretion.",
+				wrong:   "The company never accepts payment in lieu of notice.",
+			},
+		},
+	}
+}
+
+func genExpenseClaims(src *rng.Source) rendered {
+	days := pickInt(src, 30, 60, 90)
+	wrongDays := otherInt(src, days, 7, 14)
+	return rendered{
+		topic:    "expense-claims",
+		category: "Policy",
+		context: []string{
+			fmt.Sprintf("Expense claims must be submitted within %d days of the expense date.", days),
+			"Original receipts are required, and claims without receipts are rejected.",
+			"Claims above 1000 dollars require approval from a director.",
+		},
+		distractor: distractors[src.Intn(len(distractors))],
+		question:   "What is the deadline for expense claims and what documentation is needed?",
+		pairs: []sentencePair{
+			{
+				correct: fmt.Sprintf("Expense claims are due within %d days of the expense date.", days),
+				wrong:   fmt.Sprintf("Expense claims are due within %d days of the expense date.", wrongDays),
+			},
+			{
+				correct: "Original receipts are required for every claim.",
+				wrong:   "Receipts are not required for any claim.",
+			},
+			{
+				correct: "Claims above 1000 dollars need director approval.",
+				wrong:   "Claims above 5000 dollars need director approval.",
+			},
+		},
+	}
+}
+
+func genTraining(src *rng.Source) rendered {
+	hours := pickInt(src, 16, 24, 40)
+	wrongHours := otherInt(src, hours, 8, 80)
+	return rendered{
+		topic:    "training",
+		category: "Employment",
+		context: []string{
+			fmt.Sprintf("Each employee completes at least %d hours of training per year.", hours),
+			"Product knowledge courses are mandatory for all retail staff.",
+			"The annual training budget is 5 thousand dollars per employee.",
+		},
+		distractor: distractors[src.Intn(len(distractors))],
+		question:   "How many training hours are required each year?",
+		pairs: []sentencePair{
+			{
+				correct: fmt.Sprintf("Employees must complete at least %d hours of training yearly.", hours),
+				wrong:   fmt.Sprintf("Employees must complete at least %d hours of training yearly.", wrongHours),
+			},
+			{
+				correct: "Product knowledge courses are mandatory for retail staff.",
+				wrong:   "Product knowledge courses are optional for retail staff.",
+			},
+			{
+				correct: "The training budget is 5 thousand dollars per employee each year.",
+				wrong:   "The training budget is 2 thousand dollars per employee each year.",
+			},
+		},
+	}
+}
+
+func genPublicHolidays(src *rng.Source) rendered {
+	days := pickInt(src, 12, 13, 17)
+	wrongDays := otherInt(src, days, 8, 10, 20)
+	substituteWrong := "Working on a public holiday earns no substitute day off."
+	if src.Float64() < 0.25 {
+		wrongDays = days + 1 // near-miss hallucination (see genProbation)
+		substituteWrong = "Working on a public holiday earns a substitute day off within the same quarter."
+	}
+	return rendered{
+		topic:    "public-holidays",
+		category: "Employment",
+		context: []string{
+			fmt.Sprintf("Employees are entitled to %d public holidays per year.", days),
+			"Staff required to work on a public holiday receive a substitute day off within the same month.",
+		},
+		distractor: distractors[src.Intn(len(distractors))],
+		question:   "How many public holidays do employees get, and what happens when they work on one?",
+		pairs: []sentencePair{
+			{
+				correct: fmt.Sprintf("There are %d public holidays per year.", days),
+				wrong:   fmt.Sprintf("There are %d public holidays per year.", wrongDays),
+			},
+			{
+				correct: "Working on a public holiday earns a substitute day off in the same month.",
+				wrong:   substituteWrong,
+			},
+		},
+	}
+}
+
+// Generate builds a deterministic dataset of n items by cycling the
+// handbook topics with freshly drawn fact values. The paper evaluates
+// "over 100 sets"; DefaultSize mirrors that scale.
+func Generate(seed uint64, n int) (*Set, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataset: n must be positive, got %d", n)
+	}
+	root := rng.New(seed)
+	set := &Set{Name: fmt.Sprintf("synthetic-hr-handbook-n%d", n), Seed: seed}
+	for i := 0; i < n; i++ {
+		gen := topicGenerators[i%len(topicGenerators)]
+		r := gen(root.Split())
+		item, err := assemble(i+1, r, root.Split())
+		if err != nil {
+			return nil, err
+		}
+		set.Items = append(set.Items, item)
+	}
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: generated set invalid: %w", err)
+	}
+	return set, nil
+}
+
+// DefaultSize matches the paper's "over 100 sets of questions, answers,
+// and contexts".
+const DefaultSize = 120
+
+// Default generates the canonical evaluation set used by the
+// experiment harness and benchmarks.
+func Default() (*Set, error) { return Generate(20250612, DefaultSize) }
+
+// assemble renders one Item from a topic instantiation: context =
+// facts + distractor, and the three responses assembled from the
+// sentence pairs.
+func assemble(id int, r rendered, src *rng.Source) (Item, error) {
+	if len(r.pairs) < 2 {
+		return Item{}, fmt.Errorf("dataset: topic %s yields %d sentence pairs, need ≥2", r.topic, len(r.pairs))
+	}
+	ctx := strings.Join(append(append([]string{}, r.context...), r.distractor), " ")
+
+	correct := make([]string, len(r.pairs))
+	wrong := make([]string, len(r.pairs))
+	for i, p := range r.pairs {
+		correct[i] = p.correct
+		wrong[i] = p.wrong
+	}
+	// Partial: exactly one sentence flipped, position drawn at random.
+	flip := src.Intn(len(r.pairs))
+	partial := append([]string{}, correct...)
+	partial[flip] = r.pairs[flip].wrong
+
+	return Item{
+		ID:       id,
+		Topic:    r.topic,
+		Category: r.category,
+		Context:  ctx,
+		Question: r.question,
+		Responses: []Response{
+			{Text: strings.Join(correct, " "), Label: LabelCorrect},
+			{Text: strings.Join(partial, " "), Label: LabelPartial},
+			{Text: strings.Join(wrong, " "), Label: LabelWrong},
+		},
+	}, nil
+}

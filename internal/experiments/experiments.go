@@ -1,0 +1,381 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§V): the Fig. 3 best-F1 comparison, the Fig. 4
+// precision/recall study, the Fig. 5 aggregation-means study, and the
+// Fig. 6–7 score distributions, all over the synthetic HR dataset.
+// cmd/experiments renders them as text; bench_test.go wraps them as
+// benchmarks; EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/slm"
+)
+
+// DefaultWorkers bounds the goroutines used for batch scoring.
+const DefaultWorkers = 8
+
+// Scores holds one approach's response-level scores grouped by
+// ground-truth label, in dataset item order.
+type Scores struct {
+	Approach string
+	ByLabel  map[dataset.Label][]float64
+}
+
+// ScoreApproach runs the full two-pass evaluation protocol for one
+// detector: (1) calibrate the per-model moments on every response in
+// the set — the paper's "previous responses" — and freeze them;
+// (2) score every response. Scoring is deterministic for a given
+// detector configuration and dataset.
+func ScoreApproach(ctx context.Context, d *core.Detector, set *dataset.Set, workers int) (*Scores, error) {
+	var all []core.Triple
+	type key struct {
+		item  int
+		label dataset.Label
+	}
+	where := map[key]int{}
+	for _, it := range set.Items {
+		for _, r := range it.Responses {
+			where[key{it.ID, r.Label}] = len(all)
+			all = append(all, core.Triple{Question: it.Question, Context: it.Context, Response: r.Text})
+		}
+	}
+	if err := d.Calibrate(ctx, all); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", d.Name(), err)
+	}
+	scored, err := d.BatchScore(ctx, all, workers)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", d.Name(), err)
+	}
+	out := &Scores{Approach: d.Name(), ByLabel: map[dataset.Label][]float64{}}
+	for _, it := range set.Items {
+		for _, l := range dataset.Labels() {
+			idx, ok := where[key{it.ID, l}]
+			if !ok {
+				return nil, fmt.Errorf("experiments: item %d missing %s response", it.ID, l)
+			}
+			out.ByLabel[l] = append(out.ByLabel[l], scored[idx].Verdict.Score)
+		}
+	}
+	return out, nil
+}
+
+// SamplesVs builds the binary-classification samples "correct (positive)
+// vs contrast (negative)" from an approach's scores.
+func (s *Scores) SamplesVs(contrast dataset.Label) []metrics.Sample {
+	var out []metrics.Sample
+	for _, v := range s.ByLabel[dataset.LabelCorrect] {
+		out = append(out, metrics.Sample{Score: v, Positive: true})
+	}
+	for _, v := range s.ByLabel[contrast] {
+		out = append(out, metrics.Sample{Score: v, Positive: false})
+	}
+	return out
+}
+
+// ApproachResult is one approach's full operating-point summary for
+// one contrast class.
+type ApproachResult struct {
+	Approach string
+	Contrast dataset.Label
+	// BestF1 is the Fig. 3 operating point.
+	BestF1 metrics.Confusion
+	// BestPrec is the Fig. 4 operating point (max precision subject to
+	// recall ≥ 0.5).
+	BestPrec metrics.Confusion
+	// AUC summarizes threshold-free separability.
+	AUC float64
+}
+
+// Evaluate computes an approach's result for one contrast class.
+func Evaluate(s *Scores, contrast dataset.Label) (ApproachResult, error) {
+	samples := s.SamplesVs(contrast)
+	bestF1, err := metrics.BestF1(samples)
+	if err != nil {
+		return ApproachResult{}, err
+	}
+	bestP, err := metrics.BestPrecisionAtRecall(samples, 0.5)
+	if err != nil {
+		return ApproachResult{}, err
+	}
+	auc, err := metrics.AUC(samples)
+	if err != nil {
+		return ApproachResult{}, err
+	}
+	return ApproachResult{
+		Approach: s.Approach, Contrast: contrast,
+		BestF1: bestF1, BestPrec: bestP, AUC: auc,
+	}, nil
+}
+
+// Suite bundles the dataset with memoized per-approach scores so the
+// figure functions don't recompute shared work. Not safe for
+// concurrent use.
+type Suite struct {
+	Set     *dataset.Set
+	Workers int
+	cache   map[string]*Scores
+}
+
+// NewSuite prepares a Suite over the given dataset.
+func NewSuite(set *dataset.Set, workers int) *Suite {
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	return &Suite{Set: set, Workers: workers, cache: map[string]*Scores{}}
+}
+
+// NewDefaultSuite builds the canonical suite over the default dataset.
+func NewDefaultSuite() (*Suite, error) {
+	set, err := dataset.Default()
+	if err != nil {
+		return nil, err
+	}
+	return NewSuite(set, DefaultWorkers), nil
+}
+
+// scores returns the (memoized) scores for a detector built by mk.
+func (s *Suite) scores(ctx context.Context, name string, mk func() (*core.Detector, error)) (*Scores, error) {
+	if sc, ok := s.cache[name]; ok {
+		return sc, nil
+	}
+	d, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	sc, err := ScoreApproach(ctx, d, s.Set, s.Workers)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[name] = sc
+	return sc, nil
+}
+
+// approachMakers returns the §V-C lineup constructors keyed in paper
+// order.
+func approachMakers() []struct {
+	Name string
+	Make func() (*core.Detector, error)
+} {
+	return []struct {
+		Name string
+		Make func() (*core.Detector, error)
+	}{
+		{"Proposed", core.NewProposed},
+		{"ChatGPT", core.NewChatGPT},
+		{"P(yes)", core.NewPYes},
+		{"Qwen2", func() (*core.Detector, error) {
+			return core.NewSingleSLM("Qwen2", slm.NewQwen2())
+		}},
+		{"MiniCPM", func() (*core.Detector, error) {
+			return core.NewSingleSLM("MiniCPM", slm.NewMiniCPM())
+		}},
+	}
+}
+
+// Fig3 reproduces Fig. 3: the best F1 of every approach for detecting
+// correct responses from the contrast class.
+func (s *Suite) Fig3(ctx context.Context, contrast dataset.Label) ([]ApproachResult, error) {
+	var out []ApproachResult
+	for _, a := range approachMakers() {
+		sc, err := s.scores(ctx, a.Name, a.Make)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Evaluate(sc, contrast)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig3 %s vs %s: %w", a.Name, contrast, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Fig4 reproduces Fig. 4: best precision with recall ≥ 0.5 and the
+// corresponding recall, per approach. It shares Fig. 3's computation.
+func (s *Suite) Fig4(ctx context.Context, contrast dataset.Label) ([]ApproachResult, error) {
+	return s.Fig3(ctx, contrast)
+}
+
+// MeanResult is one aggregation strategy's best F1 (Fig. 5).
+type MeanResult struct {
+	Mean     core.Mean
+	Contrast dataset.Label
+	BestF1   metrics.Confusion
+	AUC      float64
+}
+
+// Fig5 reproduces Fig. 5: the proposed two-SLM pipeline with each of
+// the five sentence-aggregation means.
+func (s *Suite) Fig5(ctx context.Context, contrast dataset.Label) ([]MeanResult, error) {
+	var out []MeanResult
+	for _, m := range core.Means() {
+		mean := m
+		sc, err := s.scores(ctx, "Proposed["+m.String()+"]", func() (*core.Detector, error) {
+			if mean == core.Harmonic {
+				return core.NewProposed() // identical pipeline; reuse label
+			}
+			return core.NewProposedWithMean(mean)
+		})
+		if err != nil {
+			return nil, err
+		}
+		best, err := metrics.BestF1(sc.SamplesVs(contrast))
+		if err != nil {
+			return nil, err
+		}
+		auc, err := metrics.AUC(sc.SamplesVs(contrast))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MeanResult{Mean: m, Contrast: contrast, BestF1: best, AUC: auc})
+	}
+	return out, nil
+}
+
+// Distribution is one approach's labelled score histograms (Fig. 6–7).
+type Distribution struct {
+	Approach string
+	Hist     *metrics.LabeledHistograms
+}
+
+// distribution renders the labelled histogram for a score set, with
+// bounds covering the observed range.
+func distribution(sc *Scores, bins int) (*Distribution, error) {
+	lo, hi := scoreRange(sc)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	labels := make([]string, 0, 3)
+	for _, l := range dataset.Labels() {
+		labels = append(labels, string(l))
+	}
+	lh, err := metrics.NewLabeledHistograms(labels, lo, hi, bins)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range dataset.Labels() {
+		for _, v := range sc.ByLabel[l] {
+			if err := lh.Add(string(l), v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Distribution{Approach: sc.Approach, Hist: lh}, nil
+}
+
+func scoreRange(sc *Scores) (lo, hi float64) {
+	first := true
+	for _, vs := range sc.ByLabel {
+		for _, v := range vs {
+			if first {
+				lo, hi = v, v
+				first = false
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// Fig6 reproduces Fig. 6: score distributions of the proposed method
+// (a) and the P(yes) baseline (b).
+func (s *Suite) Fig6(ctx context.Context, bins int) (proposed, pyes *Distribution, err error) {
+	pSc, err := s.scores(ctx, "Proposed", core.NewProposed)
+	if err != nil {
+		return nil, nil, err
+	}
+	ySc, err := s.scores(ctx, "P(yes)", core.NewPYes)
+	if err != nil {
+		return nil, nil, err
+	}
+	proposed, err = distribution(pSc, bins)
+	if err != nil {
+		return nil, nil, err
+	}
+	pyes, err = distribution(ySc, bins)
+	if err != nil {
+		return nil, nil, err
+	}
+	return proposed, pyes, nil
+}
+
+// Fig7 reproduces Fig. 7: score distributions under geometric (a) and
+// harmonic (b) aggregation of the proposed pipeline.
+func (s *Suite) Fig7(ctx context.Context, bins int) (geometric, harmonic *Distribution, err error) {
+	gSc, err := s.scores(ctx, "Proposed[geometric]", func() (*core.Detector, error) {
+		return core.NewProposedWithMean(core.Geometric)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	hSc, err := s.scores(ctx, "Proposed", core.NewProposed)
+	if err != nil {
+		return nil, nil, err
+	}
+	geometric, err = distribution(gSc, bins)
+	if err != nil {
+		return nil, nil, err
+	}
+	harmonic, err = distribution(hSc, bins)
+	if err != nil {
+		return nil, nil, err
+	}
+	return geometric, harmonic, nil
+}
+
+// FormatFig3 renders Fig. 3 results as an aligned text table.
+func FormatFig3(rows []ApproachResult) string {
+	var b strings.Builder
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "Best F1 detecting correct vs %s\n", rows[0].Contrast)
+	}
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s %8s\n", "approach", "F1", "p", "r", "AUC")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %8.3f %8.3f %8.3f %8.3f\n",
+			r.Approach, r.BestF1.F1(), r.BestF1.Precision(), r.BestF1.Recall(), r.AUC)
+	}
+	return b.String()
+}
+
+// FormatFig4 renders the Fig. 4 precision/recall table.
+func FormatFig4(rows []ApproachResult) string {
+	var b strings.Builder
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "Best precision (recall ≥ 0.5) detecting correct vs %s\n", rows[0].Contrast)
+	}
+	fmt.Fprintf(&b, "%-12s %8s %8s\n", "approach", "p", "r")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %8.3f %8.3f\n", r.Approach, r.BestPrec.Precision(), r.BestPrec.Recall())
+	}
+	return b.String()
+}
+
+// FormatFig5 renders the Fig. 5 means table.
+func FormatFig5(rows []MeanResult) string {
+	var b strings.Builder
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "Best F1 by aggregation mean, correct vs %s\n", rows[0].Contrast)
+	}
+	fmt.Fprintf(&b, "%-12s %8s %8s\n", "mean", "F1", "AUC")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %8.3f %8.3f\n", r.Mean, r.BestF1.F1(), r.AUC)
+	}
+	return b.String()
+}
+
+// FormatDistribution renders a Fig. 6/7 panel.
+func FormatDistribution(d *Distribution, width int) string {
+	return fmt.Sprintf("Score distribution — %s\n%s", d.Approach, d.Hist.Render(width))
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/slm"
+)
+
+// smallSuite keeps the integration tests fast: 32 items still cover
+// every topic twice. One suite is shared across the package's tests so
+// the per-approach scoring runs once; Suite memoizes by approach name
+// and every figure call is read-only with respect to the dataset.
+var (
+	sharedSuite     *Suite
+	sharedSuiteOnce sync.Once
+	sharedSuiteErr  error
+)
+
+func smallSuite(t *testing.T) *Suite {
+	t.Helper()
+	sharedSuiteOnce.Do(func() {
+		set, err := dataset.Generate(20250612, 32)
+		if err != nil {
+			sharedSuiteErr = err
+			return
+		}
+		sharedSuite = NewSuite(set, 8)
+	})
+	if sharedSuiteErr != nil {
+		t.Fatal(sharedSuiteErr)
+	}
+	return sharedSuite
+}
+
+func TestScoreApproachShape(t *testing.T) {
+	suite := smallSuite(t)
+	d, err := core.NewDetector("shape-probe", core.Config{
+		Models: []slm.Model{slm.NewQwen2()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ScoreApproach(context.Background(), d, suite.Set, suite.Workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range dataset.Labels() {
+		if got := len(sc.ByLabel[l]); got != len(suite.Set.Items) {
+			t.Errorf("label %s has %d scores, want %d", l, got, len(suite.Set.Items))
+		}
+	}
+	samples := sc.SamplesVs(dataset.LabelWrong)
+	if len(samples) != 2*len(suite.Set.Items) {
+		t.Errorf("samples = %d, want %d", len(samples), 2*len(suite.Set.Items))
+	}
+}
+
+func TestScoreApproachDeterministic(t *testing.T) {
+	set, err := dataset.Generate(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Scores {
+		d, err := core.NewProposed()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := ScoreApproach(context.Background(), d, set, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	a, b := run(), run()
+	for _, l := range dataset.Labels() {
+		for i := range a.ByLabel[l] {
+			if a.ByLabel[l][i] != b.ByLabel[l][i] {
+				t.Fatalf("nondeterministic score: label %s item %d", l, i)
+			}
+		}
+	}
+}
+
+// TestFig3Shape checks the paper's qualitative claims on the small
+// suite: wrong-detection is easy for every approach, partial-detection
+// is harder, and the proposed method is best (or tied) on partial.
+func TestFig3Shape(t *testing.T) {
+	suite := smallSuite(t)
+	ctx := context.Background()
+	wrongRows, err := suite.Fig3(ctx, dataset.LabelWrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partialRows, err := suite.Fig3(ctx, dataset.LabelPartial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wrongRows) != 5 || len(partialRows) != 5 {
+		t.Fatalf("rows = %d/%d, want 5", len(wrongRows), len(partialRows))
+	}
+	byName := map[string]float64{}
+	for _, r := range partialRows {
+		byName[r.Approach] = r.BestF1.F1()
+	}
+	for i, r := range wrongRows {
+		if r.BestF1.F1() < 0.8 {
+			t.Errorf("%s wrong-F1 = %.3f, want ≥0.8 (paper: all high)", r.Approach, r.BestF1.F1())
+		}
+		// Partial is harder than wrong for every approach.
+		if byName[r.Approach] > r.BestF1.F1()+0.05 {
+			t.Errorf("%s partial F1 %.3f above wrong F1 %.3f", r.Approach, byName[r.Approach], r.BestF1.F1())
+		}
+		_ = i
+	}
+	proposed := byName["Proposed"]
+	for name, f1 := range byName {
+		if name == "Proposed" {
+			continue
+		}
+		if f1 > proposed+0.03 {
+			t.Errorf("%s partial F1 %.3f clearly beats Proposed %.3f", name, f1, proposed)
+		}
+	}
+}
+
+func TestFig4RecallConstraint(t *testing.T) {
+	suite := smallSuite(t)
+	rows, err := suite.Fig4(context.Background(), dataset.LabelPartial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.BestPrec.Recall() < 0.5 {
+			t.Errorf("%s best-precision recall %.3f violates the r ≥ 0.5 rule", r.Approach, r.BestPrec.Recall())
+		}
+	}
+}
+
+func TestFig5MaxCollapsesOnPartial(t *testing.T) {
+	suite := smallSuite(t)
+	rows, err := suite.Fig5(context.Background(), dataset.LabelPartial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := map[core.Mean]float64{}
+	for _, r := range rows {
+		f1[r.Mean] = r.BestF1.F1()
+	}
+	if f1[core.Max] >= f1[core.Harmonic] {
+		t.Errorf("max %.3f should collapse below harmonic %.3f on partial (paper Fig. 5b)",
+			f1[core.Max], f1[core.Harmonic])
+	}
+}
+
+func TestFig6Distributions(t *testing.T) {
+	suite := smallSuite(t)
+	proposed, pyes, err := suite.Fig6(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*Distribution{proposed, pyes} {
+		total := 0
+		for _, l := range dataset.Labels() {
+			total += d.Hist.ByName[string(l)].Total()
+		}
+		if total != 3*len(suite.Set.Items) {
+			t.Errorf("%s histograms hold %d scores, want %d", d.Approach, total, 3*len(suite.Set.Items))
+		}
+	}
+	out := FormatDistribution(proposed, 30)
+	if !strings.Contains(out, "correct") || !strings.Contains(out, "wrong") {
+		t.Error("rendered distribution missing labels")
+	}
+}
+
+func TestFig7Distributions(t *testing.T) {
+	suite := smallSuite(t)
+	geo, har, err := suite.Fig7(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo.Approach == har.Approach {
+		t.Error("fig7 panels must differ")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	suite := smallSuite(t)
+	rows, err := suite.Fig3(context.Background(), dataset.LabelWrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig3 := FormatFig3(rows)
+	for _, name := range []string{"Proposed", "ChatGPT", "P(yes)", "Qwen2", "MiniCPM"} {
+		if !strings.Contains(fig3, name) {
+			t.Errorf("fig3 table missing %s:\n%s", name, fig3)
+		}
+	}
+	fig4 := FormatFig4(rows)
+	if !strings.Contains(fig4, "recall ≥ 0.5") {
+		t.Error("fig4 header missing constraint")
+	}
+	mrows, err := suite.Fig5(context.Background(), dataset.LabelWrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig5 := FormatFig5(mrows)
+	for _, m := range core.Means() {
+		if !strings.Contains(fig5, m.String()) {
+			t.Errorf("fig5 table missing %s", m)
+		}
+	}
+}
+
+// TestSuiteMemoization: repeated figure calls must not redo the
+// expensive scoring.
+func TestSuiteMemoization(t *testing.T) {
+	set, err := dataset.Generate(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := NewSuite(set, 8)
+	ctx := context.Background()
+	if _, err := suite.Fig3(ctx, dataset.LabelWrong); err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.cache) == 0 {
+		t.Fatal("cache empty after Fig3")
+	}
+	before := len(suite.cache)
+	if _, err := suite.Fig3(ctx, dataset.LabelPartial); err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.cache) != before {
+		t.Errorf("second contrast re-scored approaches: %d -> %d", before, len(suite.cache))
+	}
+}

@@ -1,0 +1,328 @@
+// Package metrics implements the evaluation machinery of the paper's
+// §V: precision/recall/F1 over score thresholds, the best-F1 operating
+// point (Fig. 3, Fig. 5), the best-precision-with-recall≥0.5 operating
+// point (Fig. 4), score histograms per label (Fig. 6–7), and ROC/AUC as
+// an additional summary.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample pairs a response-level score s_i with its ground-truth label:
+// Positive=true means the response is labeled "correct"; false means it
+// belongs to the contrast class under study ("wrong" or "partial").
+type Sample struct {
+	Score    float64
+	Positive bool
+}
+
+// Confusion is the 2×2 contingency table at a fixed threshold with the
+// decision rule "predict correct when Score > Threshold" (strictly
+// greater, per the paper: "If the score in Eq. 6 exceeds a threshold,
+// the response is labeled as correct").
+type Confusion struct {
+	TP, FP, TN, FN int
+	Threshold      float64
+}
+
+// Precision returns TP/(TP+FP), or 0 when nothing was predicted
+// positive.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when there are no positives.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall, or 0 when both
+// are 0.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy returns (TP+TN)/total.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.TN + c.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// String renders the table compactly for reports.
+func (c Confusion) String() string {
+	return fmt.Sprintf("thr=%.4f tp=%d fp=%d tn=%d fn=%d p=%.3f r=%.3f f1=%.3f",
+		c.Threshold, c.TP, c.FP, c.TN, c.FN, c.Precision(), c.Recall(), c.F1())
+}
+
+// At evaluates the decision rule at a single threshold.
+func At(samples []Sample, threshold float64) Confusion {
+	c := Confusion{Threshold: threshold}
+	for _, s := range samples {
+		pred := s.Score > threshold
+		switch {
+		case pred && s.Positive:
+			c.TP++
+		case pred && !s.Positive:
+			c.FP++
+		case !pred && s.Positive:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// ErrNoSamples is returned by sweep helpers when the input is empty or
+// single-class in a way that makes the requested operating point
+// undefined.
+var ErrNoSamples = errors.New("metrics: no samples")
+
+// candidateThresholds returns the midpoints between adjacent distinct
+// scores plus sentinels below the min and above the max, which together
+// cover every achievable confusion table.
+func candidateThresholds(samples []Sample) []float64 {
+	if len(samples) == 0 {
+		return nil
+	}
+	scores := make([]float64, len(samples))
+	for i, s := range samples {
+		scores[i] = s.Score
+	}
+	sort.Float64s(scores)
+	uniq := scores[:1]
+	for _, v := range scores[1:] {
+		if v != uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	ths := make([]float64, 0, len(uniq)+1)
+	ths = append(ths, uniq[0]-1)
+	for i := 0; i+1 < len(uniq); i++ {
+		ths = append(ths, (uniq[i]+uniq[i+1])/2)
+	}
+	ths = append(ths, uniq[len(uniq)-1]) // everything predicted negative
+	return ths
+}
+
+// BestF1 sweeps all achievable thresholds and returns the confusion
+// table with the highest F1 (ties broken toward higher threshold, i.e.
+// the more conservative classifier). This is the Fig. 3 / Fig. 5
+// operating point.
+func BestF1(samples []Sample) (Confusion, error) {
+	if len(samples) == 0 {
+		return Confusion{}, ErrNoSamples
+	}
+	var best Confusion
+	bestF1 := -1.0
+	for _, t := range candidateThresholds(samples) {
+		c := At(samples, t)
+		if f := c.F1(); f > bestF1 || (f == bestF1 && t > best.Threshold) {
+			bestF1, best = f, c
+		}
+	}
+	return best, nil
+}
+
+// BestPrecisionAtRecall returns the operating point with the highest
+// precision among thresholds whose recall is at least minRecall — the
+// Fig. 4 selection rule ("r must be at least 0.5 while selecting the
+// p"). Ties prefer higher recall.
+func BestPrecisionAtRecall(samples []Sample, minRecall float64) (Confusion, error) {
+	if len(samples) == 0 {
+		return Confusion{}, ErrNoSamples
+	}
+	var best Confusion
+	found := false
+	for _, t := range candidateThresholds(samples) {
+		c := At(samples, t)
+		if c.Recall() < minRecall {
+			continue
+		}
+		if !found || c.Precision() > best.Precision() ||
+			(c.Precision() == best.Precision() && c.Recall() > best.Recall()) {
+			best, found = c, true
+		}
+	}
+	if !found {
+		return Confusion{}, fmt.Errorf("metrics: no threshold achieves recall ≥ %v: %w", minRecall, ErrNoSamples)
+	}
+	return best, nil
+}
+
+// AUC computes the area under the ROC curve by the rank-sum
+// (Mann–Whitney) formulation; ties contribute half. Returns an error
+// when either class is empty.
+func AUC(samples []Sample) (float64, error) {
+	var pos, neg []float64
+	for _, s := range samples {
+		if s.Positive {
+			pos = append(pos, s.Score)
+		} else {
+			neg = append(neg, s.Score)
+		}
+	}
+	if len(pos) == 0 || len(neg) == 0 {
+		return 0, ErrNoSamples
+	}
+	wins := 0.0
+	for _, p := range pos {
+		for _, n := range neg {
+			switch {
+			case p > n:
+				wins++
+			case p == n:
+				wins += 0.5
+			}
+		}
+	}
+	return wins / float64(len(pos)*len(neg)), nil
+}
+
+// Histogram is a fixed-width binning of scores, used to render the
+// distribution figures (Fig. 6–7).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	// Underflow/Overflow hold samples outside [Lo, Hi).
+	Underflow, Overflow int
+}
+
+// NewHistogram creates a histogram with the given bounds and bin count.
+// Hi must exceed Lo and bins must be positive.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("metrics: bins must be positive, got %d", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("metrics: invalid bounds [%v, %v)", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add bins one observation.
+func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if x < h.Lo {
+		h.Underflow++
+		return
+	}
+	if x >= h.Hi {
+		// The top edge is inclusive so a score exactly at Hi lands in
+		// the last bin rather than overflow.
+		if x == h.Hi {
+			h.Counts[len(h.Counts)-1]++
+			return
+		}
+		h.Overflow++
+		return
+	}
+	idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if idx == len(h.Counts) {
+		idx--
+	}
+	h.Counts[idx]++
+}
+
+// Total returns the number of binned observations including under/
+// overflow.
+func (h *Histogram) Total() int {
+	t := h.Underflow + h.Overflow
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Render draws the histogram as fixed-width ASCII rows, one per bin,
+// scaled so the fullest bin spans `width` glyphs. Labelled with bin
+// centers. Suitable for terminal reproduction of the paper's figures.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxC := 1
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := strings.Repeat("█", c*width/maxC)
+		fmt.Fprintf(&b, "%8.3f | %-*s %d\n", h.BinCenter(i), width, bar, c)
+	}
+	if h.Underflow > 0 {
+		fmt.Fprintf(&b, "   under | %d\n", h.Underflow)
+	}
+	if h.Overflow > 0 {
+		fmt.Fprintf(&b, "    over | %d\n", h.Overflow)
+	}
+	return b.String()
+}
+
+// LabeledHistograms bins scores grouped by label so the three response
+// classes (wrong/partial/correct) can be overlaid as in Fig. 6–7.
+type LabeledHistograms struct {
+	Labels []string
+	ByName map[string]*Histogram
+}
+
+// NewLabeledHistograms builds one histogram per label over shared
+// bounds.
+func NewLabeledHistograms(labels []string, lo, hi float64, bins int) (*LabeledHistograms, error) {
+	lh := &LabeledHistograms{Labels: append([]string(nil), labels...), ByName: map[string]*Histogram{}}
+	for _, l := range labels {
+		h, err := NewHistogram(lo, hi, bins)
+		if err != nil {
+			return nil, err
+		}
+		lh.ByName[l] = h
+	}
+	return lh, nil
+}
+
+// Add bins x under the given label; unknown labels are an error.
+func (lh *LabeledHistograms) Add(label string, x float64) error {
+	h, ok := lh.ByName[label]
+	if !ok {
+		return fmt.Errorf("metrics: unknown label %q", label)
+	}
+	h.Add(x)
+	return nil
+}
+
+// Render prints each label's histogram in declaration order.
+func (lh *LabeledHistograms) Render(width int) string {
+	var b strings.Builder
+	for _, l := range lh.Labels {
+		fmt.Fprintf(&b, "--- %s (n=%d) ---\n%s", l, lh.ByName[l].Total(), lh.ByName[l].Render(width))
+	}
+	return b.String()
+}

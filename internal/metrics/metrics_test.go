@@ -1,0 +1,291 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func samplesFrom(pos, neg []float64) []Sample {
+	var out []Sample
+	for _, v := range pos {
+		out = append(out, Sample{Score: v, Positive: true})
+	}
+	for _, v := range neg {
+		out = append(out, Sample{Score: v, Positive: false})
+	}
+	return out
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, TN: 6, FN: 4}
+	if got := c.Precision(); got != 0.8 {
+		t.Errorf("Precision = %v, want 0.8", got)
+	}
+	if got := c.Recall(); got != 8.0/12 {
+		t.Errorf("Recall = %v, want 2/3", got)
+	}
+	wantF1 := 2 * 0.8 * (8.0 / 12) / (0.8 + 8.0/12)
+	if got := c.F1(); math.Abs(got-wantF1) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", got, wantF1)
+	}
+	if got := c.Accuracy(); got != 0.7 {
+		t.Errorf("Accuracy = %v, want 0.7", got)
+	}
+}
+
+func TestConfusionZeroDivisions(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.Accuracy() != 0 {
+		t.Error("zero confusion should yield zero metrics, not NaN")
+	}
+}
+
+func TestAtStrictThreshold(t *testing.T) {
+	// The paper's rule: predicted correct iff score > threshold
+	// (strict).
+	s := []Sample{{Score: 0.5, Positive: true}}
+	c := At(s, 0.5)
+	if c.TP != 0 || c.FN != 1 {
+		t.Errorf("score == threshold must be negative: %+v", c)
+	}
+	c = At(s, 0.49)
+	if c.TP != 1 {
+		t.Errorf("score above threshold must be positive: %+v", c)
+	}
+}
+
+func TestBestF1PerfectSeparation(t *testing.T) {
+	s := samplesFrom([]float64{0.8, 0.9, 1.0}, []float64{0.1, 0.2, 0.3})
+	c, err := BestF1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.F1() != 1 {
+		t.Errorf("separable data best F1 = %v, want 1", c.F1())
+	}
+	if c.Threshold <= 0.3 || c.Threshold >= 0.8 {
+		t.Errorf("threshold %v outside separating gap", c.Threshold)
+	}
+}
+
+func TestBestF1Overlap(t *testing.T) {
+	s := samplesFrom([]float64{0.4, 0.6, 0.9}, []float64{0.1, 0.5, 0.7})
+	c, err := BestF1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive check: no single threshold beats the sweep.
+	for _, th := range []float64{-1, 0, 0.05, 0.3, 0.45, 0.55, 0.65, 0.8, 1} {
+		if alt := At(s, th); alt.F1() > c.F1()+1e-12 {
+			t.Errorf("sweep missed threshold %v with F1 %v > %v", th, alt.F1(), c.F1())
+		}
+	}
+}
+
+func TestBestF1Empty(t *testing.T) {
+	if _, err := BestF1(nil); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("err = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestBestF1IsOptimalQuick(t *testing.T) {
+	f := func(pos, neg []float64) bool {
+		for i := range pos {
+			pos[i] = math.Mod(math.Abs(pos[i]), 1)
+		}
+		for i := range neg {
+			neg[i] = math.Mod(math.Abs(neg[i]), 1)
+		}
+		s := samplesFrom(pos, neg)
+		if len(s) == 0 {
+			return true
+		}
+		best, err := BestF1(s)
+		if err != nil {
+			return false
+		}
+		// Every sample score used directly as a threshold must not do
+		// better (midpoint sweep covers all distinct tables).
+		for _, x := range s {
+			if At(s, x.Score).F1() > best.F1()+1e-9 ||
+				At(s, x.Score-1e-6).F1() > best.F1()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestPrecisionAtRecall(t *testing.T) {
+	// Top scores contain one negative, so precision 1 is only
+	// reachable below recall 0.5; the constraint forces a tradeoff.
+	pos := []float64{0.95, 0.9, 0.6, 0.5, 0.4, 0.3}
+	neg := []float64{0.85, 0.2, 0.1, 0.05, 0.02, 0.01}
+	c, err := BestPrecisionAtRecall(samplesFrom(pos, neg), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Recall() < 0.5 {
+		t.Errorf("recall %v violates constraint", c.Recall())
+	}
+	// Any threshold admitting ≥3 positives also admits the 0.85
+	// negative, so the best precision comes from admitting all six
+	// positives against that one negative: p = 6/7, with ties broken
+	// toward the higher recall (1.0).
+	if got := c.Precision(); math.Abs(got-6.0/7) > 1e-12 {
+		t.Errorf("precision = %v, want 6/7", got)
+	}
+	if got := c.Recall(); got != 1 {
+		t.Errorf("recall = %v, want 1 (tie-break toward recall)", got)
+	}
+}
+
+func TestBestPrecisionUnreachableRecall(t *testing.T) {
+	s := samplesFrom(nil, []float64{0.5})
+	if _, err := BestPrecisionAtRecall(s, 0.5); err == nil {
+		t.Error("expected error with no positives")
+	}
+}
+
+func TestAUC(t *testing.T) {
+	s := samplesFrom([]float64{0.9, 0.8}, []float64{0.1, 0.2})
+	auc, err := AUC(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1 {
+		t.Errorf("separable AUC = %v, want 1", auc)
+	}
+	s = samplesFrom([]float64{0.1, 0.2}, []float64{0.9, 0.8})
+	if auc, _ = AUC(s); auc != 0 {
+		t.Errorf("inverted AUC = %v, want 0", auc)
+	}
+	s = samplesFrom([]float64{0.5}, []float64{0.5})
+	if auc, _ = AUC(s); auc != 0.5 {
+		t.Errorf("tied AUC = %v, want 0.5", auc)
+	}
+	if _, err := AUC(samplesFrom([]float64{1}, nil)); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("single-class AUC err = %v", err)
+	}
+}
+
+func TestAUCBoundsQuick(t *testing.T) {
+	f := func(pos, neg []float64) bool {
+		if len(pos) == 0 || len(neg) == 0 {
+			return true
+		}
+		for i := range pos {
+			if math.IsNaN(pos[i]) {
+				return true
+			}
+		}
+		for i := range neg {
+			if math.IsNaN(neg[i]) {
+				return true
+			}
+		}
+		auc, err := AUC(samplesFrom(pos, neg))
+		return err == nil && auc >= 0 && auc <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 0.1, 0.3, 0.6, 0.99, 1.0, 1.5, -0.2, math.NaN()} {
+		h.Add(x)
+	}
+	// bins: [0,.25) [.25,.5) [.5,.75) [.75,1); 1.0 lands in the last
+	// bin (inclusive top edge), 1.5 overflows, -0.2 underflows, NaN
+	// dropped.
+	want := []int{2, 1, 1, 2}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bin %d = %d, want %d (counts %v)", i, c, want[i], h.Counts)
+		}
+	}
+	if h.Overflow != 1 || h.Underflow != 1 {
+		t.Errorf("over/under = %d/%d, want 1/1", h.Overflow, h.Underflow)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8 (NaN dropped)", h.Total())
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := NewHistogram(1, 1, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 4)
+	if got := h.BinCenter(0); got != 0.125 {
+		t.Errorf("BinCenter(0) = %v, want 0.125", got)
+	}
+	if got := h.BinCenter(3); got != 0.875 {
+		t.Errorf("BinCenter(3) = %v, want 0.875", got)
+	}
+}
+
+func TestHistogramNeverLosesSamplesQuick(t *testing.T) {
+	f := func(xs []float64) bool {
+		h, err := NewHistogram(-2, 2, 8)
+		if err != nil {
+			return false
+		}
+		n := 0
+		for _, x := range xs {
+			h.Add(x)
+			if !math.IsNaN(x) {
+				n++
+			}
+		}
+		return h.Total() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 2)
+	h.Add(0.1)
+	h.Add(0.1)
+	h.Add(0.9)
+	out := h.Render(10)
+	if !strings.Contains(out, "2") || !strings.Contains(out, "1") {
+		t.Errorf("render missing counts:\n%s", out)
+	}
+}
+
+func TestLabeledHistograms(t *testing.T) {
+	lh, err := NewLabeledHistograms([]string{"wrong", "correct"}, 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lh.Add("wrong", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := lh.Add("bogus", 0.1); err == nil {
+		t.Error("unknown label accepted")
+	}
+	out := lh.Render(10)
+	if !strings.Contains(out, "wrong") || !strings.Contains(out, "correct") {
+		t.Errorf("labels missing from render:\n%s", out)
+	}
+}

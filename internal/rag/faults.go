@@ -1,0 +1,172 @@
+package rag
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rng"
+	"repro/internal/splitter"
+	"repro/internal/textproc"
+)
+
+// FaultMode selects how a FaultInjector corrupts a grounded answer,
+// mirroring the dataset's three response classes (§V-A).
+type FaultMode int
+
+// Fault modes.
+const (
+	// FaultNone passes the answer through unchanged ("correct").
+	FaultNone FaultMode = iota
+	// FaultPartial corrupts exactly one sentence ("partial").
+	FaultPartial
+	// FaultAll corrupts every sentence ("wrong").
+	FaultAll
+)
+
+// String names the mode.
+func (m FaultMode) String() string {
+	switch m {
+	case FaultNone:
+		return "none"
+	case FaultPartial:
+		return "partial"
+	case FaultAll:
+		return "all"
+	default:
+		return fmt.Sprintf("fault(%d)", int(m))
+	}
+}
+
+// FaultInjector wraps a Generator and hallucinates on purpose: numbers
+// drift, polarities flip. It produces the controlled failure cases the
+// detection framework is exercised on, standing in for an LLM's
+// natural hallucination behaviour.
+type FaultInjector struct {
+	inner Generator
+	mode  FaultMode
+	src   *rng.Source
+}
+
+// NewFaultInjector wraps inner with the given corruption mode. seed
+// makes the corruption deterministic.
+func NewFaultInjector(inner Generator, mode FaultMode, seed uint64) (*FaultInjector, error) {
+	if inner == nil {
+		return nil, errors.New("rag: nil inner generator")
+	}
+	switch mode {
+	case FaultNone, FaultPartial, FaultAll:
+	default:
+		return nil, fmt.Errorf("rag: unknown fault mode %d", int(mode))
+	}
+	return &FaultInjector{inner: inner, mode: mode, src: rng.New(seed)}, nil
+}
+
+// Generate implements Generator: it obtains the grounded answer and
+// corrupts it per the configured mode.
+func (f *FaultInjector) Generate(question, context string) (string, error) {
+	answer, err := f.inner.Generate(question, context)
+	if err != nil {
+		return "", err
+	}
+	if f.mode == FaultNone {
+		return answer, nil
+	}
+	sentences := splitter.Split(answer)
+	if len(sentences) == 0 {
+		return answer, nil
+	}
+	switch f.mode {
+	case FaultPartial:
+		i := f.src.Intn(len(sentences))
+		sentences[i] = CorruptSentence(sentences[i], f.src)
+	case FaultAll:
+		for i := range sentences {
+			sentences[i] = CorruptSentence(sentences[i], f.src)
+		}
+	}
+	return strings.Join(sentences, " "), nil
+}
+
+// polarity flips applied by CorruptSentence, in priority order. Only
+// whole-word occurrences are replaced.
+var polarityFlips = [][2]string{
+	{"prohibited", "allowed"}, {"allowed", "prohibited"},
+	{"mandatory", "optional"}, {"optional", "mandatory"},
+	{"required", "not required"}, {"included", "excluded"},
+	{"must", "need not"}, {"open", "closed"},
+}
+
+// CorruptSentence hallucinates one sentence deterministically: the
+// first number found is shifted, or failing that a polarity word is
+// flipped, or failing that a negation is injected. The result always
+// differs from the input.
+func CorruptSentence(s string, src *rng.Source) string {
+	// 1. Shift a numeric token.
+	fields := strings.Fields(s)
+	for i, fld := range fields {
+		trimmed := strings.TrimRight(fld, ".,;:!?")
+		if n, err := strconv.Atoi(trimmed); err == nil {
+			delta := 1 + src.Intn(9)
+			repl := strconv.Itoa(n + delta)
+			fields[i] = strings.Replace(fld, trimmed, repl, 1)
+			return strings.Join(fields, " ")
+		}
+	}
+	// 2. Shift a spelled-out hour ("9 AM" keeps its marker).
+	for i, fld := range fields {
+		lower := strings.ToLower(strings.TrimRight(fld, ".,;:!?"))
+		if lower == "am" || lower == "pm" {
+			continue
+		}
+		if _, ok := textproc.WeekdayIndex(lower); ok {
+			idx, _ := textproc.WeekdayIndex(lower)
+			fields[i] = textproc.WeekdayName(idx + 1 + src.Intn(3))
+			return strings.Join(fields, " ")
+		}
+	}
+	// 3. Flip a polarity word.
+	lower := " " + strings.ToLower(s) + " "
+	for _, flip := range polarityFlips {
+		if strings.Contains(lower, " "+flip[0]+" ") {
+			return replaceWordInsensitive(s, flip[0], flip[1])
+		}
+	}
+	// 4. Last resort: inject a negation after the first verb-ish word.
+	if len(fields) > 2 {
+		out := append([]string{}, fields[:2]...)
+		out = append(out, "not")
+		out = append(out, fields[2:]...)
+		return strings.Join(out, " ")
+	}
+	return s + " This is not the case."
+}
+
+// replaceWordInsensitive replaces the first whole-word, case-insensitive
+// occurrence of old with repl.
+func replaceWordInsensitive(s, old, repl string) string {
+	lower := strings.ToLower(s)
+	idx := 0
+	for {
+		j := strings.Index(lower[idx:], old)
+		if j < 0 {
+			return s
+		}
+		j += idx
+		beforeOK := j == 0 || !isLetter(lower[j-1])
+		afterOK := j+len(old) >= len(lower) || !isLetter(lower[j+len(old)])
+		if beforeOK && afterOK {
+			return s[:j] + repl + s[j+len(old):]
+		}
+		idx = j + len(old)
+	}
+}
+
+func isLetter(b byte) bool {
+	return (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+// contentWords is re-exported here to keep rag self-contained in its
+// call sites; it defers to textproc.
+func contentWords(s string) []string { return textproc.ContentWords(s) }

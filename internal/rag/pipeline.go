@@ -1,0 +1,110 @@
+package rag
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/vecdb"
+)
+
+// Pipeline is the end-to-end system of Fig. 2: ingest documents,
+// retrieve context for a question, generate an answer, and verify it
+// with the detection framework before returning it to the user.
+type Pipeline struct {
+	retriever *Retriever
+	generator Generator
+	detector  *core.Detector
+	// Threshold is the paper's decision boundary on s_i: answers at or
+	// below it are flagged as likely hallucinated.
+	Threshold float64
+}
+
+// PipelineConfig assembles a Pipeline.
+type PipelineConfig struct {
+	DB        *vecdb.DB
+	TopK      int
+	Generator Generator
+	Detector  *core.Detector
+	Threshold float64
+}
+
+// NewPipeline validates and builds the pipeline.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	if cfg.Generator == nil {
+		return nil, errors.New("rag: nil generator")
+	}
+	if cfg.Detector == nil {
+		return nil, errors.New("rag: nil detector")
+	}
+	if cfg.TopK == 0 {
+		cfg.TopK = 3
+	}
+	r, err := NewRetriever(cfg.DB, cfg.TopK)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		retriever: r,
+		generator: cfg.Generator,
+		detector:  cfg.Detector,
+		Threshold: cfg.Threshold,
+	}, nil
+}
+
+// Ingest chunks and indexes a document.
+func (p *Pipeline) Ingest(doc string, chunker Chunker) (int, error) {
+	chunks, err := chunker.Chunk(doc)
+	if err != nil {
+		return 0, err
+	}
+	for _, c := range chunks {
+		if _, err := p.retriever.db.Add(c, nil); err != nil {
+			return 0, err
+		}
+	}
+	return len(chunks), nil
+}
+
+// Answer is the verified output of one Ask call.
+type Answer struct {
+	// Question echoes the input.
+	Question string
+	// Context is the concatenated retrieved passages.
+	Context string
+	// Response is the generated answer.
+	Response string
+	// Verdict carries the hallucination score and per-sentence detail.
+	Verdict core.Verdict
+	// Trusted applies the pipeline threshold: true when the score
+	// exceeds it.
+	Trusted bool
+}
+
+// Ask runs retrieve → generate → verify for one question.
+func (p *Pipeline) Ask(ctx context.Context, question string) (Answer, error) {
+	hits, err := p.retriever.Retrieve(question)
+	if err != nil {
+		return Answer{}, err
+	}
+	if len(hits) == 0 {
+		return Answer{}, fmt.Errorf("rag: no context retrieved for %q", question)
+	}
+	contextText := Context(hits)
+	response, err := p.generator.Generate(question, contextText)
+	if err != nil {
+		return Answer{}, fmt.Errorf("rag: generate: %w", err)
+	}
+	verdict, err := p.detector.Score(ctx, question, contextText, response)
+	if err != nil {
+		return Answer{}, fmt.Errorf("rag: verify: %w", err)
+	}
+	return Answer{
+		Question: question,
+		Context:  contextText,
+		Response: response,
+		Verdict:  verdict,
+		Trusted:  verdict.IsCorrect(p.Threshold),
+	}, nil
+}

@@ -1,0 +1,118 @@
+// Package rng provides a small, deterministic pseudo-random source used
+// by the synthetic SLM backends and the dataset generator. Determinism
+// matters here more than statistical excellence: the same model name
+// and the same input must always produce the same score so experiments
+// are exactly reproducible, which is why this package exists instead of
+// math/rand's global, version-dependent source.
+package rng
+
+import "math"
+
+// SplitMix64 advances a splitmix64 state and returns the next value.
+// It is the standard seeding/mixing primitive for xoshiro generators.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// HashString folds a string into a 64-bit seed with FNV-1a followed by
+// a splitmix64 finalizer, so similar strings land far apart.
+func HashString(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return SplitMix64(&h)
+}
+
+// Source is a xoshiro256** generator. The zero value is invalid; use
+// New or NewFromString. Source is not safe for concurrent use; derive
+// one per goroutine with Split.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from the given 64-bit seed.
+func New(seed uint64) *Source {
+	var src Source
+	for i := range src.s {
+		src.s[i] = SplitMix64(&seed)
+	}
+	return &src
+}
+
+// NewFromString seeds a Source from arbitrary text (model names,
+// dataset topic keys).
+func NewFromString(s string) *Source { return New(HashString(s)) }
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics when n ≤ 0, matching
+// math/rand semantics.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard-normal deviate via the Box–Muller
+// transform.
+func (r *Source) NormFloat64() float64 {
+	for {
+		u1 := r.Float64()
+		if u1 == 0 {
+			continue
+		}
+		u2 := r.Float64()
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// Split derives an independent child source; the parent advances once.
+// Use it to give each goroutine or each sub-component its own stream.
+func (r *Source) Split() *Source {
+	seed := r.Uint64()
+	return New(seed)
+}
+
+// Shuffle permutes the first n elements with Fisher–Yates, calling swap
+// to exchange elements.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

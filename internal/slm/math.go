@@ -1,0 +1,130 @@
+package slm
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the dense linear-algebra kernels behind the
+// transformer engine. Everything is float32 row-major, mirroring how
+// inference runtimes lay out weights; accumulation happens in float64
+// where it protects softmax/norm stability.
+
+// matVec computes out = M·x for an (rows×cols) row-major matrix M.
+// len(x) must equal cols and len(out) rows; the function panics on
+// shape mismatch because that is always a programming error, never a
+// data error.
+func matVec(out []float32, m []float32, x []float32, rows, cols int) {
+	if len(m) != rows*cols || len(x) != cols || len(out) != rows {
+		panic(fmt.Sprintf("slm: matVec shape mismatch m=%d x=%d out=%d rows=%d cols=%d",
+			len(m), len(x), len(out), rows, cols))
+	}
+	for r := 0; r < rows; r++ {
+		row := m[r*cols : (r+1)*cols]
+		var acc float32
+		// 4-way unrolled dot product; the compiler keeps the
+		// accumulators in registers.
+		i := 0
+		var a0, a1, a2, a3 float32
+		for ; i+4 <= cols; i += 4 {
+			a0 += row[i] * x[i]
+			a1 += row[i+1] * x[i+1]
+			a2 += row[i+2] * x[i+2]
+			a3 += row[i+3] * x[i+3]
+		}
+		acc = a0 + a1 + a2 + a3
+		for ; i < cols; i++ {
+			acc += row[i] * x[i]
+		}
+		out[r] = acc
+	}
+}
+
+// dot computes the inner product of equal-length vectors.
+func dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("slm: dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var acc float32
+	for i := range a {
+		acc += a[i] * b[i]
+	}
+	return acc
+}
+
+// addInPlace computes a += b.
+func addInPlace(a, b []float32) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("slm: add length mismatch %d vs %d", len(a), len(b)))
+	}
+	for i := range a {
+		a[i] += b[i]
+	}
+}
+
+// scaleInPlace computes a *= s.
+func scaleInPlace(a []float32, s float32) {
+	for i := range a {
+		a[i] *= s
+	}
+}
+
+// layerNorm normalizes x to zero mean and unit variance, then applies
+// elementwise gain and bias. eps guards the division for near-constant
+// activations.
+func layerNorm(x, gain, bias []float32, eps float64) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	var mean float64
+	for _, v := range x {
+		mean += float64(v)
+	}
+	mean /= float64(n)
+	var varsum float64
+	for _, v := range x {
+		d := float64(v) - mean
+		varsum += d * d
+	}
+	inv := 1 / math.Sqrt(varsum/float64(n)+eps)
+	for i := range x {
+		x[i] = float32((float64(x[i])-mean)*inv)*gain[i] + bias[i]
+	}
+}
+
+// gelu applies the tanh-approximated Gaussian error linear unit used by
+// GPT-family FFNs.
+func gelu(x []float32) {
+	const c = 0.7978845608028654 // sqrt(2/π)
+	for i, v := range x {
+		f := float64(v)
+		x[i] = float32(0.5 * f * (1 + math.Tanh(c*(f+0.044715*f*f*f))))
+	}
+}
+
+// softmaxInPlace converts logits to probabilities with the max-shift
+// trick for numerical stability. It returns the log-sum-exp so callers
+// can recover log-probabilities.
+func softmaxInPlace(x []float32) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	maxv := x[0]
+	for _, v := range x[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range x {
+		e := math.Exp(float64(v - maxv))
+		x[i] = float32(e)
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range x {
+		x[i] = float32(float64(x[i]) * inv)
+	}
+	return math.Log(sum) + float64(maxv)
+}

@@ -1,0 +1,161 @@
+package slm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/tokenizer"
+)
+
+// SampledEstimator wraps a Model and estimates its yes-probability the
+// way an API-only deployment must (paper §I: "One can call an LLM
+// multiple times, similar to an API, to obtain probability estimates,
+// but this requires more time"): draw n independent yes/no answers and
+// return the yes fraction. The estimate is unbiased with standard
+// error sqrt(p(1-p)/n) — the resolution loss that makes local logit
+// access (Eq. 2) preferable when available.
+type SampledEstimator struct {
+	inner Model
+	calls int
+	seed  uint64
+}
+
+// NewSampledEstimator wraps inner with an n-call estimator. n must be
+// positive; seed fixes the simulated sampling noise so experiments are
+// reproducible.
+func NewSampledEstimator(inner Model, n int, seed uint64) (*SampledEstimator, error) {
+	if inner == nil {
+		return nil, errors.New("slm: nil inner model")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("slm: call budget must be positive, got %d", n)
+	}
+	return &SampledEstimator{inner: inner, calls: n, seed: seed}, nil
+}
+
+// Name implements Model.
+func (s *SampledEstimator) Name() string {
+	return fmt.Sprintf("%s@%d-calls", s.inner.Name(), s.calls)
+}
+
+// Calls returns the per-request call budget.
+func (s *SampledEstimator) Calls() int { return s.calls }
+
+// YesProbability implements Model: the fraction of n simulated yes/no
+// answers that came back "yes", where each answer is a Bernoulli draw
+// with the inner model's true probability. Draws are deterministic in
+// (seed, request) so repeated verification of the same claim agrees.
+func (s *SampledEstimator) YesProbability(ctx context.Context, req VerifyRequest) (float64, error) {
+	p, err := s.inner.YesProbability(ctx, req)
+	if err != nil {
+		return 0, err
+	}
+	src := rng.New(s.seed ^ rng.HashString(s.inner.Name()+"|"+VerificationPrompt(req)))
+	yes := 0
+	for i := 0; i < s.calls; i++ {
+		if src.Float64() < p {
+			yes++
+		}
+	}
+	est := float64(yes) / float64(s.calls)
+	// Clamp away from the exact endpoints so downstream ratio math
+	// stays finite even when every sample agreed.
+	return clampProb(est, 1e-4), nil
+}
+
+// YesNoProbability reads P(yes), P(no) off a transformer's first
+// generated token for the standard verification prompt — the Eq. 2
+// mechanism on the raw inference engine. The two masses are
+// renormalized over the {yes, no} pair, the convention of Kadavath et
+// al.'s P(True).
+//
+// The yes/no surface forms are resolved against the model's tokenizer:
+// the leading-space variants (" yes", " no") are preferred because the
+// prompt ends mid-line; byte-level fallbacks ("y"/"n" first bytes) are
+// used when the vocabulary has no merged forms.
+func YesNoProbability(t *Transformer, prompt string) (pYes, pNo float64, err error) {
+	tok := t.Tokenizer()
+	ids := tok.Encode(prompt)
+	if len(ids) > t.Config().MaxSeq {
+		ids = ids[len(ids)-t.Config().MaxSeq:]
+	}
+	probs, err := t.NextTokenProbs(ids)
+	if err != nil {
+		return 0, 0, err
+	}
+	yesIDs := candidateTokenIDs(tok, []string{" yes", " Yes", " YES", "yes", "Yes", "YES", "y", "Y"})
+	noIDs := candidateTokenIDs(tok, []string{" no", " No", " NO", "no", "No", "NO", "n", "N"})
+	if len(yesIDs) == 0 || len(noIDs) == 0 {
+		return 0, 0, errors.New("slm: tokenizer has no yes/no surface forms")
+	}
+	var massYes, massNo float64
+	for _, id := range yesIDs {
+		massYes += float64(probs[id])
+	}
+	for _, id := range noIDs {
+		massNo += float64(probs[id])
+	}
+	total := massYes + massNo
+	if total == 0 {
+		return 0.5, 0.5, nil
+	}
+	return massYes / total, massNo / total, nil
+}
+
+// candidateTokenIDs maps surface strings to existing token IDs,
+// deduplicated, in preference order.
+func candidateTokenIDs(tok *tokenizer.Tokenizer, surfaces []string) []int {
+	seen := map[int]struct{}{}
+	var out []int
+	for _, s := range surfaces {
+		if id, ok := tok.ID(s); ok {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// TransformerVerifier exposes a raw Transformer as a Model via
+// YesNoProbability. With untrained (seed-initialized) weights its
+// judgments are arbitrary — it exists to prove the end-to-end
+// inference path (prompt → tokens → logits → P(True)) and to host real
+// weights if a checkpoint loader is added; the calibrated backends are
+// the evaluation stand-ins.
+type TransformerVerifier struct {
+	name string
+	net  *Transformer
+}
+
+// NewTransformerVerifier wraps net under the given model name.
+func NewTransformerVerifier(name string, net *Transformer) (*TransformerVerifier, error) {
+	if net == nil {
+		return nil, errors.New("slm: nil transformer")
+	}
+	if name == "" {
+		return nil, errors.New("slm: empty model name")
+	}
+	return &TransformerVerifier{name: name, net: net}, nil
+}
+
+// Name implements Model.
+func (v *TransformerVerifier) Name() string { return v.name }
+
+// YesProbability implements Model via the first-token yes/no masses.
+func (v *TransformerVerifier) YesProbability(ctx context.Context, req VerifyRequest) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if err := req.Validate(); err != nil {
+		return 0, err
+	}
+	pYes, _, err := YesNoProbability(v.net, VerificationPrompt(req))
+	if err != nil {
+		return 0, err
+	}
+	return clampProb(pYes, 1e-4), nil
+}

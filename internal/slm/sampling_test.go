@@ -1,0 +1,162 @@
+package slm
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/tokenizer"
+)
+
+func TestSampledEstimatorUnbiased(t *testing.T) {
+	ctx := context.Background()
+	inner := Constant{ModelName: "const", P: 0.7}
+	est, err := NewSampledEstimator(inner, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average the estimate across many distinct requests.
+	var sum float64
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		p, err := est.YesProbability(ctx, VerifyRequest{
+			Question: "q", Context: "c",
+			Claim: strings.Repeat("x", i+1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += p
+	}
+	if mean := sum / trials; math.Abs(mean-0.7) > 0.03 {
+		t.Errorf("sampled mean = %v, want ≈0.7", mean)
+	}
+}
+
+func TestSampledEstimatorQuantized(t *testing.T) {
+	ctx := context.Background()
+	est, err := NewSampledEstimator(Constant{ModelName: "c", P: 0.43}, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := est.YesProbability(ctx, VerifyRequest{Question: "q", Context: "c", Claim: "claim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 10 calls the estimate lies on the 0.1 grid (modulo endpoint
+	// clamping).
+	scaled := p * 10
+	if math.Abs(scaled-math.Round(scaled)) > 1e-6 && p > 0.001 && p < 0.999 {
+		t.Errorf("estimate %v not on the 10-call grid", p)
+	}
+}
+
+func TestSampledEstimatorDeterministic(t *testing.T) {
+	ctx := context.Background()
+	mk := func() *SampledEstimator {
+		est, err := NewSampledEstimator(NewQwen2(), 20, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	}
+	r := VerifyRequest{Question: "q", Context: "the store opens at 9 AM", Claim: "The store opens at 9 AM."}
+	a, err := mk().YesProbability(ctx, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mk().YesProbability(ctx, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("sampled estimates diverge: %v vs %v", a, b)
+	}
+}
+
+func TestSampledEstimatorValidation(t *testing.T) {
+	if _, err := NewSampledEstimator(nil, 5, 1); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := NewSampledEstimator(Constant{ModelName: "c", P: 0.5}, 0, 1); err == nil {
+		t.Error("zero calls accepted")
+	}
+	est, _ := NewSampledEstimator(Constant{ModelName: "c", P: 0.5}, 5, 1)
+	if !strings.Contains(est.Name(), "5-calls") {
+		t.Errorf("Name = %q", est.Name())
+	}
+	if est.Calls() != 5 {
+		t.Errorf("Calls = %d", est.Calls())
+	}
+}
+
+func yesNoTokenizer(t *testing.T) *tokenizer.Tokenizer {
+	t.Helper()
+	tok := tokenizer.New()
+	corpus := []string{
+		"yes yes yes yes yes the answer is supported",
+		"no no no no no the answer is not supported",
+		"reply yes or no to the question",
+	}
+	if err := tok.Train(corpus, 150); err != nil {
+		t.Fatal(err)
+	}
+	return tok
+}
+
+func TestYesNoProbability(t *testing.T) {
+	tok := yesNoTokenizer(t)
+	tr, err := NewTransformer(Config{Dim: 16, Heads: 2, Layers: 2, FFNDim: 32, MaxSeq: 64}, tok, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pYes, pNo, err := YesNoProbability(tr, "Is the answer supported by the context? Reply YES or NO:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pYes+pNo-1) > 1e-9 {
+		t.Errorf("masses not renormalized: %v + %v", pYes, pNo)
+	}
+	if pYes <= 0 || pYes >= 1 {
+		t.Errorf("pYes = %v out of (0,1)", pYes)
+	}
+	// Deterministic.
+	pYes2, _, _ := YesNoProbability(tr, "Is the answer supported by the context? Reply YES or NO:")
+	if pYes != pYes2 {
+		t.Error("YesNoProbability not deterministic")
+	}
+}
+
+func TestTransformerVerifier(t *testing.T) {
+	tok := yesNoTokenizer(t)
+	tr, err := NewTransformer(Config{Dim: 16, Heads: 2, Layers: 2, FFNDim: 32, MaxSeq: 96}, tok, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewTransformerVerifier("raw-tiny", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Name() != "raw-tiny" {
+		t.Error("name")
+	}
+	p, err := v.YesProbability(context.Background(), VerifyRequest{
+		Question: "q", Context: "c", Claim: "some claim",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p >= 1 {
+		t.Errorf("p = %v", p)
+	}
+	if _, err := NewTransformerVerifier("", tr); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewTransformerVerifier("x", nil); err == nil {
+		t.Error("nil transformer accepted")
+	}
+	if _, err := v.YesProbability(context.Background(), VerifyRequest{}); err == nil {
+		t.Error("empty claim accepted")
+	}
+}

@@ -1,0 +1,13 @@
+package splitter
+
+import "testing"
+
+func BenchmarkSplit(b *testing.B) {
+	text := "The working hours are 9 AM to 5 PM. The store is open from Sunday to Saturday. " +
+		"Dr. Smith approved the rota at 9 a.m. on Monday. Overtime pays 1.5 times the rate... " +
+		"Is that all? Yes! At least three shopkeepers are needed."
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Split(text)
+	}
+}

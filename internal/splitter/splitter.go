@@ -1,0 +1,206 @@
+// Package splitter segments LLM responses into sentences, the role
+// SpaCy plays in the paper (§IV-A). Each sentence r_{i,j} is then
+// verified independently; without this step a response mixing correct
+// and incorrect statements would confuse the checker.
+//
+// The splitter is rule-based: it breaks on '.', '!', '?' and newlines,
+// while protecting abbreviations ("Dr.", "e.g."), initials ("J. Smith"),
+// decimal numbers ("2.5"), times ("9 a.m."), ellipses and closing
+// quotes/brackets that belong to the finished sentence.
+package splitter
+
+import (
+	"strings"
+	"unicode"
+)
+
+// abbreviations that may end with a period mid-sentence.
+var abbreviations = map[string]struct{}{
+	"mr": {}, "mrs": {}, "ms": {}, "dr": {}, "prof": {}, "sr": {},
+	"jr": {}, "st": {}, "vs": {}, "etc": {}, "e.g": {}, "i.e": {},
+	"eg": {}, "ie": {}, "inc": {}, "ltd": {}, "co": {}, "dept": {},
+	"approx": {}, "no": {}, "fig": {}, "hr": {}, "a.m": {}, "p.m": {},
+	"am": {}, "pm": {}, "u.s": {}, "u.k": {},
+}
+
+// Split segments text into sentences. Whitespace around each sentence
+// is trimmed; empty sentences are dropped. The concatenation of the
+// returned sentences, ignoring whitespace, equals the input ignoring
+// whitespace (a property the tests enforce).
+func Split(text string) []string {
+	var sentences []string
+	runes := []rune(text)
+	n := len(runes)
+	start := 0
+	flush := func(end int) {
+		s := strings.TrimSpace(string(runes[start:end]))
+		if s != "" {
+			sentences = append(sentences, s)
+		}
+		start = end
+	}
+	for i := 0; i < n; i++ {
+		r := runes[i]
+		switch r {
+		case '\n':
+			// A newline ends a sentence only when followed by a blank
+			// line or a list-ish start; a single wrap inside a
+			// paragraph is just whitespace. We treat every newline as
+			// a boundary if the accumulated text already looks like a
+			// complete clause (ends with punctuation) — otherwise keep
+			// going.
+			j := i
+			for j < n && (runes[j] == '\n' || runes[j] == ' ' || runes[j] == '\t') {
+				j++
+			}
+			trimmed := strings.TrimSpace(string(runes[start:i]))
+			if trimmed == "" {
+				start = j
+				i = j - 1
+				continue
+			}
+			last := trimmed[len(trimmed)-1]
+			doubleBreak := strings.Count(string(runes[i:j]), "\n") >= 2
+			if doubleBreak || last == '.' || last == '!' || last == '?' ||
+				last == ':' || last == ';' || isListStart(runes, j) {
+				flush(i)
+				start = j
+				i = j - 1
+			}
+		case '!', '?':
+			end := consumeClosers(runes, i+1)
+			flush(end)
+			i = end - 1
+		case '.':
+			if isSentenceEnd(runes, i) {
+				end := consumeClosers(runes, i+1)
+				flush(end)
+				i = end - 1
+			}
+		}
+	}
+	flush(n)
+	return sentences
+}
+
+// consumeClosers extends the sentence end past closing quotes, brackets
+// and repeated terminal punctuation ("...", "?!").
+func consumeClosers(runes []rune, i int) int {
+	for i < len(runes) {
+		switch runes[i] {
+		case '"', '\'', '”', '’', ')', ']', '}', '.', '!', '?':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+// isListStart reports whether position j begins a bullet or numbered
+// list item.
+func isListStart(runes []rune, j int) bool {
+	if j >= len(runes) {
+		return false
+	}
+	switch runes[j] {
+	case '-', '*', '•':
+		return true
+	}
+	// "1." / "2)" style
+	k := j
+	for k < len(runes) && unicode.IsDigit(runes[k]) {
+		k++
+	}
+	if k > j && k < len(runes) && (runes[k] == '.' || runes[k] == ')') {
+		return true
+	}
+	return false
+}
+
+// isSentenceEnd decides whether the period at index i terminates a
+// sentence.
+func isSentenceEnd(runes []rune, i int) bool {
+	n := len(runes)
+	// Ellipsis "..." — only the final dot may end the sentence.
+	if i+1 < n && runes[i+1] == '.' {
+		return false
+	}
+	// Decimal number "2.5" or section "3.1".
+	if i > 0 && i+1 < n && unicode.IsDigit(runes[i-1]) && unicode.IsDigit(runes[i+1]) {
+		return false
+	}
+	// Word before the period.
+	j := i - 1
+	for j >= 0 && (unicode.IsLetter(runes[j]) || runes[j] == '.') {
+		j--
+	}
+	word := strings.ToLower(strings.TrimSuffix(string(runes[j+1:i]), "."))
+	// "No." is an abbreviation only before a number ("No. 5"); the
+	// English word "no" at a sentence end is far more common.
+	if word == "no" {
+		k := nextNonSpace(runes, i+1)
+		if k == -1 || !unicode.IsDigit(runes[k]) {
+			word = ""
+		}
+	}
+	if _, ok := abbreviations[word]; ok {
+		// An abbreviation period still ends the sentence when the next
+		// word starts a new clause with an uppercase letter AND the
+		// abbreviation is a time marker at clause end ("5 p.m. The
+		// store..."). Distinguish via lookahead: uppercase after
+		// space ⇒ end only for time markers.
+		if word == "a.m" || word == "p.m" || word == "am" || word == "pm" {
+			return nextWordCapitalized(runes, i+1)
+		}
+		return false
+	}
+	// Single initial "J. Smith".
+	if len(word) == 1 {
+		return false
+	}
+	// Period followed by lowercase continuation is mid-sentence
+	// ("filed vs. accepted").
+	if !nextWordCapitalized(runes, i+1) && nextNonSpace(runes, i+1) != -1 {
+		// allow digits/quotes to start sentences too
+		k := nextNonSpace(runes, i+1)
+		r := runes[k]
+		if !unicode.IsDigit(r) && r != '"' && r != '\'' && r != '“' {
+			return false
+		}
+	}
+	return true
+}
+
+func nextNonSpace(runes []rune, i int) int {
+	for ; i < len(runes); i++ {
+		if !unicode.IsSpace(runes[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+func nextWordCapitalized(runes []rune, i int) bool {
+	k := nextNonSpace(runes, i)
+	if k == -1 {
+		return true // end of text closes the sentence
+	}
+	// Skip quote/bracket characters (and any whitespace they hide) to
+	// find the first letter of the next word: a period inside closing
+	// quotes still ends its sentence when a capitalized word follows.
+	r := runes[k]
+	for r == '"' || r == '\'' || r == '“' || r == '”' || r == '’' || r == '(' || r == ')' {
+		k = nextNonSpace(runes, k+1)
+		if k == -1 {
+			return true
+		}
+		r = runes[k]
+	}
+	return unicode.IsUpper(r)
+}
+
+// Count returns the number of sentences Split would produce, without
+// materializing them. Exposed because the checker needs |S(r_i)| for
+// Eq. 6.
+func Count(text string) int { return len(Split(text)) }

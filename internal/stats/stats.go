@@ -1,0 +1,190 @@
+// Package stats provides the running-moment machinery behind the
+// checker's per-model normalization (paper Eq. 4): each SLM's raw
+// yes-probabilities are standardized by that model's historical mean and
+// standard deviation, "computed based on previous responses".
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Running accumulates a stream of observations with Welford's online
+// algorithm, giving numerically stable mean and variance in O(1) space.
+// The zero value is ready to use. Running is safe for concurrent use.
+type Running struct {
+	mu   sync.Mutex
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Observe folds one observation into the accumulator.
+func (r *Running) Observe(x float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations folded in so far.
+func (r *Running) N() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Mean returns the running mean, or 0 before any observation.
+func (r *Running) Mean() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.mean
+}
+
+// Variance returns the population variance, or 0 with fewer than two
+// observations.
+func (r *Running) Variance() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev returns the population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest observation, or 0 before any observation.
+func (r *Running) Min() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.min
+}
+
+// Max returns the largest observation, or 0 before any observation.
+func (r *Running) Max() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.max
+}
+
+// Standardize returns (x-mean)/stddev. When fewer than two observations
+// have been seen, or the stream is constant, the raw deviation from the
+// mean is returned instead (σ treated as 1) so early calls degrade
+// gracefully rather than dividing by zero — mirroring the paper's note
+// that the moments "can be computed based on previous responses".
+func (r *Running) Standardize(x float64) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n < 2 {
+		return x - r.mean
+	}
+	sd := math.Sqrt(r.m2 / float64(r.n))
+	if sd == 0 {
+		return x - r.mean
+	}
+	return (x - r.mean) / sd
+}
+
+// Snapshot is an immutable copy of a Running accumulator's state.
+type Snapshot struct {
+	N      int64
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Snapshot returns the current moments atomically.
+func (r *Running) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sd := 0.0
+	if r.n >= 2 {
+		sd = math.Sqrt(r.m2 / float64(r.n))
+	}
+	return Snapshot{N: r.n, Mean: r.mean, StdDev: sd, Min: r.min, Max: r.max}
+}
+
+// Merge folds another accumulator's state into r using the parallel
+// variance combination rule. It allows sharded score collection (one
+// accumulator per worker goroutine) to be reduced afterwards.
+func (r *Running) Merge(o *Running) {
+	os := o.Snapshot()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if os.N == 0 {
+		return
+	}
+	om2 := os.StdDev * os.StdDev * float64(os.N)
+	if r.n == 0 {
+		r.n, r.mean, r.m2, r.min, r.max = os.N, os.Mean, om2, os.Min, os.Max
+		return
+	}
+	n1, n2 := float64(r.n), float64(os.N)
+	delta := os.Mean - r.mean
+	total := n1 + n2
+	r.mean += delta * n2 / total
+	r.m2 += om2 + delta*delta*n1*n2/total
+	r.n += os.N
+	if os.Min < r.min {
+		r.min = os.Min
+	}
+	if os.Max > r.max {
+		r.max = os.Max
+	}
+}
+
+// ErrEmpty is returned by batch helpers given no data.
+var ErrEmpty = errors.New("stats: empty input")
+
+// MeanStd computes the mean and population standard deviation of xs.
+func MeanStd(xs []float64) (mean, std float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	var r Running
+	for _, x := range xs {
+		r.Observe(x)
+	}
+	return r.Mean(), r.StdDev(), nil
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. xs is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}

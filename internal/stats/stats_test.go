@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		r.Observe(x)
+	}
+	if r.N() != int64(len(xs)) {
+		t.Errorf("N = %d, want %d", r.N(), len(xs))
+	}
+	if !almostEqual(r.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	if !almostEqual(r.Variance(), 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", r.Variance())
+	}
+	if !almostEqual(r.StdDev(), 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", r.StdDev())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", r.Min(), r.Max())
+	}
+}
+
+func TestRunningEmptyAndSingle(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.N() != 0 {
+		t.Error("zero-value accumulator not zeroed")
+	}
+	r.Observe(3)
+	if r.Variance() != 0 {
+		t.Errorf("single-observation variance = %v, want 0", r.Variance())
+	}
+	// Standardize degrades to centering when σ is undefined.
+	if got := r.Standardize(5); got != 2 {
+		t.Errorf("Standardize = %v, want 2 (centering fallback)", got)
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	var r Running
+	for _, x := range []float64{0, 10} {
+		r.Observe(x)
+	}
+	// mean 5, population σ 5.
+	if got := r.Standardize(10); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Standardize(10) = %v, want 1", got)
+	}
+	if got := r.Standardize(0); !almostEqual(got, -1, 1e-12) {
+		t.Errorf("Standardize(0) = %v, want -1", got)
+	}
+}
+
+func TestStandardizeConstantStream(t *testing.T) {
+	var r Running
+	for i := 0; i < 5; i++ {
+		r.Observe(7)
+	}
+	if got := r.Standardize(9); got != 2 {
+		t.Errorf("constant stream Standardize = %v, want centering (2)", got)
+	}
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	f := func(xs []float64) bool {
+		// Constrain to finite, moderate values.
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				continue
+			}
+			clean = append(clean, x)
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		var r Running
+		var sum float64
+		for _, x := range clean {
+			r.Observe(x)
+			sum += x
+		}
+		mean := sum / float64(len(clean))
+		var m2 float64
+		for _, x := range clean {
+			m2 += (x - mean) * (x - mean)
+		}
+		wantVar := m2 / float64(len(clean))
+		scale := math.Max(1, math.Abs(mean))
+		return almostEqual(r.Mean(), mean, 1e-6*scale) &&
+			almostEqual(r.Variance(), wantVar, 1e-5*math.Max(1, wantVar))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeEquivalentToCombinedStream(t *testing.T) {
+	f := func(a, b []float64) bool {
+		clean := func(xs []float64) []float64 {
+			out := xs[:0]
+			for _, x := range xs {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+					out = append(out, x)
+				}
+			}
+			return out
+		}
+		a, b = clean(a), clean(b)
+		var ra, rb, all Running
+		for _, x := range a {
+			ra.Observe(x)
+			all.Observe(x)
+		}
+		for _, x := range b {
+			rb.Observe(x)
+			all.Observe(x)
+		}
+		ra.Merge(&rb)
+		sa, sall := ra.Snapshot(), all.Snapshot()
+		if sa.N != sall.N {
+			return false
+		}
+		if sa.N == 0 {
+			return true
+		}
+		scale := math.Max(1, math.Abs(sall.Mean))
+		return almostEqual(sa.Mean, sall.Mean, 1e-6*scale) &&
+			almostEqual(sa.StdDev, sall.StdDev, 1e-5*math.Max(1, sall.StdDev)) &&
+			sa.Min == sall.Min && sa.Max == sall.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningConcurrent(t *testing.T) {
+	var r Running
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.N() != workers*perWorker {
+		t.Errorf("concurrent N = %d, want %d", r.N(), workers*perWorker)
+	}
+	if r.Mean() != 1 || r.Variance() != 0 {
+		t.Errorf("concurrent moments mean=%v var=%v, want 1/0", r.Mean(), r.Variance())
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std, err := MeanStd([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(mean, 2.5, 1e-12) || !almostEqual(std, math.Sqrt(1.25), 1e-12) {
+		t.Errorf("MeanStd = %v, %v", mean, std)
+	}
+	if _, _, err := MeanStd(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("MeanStd(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, tc := range cases {
+		got, err := Quantile(xs, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("out-of-range q accepted")
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}

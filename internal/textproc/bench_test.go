@@ -1,0 +1,38 @@
+package textproc
+
+import "testing"
+
+var benchSentence = "The store operates from 9 AM to 5 PM, from Sunday to Saturday, and employees receive 14 days of paid annual leave per year."
+
+func BenchmarkNormalize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Normalize(benchSentence)
+	}
+}
+
+func BenchmarkContentWords(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ContentWords(benchSentence)
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"employees", "entitled", "operational", "relational", "hopefulness"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}
+
+func BenchmarkExtractQuantities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ExtractQuantities(benchSentence)
+	}
+}
+
+func BenchmarkExtractFeatures(b *testing.B) {
+	claim := "The working hours are 9 AM to 5 PM, and the store is open from Monday to Friday."
+	for i := 0; i < b.N; i++ {
+		ExtractFeatures(claim, benchSentence)
+	}
+}

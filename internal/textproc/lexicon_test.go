@@ -1,0 +1,114 @@
+package textproc
+
+import "testing"
+
+func TestAreAntonyms(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"allow", "prohibit", true},
+		{"prohibit", "allow", true}, // symmetric
+		{"paid", "unpaid", true},
+		{"open", "close", true},
+		{"allow", "close", false},
+		{"banana", "apple", false},
+	}
+	for _, tc := range cases {
+		if got := AreAntonyms(tc.a, tc.b); got != tc.want {
+			t.Errorf("AreAntonyms(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestAntonymClashes(t *testing.T) {
+	claim := ContentWords("personal use is prohibited")
+	evidence := ContentWords("personal use is allowed")
+	if got := AntonymClashes(claim, evidence); got != 1 {
+		t.Errorf("clashes = %d, want 1", got)
+	}
+	if got := AntonymClashes(claim, claim); got != 0 {
+		t.Errorf("self clashes = %d, want 0", got)
+	}
+}
+
+func TestCountNegations(t *testing.T) {
+	cases := []struct {
+		text string
+		want int
+	}{
+		{"you do not need to work", 1},
+		{"never on weekends, no exceptions", 2},
+		{"receipts aren't required", 1},
+		{"all receipts are required", 0},
+		{"cannot do it without approval", 2},
+	}
+	for _, tc := range cases {
+		if got := CountNegations(tc.text); got != tc.want {
+			t.Errorf("CountNegations(%q) = %d, want %d", tc.text, got, tc.want)
+		}
+	}
+}
+
+func TestNegationMismatch(t *testing.T) {
+	if !NegationMismatch("you do not work weekends", "the store operates Sunday to Saturday") {
+		t.Error("expected mismatch between negated claim and positive evidence")
+	}
+	if NegationMismatch("open daily", "the store operates daily") {
+		t.Error("no mismatch expected for two positive statements")
+	}
+	// Double negation cancels.
+	if NegationMismatch("not not open", "open daily") {
+		t.Error("double negation should restore parity")
+	}
+}
+
+func TestCountHedges(t *testing.T) {
+	if got := CountHedges("it is probably around 9, maybe later"); got != 3 {
+		t.Errorf("hedges = %d, want 3", got)
+	}
+	if got := CountHedges("it is exactly 9"); got != 0 {
+		t.Errorf("hedges = %d, want 0", got)
+	}
+}
+
+func TestExtractFeaturesPaperPartial(t *testing.T) {
+	contextText := "The store operates from 9 AM to 5 PM, from Sunday to Saturday. There should be at least three shopkeepers to run a shop."
+	correct := "The working hours are 9 AM to 5 PM."
+	wrongDays := "The store is open from Monday to Friday."
+	wrongHours := "The working hours are 9 AM to 9 PM."
+
+	fc := ExtractFeatures(correct, contextText)
+	if fc.QuantityConflicts != 0 {
+		t.Errorf("correct sentence conflicts = %d, want 0", fc.QuantityConflicts)
+	}
+	if fc.SupportScore() < 0.5 {
+		t.Errorf("correct support = %v, want ≥0.5", fc.SupportScore())
+	}
+
+	fd := ExtractFeatures(wrongDays, contextText)
+	if fd.QuantityConflicts == 0 {
+		t.Error("wrong-days sentence should conflict")
+	}
+	fh := ExtractFeatures(wrongHours, contextText)
+	if fh.QuantityConflicts == 0 {
+		t.Error("wrong-hours sentence should conflict")
+	}
+	if fh.SupportScore() >= fc.SupportScore() {
+		t.Errorf("wrong support %v not below correct %v", fh.SupportScore(), fc.SupportScore())
+	}
+}
+
+func TestSupportScoreBounds(t *testing.T) {
+	texts := []string{
+		"", "short", "The working hours are 9 AM to 5 PM.",
+		"not never no nothing without", "chocolate pizza with 500K residents",
+	}
+	ctx := "The store operates from 9 AM to 5 PM."
+	for _, txt := range texts {
+		s := ExtractFeatures(txt, ctx).SupportScore()
+		if s < 0 || s > 1 {
+			t.Errorf("SupportScore(%q) = %v out of [0,1]", txt, s)
+		}
+	}
+}

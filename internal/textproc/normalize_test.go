@@ -1,0 +1,162 @@
+package textproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"lowercase", "Hello World", "hello world"},
+		{"collapse spaces", "a   b\t\tc", "a b c"},
+		{"trim", "  padded  ", "padded"},
+		{"curly quotes", "“quoted” and ‘single’", `"quoted" and 'single'`},
+		{"dashes", "9–5 — daily", "9-5 - daily"},
+		{"nbsp", "a b", "a b"},
+		{"empty", "", ""},
+		{"only spaces", "   ", ""},
+		{"newlines", "line1\nline2", "line1 line2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Normalize(tc.in); got != tc.want {
+				t.Errorf("Normalize(%q) = %q, want %q", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Normalize(s)
+		return Normalize(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWords(t *testing.T) {
+	cases := []struct {
+		name, in string
+		want     []string
+	}{
+		{"simple", "The store opens.", []string{"the", "store", "opens"}},
+		{"apostrophe", "don't stop", []string{"don't", "stop"}},
+		{"hyphen", "part-time staff", []string{"part-time", "staff"}},
+		{"clock", "opens at 9:30 sharp", []string{"opens", "at", "9:30", "sharp"}},
+		{"decimal", "rate is 1.5 times", []string{"rate", "is", "1.5", "times"}},
+		{"glued time", "9am to 5pm", []string{"9am", "to", "5pm"}},
+		{"punct stripped", "yes, no; maybe!", []string{"yes", "no", "maybe"}},
+		{"empty", "", nil},
+		{"trailing apostrophe dropped", "cats' toys", []string{"cats", "toys"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Words(tc.in)
+			if len(got) == 0 && len(tc.want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("Words(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestWordsNeverEmptyTokens(t *testing.T) {
+	f := func(s string) bool {
+		for _, w := range Words(s) {
+			if w == "" || strings.ContainsAny(w, " \t\n") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContentWordsDropsStopwords(t *testing.T) {
+	got := ContentWords("the employees are on annual leave")
+	for _, w := range got {
+		if w == "the" || w == "are" || w == "on" {
+			t.Errorf("stopword %q survived: %v", w, got)
+		}
+	}
+	// "employees" stems to "employe", "annual" stays, "leave" stays.
+	if len(got) != 3 {
+		t.Fatalf("ContentWords = %v, want 3 tokens", got)
+	}
+}
+
+func TestBigrams(t *testing.T) {
+	if got := Bigrams([]string{"a"}); got != nil {
+		t.Errorf("single token bigrams = %v, want nil", got)
+	}
+	got := Bigrams([]string{"annual", "leave", "policy"})
+	want := []string{"annual leave", "leave policy"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Bigrams = %v, want %v", got, want)
+	}
+}
+
+func TestOverlapRatio(t *testing.T) {
+	cases := []struct {
+		name            string
+		claim, evidence []string
+		want            float64
+	}{
+		{"full", []string{"a", "b"}, []string{"a", "b", "c"}, 1},
+		{"half", []string{"a", "x"}, []string{"a", "b"}, 0.5},
+		{"none", []string{"x"}, []string{"a"}, 0},
+		{"empty claim", nil, []string{"a"}, 0},
+		{"multiset", []string{"a", "a"}, []string{"a"}, 0.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := OverlapRatio(tc.claim, tc.evidence); got != tc.want {
+				t.Errorf("OverlapRatio = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestOverlapRatioBounds(t *testing.T) {
+	f := func(claim, evidence []string) bool {
+		r := OverlapRatio(claim, evidence)
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if got := Jaccard(nil, nil); got != 1 {
+		t.Errorf("Jaccard(nil,nil) = %v, want 1", got)
+	}
+	if got := Jaccard([]string{"a"}, []string{"a"}); got != 1 {
+		t.Errorf("identical sets = %v, want 1", got)
+	}
+	if got := Jaccard([]string{"a"}, []string{"b"}); got != 0 {
+		t.Errorf("disjoint sets = %v, want 0", got)
+	}
+	if got := Jaccard([]string{"a", "b"}, []string{"b", "c"}); got != 1.0/3 {
+		t.Errorf("overlap = %v, want 1/3", got)
+	}
+}
+
+func TestJaccardSymmetric(t *testing.T) {
+	f := func(a, b []string) bool {
+		return Jaccard(a, b) == Jaccard(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

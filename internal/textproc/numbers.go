@@ -1,0 +1,462 @@
+package textproc
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Quantity is a numeric fact extracted from text. Kind distinguishes
+// clock times (minutes past midnight), weekdays (0=Sunday..6=Saturday),
+// plain counts, percentages and money so that a "9" in "9 AM" never
+// compares equal to "9 days".
+type Quantity struct {
+	Kind  QuantityKind
+	Value float64
+	// Unit is the normalized unit word following a count ("day",
+	// "month", "shopkeep", ...); empty for times and weekdays.
+	Unit string
+}
+
+// QuantityKind labels the semantic type of an extracted Quantity.
+type QuantityKind int
+
+// Quantity kinds.
+const (
+	KindCount QuantityKind = iota
+	KindClockTime
+	KindWeekday
+	KindPercent
+	KindMoney
+)
+
+// String returns a short label for the kind, for debugging and reports.
+func (k QuantityKind) String() string {
+	switch k {
+	case KindCount:
+		return "count"
+	case KindClockTime:
+		return "time"
+	case KindWeekday:
+		return "weekday"
+	case KindPercent:
+		return "percent"
+	case KindMoney:
+		return "money"
+	default:
+		return "unknown"
+	}
+}
+
+var numberWords = map[string]float64{
+	"zero": 0, "one": 1, "two": 2, "three": 3, "four": 4, "five": 5,
+	"six": 6, "seven": 7, "eight": 8, "nine": 9, "ten": 10,
+	"eleven": 11, "twelve": 12, "thirteen": 13, "fourteen": 14,
+	"fifteen": 15, "sixteen": 16, "seventeen": 17, "eighteen": 18,
+	"nineteen": 19, "twenty": 20, "thirty": 30, "forty": 40,
+	"fifty": 50, "sixty": 60, "seventy": 70, "eighty": 80, "ninety": 90,
+	"hundred": 100, "thousand": 1000, "million": 1e6, "billion": 1e9,
+}
+
+var weekdays = map[string]float64{
+	"sunday": 0, "monday": 1, "tuesday": 2, "wednesday": 3,
+	"thursday": 4, "friday": 5, "saturday": 6,
+	"sun": 0, "mon": 1, "tue": 2, "tues": 2, "wed": 3, "thu": 4,
+	"thur": 4, "thurs": 4, "fri": 5, "sat": 6,
+}
+
+// WeekdayIndex returns the 0..6 index (Sunday=0) of a weekday word and
+// whether the word was one.
+func WeekdayIndex(w string) (int, bool) {
+	v, ok := weekdays[strings.ToLower(w)]
+	return int(v), ok
+}
+
+// WeekdayName returns the capitalized English name for index 0..6
+// (Sunday=0). Out-of-range indexes are reduced modulo 7.
+func WeekdayName(i int) string {
+	names := [...]string{"Sunday", "Monday", "Tuesday", "Wednesday",
+		"Thursday", "Friday", "Saturday"}
+	i %= 7
+	if i < 0 {
+		i += 7
+	}
+	return names[i]
+}
+
+// parseNumericToken parses tokens like "9", "2.5", "500k", "9:30",
+// "10%". It returns the value, a kind hint, and ok.
+func parseNumericToken(tok string) (float64, QuantityKind, bool) {
+	tok = strings.ToLower(strings.TrimSuffix(tok, "."))
+	if tok == "" {
+		return 0, KindCount, false
+	}
+	if v, ok := numberWords[tok]; ok {
+		return v, KindCount, true
+	}
+	if i := strings.IndexByte(tok, ':'); i > 0 {
+		h, err1 := strconv.Atoi(tok[:i])
+		m, err2 := strconv.Atoi(tok[i+1:])
+		if err1 == nil && err2 == nil && h >= 0 && h <= 24 && m >= 0 && m < 60 {
+			return float64(h*60 + m), KindClockTime, true
+		}
+		return 0, KindCount, false
+	}
+	kind := KindCount
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(tok, "%"):
+		kind = KindPercent
+		tok = strings.TrimSuffix(tok, "%")
+	case strings.HasSuffix(tok, "k"):
+		mult = 1e3
+		tok = strings.TrimSuffix(tok, "k")
+	case strings.HasSuffix(tok, "m"):
+		mult = 1e6
+		tok = strings.TrimSuffix(tok, "m")
+	case strings.HasPrefix(tok, "$"):
+		kind = KindMoney
+		tok = strings.TrimPrefix(tok, "$")
+	case strings.HasPrefix(tok, "hk$"):
+		kind = KindMoney
+		tok = strings.TrimPrefix(tok, "hk$")
+	}
+	tok = strings.ReplaceAll(tok, ",", "")
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, KindCount, false
+	}
+	return v * mult, kind, true
+}
+
+// ExtractQuantities scans text for numeric facts: clock times ("9 AM",
+// "17:30"), weekday mentions, counts with their unit noun, percentages
+// and money amounts. The returned slice preserves textual order.
+//
+// Clock times are normalized to minutes past midnight; "9 AM" → 540,
+// "5 PM" → 1020. A bare "noon" and "midnight" are understood.
+func ExtractQuantities(text string) []Quantity {
+	toks := Words(text)
+	var out []Quantity
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if idx, ok := weekdays[t]; ok {
+			out = append(out, Quantity{Kind: KindWeekday, Value: idx})
+			continue
+		}
+		switch t {
+		case "noon", "midday":
+			out = append(out, Quantity{Kind: KindClockTime, Value: 12 * 60})
+			continue
+		case "midnight":
+			out = append(out, Quantity{Kind: KindClockTime, Value: 0})
+			continue
+		case "weekend", "weekends":
+			// Expand to the two weekend days so "do not work on
+			// weekends" conflicts with "open Sunday to Saturday".
+			out = append(out,
+				Quantity{Kind: KindWeekday, Value: 0},
+				Quantity{Kind: KindWeekday, Value: 6})
+			continue
+		}
+		v, kind, ok := parseNumericToken(t)
+		if !ok {
+			// "9am" / "5pm" glued forms
+			if v2, ok2 := parseGluedTime(t); ok2 {
+				out = append(out, Quantity{Kind: KindClockTime, Value: v2})
+			}
+			continue
+		}
+		// Look ahead for am/pm marker or unit noun.
+		if i+1 < len(toks) {
+			next := toks[i+1]
+			switch next {
+			case "am", "a.m", "a.m.":
+				out = append(out, Quantity{Kind: KindClockTime, Value: applyMeridiem(v, kind, false)})
+				i++
+				continue
+			case "pm", "p.m", "p.m.":
+				out = append(out, Quantity{Kind: KindClockTime, Value: applyMeridiem(v, kind, true)})
+				i++
+				continue
+			case "percent", "percentage":
+				out = append(out, Quantity{Kind: KindPercent, Value: v})
+				i++
+				continue
+			case "dollars", "dollar", "hkd", "usd":
+				out = append(out, Quantity{Kind: KindMoney, Value: v})
+				i++
+				continue
+			}
+			if kind == KindCount && isUnitNoun(next) {
+				out = append(out, Quantity{Kind: KindCount, Value: v, Unit: Stem(next)})
+				i++
+				continue
+			}
+		}
+		out = append(out, Quantity{Kind: kind, Value: v})
+	}
+	return out
+}
+
+// parseGluedTime parses "9am", "12pm", "9:30am".
+func parseGluedTime(t string) (float64, bool) {
+	lower := strings.ToLower(t)
+	var pm bool
+	switch {
+	case strings.HasSuffix(lower, "am"):
+		lower = strings.TrimSuffix(lower, "am")
+	case strings.HasSuffix(lower, "pm"):
+		pm = true
+		lower = strings.TrimSuffix(lower, "pm")
+	default:
+		return 0, false
+	}
+	v, kind, ok := parseNumericToken(lower)
+	if !ok {
+		return 0, false
+	}
+	if kind == KindClockTime { // "9:30am" parsed as minutes already
+		if pm && v < 12*60 {
+			v += 12 * 60
+		}
+		return v, true
+	}
+	return clockMinutes(v, pm), true
+}
+
+// applyMeridiem resolves a number followed by an AM/PM marker. Values
+// already parsed as clock times ("9:30" → 570 minutes) only need the
+// 12-hour adjustment; bare hour counts ("9") go through clockMinutes.
+func applyMeridiem(v float64, kind QuantityKind, pm bool) float64 {
+	if kind != KindClockTime {
+		return clockMinutes(v, pm)
+	}
+	hours := v / 60
+	switch {
+	case pm && hours < 12:
+		return v + 12*60
+	case !pm && hours >= 12 && hours < 13: // "12:30 AM" wraps to 00:30
+		return v - 12*60
+	}
+	return v
+}
+
+// clockMinutes converts an hour value (possibly fractional) to minutes
+// past midnight, applying 12-hour AM/PM rules.
+func clockMinutes(hour float64, pm bool) float64 {
+	h := int(hour)
+	frac := hour - float64(h)
+	if pm && h < 12 {
+		h += 12
+	}
+	if !pm && h == 12 { // 12 AM == midnight
+		h = 0
+	}
+	return float64(h*60) + frac*60
+}
+
+// unit nouns that commonly follow counts in policy text.
+var unitNouns = map[string]struct{}{}
+
+func init() {
+	for _, u := range []string{
+		"day", "days", "week", "weeks", "month", "months", "year",
+		"years", "hour", "hours", "minute", "minutes", "employee",
+		"employees", "shopkeeper", "shopkeepers", "staff", "member",
+		"members", "people", "person", "time", "times", "occasion",
+		"occasions", "resident", "residents", "device", "devices",
+	} {
+		unitNouns[u] = struct{}{}
+	}
+}
+
+func isUnitNoun(w string) bool {
+	_, ok := unitNouns[w]
+	return ok
+}
+
+// QuantityConflicts compares the quantities asserted by a claim against
+// those available in the evidence. It returns (conflicts, matches):
+// a conflict is a claim quantity of a kind present in the evidence whose
+// value appears in neither the evidence's quantity set; a match is a
+// claim quantity corroborated exactly.
+//
+// Weekday semantics: multiple weekday mentions on either side are
+// treated as an inclusive day *range* (min..max index), mirroring
+// "Sunday to Saturday". When both sides assert a range, the ranges
+// must be identical — "open Monday to Friday" contradicts "operates
+// Sunday to Saturday" by implying the store is closed on weekends (the
+// paper's canonical partial response). A single claimed day matches
+// when it lies inside the evidence range.
+func QuantityConflicts(claim, evidence []Quantity) (conflicts, matches int) {
+	evByKind := map[QuantityKind][]Quantity{}
+	var claimDays []Quantity
+	for _, q := range evidence {
+		evByKind[q.Kind] = append(evByKind[q.Kind], q)
+	}
+	for _, q := range claim {
+		if q.Kind == KindWeekday {
+			claimDays = append(claimDays, q)
+			continue
+		}
+		evs := evByKind[q.Kind]
+		if len(evs) == 0 {
+			continue // evidence silent on this kind: neither match nor conflict
+		}
+		found := false
+		for _, e := range evs {
+			if quantityEqual(q, e) {
+				found = true
+				break
+			}
+		}
+		if found {
+			matches++
+		} else {
+			conflicts++
+		}
+	}
+	if len(claimDays) > 0 {
+		if evDays := evByKind[KindWeekday]; len(evDays) > 0 {
+			c, m := weekdayRangeCompare(claimDays, evDays)
+			conflicts += c
+			matches += m
+		}
+	}
+	return conflicts, matches
+}
+
+// weekdayRangeCompare scores claimed weekdays against evidence
+// weekdays under range semantics.
+func weekdayRangeCompare(claim, evidence []Quantity) (conflicts, matches int) {
+	clo, chi := dayBounds(claim)
+	elo, ehi := dayBounds(evidence)
+	distinctClaim := countDistinctDays(claim)
+	distinctEv := countDistinctDays(evidence)
+	switch {
+	case distinctClaim >= 2 && distinctEv >= 2:
+		// Range vs range: must coincide.
+		if clo == elo && chi == ehi {
+			return 0, 1
+		}
+		return 1, 0
+	case distinctClaim >= 2:
+		// Claimed range vs single evidence day: conflict unless the
+		// range is that single day repeated (impossible here).
+		return 1, 0
+	default:
+		// Single claimed day inside the evidence span matches.
+		if clo >= elo && chi <= ehi {
+			return 0, 1
+		}
+		return 1, 0
+	}
+}
+
+func dayBounds(qs []Quantity) (lo, hi float64) {
+	lo, hi = qs[0].Value, qs[0].Value
+	for _, q := range qs {
+		if q.Value < lo {
+			lo = q.Value
+		}
+		if q.Value > hi {
+			hi = q.Value
+		}
+	}
+	return lo, hi
+}
+
+func countDistinctDays(qs []Quantity) int {
+	seen := map[float64]struct{}{}
+	for _, q := range qs {
+		seen[q.Value] = struct{}{}
+	}
+	return len(seen)
+}
+
+// ConflictProximity returns the closeness of the most-nearly-matching
+// conflicting claim quantity: 1 when a conflicting value is adjacent
+// to an evidence value of the same kind, decaying to 0 as values
+// diverge. Weekday conflicts always count as far (a wrong day range is
+// conspicuous; a wrong number by one is not).
+func ConflictProximity(claim, evidence []Quantity) float64 {
+	best := 0.0
+	for _, q := range claim {
+		if q.Kind == KindWeekday {
+			continue
+		}
+		conflicted := false
+		nearest := math.Inf(1)
+		for _, e := range evidence {
+			if e.Kind != q.Kind {
+				continue
+			}
+			if q.Unit != "" && e.Unit != "" && q.Unit != e.Unit {
+				continue
+			}
+			d := math.Abs(q.Value - e.Value)
+			if d < 1e-9 {
+				conflicted = false
+				nearest = 0
+				break
+			}
+			conflicted = true
+			if d < nearest {
+				nearest = d
+			}
+		}
+		if !conflicted || math.IsInf(nearest, 1) {
+			continue
+		}
+		if prox := proximityOf(q.Kind, nearest, math.Max(math.Abs(q.Value), 1)); prox > best {
+			best = prox
+		}
+	}
+	return best
+}
+
+// proximityOf grades how inconspicuous a numeric discrepancy of size d
+// is for a quantity of the given kind and magnitude. Adjacency is
+// kind-aware: "day 26" vs "day 25" or "4 months" vs "3 months" is a
+// near-miss a human (or judge model) glosses over, even though the
+// relative error is large for small counts.
+func proximityOf(kind QuantityKind, d, scale float64) float64 {
+	switch kind {
+	case KindCount:
+		if d <= 1.01 {
+			return 0.95
+		}
+	case KindClockTime:
+		if d <= 31 { // within half an hour
+			return 0.92
+		}
+	case KindPercent:
+		if d <= 5.01 {
+			return 0.90
+		}
+	case KindMoney:
+		if d/scale <= 0.05 {
+			return 0.90
+		}
+	}
+	prox := math.Exp(-d / scale / 0.06)
+	if prox > 0.6 {
+		prox = 0.6 // conspicuously different values never look subtle
+	}
+	return prox
+}
+
+func quantityEqual(a, b Quantity) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	if a.Unit != "" && b.Unit != "" && a.Unit != b.Unit {
+		return false
+	}
+	diff := a.Value - b.Value
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff < 1e-9
+}

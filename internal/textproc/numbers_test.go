@@ -1,0 +1,224 @@
+package textproc
+
+import (
+	"math"
+	"testing"
+)
+
+func quantities(t *testing.T, text string) []Quantity {
+	t.Helper()
+	return ExtractQuantities(text)
+}
+
+func findKind(qs []Quantity, k QuantityKind) []Quantity {
+	var out []Quantity
+	for _, q := range qs {
+		if q.Kind == k {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func TestExtractClockTimes(t *testing.T) {
+	cases := []struct {
+		text string
+		want []float64 // minutes past midnight
+	}{
+		{"The store operates from 9 AM to 5 PM.", []float64{540, 1020}},
+		{"open 9am to 5pm", []float64{540, 1020}},
+		{"at 9:30 AM sharp", []float64{570}},
+		{"by 12 PM", []float64{720}},
+		{"12 AM curfew", []float64{0}},
+		{"by noon", []float64{720}},
+		{"until midnight", []float64{0}},
+		{"meeting at 17:30", []float64{1050}},
+	}
+	for _, tc := range cases {
+		got := findKind(quantities(t, tc.text), KindClockTime)
+		if len(got) != len(tc.want) {
+			t.Errorf("%q: got %d times %v, want %v", tc.text, len(got), got, tc.want)
+			continue
+		}
+		for i, q := range got {
+			if q.Value != tc.want[i] {
+				t.Errorf("%q: time[%d] = %v, want %v", tc.text, i, q.Value, tc.want[i])
+			}
+		}
+	}
+}
+
+func TestExtractWeekdays(t *testing.T) {
+	got := findKind(quantities(t, "from Sunday to Saturday"), KindWeekday)
+	if len(got) != 2 || got[0].Value != 0 || got[1].Value != 6 {
+		t.Errorf("weekdays = %v, want [0 6]", got)
+	}
+	// "weekends" expands to Sunday and Saturday.
+	got = findKind(quantities(t, "no work on weekends"), KindWeekday)
+	if len(got) != 2 {
+		t.Errorf("weekend expansion = %v, want 2 entries", got)
+	}
+}
+
+func TestExtractCountsWithUnits(t *testing.T) {
+	qs := quantities(t, "three shopkeepers and 14 days of leave")
+	counts := findKind(qs, KindCount)
+	if len(counts) != 2 {
+		t.Fatalf("counts = %v, want 2", counts)
+	}
+	if counts[0].Value != 3 || counts[0].Unit != Stem("shopkeepers") {
+		t.Errorf("count[0] = %+v, want 3 shopkeep", counts[0])
+	}
+	if counts[1].Value != 14 || counts[1].Unit != Stem("days") {
+		t.Errorf("count[1] = %+v, want 14 day", counts[1])
+	}
+}
+
+func TestExtractPercentAndMoney(t *testing.T) {
+	qs := quantities(t, "reimburses 90% of fees up to 500 dollars")
+	if p := findKind(qs, KindPercent); len(p) != 1 || p[0].Value != 90 {
+		t.Errorf("percent = %v, want [90]", p)
+	}
+	if m := findKind(qs, KindMoney); len(m) != 1 || m[0].Value != 500 {
+		t.Errorf("money = %v, want [500]", m)
+	}
+}
+
+func TestExtractMagnitudeSuffix(t *testing.T) {
+	qs := quantities(t, "over 500K residents")
+	counts := findKind(qs, KindCount)
+	if len(counts) != 1 || counts[0].Value != 500000 {
+		t.Errorf("500K = %v, want [500000]", counts)
+	}
+}
+
+func TestQuantityConflictsPaperExamples(t *testing.T) {
+	contextText := "The store operates from 9 AM to 5 PM, from Sunday to Saturday."
+	ev := ExtractQuantities(contextText)
+
+	t.Run("correct matches", func(t *testing.T) {
+		claim := ExtractQuantities("The working hours are 9 AM to 5 PM, and the store is open from Sunday to Saturday.")
+		conf, match := QuantityConflicts(claim, ev)
+		if conf != 0 {
+			t.Errorf("conflicts = %d, want 0", conf)
+		}
+		if match < 3 {
+			t.Errorf("matches = %d, want ≥3 (two times + day range)", match)
+		}
+	})
+
+	t.Run("partial day range conflicts", func(t *testing.T) {
+		// The paper's partial response: right hours, wrong days.
+		claim := ExtractQuantities("The working hours are 9 AM to 5 PM, and the store is open from Monday to Friday.")
+		conf, match := QuantityConflicts(claim, ev)
+		if conf != 1 {
+			t.Errorf("conflicts = %d, want 1 (day range Monday–Friday vs Sunday–Saturday)", conf)
+		}
+		if match < 2 {
+			t.Errorf("matches = %d, want ≥2 (the two times)", match)
+		}
+	})
+
+	t.Run("wrong hours conflict", func(t *testing.T) {
+		claim := ExtractQuantities("The working hours are 9 AM to 9 PM.")
+		conf, _ := QuantityConflicts(claim, ev)
+		if conf != 1 {
+			t.Errorf("conflicts = %d, want 1 (9 PM vs 5 PM)", conf)
+		}
+	})
+}
+
+func TestQuantityConflictsEvidenceSilence(t *testing.T) {
+	// Claim kinds absent from the evidence are neither conflicts nor
+	// matches — the evidence is simply silent.
+	claim := ExtractQuantities("costs 90% of salary")
+	ev := ExtractQuantities("The store opens at 9 AM.")
+	conf, match := QuantityConflicts(claim, ev)
+	if conf != 0 || match != 0 {
+		t.Errorf("silent evidence: conflicts=%d matches=%d, want 0/0", conf, match)
+	}
+}
+
+func TestQuantityConflictsUnits(t *testing.T) {
+	ev := ExtractQuantities("Employees receive 14 days of leave.")
+	// Same number, different unit: not a corroboration.
+	claim := ExtractQuantities("Employees receive 14 months of leave.")
+	conf, _ := QuantityConflicts(claim, ev)
+	if conf != 1 {
+		t.Errorf("unit mismatch conflicts = %d, want 1", conf)
+	}
+}
+
+func TestSingleWeekdayInsideRangeMatches(t *testing.T) {
+	ev := ExtractQuantities("open Monday to Saturday")
+	claim := ExtractQuantities("you can visit on Wednesday")
+	conf, match := QuantityConflicts(claim, ev)
+	if conf != 0 || match != 1 {
+		t.Errorf("inside-range day: conflicts=%d matches=%d, want 0/1", conf, match)
+	}
+	claim = ExtractQuantities("you can visit on Sunday")
+	conf, _ = QuantityConflicts(claim, ev)
+	if conf != 1 {
+		t.Errorf("outside-range day conflicts = %d, want 1", conf)
+	}
+}
+
+func TestConflictProximity(t *testing.T) {
+	ev := ExtractQuantities("Salaries are paid on day 25 of each month.")
+	near := ExtractQuantities("Salaries are paid on day 26 of each month.")
+	far := ExtractQuantities("Salaries are paid on day 5 of each month.")
+	pNear := ConflictProximity(near, ev)
+	pFar := ConflictProximity(far, ev)
+	if pNear < 0.9 {
+		t.Errorf("adjacent count proximity = %v, want ≥0.9", pNear)
+	}
+	if pFar >= pNear {
+		t.Errorf("far proximity %v not below near %v", pFar, pNear)
+	}
+	if none := ConflictProximity(ev, ev); none != 0 {
+		t.Errorf("no-conflict proximity = %v, want 0", none)
+	}
+}
+
+func TestConflictProximityTimes(t *testing.T) {
+	ev := ExtractQuantities("closes at 5 PM")
+	halfHour := ExtractQuantities("closes at 5:30 PM")
+	fourHours := ExtractQuantities("closes at 9 PM")
+	if p := ConflictProximity(halfHour, ev); p < 0.9 {
+		t.Errorf("30-minute time proximity = %v, want ≥0.9", p)
+	}
+	if p := ConflictProximity(fourHours, ev); p > 0.6 {
+		t.Errorf("4-hour time proximity = %v, want ≤0.6", p)
+	}
+}
+
+func TestWeekdayNameRoundTrip(t *testing.T) {
+	for i := 0; i < 7; i++ {
+		name := WeekdayName(i)
+		idx, ok := WeekdayIndex(name)
+		if !ok || idx != i {
+			t.Errorf("WeekdayIndex(WeekdayName(%d)) = %d,%v", i, idx, ok)
+		}
+	}
+	if WeekdayName(7) != "Sunday" || WeekdayName(-1) != "Saturday" {
+		t.Error("WeekdayName modulo behaviour broken")
+	}
+}
+
+func TestClockMinutesEdges(t *testing.T) {
+	cases := []struct {
+		hour float64
+		pm   bool
+		want float64
+	}{
+		{12, false, 0},   // 12 AM = midnight
+		{12, true, 720},  // 12 PM = noon
+		{1, true, 780},   // 1 PM
+		{11, false, 660}, // 11 AM
+		{11.5, false, 690} /* 11:30 AM via fraction */}
+	for _, tc := range cases {
+		if got := clockMinutes(tc.hour, tc.pm); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("clockMinutes(%v, %v) = %v, want %v", tc.hour, tc.pm, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package textproc
+
+import "strings"
+
+// Stem reduces an English word to its stem using the classic Porter
+// (1980) algorithm. Stemming lets "employees" in a response match
+// "employee" in the handbook context without a full lemmatizer.
+//
+// The implementation follows the five-step structure of the original
+// paper. Words of length ≤ 2 and tokens containing digits are returned
+// unchanged (times like "9:30" and counts like "14" must stay exact for
+// the numeric-consistency checker).
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	for _, r := range word {
+		if r >= '0' && r <= '9' {
+			return word
+		}
+	}
+	w := []byte(strings.ToLower(word))
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5a(w)
+	w = step5b(w)
+	return string(w)
+}
+
+// isConsonant reports whether w[i] acts as a consonant per Porter's
+// definition ('y' is a consonant when preceded by a vowel position).
+func isConsonant(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isConsonant(w, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes m, the number of vowel-consonant sequences in w
+// (Porter's [C](VC)^m[V] decomposition).
+func measure(w []byte) int {
+	m, i, n := 0, 0, len(w)
+	for i < n && isConsonant(w, i) {
+		i++
+	}
+	for i < n {
+		for i < n && !isConsonant(w, i) {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		m++
+		for i < n && isConsonant(w, i) {
+			i++
+		}
+	}
+	return m
+}
+
+func hasVowel(w []byte) bool {
+	for i := range w {
+		if !isConsonant(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleConsonant reports whether w ends with two identical
+// consonants (e.g. "hopp").
+func endsDoubleConsonant(w []byte) bool {
+	n := len(w)
+	return n >= 2 && w[n-1] == w[n-2] && isConsonant(w, n-1)
+}
+
+// endsCVC reports whether w ends consonant-vowel-consonant where the
+// final consonant is not w, x or y (the *o condition).
+func endsCVC(w []byte) bool {
+	n := len(w)
+	if n < 3 {
+		return false
+	}
+	if !isConsonant(w, n-3) || isConsonant(w, n-2) || !isConsonant(w, n-1) {
+		return false
+	}
+	c := w[n-1]
+	return c != 'w' && c != 'x' && c != 'y'
+}
+
+func hasSuffix(w []byte, s string) bool {
+	return len(w) >= len(s) && string(w[len(w)-len(s):]) == s
+}
+
+// replaceSuffix swaps suffix from→to when the stem before `from` has
+// measure ≥ minM. Returns the (possibly new) word and whether a rule
+// fired.
+func replaceSuffix(w []byte, from, to string, minM int) ([]byte, bool) {
+	if !hasSuffix(w, from) {
+		return w, false
+	}
+	stem := w[:len(w)-len(from)]
+	if measure(stem) < minM {
+		return w, true // suffix matched but condition failed: stop trying others
+	}
+	out := make([]byte, 0, len(stem)+len(to))
+	out = append(out, stem...)
+	out = append(out, to...)
+	return out, true
+}
+
+func step1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ies"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ss"):
+		return w
+	case hasSuffix(w, "s"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func step1b(w []byte) []byte {
+	if hasSuffix(w, "eed") {
+		if measure(w[:len(w)-3]) > 0 {
+			return w[:len(w)-1]
+		}
+		return w
+	}
+	var stem []byte
+	switch {
+	case hasSuffix(w, "ed") && hasVowel(w[:len(w)-2]):
+		stem = w[:len(w)-2]
+	case hasSuffix(w, "ing") && hasVowel(w[:len(w)-3]):
+		stem = w[:len(w)-3]
+	default:
+		return w
+	}
+	switch {
+	case hasSuffix(stem, "at"), hasSuffix(stem, "bl"), hasSuffix(stem, "iz"):
+		return append(stem, 'e')
+	case endsDoubleConsonant(stem):
+		c := stem[len(stem)-1]
+		if c != 'l' && c != 's' && c != 'z' {
+			return stem[:len(stem)-1]
+		}
+		return stem
+	case measure(stem) == 1 && endsCVC(stem):
+		return append(stem, 'e')
+	}
+	return stem
+}
+
+func step1c(w []byte) []byte {
+	if hasSuffix(w, "y") && hasVowel(w[:len(w)-1]) {
+		out := make([]byte, len(w))
+		copy(out, w)
+		out[len(out)-1] = 'i'
+		return out
+	}
+	return w
+}
+
+var step2Rules = []struct{ from, to string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+	{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"},
+	{"alli", "al"}, {"entli", "ent"}, {"eli", "e"}, {"ousli", "ous"},
+	{"ization", "ize"}, {"ation", "ate"}, {"ator", "ate"},
+	{"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"},
+	{"biliti", "ble"},
+}
+
+func step2(w []byte) []byte {
+	for _, r := range step2Rules {
+		if out, ok := replaceSuffix(w, r.from, r.to, 1); ok {
+			return out
+		}
+	}
+	return w
+}
+
+var step3Rules = []struct{ from, to string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(w []byte) []byte {
+	for _, r := range step3Rules {
+		if out, ok := replaceSuffix(w, r.from, r.to, 1); ok {
+			return out
+		}
+	}
+	return w
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(w []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(w, s) {
+			continue
+		}
+		stem := w[:len(w)-len(s)]
+		if measure(stem) > 1 {
+			return stem
+		}
+		return w
+	}
+	if hasSuffix(w, "ion") {
+		stem := w[:len(w)-3]
+		if measure(stem) > 1 && len(stem) > 0 {
+			c := stem[len(stem)-1]
+			if c == 's' || c == 't' {
+				return stem
+			}
+		}
+	}
+	return w
+}
+
+func step5a(w []byte) []byte {
+	if !hasSuffix(w, "e") {
+		return w
+	}
+	stem := w[:len(w)-1]
+	m := measure(stem)
+	if m > 1 || (m == 1 && !endsCVC(stem)) {
+		return stem
+	}
+	return w
+}
+
+func step5b(w []byte) []byte {
+	if measure(w) > 1 && endsDoubleConsonant(w) && w[len(w)-1] == 'l' {
+		return w[:len(w)-1]
+	}
+	return w
+}

@@ -1,0 +1,145 @@
+package textproc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStemKnownPairs(t *testing.T) {
+	// Classic Porter fixtures plus HR-domain words the detector
+	// depends on.
+	cases := map[string]string{
+		"caresses":    "caress",
+		"ponies":      "poni",
+		"ties":        "ti",
+		"caress":      "caress",
+		"cats":        "cat",
+		"feed":        "feed",
+		"agreed":      "agre",
+		"plastered":   "plaster",
+		"motoring":    "motor",
+		"sing":        "sing",
+		"conflated":   "conflat",
+		"troubled":    "troubl",
+		"sized":       "size",
+		"hopping":     "hop",
+		"falling":     "fall",
+		"hissing":     "hiss",
+		"failing":     "fail",
+		"filing":      "file",
+		"happy":       "happi",
+		"sky":         "sky",
+		"relational":  "relat",
+		"conditional": "condit",
+		"rational":    "ration",
+		"digitizer":   "digit",
+		"operator":    "oper",
+		"feudalism":   "feudal",
+		"hopefulness": "hope",
+		"formaliti":   "formal",
+		"triplicate":  "triplic",
+		"formative":   "form",
+		"formalize":   "formal",
+		"electrical":  "electr",
+		"hopeful":     "hope",
+		"goodness":    "good",
+		"revival":     "reviv",
+		"allowance":   "allow",
+		"inference":   "infer",
+		"airliner":    "airlin",
+		"adjustable":  "adjust",
+		"defensible":  "defens",
+		"irritant":    "irrit",
+		"replacement": "replac",
+		"adjustment":  "adjust",
+		"dependent":   "depend",
+		"adoption":    "adopt",
+		"communism":   "commun",
+		"activate":    "activ",
+		"angulariti":  "angular",
+		"homologous":  "homolog",
+		"effective":   "effect",
+		"bowdlerize":  "bowdler",
+		"probate":     "probat",
+		"rate":        "rate",
+		"cease":       "ceas",
+		"controll":    "control",
+		"roll":        "roll",
+		// Domain words: plural and singular must coincide.
+		"employees":   "employe",
+		"shopkeepers": "shopkeep",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemPluralsMatchSingulars(t *testing.T) {
+	pairs := [][2]string{
+		{"day", "days"}, {"month", "months"}, {"uniform", "uniforms"},
+		{"holiday", "holidays"}, {"receipt", "receipts"},
+		{"manager", "managers"}, {"device", "devices"},
+	}
+	for _, p := range pairs {
+		if Stem(p[0]) != Stem(p[1]) {
+			t.Errorf("Stem(%q)=%q != Stem(%q)=%q", p[0], Stem(p[0]), p[1], Stem(p[1]))
+		}
+	}
+}
+
+func TestStemShortAndNumeric(t *testing.T) {
+	for _, w := range []string{"a", "of", "9", "9:30", "2.5", "14", "x1"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemIdempotentOnCommonWords(t *testing.T) {
+	// Porter is not idempotent in general, but stems of our domain
+	// vocabulary must be stable so that repeated normalization in
+	// different code paths agrees.
+	// Note: Porter is famously not idempotent for every word (e.g.
+	// "reimbursement" → "reimburs" → "reimbur"), so only the stems our
+	// pipeline actually compares are pinned here.
+	words := []string{
+		"probation", "salary", "leave", "benefit", "uniform", "email",
+		"media", "device", "holiday", "training", "overtime", "claim",
+		"certificate", "notice", "approval",
+	}
+	for _, w := range words {
+		once := Stem(w)
+		if twice := Stem(once); twice != once {
+			t.Errorf("Stem not stable for %q: %q -> %q", w, once, twice)
+		}
+	}
+}
+
+func TestStemNeverPanicsAndNonEmpty(t *testing.T) {
+	f := func(s string) bool {
+		got := Stem(s)
+		if s == "" {
+			return got == ""
+		}
+		return len(got) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	for _, w := range []string{"the", "is", "of", "a"} {
+		if !IsStopword(w) {
+			t.Errorf("IsStopword(%q) = false, want true", w)
+		}
+	}
+	// Negations and modals must NOT be stopwords: they flip claims.
+	for _, w := range []string{"not", "no", "never", "must", "only", "working", "hours"} {
+		if IsStopword(w) {
+			t.Errorf("IsStopword(%q) = true, want false", w)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package textproc
+
+// stopwords is a compact English stopword list tuned for policy text:
+// it removes glue words but deliberately keeps negations ("not", "no",
+// "never", "without"), modals ("must", "should") and quantity cues
+// ("all", "only"), because those flip the truth value of a claim and
+// are consumed by the contradiction detector rather than discarded.
+var stopwords = map[string]struct{}{}
+
+func init() {
+	for _, w := range []string{
+		"a", "an", "the", "and", "or", "but", "if", "then", "than",
+		"of", "to", "in", "on", "at", "by", "for", "with", "about",
+		"as", "into", "through", "during", "before", "after", "above",
+		"below", "from", "up", "down", "out", "off", "over", "under",
+		"again", "further", "once", "here", "there", "when", "where",
+		"why", "how", "both", "each", "few", "more", "most", "other",
+		"some", "such", "own", "same", "so", "too", "very", "can",
+		"will", "just", "is", "am", "are", "was", "were", "be", "been",
+		"being", "have", "has", "had", "having", "do", "does", "did",
+		"doing", "would", "could", "i", "me", "my", "myself", "we",
+		"our", "ours", "you", "your", "yours", "he", "him", "his",
+		"she", "her", "hers", "it", "its", "they", "them", "their",
+		"what", "which", "who", "whom", "this", "that", "these",
+		"those", "s", "t", "don", "now", "also", "please", "may",
+	} {
+		stopwords[w] = struct{}{}
+	}
+}
+
+// IsStopword reports whether the (already lowercased) word carries no
+// factual content for verification purposes.
+func IsStopword(w string) bool {
+	_, ok := stopwords[w]
+	return ok
+}

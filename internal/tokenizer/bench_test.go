@@ -1,0 +1,59 @@
+package tokenizer
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchTokenizer(b *testing.B) *Tokenizer {
+	b.Helper()
+	tok := New()
+	corpus := []string{
+		"the working hours are 9 AM to 5 PM",
+		"the store is open from Sunday to Saturday",
+		"yes the answer is supported by the context",
+		"no the answer is not supported by the context",
+	}
+	if err := tok.Train(corpus, 200); err != nil {
+		b.Fatal(err)
+	}
+	return tok
+}
+
+func BenchmarkEncode(b *testing.B) {
+	tok := benchTokenizer(b)
+	text := strings.Repeat("the answer is supported by the context ", 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tok.Encode(text)
+	}
+	b.SetBytes(int64(len(text)))
+}
+
+func BenchmarkDecode(b *testing.B) {
+	tok := benchTokenizer(b)
+	ids := tok.Encode(strings.Repeat("the answer is supported by the context ", 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tok.Decode(ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	corpus := []string{
+		"the working hours are 9 AM to 5 PM",
+		"the store is open from Sunday to Saturday",
+		"yes the answer is supported by the context",
+		"no the answer is not supported by the context",
+		"employees receive annual leave and sick leave",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tok := New()
+		if err := tok.Train(corpus, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

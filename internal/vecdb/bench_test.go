@@ -1,0 +1,113 @@
+package vecdb
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func randomVectors(n, dim int, seed uint64) [][]float32 {
+	src := rng.New(seed)
+	out := make([][]float32, n)
+	for i := range out {
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = float32(src.NormFloat64())
+		}
+		NormalizeInPlace(v)
+		out[i] = v
+	}
+	return out
+}
+
+func BenchmarkFlatSearch(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			const dim = 128
+			x, err := NewFlatIndex(Cosine, dim)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vecs := randomVectors(n, dim, 1)
+			for i, v := range vecs {
+				if err := x.Add(int64(i), v); err != nil {
+					b.Fatal(err)
+				}
+			}
+			queries := randomVectors(64, dim, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := x.Search(queries[i%len(queries)], 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkIVFSearch(b *testing.B) {
+	const dim, n = 128, 10000
+	vecs := randomVectors(n, dim, 1)
+	for _, nprobe := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("nprobe=%d", nprobe), func(b *testing.B) {
+			x, err := NewIVFIndex(Cosine, dim, 64, nprobe)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := x.Train(vecs[:2000], 8); err != nil {
+				b.Fatal(err)
+			}
+			for i, v := range vecs {
+				if err := x.Add(int64(i), v); err != nil {
+					b.Fatal(err)
+				}
+			}
+			queries := randomVectors(64, dim, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := x.Search(queries[i%len(queries)], 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHashedEmbed(b *testing.B) {
+	e, err := NewHashedEmbedder(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	text := "Full-time employees are entitled to 14 days of paid annual leave per year."
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Embed(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTFIDFEmbed(b *testing.B) {
+	e, err := NewTFIDFEmbedder(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	corpus := make([]string, 0, 100)
+	for i := 0; i < 100; i++ {
+		corpus = append(corpus, fmt.Sprintf("document %d about leave, uniforms and training hours", i))
+	}
+	if err := e.Fit(corpus); err != nil {
+		b.Fatal(err)
+	}
+	text := "Full-time employees are entitled to 14 days of paid annual leave per year."
+	if _, err := e.Embed(text); err != nil {
+		b.Fatal(err) // warm projection cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Embed(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

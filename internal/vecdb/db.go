@@ -1,0 +1,230 @@
+package vecdb
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Document is one stored passage with optional caller metadata.
+type Document struct {
+	ID   int64
+	Text string
+	Meta map[string]string
+}
+
+// DB is the vectorized document database: it embeds added passages,
+// indexes the vectors, and answers nearest-neighbour text queries —
+// the retrieval substrate behind the paper's RAG flow (Fig. 2 (a)).
+// All methods are safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	embed  Embedder
+	index  Index
+	docs   map[int64]Document
+	nextID int64
+}
+
+// New creates a database over the given embedder and index. The index
+// must accept vectors of the embedder's dimension.
+func New(embed Embedder, index Index) (*DB, error) {
+	if embed == nil || index == nil {
+		return nil, errors.New("vecdb: nil embedder or index")
+	}
+	return &DB{embed: embed, index: index, docs: map[int64]Document{}, nextID: 1}, nil
+}
+
+// NewDefault builds a DB with a hashed embedder and a flat cosine
+// index — the zero-configuration path used by the examples.
+func NewDefault(dim int) (*DB, error) {
+	e, err := NewHashedEmbedder(dim)
+	if err != nil {
+		return nil, err
+	}
+	x, err := NewFlatIndex(Cosine, dim)
+	if err != nil {
+		return nil, err
+	}
+	return New(e, x)
+}
+
+// Len returns the number of stored documents.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.docs)
+}
+
+// Add embeds and stores text, returning the assigned document ID.
+func (db *DB) Add(text string, meta map[string]string) (int64, error) {
+	vec, err := db.embed.Embed(text)
+	if err != nil {
+		return 0, fmt.Errorf("vecdb: embed: %w", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	id := db.nextID
+	db.nextID++
+	if err := db.index.Add(id, vec); err != nil {
+		return 0, fmt.Errorf("vecdb: index add: %w", err)
+	}
+	var metaCopy map[string]string
+	if meta != nil {
+		metaCopy = make(map[string]string, len(meta))
+		for k, v := range meta {
+			metaCopy[k] = v
+		}
+	}
+	db.docs[id] = Document{ID: id, Text: text, Meta: metaCopy}
+	return id, nil
+}
+
+// AddAll stores a batch of passages, returning their IDs in order.
+func (db *DB) AddAll(texts []string) ([]int64, error) {
+	ids := make([]int64, 0, len(texts))
+	for _, t := range texts {
+		id, err := db.Add(t, nil)
+		if err != nil {
+			return ids, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// ErrNotFound reports a missing document ID.
+var ErrNotFound = errors.New("vecdb: document not found")
+
+// Get returns the stored document for id.
+func (db *DB) Get(id int64) (Document, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	d, ok := db.docs[id]
+	if !ok {
+		return Document{}, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	return d, nil
+}
+
+// Delete removes a document; deleting an absent ID returns
+// ErrNotFound.
+func (db *DB) Delete(id int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.docs[id]; !ok {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	db.index.Remove(id)
+	delete(db.docs, id)
+	return nil
+}
+
+// Hit is one retrieved document with its similarity score.
+type Hit struct {
+	Document
+	Score float64
+}
+
+// Search embeds the query and returns the top-k most similar
+// documents, best first.
+func (db *DB) Search(query string, k int) ([]Hit, error) {
+	vec, err := db.embed.Embed(query)
+	if err != nil {
+		return nil, fmt.Errorf("vecdb: embed query: %w", err)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	results, err := db.index.Search(vec, k)
+	if err != nil {
+		return nil, err
+	}
+	hits := make([]Hit, 0, len(results))
+	for _, r := range results {
+		doc, ok := db.docs[r.ID]
+		if !ok {
+			continue // index/docs raced on a delete; skip the orphan
+		}
+		hits = append(hits, Hit{Document: doc, Score: r.Score})
+	}
+	return hits, nil
+}
+
+// snapshot is the gob wire form of a DB.
+type snapshot struct {
+	Version int
+	Docs    []Document
+	NextID  int64
+}
+
+// currentVersion is bumped when the wire form changes incompatibly.
+const currentVersion = 1
+
+// Save serializes the database's documents. Vectors are not stored:
+// embedders are deterministic, so Load re-embeds, which keeps the file
+// format independent of embedder internals.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	snap := snapshot{Version: currentVersion, NextID: db.nextID}
+	for _, d := range db.docs {
+		snap.Docs = append(snap.Docs, d)
+	}
+	db.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("vecdb: save: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the database to path.
+func (db *DB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("vecdb: save: %w", err)
+	}
+	defer f.Close()
+	if err := db.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load restores documents saved by Save into a fresh DB built on the
+// given embedder and index.
+func Load(r io.Reader, embed Embedder, index Index) (*DB, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("vecdb: load: %w", err)
+	}
+	if snap.Version != currentVersion {
+		return nil, fmt.Errorf("vecdb: unsupported snapshot version %d", snap.Version)
+	}
+	db, err := New(embed, index)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range snap.Docs {
+		vec, err := embed.Embed(d.Text)
+		if err != nil {
+			return nil, fmt.Errorf("vecdb: re-embed doc %d: %w", d.ID, err)
+		}
+		if err := index.Add(d.ID, vec); err != nil {
+			return nil, err
+		}
+		db.docs[d.ID] = d
+	}
+	db.nextID = snap.NextID
+	return db, nil
+}
+
+// LoadFile restores a database from path.
+func LoadFile(path string, embed Embedder, index Index) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("vecdb: load: %w", err)
+	}
+	defer f.Close()
+	return Load(f, embed, index)
+}

@@ -1,0 +1,365 @@
+package vecdb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// HNSWIndex is a hierarchical navigable small world graph: vectors are
+// linked to their approximate nearest neighbours on a stack of layers
+// whose occupancy decays geometrically, and queries greedily descend
+// from the sparse top layer to an exhaustive beam search on layer 0.
+// It answers queries in roughly logarithmic time without the training
+// phase IVF needs, which makes it the right index for incrementally
+// built stores (e.g. ragserver's /ingest endpoint).
+//
+// The implementation follows Malkov & Yashunin (2016): insertion-time
+// level sampling with P(level ≥ l) = exp(-l/mL), M links per node per
+// layer (2M on layer 0), and efSearch/efConstruction beam widths.
+type HNSWIndex struct {
+	metric Metric
+	dim    int
+	m      int // max links per layer (layer 0 allows 2m)
+	efCons int
+	efSrch int
+
+	entry    int64 // entry point node id; -1 when empty
+	maxLevel int
+	levels   map[int64]int       // node → top layer
+	links    map[int64][][]int64 // node → per-layer neighbour lists
+	vectors  map[int64][]float32
+	src      *rng.Source
+}
+
+// NewHNSWIndex creates an HNSW index. m is the per-layer link budget
+// (a typical value is 16), efConstruction the insertion beam width
+// (e.g. 100), efSearch the query beam width (e.g. 50).
+func NewHNSWIndex(metric Metric, dim, m, efConstruction, efSearch int) (*HNSWIndex, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("vecdb: index dim must be positive, got %d", dim)
+	}
+	if m < 2 {
+		return nil, fmt.Errorf("vecdb: HNSW m must be ≥ 2, got %d", m)
+	}
+	if efConstruction < m || efSearch < 1 {
+		return nil, fmt.Errorf("vecdb: need efConstruction(%d) ≥ m(%d) and efSearch(%d) ≥ 1",
+			efConstruction, m, efSearch)
+	}
+	return &HNSWIndex{
+		metric: metric, dim: dim, m: m,
+		efCons: efConstruction, efSrch: efSearch,
+		entry: -1, levels: map[int64]int{},
+		links:   map[int64][][]int64{},
+		vectors: map[int64][]float32{},
+		src:     rng.NewFromString("hnsw-levels"),
+	}, nil
+}
+
+// Len implements Index.
+func (h *HNSWIndex) Len() int { return len(h.vectors) }
+
+// score is the metric similarity between a stored node and a query
+// vector (higher is better). Dangling ids (left behind by deletions as
+// one-directional in-links) score -Inf so they are never selected.
+func (h *HNSWIndex) score(id int64, q []float32) float64 {
+	v, ok := h.vectors[id]
+	if !ok {
+		return math.Inf(-1)
+	}
+	s, _ := Similarity(h.metric, v, q)
+	return s
+}
+
+// randomLevel samples the insertion level with the standard geometric
+// distribution (mL = 1/ln(2·m) keeps expected layer occupancy right).
+func (h *HNSWIndex) randomLevel() int {
+	ml := 1 / math.Log(float64(2*h.m))
+	return int(-math.Log(h.src.Float64()+1e-12) * ml)
+}
+
+// capacity returns the link budget for a layer.
+func (h *HNSWIndex) capacity(layer int) int {
+	if layer == 0 {
+		return 2 * h.m
+	}
+	return h.m
+}
+
+// Add implements Index. Adding an existing id replaces its vector by
+// delete-and-reinsert.
+func (h *HNSWIndex) Add(id int64, vec []float32) error {
+	if len(vec) != h.dim {
+		return fmt.Errorf("%w: index dim %d, vector dim %d", ErrDimMismatch, h.dim, len(vec))
+	}
+	if _, exists := h.vectors[id]; exists {
+		h.Remove(id)
+	}
+	cp := make([]float32, len(vec))
+	copy(cp, vec)
+	level := h.randomLevel()
+	h.vectors[id] = cp
+	h.levels[id] = level
+	h.links[id] = make([][]int64, level+1)
+
+	if h.entry == -1 {
+		h.entry = id
+		h.maxLevel = level
+		return nil
+	}
+	// Greedy descent from the global entry to the insertion level.
+	cur := h.entry
+	for l := h.maxLevel; l > level; l-- {
+		cur = h.greedyStep(cur, cp, l)
+	}
+	// Beam search + link on each layer from min(level, maxLevel) down.
+	top := level
+	if top > h.maxLevel {
+		top = h.maxLevel
+	}
+	for l := top; l >= 0; l-- {
+		candidates := h.searchLayer(cur, cp, h.efCons, l)
+		neighbours := h.selectNeighbours(candidates, cp, h.capacity(l))
+		h.links[id][l] = append([]int64(nil), neighbours...)
+		for _, n := range neighbours {
+			h.links[n][l] = append(h.links[n][l], id)
+			if cap := h.capacity(l); len(h.links[n][l]) > cap {
+				h.links[n][l] = h.selectNeighbours(h.links[n][l], h.vectors[n], cap)
+			}
+		}
+		if len(candidates) > 0 {
+			cur = candidates[0]
+		}
+	}
+	if level > h.maxLevel {
+		h.maxLevel = level
+		h.entry = id
+	}
+	return nil
+}
+
+// greedyStep moves to the best-scoring neighbour until no neighbour
+// improves, returning the local optimum on the layer.
+func (h *HNSWIndex) greedyStep(start int64, q []float32, layer int) int64 {
+	cur := start
+	curScore := h.score(cur, q)
+	for {
+		improved := false
+		if layer < len(h.links[cur]) {
+			for _, n := range h.links[cur][layer] {
+				if _, ok := h.vectors[n]; !ok {
+					continue // dangling in-link from a deletion
+				}
+				if s := h.score(n, q); s > curScore {
+					cur, curScore = n, s
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// searchLayer runs a best-first beam search of width ef on one layer,
+// returning up to ef node ids ordered by descending score.
+func (h *HNSWIndex) searchLayer(start int64, q []float32, ef, layer int) []int64 {
+	visited := map[int64]bool{start: true}
+	// candidates: max-heap by score (explore best first); results:
+	// bounded min-heap of the best ef.
+	cand := resultHeap{{ID: start, Score: -h.score(start, q)}} // negated: container/heap min == best
+	results := resultHeap{{ID: start, Score: h.score(start, q)}}
+	for len(cand) > 0 {
+		// Pop the best unexplored candidate.
+		best := cand[0]
+		last := len(cand) - 1
+		cand[0] = cand[last]
+		cand = cand[:last]
+		siftDown(cand)
+		bestScore := -best.Score
+		if len(results) == ef && bestScore < results[0].Score {
+			break // no candidate can improve the result set
+		}
+		if int(best.ID) >= 0 {
+			for _, n := range h.neighboursAt(best.ID, layer) {
+				if visited[n] {
+					continue
+				}
+				visited[n] = true
+				if _, ok := h.vectors[n]; !ok {
+					continue // dangling in-link from a deletion
+				}
+				s := h.score(n, q)
+				if len(results) < ef || s > results[0].Score {
+					results = pushHeap(results, Result{ID: n, Score: s})
+					if len(results) > ef {
+						results = popMin(results)
+					}
+					cand = pushHeap(cand, Result{ID: n, Score: -s})
+				}
+			}
+		}
+	}
+	sorted := drainSorted(&results)
+	out := make([]int64, len(sorted))
+	for i, r := range sorted {
+		out[i] = r.ID
+	}
+	return out
+}
+
+func (h *HNSWIndex) neighboursAt(id int64, layer int) []int64 {
+	ls := h.links[id]
+	if layer >= len(ls) {
+		return nil
+	}
+	return ls[layer]
+}
+
+// selectNeighbours keeps the `cap` candidates most similar to vec.
+func (h *HNSWIndex) selectNeighbours(candidates []int64, vec []float32, cap int) []int64 {
+	if len(candidates) <= cap {
+		return dedupe(candidates)
+	}
+	heap := make(resultHeap, 0, cap)
+	for _, c := range dedupe(candidates) {
+		pushTopK(&heap, cap, Result{ID: c, Score: h.score(c, vec)})
+	}
+	sorted := drainSorted(&heap)
+	out := make([]int64, len(sorted))
+	for i, r := range sorted {
+		out[i] = r.ID
+	}
+	return out
+}
+
+func dedupe(ids []int64) []int64 {
+	seen := map[int64]bool{}
+	out := ids[:0]
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Remove implements Index: the node is unlinked from every neighbour
+// list. Graph connectivity can degrade under heavy deletion; callers
+// with churn-heavy workloads should rebuild periodically (Len tracks
+// size for that decision).
+func (h *HNSWIndex) Remove(id int64) bool {
+	if _, ok := h.vectors[id]; !ok {
+		return false
+	}
+	for l, neigh := range h.links[id] {
+		for _, n := range neigh {
+			// A neighbour re-inserted at a lower level (or already
+			// removed) may not reach this layer anymore.
+			if l >= len(h.links[n]) {
+				continue
+			}
+			list := h.links[n][l]
+			for i, v := range list {
+				if v == id {
+					list[i] = list[len(list)-1]
+					h.links[n][l] = list[:len(list)-1]
+					break
+				}
+			}
+		}
+	}
+	delete(h.vectors, id)
+	delete(h.levels, id)
+	delete(h.links, id)
+	if h.entry == id {
+		h.entry = -1
+		h.maxLevel = 0
+		// Any remaining node can serve as the new entry; pick the one
+		// with the highest level for a proper descent.
+		for n, l := range h.levels {
+			if h.entry == -1 || l > h.maxLevel {
+				h.entry, h.maxLevel = n, l
+			}
+		}
+	}
+	return true
+}
+
+// Search implements Index.
+func (h *HNSWIndex) Search(query []float32, k int) ([]Result, error) {
+	if k <= 0 {
+		return nil, ErrBadK
+	}
+	if len(query) != h.dim {
+		return nil, fmt.Errorf("%w: index dim %d, query dim %d", ErrDimMismatch, h.dim, len(query))
+	}
+	if h.entry == -1 {
+		return nil, nil
+	}
+	cur := h.entry
+	for l := h.maxLevel; l > 0; l-- {
+		cur = h.greedyStep(cur, query, l)
+	}
+	ef := h.efSrch
+	if ef < k {
+		ef = k
+	}
+	ids := h.searchLayer(cur, query, ef, 0)
+	if len(ids) > k {
+		ids = ids[:k]
+	}
+	out := make([]Result, len(ids))
+	for i, id := range ids {
+		out[i] = Result{ID: id, Score: h.score(id, query)}
+	}
+	return out, nil
+}
+
+// --- tiny heap helpers over resultHeap without container/heap's
+// interface indirection, used on the HNSW hot path ---
+
+func pushHeap(hp resultHeap, r Result) resultHeap {
+	hp = append(hp, r)
+	i := len(hp) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if hp[parent].Score <= hp[i].Score {
+			break
+		}
+		hp[parent], hp[i] = hp[i], hp[parent]
+		i = parent
+	}
+	return hp
+}
+
+// popMin removes the smallest-score element (the root).
+func popMin(hp resultHeap) resultHeap {
+	last := len(hp) - 1
+	hp[0] = hp[last]
+	hp = hp[:last]
+	siftDown(hp)
+	return hp
+}
+
+func siftDown(hp resultHeap) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(hp) && hp[l].Score < hp[smallest].Score {
+			smallest = l
+		}
+		if r < len(hp) && hp[r].Score < hp[smallest].Score {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		hp[i], hp[smallest] = hp[smallest], hp[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,352 @@
+package vecdb
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Result is one ranked hit from an index search.
+type Result struct {
+	// ID is the caller-assigned document identifier.
+	ID int64
+	// Score is the metric score (higher is better for all metrics; L2
+	// scores are negated squared distances).
+	Score float64
+}
+
+// Index ranks stored vectors against a query vector.
+type Index interface {
+	// Add stores a vector under id. Adding an existing id replaces its
+	// vector.
+	Add(id int64, vec []float32) error
+	// Remove deletes id; removing an absent id is a no-op returning
+	// false.
+	Remove(id int64) bool
+	// Search returns up to k results ordered by descending score.
+	Search(query []float32, k int) ([]Result, error)
+	// Len reports the number of stored vectors.
+	Len() int
+}
+
+// resultHeap is a min-heap on Score, used to keep the running top-k.
+type resultHeap []Result
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// pushTopK maintains a bounded min-heap of the best k results.
+func pushTopK(h *resultHeap, k int, r Result) {
+	if h.Len() < k {
+		heap.Push(h, r)
+		return
+	}
+	if r.Score > (*h)[0].Score {
+		(*h)[0] = r
+		heap.Fix(h, 0)
+	}
+}
+
+// drainSorted empties the heap into a descending-score slice with a
+// deterministic ID tie-break.
+func drainSorted(h *resultHeap) []Result {
+	out := make([]Result, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Result)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// FlatIndex is the exact brute-force index: every query scans every
+// vector. It is the correctness baseline the IVF index is tested
+// against, and the right choice below ~100k vectors.
+type FlatIndex struct {
+	metric Metric
+	dim    int
+	ids    []int64
+	vecs   [][]float32
+	pos    map[int64]int
+}
+
+// NewFlatIndex creates an exact index for vectors of width dim.
+func NewFlatIndex(metric Metric, dim int) (*FlatIndex, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("vecdb: index dim must be positive, got %d", dim)
+	}
+	return &FlatIndex{metric: metric, dim: dim, pos: map[int64]int{}}, nil
+}
+
+// Add implements Index.
+func (x *FlatIndex) Add(id int64, vec []float32) error {
+	if len(vec) != x.dim {
+		return fmt.Errorf("%w: index dim %d, vector dim %d", ErrDimMismatch, x.dim, len(vec))
+	}
+	cp := make([]float32, len(vec))
+	copy(cp, vec)
+	if p, ok := x.pos[id]; ok {
+		x.vecs[p] = cp
+		return nil
+	}
+	x.pos[id] = len(x.ids)
+	x.ids = append(x.ids, id)
+	x.vecs = append(x.vecs, cp)
+	return nil
+}
+
+// Remove implements Index using swap-with-last deletion.
+func (x *FlatIndex) Remove(id int64) bool {
+	p, ok := x.pos[id]
+	if !ok {
+		return false
+	}
+	last := len(x.ids) - 1
+	x.ids[p] = x.ids[last]
+	x.vecs[p] = x.vecs[last]
+	x.pos[x.ids[p]] = p
+	x.ids = x.ids[:last]
+	x.vecs = x.vecs[:last]
+	delete(x.pos, id)
+	return true
+}
+
+// Len implements Index.
+func (x *FlatIndex) Len() int { return len(x.ids) }
+
+// ErrBadK reports a non-positive k.
+var ErrBadK = errors.New("vecdb: k must be positive")
+
+// Search implements Index with a full scan.
+func (x *FlatIndex) Search(query []float32, k int) ([]Result, error) {
+	if k <= 0 {
+		return nil, ErrBadK
+	}
+	if len(query) != x.dim {
+		return nil, fmt.Errorf("%w: index dim %d, query dim %d", ErrDimMismatch, x.dim, len(query))
+	}
+	h := make(resultHeap, 0, k)
+	for i, v := range x.vecs {
+		s, err := Similarity(x.metric, query, v)
+		if err != nil {
+			return nil, err
+		}
+		pushTopK(&h, k, Result{ID: x.ids[i], Score: s})
+	}
+	return drainSorted(&h), nil
+}
+
+// IVFIndex is an inverted-file index: vectors are partitioned into
+// nlist clusters by k-means on insertion-time training data, and a
+// query scans only the nprobe nearest clusters. Recall trades against
+// speed via nprobe; the benchmark suite measures both.
+type IVFIndex struct {
+	metric     Metric
+	dim        int
+	nlist      int
+	nprobe     int
+	trained    bool
+	centroids  [][]float32
+	lists      [][]int64
+	vectors    map[int64][]float32
+	membership map[int64]int
+}
+
+// NewIVFIndex creates an IVF index with nlist clusters probing nprobe
+// of them per query. Train must be called before Add/Search.
+func NewIVFIndex(metric Metric, dim, nlist, nprobe int) (*IVFIndex, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("vecdb: index dim must be positive, got %d", dim)
+	}
+	if nlist <= 0 || nprobe <= 0 || nprobe > nlist {
+		return nil, fmt.Errorf("vecdb: need 0 < nprobe(%d) <= nlist(%d)", nprobe, nlist)
+	}
+	return &IVFIndex{
+		metric: metric, dim: dim, nlist: nlist, nprobe: nprobe,
+		vectors: map[int64][]float32{}, membership: map[int64]int{},
+	}, nil
+}
+
+// ErrNotTrained is returned by Add/Search before Train.
+var ErrNotTrained = errors.New("vecdb: IVF index not trained")
+
+// Train runs k-means (k = nlist) over the sample to position the
+// cluster centroids. A sample smaller than nlist shrinks nlist to fit.
+func (x *IVFIndex) Train(sample [][]float32, iterations int) error {
+	if len(sample) == 0 {
+		return errors.New("vecdb: empty training sample")
+	}
+	for _, v := range sample {
+		if len(v) != x.dim {
+			return fmt.Errorf("%w in training sample", ErrDimMismatch)
+		}
+	}
+	if x.nlist > len(sample) {
+		x.nlist = len(sample)
+		if x.nprobe > x.nlist {
+			x.nprobe = x.nlist
+		}
+	}
+	if iterations <= 0 {
+		iterations = 10
+	}
+	src := rng.NewFromString("ivf-kmeans")
+	// k-means++ style: first centroid random, rest greedily far.
+	perm := src.Perm(len(sample))
+	x.centroids = make([][]float32, 0, x.nlist)
+	for _, pi := range perm[:x.nlist] {
+		c := make([]float32, x.dim)
+		copy(c, sample[pi])
+		x.centroids = append(x.centroids, c)
+	}
+	assign := make([]int, len(sample))
+	for it := 0; it < iterations; it++ {
+		changed := false
+		for i, v := range sample {
+			best := x.nearestCentroid(v)
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		sums := make([][]float64, x.nlist)
+		counts := make([]int, x.nlist)
+		for c := range sums {
+			sums[c] = make([]float64, x.dim)
+		}
+		for i, v := range sample {
+			c := assign[i]
+			counts[c]++
+			for d, f := range v {
+				sums[c][d] += float64(f)
+			}
+		}
+		for c := range x.centroids {
+			if counts[c] == 0 {
+				continue // keep previous position for empty clusters
+			}
+			for d := range x.centroids[c] {
+				x.centroids[c][d] = float32(sums[c][d] / float64(counts[c]))
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+	}
+	x.lists = make([][]int64, x.nlist)
+	x.trained = true
+	return nil
+}
+
+// nearestCentroid returns the centroid index with the best metric
+// score for v.
+func (x *IVFIndex) nearestCentroid(v []float32) int {
+	best, bestScore := 0, -1.0
+	for c, cent := range x.centroids {
+		s, _ := Similarity(x.metric, v, cent)
+		if c == 0 || s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// Trained reports whether Train has completed.
+func (x *IVFIndex) Trained() bool { return x.trained }
+
+// Add implements Index.
+func (x *IVFIndex) Add(id int64, vec []float32) error {
+	if !x.trained {
+		return ErrNotTrained
+	}
+	if len(vec) != x.dim {
+		return fmt.Errorf("%w: index dim %d, vector dim %d", ErrDimMismatch, x.dim, len(vec))
+	}
+	if _, ok := x.vectors[id]; ok {
+		x.Remove(id)
+	}
+	cp := make([]float32, len(vec))
+	copy(cp, vec)
+	c := x.nearestCentroid(cp)
+	x.vectors[id] = cp
+	x.membership[id] = c
+	x.lists[c] = append(x.lists[c], id)
+	return nil
+}
+
+// Remove implements Index.
+func (x *IVFIndex) Remove(id int64) bool {
+	c, ok := x.membership[id]
+	if !ok {
+		return false
+	}
+	list := x.lists[c]
+	for i, v := range list {
+		if v == id {
+			list[i] = list[len(list)-1]
+			x.lists[c] = list[:len(list)-1]
+			break
+		}
+	}
+	delete(x.vectors, id)
+	delete(x.membership, id)
+	return true
+}
+
+// Len implements Index.
+func (x *IVFIndex) Len() int { return len(x.vectors) }
+
+// Search implements Index by scanning the nprobe closest clusters.
+func (x *IVFIndex) Search(query []float32, k int) ([]Result, error) {
+	if !x.trained {
+		return nil, ErrNotTrained
+	}
+	if k <= 0 {
+		return nil, ErrBadK
+	}
+	if len(query) != x.dim {
+		return nil, fmt.Errorf("%w: index dim %d, query dim %d", ErrDimMismatch, x.dim, len(query))
+	}
+	// Rank centroids by score.
+	type cs struct {
+		c int
+		s float64
+	}
+	order := make([]cs, len(x.centroids))
+	for c, cent := range x.centroids {
+		s, err := Similarity(x.metric, query, cent)
+		if err != nil {
+			return nil, err
+		}
+		order[c] = cs{c: c, s: s}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].s > order[j].s })
+	h := make(resultHeap, 0, k)
+	for p := 0; p < x.nprobe && p < len(order); p++ {
+		for _, id := range x.lists[order[p].c] {
+			s, err := Similarity(x.metric, query, x.vectors[id])
+			if err != nil {
+				return nil, err
+			}
+			pushTopK(&h, k, Result{ID: id, Score: s})
+		}
+	}
+	return drainSorted(&h), nil
+}

@@ -1,0 +1,105 @@
+// Package vecdb implements the vectorized database the paper's RAG
+// pipeline retrieves context from (§III-B): text embedders, exact and
+// inverted-file (IVF) indexes over cosine/dot/Euclidean metrics, and a
+// document store with binary persistence. Reads are safe for
+// concurrent use; writes take an exclusive lock.
+package vecdb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Metric selects the similarity used for ranking.
+type Metric int
+
+// Supported metrics. Higher scores rank earlier for Cosine and Dot;
+// for L2 the returned "score" is the negated squared distance so that
+// higher-is-better holds uniformly across metrics.
+const (
+	Cosine Metric = iota
+	Dot
+	L2
+)
+
+// String names the metric for reports and errors.
+func (m Metric) String() string {
+	switch m {
+	case Cosine:
+		return "cosine"
+	case Dot:
+		return "dot"
+	case L2:
+		return "l2"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// ErrDimMismatch reports vectors of unequal length reaching a metric.
+var ErrDimMismatch = errors.New("vecdb: dimension mismatch")
+
+// Similarity computes the metric's score between equal-length vectors.
+func Similarity(m Metric, a, b []float32) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimMismatch, len(a), len(b))
+	}
+	switch m {
+	case Cosine:
+		return cosine(a, b), nil
+	case Dot:
+		return dotProduct(a, b), nil
+	case L2:
+		return -l2Squared(a, b), nil
+	default:
+		return 0, fmt.Errorf("vecdb: unknown metric %v", m)
+	}
+}
+
+func dotProduct(a, b []float32) float64 {
+	var acc float64
+	for i := range a {
+		acc += float64(a[i]) * float64(b[i])
+	}
+	return acc
+}
+
+func norm(a []float32) float64 {
+	var acc float64
+	for _, v := range a {
+		acc += float64(v) * float64(v)
+	}
+	return math.Sqrt(acc)
+}
+
+func cosine(a, b []float32) float64 {
+	na, nb := norm(a), norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dotProduct(a, b) / (na * nb)
+}
+
+func l2Squared(a, b []float32) float64 {
+	var acc float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		acc += d * d
+	}
+	return acc
+}
+
+// NormalizeInPlace scales v to unit length; zero vectors are left
+// unchanged. Pre-normalizing lets a Dot index answer Cosine queries at
+// dot-product cost.
+func NormalizeInPlace(v []float32) {
+	n := norm(v)
+	if n == 0 {
+		return
+	}
+	inv := float32(1 / n)
+	for i := range v {
+		v[i] *= inv
+	}
+}
