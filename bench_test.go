@@ -15,12 +15,17 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/rag"
+	"repro/internal/serve"
+	"repro/internal/vecdb"
 )
 
 // benchItems keeps full-suite benchmarks tractable while covering all
@@ -337,6 +342,159 @@ func BenchmarkDetectorScore(b *testing.B) {
 		if _, err := d.Score(ctx, q, contextText, response); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- serving-layer throughput (internal/serve vs seed path) ---
+
+// serveCorpus builds the benchmark corpus and its question set: the
+// synthetic handbook contexts plus filler passages, so retrieval does
+// real work across shards.
+func serveCorpus(b *testing.B) (docs, questions []string, triples []core.Triple) {
+	b.Helper()
+	set, err := dataset.Generate(20250612, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs = set.Contexts()
+	for i := 0; i < 192; i++ {
+		docs = append(docs, fmt.Sprintf(
+			"Filler policy %d. Clause %d applies to department %d only.", i, i*7, i%12))
+	}
+	for _, it := range set.Items[:8] {
+		questions = append(questions, it.Question)
+	}
+	for _, it := range set.Items {
+		for _, r := range it.Responses {
+			triples = append(triples, core.Triple{
+				Question: it.Question, Context: it.Context, Response: r.Text,
+			})
+		}
+	}
+	return docs, questions, triples
+}
+
+// calibratedProposed returns a frozen Proposed detector so both serve
+// paths score with the same pure function under concurrency.
+func calibratedProposed(b *testing.B, triples []core.Triple) *core.Detector {
+	b.Helper()
+	d, err := core.NewProposed()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Calibrate(context.Background(), triples); err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkServeSeedPathParallel is the baseline: the seed's serving
+// path — one vecdb.DB behind a single RWMutex, one-question-at-a-time
+// verification through rag.Pipeline.Ask — driven by RunParallel.
+func BenchmarkServeSeedPathParallel(b *testing.B) {
+	docs, questions, triples := serveCorpus(b)
+	db, err := vecdb.NewDefault(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.AddAll(docs); err != nil {
+		b.Fatal(err)
+	}
+	pipe, err := rag.NewPipeline(rag.PipelineConfig{
+		DB:        db,
+		TopK:      3,
+		Generator: rag.ExtractiveGenerator{MaxSentences: 2},
+		Detector:  calibratedProposed(b, triples),
+		Threshold: 3.2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var n atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q := questions[n.Add(1)%uint64(len(questions))]
+			if _, err := pipe.Ask(ctx, q); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkServeShardedPathParallel is the internal/serve hot path:
+// sharded retrieval, micro-batched verification, embedding + verdict
+// caches and admission control. The acceptance bar is ≥2× the ops/sec
+// of BenchmarkServeSeedPathParallel on a multi-core runner.
+func BenchmarkServeShardedPathParallel(b *testing.B) {
+	docs, questions, triples := serveCorpus(b)
+	srv, err := serve.New(serve.Config{
+		Shards:      8,
+		Dim:         256,
+		TopK:        3,
+		Threshold:   3.2,
+		Detector:    calibratedProposed(b, triples),
+		MaxBatch:    16,
+		MaxWait:     500 * time.Microsecond,
+		MaxInFlight: 128,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	for _, d := range docs {
+		if _, err := srv.Store().Add(d, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	var n atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q := questions[n.Add(1)%uint64(len(questions))]
+			if _, err := srv.Ask(ctx, q); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	st := srv.Stats()
+	b.ReportMetric(st.VerdictCache.HitRate*1000, "verdict_hit_e3")
+	b.ReportMetric(st.Batch.MeanOccupancy, "batch_occupancy")
+}
+
+// BenchmarkShardedSearchParallel isolates retrieval: the sharded
+// fan-out versus the equivalent single flat index under concurrent
+// queries (verification excluded).
+func BenchmarkShardedSearchParallel(b *testing.B) {
+	docs, questions, _ := serveCorpus(b)
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, err := serve.NewShardedDefault(shards, 256, 4096)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, d := range docs {
+				if _, err := s.Add(d, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var n atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					q := questions[n.Add(1)%uint64(len(questions))]
+					if _, err := s.Search(q, 3); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
 	}
 }
 

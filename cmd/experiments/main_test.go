@@ -1,0 +1,64 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureRun executes run() with stdout redirected to a pipe and
+// returns everything it printed.
+func captureRun(t *testing.T, exp string, n int) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(exp, n, 20250612, 2, 10)
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("run(%q, n=%d): %v", exp, n, runErr)
+	}
+	return string(out)
+}
+
+// TestRunTable1 smoke-tests the binary's main path on the cheapest
+// experiment: the output must be a well-formed Table I.
+func TestRunTable1(t *testing.T) {
+	out := captureRun(t, "table1", 16)
+	for _, want := range []string{"table1", "TYPE", "PROMPT", "GENERATED RESPONSE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunFig3aSmall runs one full evaluation experiment with a tiny
+// trial count and asserts the table lists every approach.
+func TestRunFig3aSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scores 5 approaches over the dataset")
+	}
+	out := captureRun(t, "fig3a", 16)
+	for _, want := range []string{"fig3a", "Proposed", "ChatGPT", "P(yes)", "Qwen2", "MiniCPM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig3a output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunUnknownExperiment: an unknown id must be an error, not a
+// silent no-op.
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("no-such-experiment", 16, 1, 1, 10); err == nil {
+		t.Error("unknown experiment id did not error")
+	}
+}

@@ -1,7 +1,9 @@
 // Command ragserver runs the end-to-end system of Fig. 2 as an HTTP
-// service: documents are ingested into the vector database, questions
-// are answered with retrieval-augmented generation, and every answer
-// is verified by the multi-SLM framework before being returned.
+// service on the internal/serve layer: documents are sharded across
+// parallel vector-database shards, questions are answered with
+// retrieval-augmented generation, and every answer is verified by the
+// multi-SLM framework — with micro-batched verification, embedding and
+// verdict caches, and admission control in front of the hot path.
 //
 // Endpoints (JSON):
 //
@@ -9,15 +11,21 @@
 //	POST /ask      {"question": "..."}           → answer + verdict
 //	POST /verify   {"question","context","response"} → verdict
 //	GET  /healthz                                → {"status":"ok","docs":n}
+//	GET  /stats                                  → serving-layer snapshot
+//
+// Overloaded requests are shed with 429 Too Many Requests.
 //
 // Usage:
 //
 //	ragserver [-addr :8080] [-topk 3] [-threshold 3.2] [-seed-demo]
+//	          [-shards 4] [-max-batch 16] [-max-wait 2ms]
+//	          [-max-inflight 64] [-max-queue 256]
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -27,24 +35,37 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/rag"
-	"repro/internal/vecdb"
+	"repro/internal/serve"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		topK      = flag.Int("topk", 3, "retrieved passages per question")
-		threshold = flag.Float64("threshold", 3.2, "verification acceptance threshold")
-		seedDemo  = flag.Bool("seed-demo", false, "preload the synthetic HR handbook and calibrate on it")
+		addr        = flag.String("addr", ":8080", "listen address")
+		topK        = flag.Int("topk", 3, "retrieved passages per question")
+		threshold   = flag.Float64("threshold", 3.2, "verification acceptance threshold")
+		seedDemo    = flag.Bool("seed-demo", false, "preload the synthetic HR handbook and calibrate on it")
+		shards      = flag.Int("shards", 0, "vector DB shards (0 = auto)")
+		maxBatch    = flag.Int("max-batch", 16, "max verification requests per micro-batch")
+		maxWait     = flag.Duration("max-wait", 2*time.Millisecond, "max wait to fill a micro-batch")
+		maxInflight = flag.Int("max-inflight", 64, "max concurrently executing requests")
+		maxQueue    = flag.Int("max-queue", 256, "max requests waiting for a slot before shedding (-1 disables queueing)")
 	)
 	flag.Parse()
-	srv, err := newServer(*topK, *threshold, *seedDemo)
+	srv, err := newServer(serve.Config{
+		Shards:      *shards,
+		TopK:        *topK,
+		Threshold:   *threshold,
+		MaxBatch:    *maxBatch,
+		MaxWait:     *maxWait,
+		MaxInFlight: *maxInflight,
+		MaxQueue:    *maxQueue,
+	}, *seedDemo)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ragserver:", err)
 		os.Exit(1)
 	}
-	log.Printf("ragserver listening on %s (topk=%d threshold=%.2f)", *addr, *topK, *threshold)
+	log.Printf("ragserver listening on %s (shards=%d topk=%d threshold=%.2f)",
+		*addr, srv.core.Store().Shards(), *topK, *threshold)
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.routes(),
@@ -56,33 +77,17 @@ func main() {
 	}
 }
 
-// server wires the RAG pipeline behind HTTP handlers.
+// server wires the serving layer behind HTTP handlers.
 type server struct {
-	db       *vecdb.DB
-	pipeline *rag.Pipeline
-	detector *core.Detector
+	core *serve.Server
 }
 
-func newServer(topK int, threshold float64, seedDemo bool) (*server, error) {
-	db, err := vecdb.NewDefault(256)
+func newServer(cfg serve.Config, seedDemo bool) (*server, error) {
+	sv, err := serve.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	detector, err := core.NewProposed()
-	if err != nil {
-		return nil, err
-	}
-	pipeline, err := rag.NewPipeline(rag.PipelineConfig{
-		DB:        db,
-		TopK:      topK,
-		Generator: rag.ExtractiveGenerator{MaxSentences: 2},
-		Detector:  detector,
-		Threshold: threshold,
-	})
-	if err != nil {
-		return nil, err
-	}
-	s := &server{db: db, pipeline: pipeline, detector: detector}
+	s := &server{core: sv}
 	if seedDemo {
 		if err := s.seedDemo(); err != nil {
 			return nil, err
@@ -93,14 +98,16 @@ func newServer(topK int, threshold float64, seedDemo bool) (*server, error) {
 
 // seedDemo ingests the synthetic handbook and calibrates the
 // detector's normalization moments on its responses (Eq. 4's
-// "previous responses").
+// "previous responses"), freezing them so the parallel batch path and
+// the verdict cache see a pure scoring function.
 func (s *server) seedDemo() error {
 	set, err := dataset.Default()
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
 	for _, ctxText := range set.Contexts() {
-		if _, err := s.db.Add(ctxText, nil); err != nil {
+		if _, err := s.core.Store().Add(ctxText, nil); err != nil {
 			return err
 		}
 	}
@@ -112,13 +119,14 @@ func (s *server) seedDemo() error {
 			})
 		}
 	}
-	log.Printf("seeding demo: %d passages, calibrating on %d responses", s.db.Len(), len(triples))
-	return s.detector.Calibrate(context.Background(), triples)
+	log.Printf("seeding demo: %d passages, calibrating on %d responses", s.core.Store().Len(), len(triples))
+	return s.core.Calibrate(ctx, triples)
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/ask", s.handleAsk)
 	mux.HandleFunc("/verify", s.handleVerify)
@@ -138,11 +146,32 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// statusFor maps serving-layer errors onto HTTP statuses: shed load is
+// 429, expired deadlines are 503, everything else is the fallback.
+func statusFor(err error, fallback int) int {
+	switch {
+	case errors.Is(err, serve.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return fallback
+	}
+}
+
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status": "ok",
-		"docs":   s.db.Len(),
+		"docs":   s.core.Store().Len(),
 	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.core.Stats())
 }
 
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -157,9 +186,9 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	n, err := s.pipeline.Ingest(req.Text, rag.DefaultChunker())
+	n, err := s.core.Ingest(r.Context(), req.Text)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, statusFor(err, http.StatusBadRequest), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"chunks": n})
@@ -204,9 +233,9 @@ func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("empty question"))
 		return
 	}
-	ans, err := s.pipeline.Ask(r.Context(), req.Question)
+	ans, err := s.core.Ask(r.Context(), req.Question)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, statusFor(err, http.StatusInternalServerError), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
@@ -231,10 +260,10 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	v, err := s.detector.Score(r.Context(), req.Question, req.Context, req.Response)
+	v, err := s.core.Verify(r.Context(), req.Question, req.Context, req.Response)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, statusFor(err, http.StatusBadRequest), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toVerdictJSON(v, v.IsCorrect(s.pipeline.Threshold)))
+	writeJSON(w, http.StatusOK, toVerdictJSON(v, v.IsCorrect(s.core.Threshold())))
 }

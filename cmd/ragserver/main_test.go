@@ -2,20 +2,24 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
 )
 
-// newTestServer builds an un-seeded server and calibrates it on a tiny
-// fixture so /verify has score moments.
+// newTestServer builds an un-seeded server on the serving layer.
 func newTestServer(t *testing.T) *server {
 	t.Helper()
-	s, err := newServer(2, 3.2, false)
+	s, err := newServer(serve.Config{TopK: 2, Threshold: 3.2}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.core.Close)
 	return s
 }
 
@@ -156,11 +160,70 @@ func TestSeedDemo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("seeding calibrates on 360 responses")
 	}
-	s, err := newServer(2, 3.2, true)
+	s, err := newServer(serve.Config{TopK: 2, Threshold: 3.2}, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.db.Len() == 0 {
+	t.Cleanup(s.core.Close)
+	if s.core.Store().Len() == 0 {
 		t.Error("demo seed indexed nothing")
+	}
+}
+
+// TestStatsEndpoint: GET /stats exposes shard sizes, cache and batch
+// counters after traffic has flowed. The verdict cache only engages
+// once the detector is calibrated (frozen), so this server calibrates
+// on a tiny fixture first.
+func TestStatsEndpoint(t *testing.T) {
+	doc := "The store operates from 9 AM to 5 PM, from Sunday to Saturday. " +
+		"Employees are entitled to 14 days of paid annual leave per year."
+	det, err := core.NewProposed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Calibrate(context.Background(), []core.Triple{
+		{Question: "What are the working hours?", Context: doc, Response: doc},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(serve.Config{TopK: 2, Threshold: 3.2, Detector: det}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.core.Close)
+	h := s.routes()
+	if rec := postJSON(t, h, "/ingest", map[string]string{"text": doc}); rec.Code != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", rec.Code, rec.Body)
+	}
+	// Same question twice: the second answer must come from the verdict
+	// cache.
+	for i := 0; i < 2; i++ {
+		if rec := postJSON(t, h, "/ask", map[string]string{"question": "What are the working hours?"}); rec.Code != http.StatusOK {
+			t.Fatalf("ask %d status %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/stats", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status %d: %s", rec.Code, rec.Body)
+	}
+	var st serve.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Docs == 0 || len(st.ShardSizes) == 0 {
+		t.Errorf("stats missing shard data: %+v", st)
+	}
+	if st.Requests.Asks != 2 || st.Requests.Ingests != 1 {
+		t.Errorf("request counters wrong: %+v", st.Requests)
+	}
+	if st.VerdictCache.Hits == 0 {
+		t.Errorf("repeated ask did not hit the verdict cache: %+v", st.VerdictCache)
+	}
+	// POST /stats is rejected.
+	rec = postJSON(t, h, "/stats", map[string]string{})
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /stats status = %d", rec.Code)
 	}
 }

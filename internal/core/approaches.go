@@ -103,6 +103,9 @@ type ScoredTriple struct {
 // BatchScore scores many triples concurrently with `workers`
 // goroutines (1 = sequential), preserving input order in the result.
 // The detector's scaler must be frozen (or stateless) when workers > 1.
+// It fails fast on the first error — the behaviour the experiment
+// harness wants; serving layers needing per-item error isolation use
+// ScoreBatch (batch.go) instead.
 func (d *Detector) BatchScore(ctx context.Context, triples []Triple, workers int) ([]ScoredTriple, error) {
 	if workers <= 1 {
 		out := make([]ScoredTriple, 0, len(triples))

@@ -140,6 +140,14 @@ func (d *Detector) Models() []slm.Model { return append([]slm.Model(nil), d.mode
 // calibrate and freeze it.
 func (d *Detector) Scaler() Scaler { return d.scale }
 
+// Calibrated reports whether scoring is a pure function of its inputs:
+// true unless the scaler is a Normalizer still accumulating online
+// moments. Result caches and parallel batch scoring require this.
+func (d *Detector) Calibrated() bool {
+	n, ok := d.scale.(*Normalizer)
+	return !ok || n.Frozen()
+}
+
 // SentenceScore records the verification of one split sentence.
 type SentenceScore struct {
 	// Sentence is the split unit r_{i,j}.

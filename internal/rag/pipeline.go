@@ -6,7 +6,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/vecdb"
 )
 
 // Pipeline is the end-to-end system of Fig. 2: ingest documents,
@@ -21,9 +20,10 @@ type Pipeline struct {
 	Threshold float64
 }
 
-// PipelineConfig assembles a Pipeline.
+// PipelineConfig assembles a Pipeline. DB accepts any Store — a plain
+// *vecdb.DB or a sharded router from internal/serve.
 type PipelineConfig struct {
-	DB        *vecdb.DB
+	DB        Store
 	TopK      int
 	Generator Generator
 	Detector  *core.Detector
@@ -82,8 +82,11 @@ type Answer struct {
 	Trusted bool
 }
 
-// Ask runs retrieve → generate → verify for one question.
-func (p *Pipeline) Ask(ctx context.Context, question string) (Answer, error) {
+// Draft runs retrieve → generate for one question, returning an
+// unverified Answer (zero Verdict, Trusted false). Serving layers that
+// batch verification across requests call Draft, verify the response
+// through their own scheduler, and fill in the verdict.
+func (p *Pipeline) Draft(question string) (Answer, error) {
 	hits, err := p.retriever.Retrieve(question)
 	if err != nil {
 		return Answer{}, err
@@ -96,15 +99,34 @@ func (p *Pipeline) Ask(ctx context.Context, question string) (Answer, error) {
 	if err != nil {
 		return Answer{}, fmt.Errorf("rag: generate: %w", err)
 	}
-	verdict, err := p.detector.Score(ctx, question, contextText, response)
-	if err != nil {
-		return Answer{}, fmt.Errorf("rag: verify: %w", err)
-	}
 	return Answer{
 		Question: question,
 		Context:  contextText,
 		Response: response,
-		Verdict:  verdict,
-		Trusted:  verdict.IsCorrect(p.Threshold),
 	}, nil
+}
+
+// Finalize applies a verdict to a drafted answer using the pipeline
+// threshold.
+func (p *Pipeline) Finalize(draft Answer, verdict core.Verdict) Answer {
+	draft.Verdict = verdict
+	draft.Trusted = verdict.IsCorrect(p.Threshold)
+	return draft
+}
+
+// Detector exposes the pipeline's verifier so serving layers can route
+// drafted answers through a shared batch scheduler.
+func (p *Pipeline) Detector() *core.Detector { return p.detector }
+
+// Ask runs retrieve → generate → verify for one question.
+func (p *Pipeline) Ask(ctx context.Context, question string) (Answer, error) {
+	draft, err := p.Draft(question)
+	if err != nil {
+		return Answer{}, err
+	}
+	verdict, err := p.detector.Score(ctx, question, draft.Context, draft.Response)
+	if err != nil {
+		return Answer{}, fmt.Errorf("rag: verify: %w", err)
+	}
+	return p.Finalize(draft, verdict), nil
 }

@@ -55,15 +55,29 @@ func (c Chunker) Chunk(text string) ([]string, error) {
 	return chunks, nil
 }
 
+// Store is the document backend the pipeline retrieves from. It is
+// satisfied by *vecdb.DB and by sharded or cached routers layered on
+// top of it (internal/serve).
+type Store interface {
+	// Add embeds and stores one passage, returning its ID.
+	Add(text string, meta map[string]string) (int64, error)
+	// Search returns the top-k most similar passages, best first.
+	Search(query string, k int) ([]vecdb.Hit, error)
+	// Len reports the number of stored passages.
+	Len() int
+}
+
+var _ Store = (*vecdb.DB)(nil)
+
 // Retriever answers questions with the top-k most relevant passages
-// from a vector database.
+// from a document store.
 type Retriever struct {
-	db   *vecdb.DB
+	db   Store
 	topK int
 }
 
-// NewRetriever wraps a populated database. topK must be positive.
-func NewRetriever(db *vecdb.DB, topK int) (*Retriever, error) {
+// NewRetriever wraps a populated store. topK must be positive.
+func NewRetriever(db Store, topK int) (*Retriever, error) {
 	if db == nil {
 		return nil, errors.New("rag: nil database")
 	}

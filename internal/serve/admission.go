@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrOverloaded reports that both the in-flight slots and the waiting
+// queue are full; HTTP handlers map it to 429 Too Many Requests.
+var ErrOverloaded = errors.New("serve: overloaded, request shed")
+
+// Admission is the load-shedding gate in front of the serving hot
+// path: at most maxInFlight requests execute concurrently, at most
+// maxQueue more wait for a slot, and everything beyond that is shed
+// immediately instead of piling up unbounded goroutines.
+type Admission struct {
+	slots chan struct{} // in-flight permits
+	queue chan struct{} // waiting permits
+	shed  atomic.Uint64
+}
+
+// NewAdmission builds a gate with the given capacities (both must be
+// at least 1; maxQueue 0 disables waiting entirely).
+func NewAdmission(maxInFlight, maxQueue int) (*Admission, error) {
+	if maxInFlight <= 0 {
+		return nil, errors.New("serve: maxInFlight must be positive")
+	}
+	if maxQueue < 0 {
+		return nil, errors.New("serve: maxQueue must be non-negative")
+	}
+	return &Admission{
+		slots: make(chan struct{}, maxInFlight),
+		queue: make(chan struct{}, maxQueue),
+	}, nil
+}
+
+// Acquire claims an execution slot, waiting in the bounded queue if
+// none is free. It returns the release function on success,
+// ErrOverloaded when the queue is full, or ctx.Err() if the caller's
+// deadline expires while queued.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	release = func() { <-a.slots }
+	// Fast path: free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		return release, nil
+	default:
+	}
+	// Claim a queue position or shed.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	defer func() { <-a.queue }()
+	select {
+	case a.slots <- struct{}{}:
+		return release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// InFlight reports currently executing requests.
+func (a *Admission) InFlight() int { return len(a.slots) }
+
+// QueueDepth reports requests currently waiting for a slot.
+func (a *Admission) QueueDepth() int { return len(a.queue) }
+
+// Shed reports the lifetime count of rejected requests.
+func (a *Admission) Shed() uint64 { return a.shed.Load() }

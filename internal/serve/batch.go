@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ErrClosed is returned by Batcher.Verify after Close.
+var ErrClosed = errors.New("serve: batcher closed")
+
+// BatcherConfig tunes the micro-batching scheduler. Zero values take
+// the documented defaults.
+type BatcherConfig struct {
+	// MaxBatch caps how many requests one dispatch carries (default 16).
+	MaxBatch int
+	// MaxWait bounds how long the first request of a batch waits for
+	// company before the batch is flushed anyway (default 2ms).
+	MaxWait time.Duration
+	// Workers is the fan-out inside core.Detector.ScoreBatch — how many
+	// (sentence, model) calls run concurrently per dispatch (default
+	// GOMAXPROCS).
+	Workers int
+}
+
+func (c BatcherConfig) withDefaults() BatcherConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Batcher collects verification requests from concurrent callers into
+// micro-batches (bounded by MaxBatch and MaxWait) and dispatches each
+// batch through core.Detector.ScoreBatch, so the detector's M
+// verifiers score many requests' sentences in one concurrent fan-out
+// instead of sequentially per request.
+type Batcher struct {
+	det       *core.Detector
+	cfg       BatcherConfig
+	jobs      chan batchJob
+	done      chan struct{}
+	loopDone  sync.WaitGroup
+	flushes   sync.WaitGroup
+	closeOnce sync.Once
+
+	batches    atomic.Uint64 // dispatches
+	items      atomic.Uint64 // requests across all dispatches
+	maxBatchOb atomic.Int64  // largest batch observed
+}
+
+type batchJob struct {
+	triple core.Triple
+	ctx    context.Context
+	out    chan core.BatchResult
+}
+
+// NewBatcher starts the collection loop over det.
+func NewBatcher(det *core.Detector, cfg BatcherConfig) *Batcher {
+	b := &Batcher{
+		det:  det,
+		cfg:  cfg.withDefaults(),
+		jobs: make(chan batchJob),
+		done: make(chan struct{}),
+	}
+	b.loopDone.Add(1)
+	go b.loop()
+	return b
+}
+
+// Verify schedules one triple, blocking until its batch is scored or
+// ctx expires. A caller whose context dies while queued or mid-batch
+// unblocks immediately with ctx.Err(); the batch itself completes for
+// the other callers.
+func (b *Batcher) Verify(ctx context.Context, t core.Triple) (core.Verdict, error) {
+	job := batchJob{triple: t, ctx: ctx, out: make(chan core.BatchResult, 1)}
+	select {
+	case b.jobs <- job:
+	case <-ctx.Done():
+		return core.Verdict{}, ctx.Err()
+	case <-b.done:
+		return core.Verdict{}, ErrClosed
+	}
+	select {
+	case r := <-job.out:
+		return r.Verdict, r.Err
+	case <-ctx.Done():
+		return core.Verdict{}, ctx.Err()
+	}
+}
+
+// Close stops the collection loop and waits for in-flight batches to
+// finish; later Verify calls return ErrClosed.
+func (b *Batcher) Close() {
+	b.closeOnce.Do(func() { close(b.done) })
+	b.loopDone.Wait()
+	b.flushes.Wait()
+}
+
+// Stats returns dispatch counters: total batches, total requests, and
+// the largest single batch.
+func (b *Batcher) Stats() (batches, items uint64, maxBatch int) {
+	return b.batches.Load(), b.items.Load(), int(b.maxBatchOb.Load())
+}
+
+func (b *Batcher) loop() {
+	defer b.loopDone.Done()
+	for {
+		select {
+		case first := <-b.jobs:
+			batch := b.collect(first)
+			// Dispatch asynchronously so the next batch can collect (and
+			// score) while this one is in flight; admission control
+			// upstream bounds the number of concurrent batches.
+			b.flushes.Add(1)
+			go func() {
+				defer b.flushes.Done()
+				b.flush(batch)
+			}()
+		case <-b.done:
+			return
+		}
+	}
+}
+
+// collect gathers followers for the first job until the batch is full
+// or MaxWait elapses.
+func (b *Batcher) collect(first batchJob) []batchJob {
+	batch := []batchJob{first}
+	if b.cfg.MaxBatch == 1 {
+		return batch
+	}
+	timer := time.NewTimer(b.cfg.MaxWait)
+	defer timer.Stop()
+	for len(batch) < b.cfg.MaxBatch {
+		select {
+		case j := <-b.jobs:
+			batch = append(batch, j)
+		case <-timer.C:
+			return batch
+		case <-b.done:
+			return batch
+		}
+	}
+	return batch
+}
+
+// flush scores one batch. Jobs whose context already expired are
+// answered without scoring; the rest run through ScoreBatch on a
+// detached context (a batch serves several requests, so one caller's
+// deadline must not cancel the others — expired callers have already
+// unblocked from Verify).
+func (b *Batcher) flush(batch []batchJob) {
+	live := batch[:0]
+	for _, j := range batch {
+		if err := j.ctx.Err(); err != nil {
+			j.out <- core.BatchResult{Err: err}
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
+	b.batches.Add(1)
+	b.items.Add(uint64(len(live)))
+	for n := int64(len(live)); ; {
+		cur := b.maxBatchOb.Load()
+		if n <= cur || b.maxBatchOb.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	triples := make([]core.Triple, len(live))
+	for i, j := range live {
+		triples[i] = j.triple
+	}
+	results := b.det.ScoreBatch(context.Background(), triples, b.cfg.Workers)
+	for i, j := range live {
+		j.out <- results[i]
+	}
+}

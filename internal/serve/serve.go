@@ -1,0 +1,329 @@
+// Package serve is the traffic-ready serving layer over the paper's
+// RAG + verification pipeline (Fig. 2): a shard router that spreads
+// documents over N independent vector-database shards and fans queries
+// out in parallel, a micro-batching scheduler that verifies many
+// concurrent requests in one detector fan-out, LRU caches with
+// singleflight deduplication for embeddings and verdicts, and an
+// admission gate that sheds load instead of queueing unboundedly.
+//
+// Request lifecycle for Ask:
+//
+//	admission → embed (cache) → shard fan-out → merge top-k →
+//	generate → verdict cache → micro-batch verify → respond
+//
+// See docs/serving.md for the architecture rationale.
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rag"
+)
+
+// Config assembles a Server. Zero values take the documented defaults.
+type Config struct {
+	// Shards is the number of vector-database shards (default
+	// GOMAXPROCS, capped at 8).
+	Shards int
+	// Dim is the embedding width (default 256, matching the seed
+	// server).
+	Dim int
+	// TopK is the retrieval depth per question (default 3).
+	TopK int
+	// Threshold is the verification acceptance threshold on s_i.
+	Threshold float64
+	// Generator produces answers from retrieved context; nil means the
+	// seed's extractive generator.
+	Generator rag.Generator
+	// Detector verifies responses; nil means core.NewProposed().
+	Detector *core.Detector
+	// Chunker splits ingested documents; zero value means
+	// rag.DefaultChunker().
+	Chunker rag.Chunker
+
+	// MaxBatch / MaxWait / BatchWorkers tune the micro-batcher (see
+	// BatcherConfig).
+	MaxBatch     int
+	MaxWait      time.Duration
+	BatchWorkers int
+
+	// MaxInFlight bounds concurrently executing requests (default 64).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for a slot; beyond it requests
+	// are shed with ErrOverloaded (default 256; negative disables
+	// queueing so every request beyond MaxInFlight is shed).
+	MaxQueue int
+	// RequestTimeout is the per-request deadline applied on admission
+	// (default 10s).
+	RequestTimeout time.Duration
+
+	// EmbedCacheSize / VerdictCacheSize are LRU capacities (default
+	// 4096 each).
+	EmbedCacheSize   int
+	VerdictCacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 8 {
+			c.Shards = 8
+		}
+	}
+	if c.Dim <= 0 {
+		c.Dim = 256
+	}
+	if c.TopK <= 0 {
+		c.TopK = 3
+	}
+	if c.Chunker.MaxSentences <= 0 {
+		c.Chunker = rag.DefaultChunker()
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 256
+	} else if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.EmbedCacheSize <= 0 {
+		c.EmbedCacheSize = 4096
+	}
+	if c.VerdictCacheSize <= 0 {
+		c.VerdictCacheSize = 4096
+	}
+	return c
+}
+
+// Server is the serving facade: it owns the sharded store, the
+// micro-batcher, the caches and the admission gate, and exposes the
+// same Ask/Verify/Ingest surface as the seed pipeline.
+type Server struct {
+	cfg       Config
+	store     *ShardedDB
+	pipeline  *rag.Pipeline
+	batcher   *Batcher
+	admission *Admission
+	verdicts  *lruCache[string, core.Verdict]
+	vflight   flightGroup[string, core.Verdict]
+
+	asks     atomic.Uint64
+	verifies atomic.Uint64
+	ingests  atomic.Uint64
+}
+
+// New builds and starts a Server (the batcher's collection loop runs
+// until Close).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	det := cfg.Detector
+	if det == nil {
+		d, err := core.NewProposed()
+		if err != nil {
+			return nil, err
+		}
+		det = d
+	}
+	gen := cfg.Generator
+	if gen == nil {
+		gen = rag.ExtractiveGenerator{MaxSentences: 2}
+	}
+	store, err := NewShardedDefault(cfg.Shards, cfg.Dim, cfg.EmbedCacheSize)
+	if err != nil {
+		return nil, err
+	}
+	pipeline, err := rag.NewPipeline(rag.PipelineConfig{
+		DB:        store,
+		TopK:      cfg.TopK,
+		Generator: gen,
+		Detector:  det,
+		Threshold: cfg.Threshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	admission, err := NewAdmission(cfg.MaxInFlight, cfg.MaxQueue)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:      cfg,
+		store:    store,
+		pipeline: pipeline,
+		batcher: NewBatcher(det, BatcherConfig{
+			MaxBatch: cfg.MaxBatch,
+			MaxWait:  cfg.MaxWait,
+			Workers:  cfg.BatchWorkers,
+		}),
+		admission: admission,
+		verdicts:  newLRU[string, core.Verdict](cfg.VerdictCacheSize),
+	}, nil
+}
+
+// Close stops the batcher. In-flight requests finish.
+func (s *Server) Close() { s.batcher.Close() }
+
+// Store exposes the sharded document store (for seeding and tests).
+func (s *Server) Store() *ShardedDB { return s.store }
+
+// Threshold returns the configured acceptance threshold.
+func (s *Server) Threshold() float64 { return s.pipeline.Threshold }
+
+// Calibrate accumulates the detector's normalization moments on the
+// given triples and freezes them — the preparation step that makes
+// verdicts pure functions, which both the parallel batcher and the
+// verdict cache rely on.
+func (s *Server) Calibrate(ctx context.Context, triples []core.Triple) error {
+	return s.pipeline.Detector().Calibrate(ctx, triples)
+}
+
+// admit applies admission control and the per-request deadline. The
+// returned done func releases the slot and cancels the deadline.
+func (s *Server) admit(ctx context.Context) (context.Context, func(), error) {
+	release, err := s.admission.Acquire(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	rctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	return rctx, func() { cancel(); release() }, nil
+}
+
+// Ask answers one question through the full serving path. Under
+// overload it fails fast with ErrOverloaded.
+func (s *Server) Ask(ctx context.Context, question string) (rag.Answer, error) {
+	if question == "" {
+		return rag.Answer{}, errors.New("serve: empty question")
+	}
+	rctx, done, err := s.admit(ctx)
+	if err != nil {
+		return rag.Answer{}, err
+	}
+	defer done()
+	s.asks.Add(1)
+	// Retrieval and generation are fast local compute without context
+	// plumbing; the deadline is enforced at the stage boundary and
+	// throughout verification.
+	draft, err := s.pipeline.Draft(question)
+	if err != nil {
+		return rag.Answer{}, err
+	}
+	if err := rctx.Err(); err != nil {
+		return rag.Answer{}, err
+	}
+	verdict, err := s.verdict(rctx, core.Triple{
+		Question: question, Context: draft.Context, Response: draft.Response,
+	})
+	if err != nil {
+		return rag.Answer{}, err
+	}
+	return s.pipeline.Finalize(draft, verdict), nil
+}
+
+// Verify scores one (question, context, response) triple through the
+// cache + batcher path.
+func (s *Server) Verify(ctx context.Context, question, contextText, response string) (core.Verdict, error) {
+	rctx, done, err := s.admit(ctx)
+	if err != nil {
+		return core.Verdict{}, err
+	}
+	defer done()
+	s.verifies.Add(1)
+	return s.verdict(rctx, core.Triple{Question: question, Context: contextText, Response: response})
+}
+
+// Ingest chunks and indexes one document across the shards. Chunk
+// embedding is not cancellable mid-document; the deadline is checked
+// on admission.
+func (s *Server) Ingest(ctx context.Context, text string) (int, error) {
+	rctx, done, err := s.admit(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer done()
+	if err := rctx.Err(); err != nil {
+		return 0, err
+	}
+	s.ingests.Add(1)
+	return s.pipeline.Ingest(text, s.cfg.Chunker)
+}
+
+// verdictKey separates fields with unit separators so distinct triples
+// never collide.
+func verdictKey(t core.Triple) string {
+	return t.Question + "\x1f" + t.Context + "\x1f" + t.Response
+}
+
+// verdict resolves one triple via LRU cache → singleflight → batcher.
+// Identical concurrent claims are verified once; errors are never
+// cached. Caching and deduplication require a calibrated (frozen)
+// detector — before calibration, verdicts are order-dependent online
+// functions, so every request goes to the batcher and the seed's
+// online-normalization semantics are preserved.
+func (s *Server) verdict(ctx context.Context, t core.Triple) (core.Verdict, error) {
+	if !s.pipeline.Detector().Calibrated() {
+		return s.batcher.Verify(ctx, t)
+	}
+	key := verdictKey(t)
+	for {
+		if v, ok := s.verdicts.Get(key); ok {
+			return v, nil
+		}
+		v, err, shared := s.vflight.Do(ctx, key, func() (core.Verdict, error) {
+			v, err := s.batcher.Verify(ctx, t)
+			if err != nil {
+				return core.Verdict{}, err
+			}
+			s.verdicts.Put(key, v)
+			return v, nil
+		})
+		if err == nil {
+			return v, nil
+		}
+		// A follower that inherited the leader's context error retries
+		// while its own context is still live (the next round either
+		// finds the cache warm or elects a new leader).
+		if shared && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			continue
+		}
+		return core.Verdict{}, err
+	}
+}
+
+// Stats assembles the current Snapshot.
+func (s *Server) Stats() Snapshot {
+	embed, _ := s.store.Embedder().(*CachedEmbedder)
+	var ec CacheStats
+	if embed != nil {
+		h, m := embed.Counters()
+		ec = cacheStats(embed.Size(), h, m)
+	}
+	vh, vm := s.verdicts.Counters()
+	batches, items, maxBatch := s.batcher.Stats()
+	bs := BatchStats{Batches: batches, Items: items, MaxBatch: maxBatch}
+	if batches > 0 {
+		bs.MeanOccupancy = float64(items) / float64(batches)
+	}
+	return Snapshot{
+		Docs:         s.store.Len(),
+		ShardSizes:   s.store.ShardSizes(),
+		Requests:     RequestStats{Asks: s.asks.Load(), Verifies: s.verifies.Load(), Ingests: s.ingests.Load()},
+		EmbedCache:   ec,
+		VerdictCache: cacheStats(s.verdicts.Len(), vh, vm),
+		Batch:        bs,
+		Admission: AdmissionStats{
+			InFlight:   s.admission.InFlight(),
+			QueueDepth: s.admission.QueueDepth(),
+			Shed:       s.admission.Shed(),
+		},
+	}
+}

@@ -1,0 +1,535 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vecdb"
+)
+
+// handbook is the shared test corpus: distinct, retrievable facts.
+var handbook = []string{
+	"The store operates from 9 AM to 5 PM, from Sunday to Saturday.",
+	"There should be at least three shopkeepers to run a shop.",
+	"Employees are entitled to 14 days of paid annual leave per year.",
+	"Overtime work is compensated at 1.5 times the hourly rate.",
+	"New employees complete a probation period of three months.",
+	"Expense reports must be submitted within 30 days of purchase.",
+	"Remote work requires written approval from a direct manager.",
+	"The cafeteria serves lunch between noon and 2 PM on weekdays.",
+	"Security badges must be visible at all times inside the building.",
+	"Quarterly performance reviews happen in March, June, September and December.",
+}
+
+func calibratedDetector(t testing.TB) *core.Detector {
+	t.Helper()
+	d, err := core.NewProposed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := strings.Join(handbook, " ")
+	var triples []core.Triple
+	for _, s := range handbook {
+		triples = append(triples, core.Triple{
+			Question: "What does the handbook say?", Context: doc, Response: s,
+		})
+	}
+	if err := d.Calibrate(context.Background(), triples); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestShardedMergeMatchesSingle: the sharded router must return
+// exactly the hits (IDs, texts, scores, order) a single flat index
+// returns over the same corpus — sharding is a pure performance
+// transform.
+func TestShardedMergeMatchesSingle(t *testing.T) {
+	const dim = 64
+	single, err := vecdb.NewDefault(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewShardedDefault(4, dim, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, text := range handbook {
+		if _, err := single.Add(text, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sharded.Add(text, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := []string{
+		"What are the working hours?",
+		"How many days of annual leave?",
+		"When are performance reviews?",
+		"overtime pay rate",
+	}
+	for _, q := range queries {
+		for _, k := range []int{1, 3, 5, 20} {
+			want, err := single.Search(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sharded.Search(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("q=%q k=%d: got %d hits, want %d", q, k, len(got), len(want))
+			}
+			// Score sequences must be identical. IDs must match wherever
+			// the score is unambiguous across the whole corpus; which
+			// documents fill tied slots is an implementation detail of
+			// top-k selection (a single index keeps ties in scan order,
+			// the merge keeps lowest IDs).
+			full, err := single.Search(q, len(handbook))
+			if err != nil {
+				t.Fatal(err)
+			}
+			scoreCount := map[float64]int{}
+			for _, h := range full {
+				scoreCount[h.Score]++
+			}
+			for i := range want {
+				if got[i].Score != want[i].Score {
+					t.Errorf("q=%q k=%d hit %d: score %v, want %v", q, k, i, got[i].Score, want[i].Score)
+				}
+				if scoreCount[want[i].Score] == 1 && got[i].ID != want[i].ID {
+					t.Errorf("q=%q k=%d hit %d: id %d, want %d", q, k, i, got[i].ID, want[i].ID)
+				}
+			}
+		}
+	}
+}
+
+// TestShardSpreadAndRouting: documents spread across shards, and every
+// ID routes back to its owning shard for Get and Delete.
+func TestShardSpreadAndRouting(t *testing.T) {
+	s, err := NewShardedDefault(4, 32, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int64
+	for i := 0; i < 100; i++ {
+		id, err := s.Add(fmt.Sprintf("document number %d about topic %d", i, i%7), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	sizes := s.ShardSizes()
+	nonEmpty, sum := 0, 0
+	for _, n := range sizes {
+		sum += n
+		if n > 0 {
+			nonEmpty++
+		}
+	}
+	if sum != 100 {
+		t.Errorf("shard sizes sum to %d, want 100 (%v)", sum, sizes)
+	}
+	if nonEmpty < 2 {
+		t.Errorf("hash routed everything to %d shard(s): %v", nonEmpty, sizes)
+	}
+	for _, id := range ids {
+		if _, err := s.Get(id); err != nil {
+			t.Errorf("Get(%d): %v", id, err)
+		}
+	}
+	if err := s.Delete(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 99 {
+		t.Errorf("Len after delete = %d, want 99", s.Len())
+	}
+	if _, err := s.Get(ids[0]); !errors.Is(err, vecdb.ErrNotFound) {
+		t.Errorf("Get deleted id: err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestCachedEmbedder: hits are counted, and cached vectors are equal
+// to fresh ones.
+func TestCachedEmbedder(t *testing.T) {
+	inner, err := vecdb.NewHashedEmbedder(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewCachedEmbedder(inner, 8)
+	want, err := inner.Embed("hello caching world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := e.Embed("hello caching world")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := range want {
+			if got[d] != want[d] {
+				t.Fatalf("pass %d: vector mismatch at dim %d", i, d)
+			}
+		}
+	}
+	hits, misses := e.Counters()
+	if misses != 1 || hits != 2 {
+		t.Errorf("hits=%d misses=%d, want 2/1", hits, misses)
+	}
+	// Eviction: tiny cache keeps working.
+	for i := 0; i < 20; i++ {
+		if _, err := e.Embed(fmt.Sprintf("query %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Size() > 8 {
+		t.Errorf("cache size %d exceeds capacity 8", e.Size())
+	}
+}
+
+// TestAdmissionSheds: with one slot and one queue position, the third
+// concurrent request is shed, and a queued request acquires the slot
+// once it frees.
+func TestAdmissionSheds(t *testing.T) {
+	a, err := NewAdmission(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	release, err := a.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		rel, err := a.Acquire(ctx)
+		if err == nil {
+			rel()
+		}
+		queued <- err
+	}()
+	// Wait until the goroutine occupies the queue position.
+	deadline := time.Now().Add(2 * time.Second)
+	for a.QueueDepth() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued request never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := a.Acquire(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third acquire: err = %v, want ErrOverloaded", err)
+	}
+	if a.Shed() != 1 {
+		t.Errorf("shed = %d, want 1", a.Shed())
+	}
+	release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire failed: %v", err)
+	}
+}
+
+// TestAdmissionQueueHonorsContext: a queued request unblocks with the
+// context error when its deadline expires.
+func TestAdmissionQueueHonorsContext(t *testing.T) {
+	a, err := NewAdmission(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := a.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire: err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestBatcherMatchesDirectScore: with a frozen detector, verdicts from
+// the concurrent micro-batched path must equal direct Score calls
+// exactly — batching is a pure scheduling transform.
+func TestBatcherMatchesDirectScore(t *testing.T) {
+	d := calibratedDetector(t)
+	ctx := context.Background()
+	doc := strings.Join(handbook, " ")
+	b := NewBatcher(d, BatcherConfig{MaxBatch: 8, MaxWait: 5 * time.Millisecond, Workers: 4})
+	defer b.Close()
+
+	type result struct {
+		i   int
+		v   core.Verdict
+		err error
+	}
+	n := len(handbook)
+	results := make(chan result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := b.Verify(ctx, core.Triple{
+				Question: "What does the handbook say?", Context: doc, Response: handbook[i],
+			})
+			results <- result{i, v, err}
+		}(i)
+	}
+	wg.Wait()
+	close(results)
+	for r := range results {
+		if r.err != nil {
+			t.Fatalf("batched verify %d: %v", r.i, r.err)
+		}
+		want, err := d.Score(ctx, "What does the handbook say?", doc, handbook[r.i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.v.Score != want.Score {
+			t.Errorf("triple %d: batched score %v != direct score %v", r.i, r.v.Score, want.Score)
+		}
+	}
+	batches, items, _ := b.Stats()
+	if items != uint64(n) {
+		t.Errorf("batch items = %d, want %d", items, n)
+	}
+	if batches == 0 || batches > uint64(n) {
+		t.Errorf("batches = %d, want in [1, %d]", batches, n)
+	}
+}
+
+// TestBatcherEmptyResponseIsolated: one bad request fails alone; its
+// batchmates succeed.
+func TestBatcherEmptyResponseIsolated(t *testing.T) {
+	d := calibratedDetector(t)
+	b := NewBatcher(d, BatcherConfig{MaxBatch: 4, MaxWait: 10 * time.Millisecond, Workers: 2})
+	defer b.Close()
+	doc := strings.Join(handbook, " ")
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i, resp := range []string{handbook[0], "", handbook[1]} {
+		wg.Add(1)
+		go func(i int, resp string) {
+			defer wg.Done()
+			_, errs[i] = b.Verify(context.Background(), core.Triple{
+				Question: "q", Context: doc, Response: resp,
+			})
+		}(i, resp)
+	}
+	wg.Wait()
+	if errs[0] != nil || errs[2] != nil {
+		t.Errorf("good triples failed: %v, %v", errs[0], errs[2])
+	}
+	if !errors.Is(errs[1], core.ErrEmptyResponse) {
+		t.Errorf("empty response err = %v, want ErrEmptyResponse", errs[1])
+	}
+}
+
+// TestBatcherClosed: Verify after Close fails fast.
+func TestBatcherClosed(t *testing.T) {
+	d := calibratedDetector(t)
+	b := NewBatcher(d, BatcherConfig{})
+	b.Close()
+	if _, err := b.Verify(context.Background(), core.Triple{Question: "q", Context: "c", Response: "r."}); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+func newTestServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	if cfg.Detector == nil {
+		cfg.Detector = calibratedDetector(t)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ctx := context.Background()
+	if _, err := s.Ingest(ctx, strings.Join(handbook, " ")); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestServerConcurrentAsks is the headline race test: many goroutines
+// hammer a shared server with a small rotating question set; every
+// answer must be complete, the shards must hold the corpus, and the
+// verdict cache must absorb the repeats.
+func TestServerConcurrentAsks(t *testing.T) {
+	s := newTestServer(t, Config{
+		Shards:   4,
+		Dim:      64,
+		TopK:     3,
+		MaxBatch: 8,
+		MaxWait:  2 * time.Millisecond,
+	})
+	questions := []string{
+		"What are the working hours?",
+		"How many days of annual leave do employees get?",
+		"What is the overtime rate?",
+		"How long is the probation period?",
+	}
+	const goroutines = 16
+	const perG = 6
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				q := questions[(g+i)%len(questions)]
+				ans, err := s.Ask(context.Background(), q)
+				if err != nil {
+					errCh <- fmt.Errorf("ask %q: %w", q, err)
+					return
+				}
+				if ans.Response == "" || len(ans.Verdict.Sentences) == 0 {
+					errCh <- fmt.Errorf("incomplete answer for %q", q)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Docs == 0 {
+		t.Error("no documents stored")
+	}
+	sum := 0
+	for _, n := range st.ShardSizes {
+		sum += n
+	}
+	if sum != st.Docs {
+		t.Errorf("shard sizes %v sum to %d, want %d", st.ShardSizes, sum, st.Docs)
+	}
+	if st.Requests.Asks != goroutines*perG {
+		t.Errorf("asks = %d, want %d", st.Requests.Asks, goroutines*perG)
+	}
+	// 96 asks over 4 distinct questions: the verdict path must
+	// deduplicate nearly everything.
+	if st.VerdictCache.Hits == 0 {
+		t.Error("verdict cache never hit despite repeated questions")
+	}
+	if st.EmbedCache.Hits == 0 {
+		t.Error("embed cache never hit despite repeated questions")
+	}
+}
+
+// TestServerVerifyCaching: identical Verify calls are scored once.
+func TestServerVerifyCaching(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2, Dim: 64})
+	ctx := context.Background()
+	doc := strings.Join(handbook, " ")
+	v1, err := s.Verify(ctx, "What are the working hours?", doc, "The store operates from 9 AM to 5 PM.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.Verify(ctx, "What are the working hours?", doc, "The store operates from 9 AM to 5 PM.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Score != v2.Score {
+		t.Errorf("cached verdict %v != first verdict %v", v2.Score, v1.Score)
+	}
+	st := s.Stats()
+	if st.VerdictCache.Hits != 1 {
+		t.Errorf("verdict cache hits = %d, want 1", st.VerdictCache.Hits)
+	}
+	if st.Batch.Items != 1 {
+		t.Errorf("batch items = %d, want 1 (second call must not reach the batcher)", st.Batch.Items)
+	}
+}
+
+// TestServerUncalibratedBypassesCache: with an unfrozen normalizer,
+// verdicts are order-dependent online functions, so the serving layer
+// must not cache them — every request reaches the batcher.
+func TestServerUncalibratedBypassesCache(t *testing.T) {
+	d, err := core.NewProposed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Shards: 2, Dim: 64, Detector: d})
+	ctx := context.Background()
+	doc := strings.Join(handbook, " ")
+	for i := 0; i < 3; i++ {
+		if _, err := s.Verify(ctx, "q", doc, handbook[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.VerdictCache.Hits != 0 || st.VerdictCache.Size != 0 {
+		t.Errorf("uncalibrated detector used the verdict cache: %+v", st.VerdictCache)
+	}
+	if st.Batch.Items != 3 {
+		t.Errorf("batch items = %d, want 3 (every call must reach the batcher)", st.Batch.Items)
+	}
+}
+
+// blockingGenerator parks inside Generate until released, letting the
+// shed test hold a request slot deterministically.
+type blockingGenerator struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (g *blockingGenerator) Generate(question, context string) (string, error) {
+	g.entered <- struct{}{}
+	<-g.release
+	return "The store operates from 9 AM to 5 PM.", nil
+}
+
+// TestServerLoadShedding: with one slot and no queue, a second
+// concurrent request is shed with ErrOverloaded while the first is
+// mid-flight.
+func TestServerLoadShedding(t *testing.T) {
+	gen := &blockingGenerator{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	s := newTestServer(t, Config{
+		Shards:      2,
+		Dim:         64,
+		MaxInFlight: 1,
+		MaxQueue:    -1, // no queue: shed immediately
+		Generator:   gen,
+	})
+	first := make(chan error, 1)
+	go func() {
+		_, err := s.Ask(context.Background(), "What are the working hours?")
+		first <- err
+	}()
+	<-gen.entered // first request now holds the only slot
+	_, err := s.Ask(context.Background(), "What are the working hours?")
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second ask: err = %v, want ErrOverloaded", err)
+	}
+	close(gen.release)
+	if err := <-first; err != nil {
+		t.Fatalf("first ask: %v", err)
+	}
+	if s.Stats().Admission.Shed != 1 {
+		t.Errorf("shed = %d, want 1", s.Stats().Admission.Shed)
+	}
+}
+
+// TestServerEmptyQuestion: input validation happens before admission.
+func TestServerEmptyQuestion(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2, Dim: 64})
+	if _, err := s.Ask(context.Background(), ""); err == nil {
+		t.Error("empty question must fail")
+	}
+}

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rag"
+	"repro/internal/vecdb"
+)
+
+// ShardedDB partitions documents across N independent vecdb.DB shards,
+// routed by a hash of the document ID. Each shard has its own mutex,
+// so writes to different shards never contend, and a query fans out to
+// all shards in parallel and merges their top-k — replacing the seed's
+// single-mutex bottleneck. ShardedDB implements rag.Store, so it drops
+// into the existing pipeline unchanged.
+type ShardedDB struct {
+	embed  vecdb.Embedder
+	shards []*vecdb.DB
+	nextID atomic.Int64
+}
+
+// NewSharded builds n shards over a shared embedder, one index per
+// shard produced by mkIndex. The same embedder serves the ingest path
+// (through each shard's AddWithID) and the query path (Search embeds
+// once, then fans the vector out).
+func NewSharded(n int, embed vecdb.Embedder, mkIndex func() (vecdb.Index, error)) (*ShardedDB, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("serve: shard count must be positive, got %d", n)
+	}
+	if embed == nil || mkIndex == nil {
+		return nil, errors.New("serve: nil embedder or index factory")
+	}
+	shards := make([]*vecdb.DB, n)
+	for i := range shards {
+		idx, err := mkIndex()
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d index: %w", i, err)
+		}
+		db, err := vecdb.New(embed, idx)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		shards[i] = db
+	}
+	return &ShardedDB{embed: embed, shards: shards}, nil
+}
+
+// NewShardedDefault builds n shards over a hashed embedder and flat
+// cosine indexes — the zero-configuration serving store. Queries go
+// through an LRU-cached embedder; the ingest path embeds raw, so bulk
+// ingest (each passage embedded once, never looked up again) cannot
+// evict hot query vectors.
+func NewShardedDefault(n, dim, embedCache int) (*ShardedDB, error) {
+	inner, err := vecdb.NewHashedEmbedder(dim)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewSharded(n, inner, func() (vecdb.Index, error) {
+		return vecdb.NewFlatIndex(vecdb.Cosine, dim)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.embed = NewCachedEmbedder(inner, embedCache)
+	return s, nil
+}
+
+// splitmix64 is the integer finalizer used to hash document IDs onto
+// shards; sequential IDs land on uncorrelated shards.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (s *ShardedDB) shardFor(id int64) *vecdb.DB {
+	return s.shards[splitmix64(uint64(id))%uint64(len(s.shards))]
+}
+
+// Add embeds and stores text on the shard owned by the new document's
+// ID, implementing rag.Store.
+func (s *ShardedDB) Add(text string, meta map[string]string) (int64, error) {
+	id := s.nextID.Add(1)
+	if err := s.shardFor(id).AddWithID(id, text, meta); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Get returns the stored document for id from its owning shard.
+func (s *ShardedDB) Get(id int64) (vecdb.Document, error) {
+	return s.shardFor(id).Get(id)
+}
+
+// Delete removes a document from its owning shard.
+func (s *ShardedDB) Delete(id int64) error {
+	return s.shardFor(id).Delete(id)
+}
+
+// Len sums the shard sizes, implementing rag.Store.
+func (s *ShardedDB) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Shards reports the shard count.
+func (s *ShardedDB) Shards() int { return len(s.shards) }
+
+// ShardSizes returns each shard's document count, for /stats and for
+// tests asserting the hash spreads load.
+func (s *ShardedDB) ShardSizes() []int {
+	sizes := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		sizes[i] = sh.Len()
+	}
+	return sizes
+}
+
+// Embedder exposes the query-path embedder (the cached one under
+// NewShardedDefault).
+func (s *ShardedDB) Embedder() vecdb.Embedder { return s.embed }
+
+// Search embeds the query once and fans it out, implementing
+// rag.Store.
+func (s *ShardedDB) Search(query string, k int) ([]vecdb.Hit, error) {
+	vec, err := s.embed.Embed(query)
+	if err != nil {
+		return nil, fmt.Errorf("serve: embed query: %w", err)
+	}
+	return s.SearchVector(vec, k)
+}
+
+// SearchVector queries every shard in parallel with the same vector
+// and merges the per-shard top-k into a global top-k, best first, with
+// the same deterministic (score desc, ID asc) order a single index
+// returns.
+func (s *ShardedDB) SearchVector(vec []float32, k int) ([]vecdb.Hit, error) {
+	if len(s.shards) == 1 {
+		return s.shards[0].SearchVector(vec, k)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		merged   []vecdb.Hit
+		firstErr error
+	)
+	wg.Add(len(s.shards))
+	for _, sh := range s.shards {
+		go func(db *vecdb.DB) {
+			defer wg.Done()
+			hits, err := db.SearchVector(vec, k)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			merged = append(merged, hits...)
+		}(sh)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Score != merged[j].Score {
+			return merged[i].Score > merged[j].Score
+		}
+		return merged[i].ID < merged[j].ID
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged, nil
+}
+
+var _ rag.Store = (*ShardedDB)(nil)

@@ -1,0 +1,64 @@
+package serve
+
+// Snapshot is the point-in-time view of the serving layer exposed by
+// GET /stats. All fields are JSON-stable: dashboards and tests key on
+// them.
+type Snapshot struct {
+	// Docs is the total stored document count across shards.
+	Docs int `json:"docs"`
+	// ShardSizes is the per-shard document count, in shard order.
+	ShardSizes []int `json:"shard_sizes"`
+
+	// Requests counts admitted calls by kind.
+	Requests RequestStats `json:"requests"`
+	// EmbedCache reports the query/passage embedding cache.
+	EmbedCache CacheStats `json:"embed_cache"`
+	// VerdictCache reports the verification result cache.
+	VerdictCache CacheStats `json:"verdict_cache"`
+	// Batch reports the micro-batching scheduler.
+	Batch BatchStats `json:"batch"`
+	// Admission reports the load-shedding gate.
+	Admission AdmissionStats `json:"admission"`
+}
+
+// RequestStats counts admitted requests by endpoint kind.
+type RequestStats struct {
+	Asks     uint64 `json:"asks"`
+	Verifies uint64 `json:"verifies"`
+	Ingests  uint64 `json:"ingests"`
+}
+
+// CacheStats describes one LRU cache.
+type CacheStats struct {
+	Size    int     `json:"size"`
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+func cacheStats(size int, hits, misses uint64) CacheStats {
+	s := CacheStats{Size: size, Hits: hits, Misses: misses}
+	if total := hits + misses; total > 0 {
+		s.HitRate = float64(hits) / float64(total)
+	}
+	return s
+}
+
+// BatchStats describes the micro-batcher's dispatch history.
+type BatchStats struct {
+	// Batches is the number of dispatches to the detector.
+	Batches uint64 `json:"batches"`
+	// Items is the number of requests carried by those dispatches.
+	Items uint64 `json:"items"`
+	// MeanOccupancy is Items/Batches — how full batches run on average.
+	MeanOccupancy float64 `json:"mean_occupancy"`
+	// MaxBatch is the largest single dispatch observed.
+	MaxBatch int `json:"max_batch"`
+}
+
+// AdmissionStats describes the load-shedding gate.
+type AdmissionStats struct {
+	InFlight   int    `json:"in_flight"`
+	QueueDepth int    `json:"queue_depth"`
+	Shed       uint64 `json:"shed"`
+}

@@ -82,6 +82,38 @@ func (db *DB) Add(text string, meta map[string]string) (int64, error) {
 	return id, nil
 }
 
+// AddWithID embeds and stores text under a caller-assigned ID,
+// replacing any existing document with that ID. It exists for external
+// routers (e.g. a shard router) that allocate IDs globally; mixing it
+// with Add is safe because the internal counter is advanced past every
+// caller-assigned ID.
+func (db *DB) AddWithID(id int64, text string, meta map[string]string) error {
+	if id <= 0 {
+		return fmt.Errorf("vecdb: document ID must be positive, got %d", id)
+	}
+	vec, err := db.embed.Embed(text)
+	if err != nil {
+		return fmt.Errorf("vecdb: embed: %w", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.index.Add(id, vec); err != nil {
+		return fmt.Errorf("vecdb: index add: %w", err)
+	}
+	var metaCopy map[string]string
+	if meta != nil {
+		metaCopy = make(map[string]string, len(meta))
+		for k, v := range meta {
+			metaCopy[k] = v
+		}
+	}
+	db.docs[id] = Document{ID: id, Text: text, Meta: metaCopy}
+	if id >= db.nextID {
+		db.nextID = id + 1
+	}
+	return nil
+}
+
 // AddAll stores a batch of passages, returning their IDs in order.
 func (db *DB) AddAll(texts []string) ([]int64, error) {
 	ids := make([]int64, 0, len(texts))
@@ -135,6 +167,13 @@ func (db *DB) Search(query string, k int) ([]Hit, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vecdb: embed query: %w", err)
 	}
+	return db.SearchVector(vec, k)
+}
+
+// SearchVector answers a query that is already embedded. A shard
+// router uses this to embed a query once and fan the same vector out
+// to every shard.
+func (db *DB) SearchVector(vec []float32, k int) ([]Hit, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	results, err := db.index.Search(vec, k)
@@ -151,6 +190,10 @@ func (db *DB) Search(query string, k int) ([]Hit, error) {
 	}
 	return hits, nil
 }
+
+// Embedder exposes the database's embedder so callers sharing several
+// DBs (shards) can embed queries once.
+func (db *DB) Embedder() Embedder { return db.embed }
 
 // snapshot is the gob wire form of a DB.
 type snapshot struct {
