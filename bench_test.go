@@ -25,6 +25,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rag"
 	"repro/internal/serve"
+	"repro/internal/storage"
 	"repro/internal/vecdb"
 )
 
@@ -528,5 +529,99 @@ func BenchmarkThresholdSweep(b *testing.B) {
 		if _, err := metrics.BestF1(samples); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkWALAppend measures the journaling hot path: framed,
+// CRC-checksummed appends of realistic mutation records, per fsync
+// policy. SyncAlways pays an fsync per append; the batch variant
+// amortizes one fsync over 64 records, which is what bulk ingest does.
+func BenchmarkWALAppend(b *testing.B) {
+	payload, err := vecdb.EncodeMutation(vecdb.Mutation{
+		Op: vecdb.OpAdd, ID: 123456,
+		Text: "Employees are entitled to fourteen days of paid annual leave per year.",
+		Meta: map[string]string{"source": "handbook"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		sync  storage.SyncPolicy
+		batch int
+	}{
+		{"never", storage.SyncNever, 1},
+		{"always", storage.SyncAlways, 1},
+		{"always_batch64", storage.SyncAlways, 64},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			w, err := storage.OpenWAL(b.TempDir(), storage.WALOptions{Sync: tc.sync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			batch := make([][]byte, tc.batch)
+			for i := range batch {
+				batch[i] = payload
+			}
+			b.SetBytes(int64(len(payload) * tc.batch))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.AppendBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecover measures cold-start recovery of a durable sharded
+// store — checkpoint load plus WAL replay with re-embedding — for a
+// corpus living entirely in the WAL versus entirely in checkpoints.
+func BenchmarkRecover(b *testing.B) {
+	docs, _, _ := serveCorpus(b)
+	// build seeds a data dir once per sub-benchmark; CloseNoCheckpoint
+	// leaves the WAL (or the checkpoint Save produced) untouched, so
+	// every iteration recovers from identical on-disk state.
+	build := func(b *testing.B, checkpoint bool) string {
+		dir := b.TempDir()
+		s, err := serve.OpenShardedDefault(dir, 4, 256, 16, serve.PersistConfig{CheckpointEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.AddBulk(docs); err != nil {
+			b.Fatal(err)
+		}
+		if checkpoint {
+			if err := s.Save(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.CloseNoCheckpoint()
+		return dir
+	}
+	for _, tc := range []struct {
+		name       string
+		checkpoint bool
+	}{
+		{"wal_replay", false},
+		{"from_checkpoint", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			dir := build(b, tc.checkpoint)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := serve.OpenShardedDefault(dir, 0, 256, 16, serve.PersistConfig{CheckpointEvery: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Len() != len(docs) {
+					b.Fatalf("recovered %d docs, want %d", s.Len(), len(docs))
+				}
+				b.StopTimer()
+				s.CloseNoCheckpoint()
+				b.StartTimer()
+			}
+		})
 	}
 }

@@ -7,19 +7,32 @@
 //
 // Endpoints (JSON):
 //
-//	POST /ingest   {"text": "..."}               → {"chunks": n}
-//	POST /ask      {"question": "..."}           → answer + verdict
-//	POST /verify   {"question","context","response"} → verdict
-//	GET  /healthz                                → {"status":"ok","docs":n}
-//	GET  /stats                                  → serving-layer snapshot
+//	POST /ingest           {"text": "..."}            → {"chunks": n}
+//	POST /ingest/bulk      {"texts": ["...", ...]}    → {"docs": n, "chunks": m}
+//	POST /ask              {"question": "..."}        → answer + verdict
+//	POST /verify           {"question","context","response"} → verdict
+//	POST /search           {"query": "...", "k": 3}   → {"hits": [...]}
+//	GET  /documents/{id}                              → stored document
+//	DELETE /documents/{id}                            → {"deleted": id}
+//	POST /admin/checkpoint                            → persistence counters
+//	GET  /healthz                                     → {"status":"ok","docs":n}
+//	GET  /stats                                       → serving-layer snapshot
 //
-// Overloaded requests are shed with 429 Too Many Requests.
+// Overloaded requests are shed with 429 Too Many Requests; operations
+// on absent document IDs return 404.
+//
+// With -data-dir the store is durable: every mutation is journaled to
+// a per-shard write-ahead log, shards checkpoint in the background and
+// on shutdown, and a restarted server recovers its index without
+// re-ingesting (see docs/persistence.md).
 //
 // Usage:
 //
 //	ragserver [-addr :8080] [-topk 3] [-threshold 3.2] [-seed-demo]
 //	          [-shards 4] [-max-batch 16] [-max-wait 2ms]
 //	          [-max-inflight 64] [-max-queue 256]
+//	          [-data-dir ""] [-fsync never|always|interval]
+//	          [-checkpoint-every 30s]
 package main
 
 import (
@@ -31,11 +44,16 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/serve"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -44,13 +62,21 @@ func main() {
 		topK        = flag.Int("topk", 3, "retrieved passages per question")
 		threshold   = flag.Float64("threshold", 3.2, "verification acceptance threshold")
 		seedDemo    = flag.Bool("seed-demo", false, "preload the synthetic HR handbook and calibrate on it")
-		shards      = flag.Int("shards", 0, "vector DB shards (0 = auto)")
+		shards      = flag.Int("shards", 0, "vector DB shards (0 = auto, or the stored count when -data-dir exists)")
 		maxBatch    = flag.Int("max-batch", 16, "max verification requests per micro-batch")
 		maxWait     = flag.Duration("max-wait", 2*time.Millisecond, "max wait to fill a micro-batch")
 		maxInflight = flag.Int("max-inflight", 64, "max concurrently executing requests")
 		maxQueue    = flag.Int("max-queue", 256, "max requests waiting for a slot before shedding (-1 disables queueing)")
+		dataDir     = flag.String("data-dir", "", "directory for per-shard WALs and checkpoints (empty = memory-only)")
+		fsync       = flag.String("fsync", "never", "WAL fsync policy: never, always, or interval")
+		ckEvery     = flag.Duration("checkpoint-every", 30*time.Second, "background checkpoint period (negative disables)")
 	)
 	flag.Parse()
+	policy, err := storage.ParseSyncPolicy(*fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ragserver:", err)
+		os.Exit(1)
+	}
 	srv, err := newServer(serve.Config{
 		Shards:      *shards,
 		TopK:        *topK,
@@ -59,10 +85,20 @@ func main() {
 		MaxWait:     *maxWait,
 		MaxInFlight: *maxInflight,
 		MaxQueue:    *maxQueue,
+		DataDir:     *dataDir,
+		Persist: serve.PersistConfig{
+			Fsync:           policy,
+			CheckpointEvery: *ckEvery,
+		},
 	}, *seedDemo)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ragserver:", err)
 		os.Exit(1)
+	}
+	if *dataDir != "" {
+		st := srv.core.Stats().Persist
+		log.Printf("recovered %d docs from %s (replayed %d WAL records)",
+			srv.core.Store().Len(), *dataDir, st.ReplayedRecords)
 	}
 	log.Printf("ragserver listening on %s (shards=%d topk=%d threshold=%.2f)",
 		*addr, srv.core.Store().Shards(), *topK, *threshold)
@@ -71,8 +107,26 @@ func main() {
 		Handler:           srv.routes(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	if err := httpServer.ListenAndServe(); err != nil {
+	// Graceful shutdown: stop accepting traffic, then checkpoint the
+	// store so the next boot replays nothing.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+	select {
+	case err := <-errCh:
 		fmt.Fprintln(os.Stderr, "ragserver:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining connections and checkpointing")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil {
+		log.Printf("ragserver: http shutdown: %v", err)
+	}
+	if err := srv.core.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "ragserver: close:", err)
 		os.Exit(1)
 	}
 }
@@ -106,9 +160,14 @@ func (s *server) seedDemo() error {
 		return err
 	}
 	ctx := context.Background()
-	for _, ctxText := range set.Contexts() {
-		if _, err := s.core.Store().Add(ctxText, nil); err != nil {
-			return err
+	// A durable store that recovered documents already holds the demo
+	// corpus (or real traffic) — re-ingesting would duplicate it. The
+	// calibration below is in-memory state and runs on every boot.
+	if s.core.Store().Len() == 0 {
+		for _, ctxText := range set.Contexts() {
+			if _, err := s.core.Store().Add(ctxText, nil); err != nil {
+				return err
+			}
 		}
 	}
 	var triples []core.Triple
@@ -128,8 +187,12 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/ingest/bulk", s.handleIngestBulk)
 	mux.HandleFunc("/ask", s.handleAsk)
 	mux.HandleFunc("/verify", s.handleVerify)
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/documents/", s.handleDocument)
+	mux.HandleFunc("/admin/checkpoint", s.handleCheckpoint)
 	return mux
 }
 
@@ -147,13 +210,16 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // statusFor maps serving-layer errors onto HTTP statuses: shed load is
-// 429, expired deadlines are 503, everything else is the fallback.
+// 429, expired deadlines are 503, absent documents are 404, everything
+// else is the fallback.
 func statusFor(err error, fallback int) int {
 	switch {
 	case errors.Is(err, serve.ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, serve.ErrNotFound):
+		return http.StatusNotFound
 	default:
 		return fallback
 	}
@@ -192,6 +258,117 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"chunks": n})
+}
+
+func (s *server) handleIngestBulk(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req struct {
+		Texts []string `json:"texts"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Texts) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty texts array"))
+		return
+	}
+	chunks, err := s.core.IngestBulk(r.Context(), req.Texts)
+	if err != nil {
+		writeError(w, statusFor(err, http.StatusBadRequest), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"docs": len(req.Texts), "chunks": chunks})
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req struct {
+		Query string `json:"query"`
+		K     int    `json:"k"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty query"))
+		return
+	}
+	if req.K <= 0 {
+		req.K = 3
+	}
+	hits, err := s.core.Search(r.Context(), req.Query, req.K)
+	if err != nil {
+		writeError(w, statusFor(err, http.StatusInternalServerError), err)
+		return
+	}
+	type hitJSON struct {
+		ID    int64   `json:"id"`
+		Score float64 `json:"score"`
+		Text  string  `json:"text"`
+	}
+	out := make([]hitJSON, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, hitJSON{ID: h.ID, Score: h.Score, Text: h.Text})
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"hits": out})
+}
+
+// handleDocument serves GET and DELETE on /documents/{id}. Absent IDs
+// are 404 via the serving layer's typed ErrNotFound.
+func (s *server) handleDocument(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/documents/")
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil || id <= 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad document id %q", idStr))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		doc, err := s.core.GetDocument(r.Context(), id)
+		if err != nil {
+			writeError(w, statusFor(err, http.StatusInternalServerError), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"id": doc.ID, "text": doc.Text, "meta": doc.Meta,
+		})
+	case http.MethodDelete:
+		if err := s.core.DeleteDocument(r.Context(), id); err != nil {
+			writeError(w, statusFor(err, http.StatusInternalServerError), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int64{"deleted": id})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or DELETE required"))
+	}
+}
+
+// handleCheckpoint forces a checkpoint of every dirty shard — the
+// operator's knob before a planned restart or shard migration.
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	if err := s.core.Checkpoint(); err != nil {
+		// A memory-only server is the caller's mistake (400); a failing
+		// checkpoint on a durable server is a server fault (500).
+		status := http.StatusInternalServerError
+		if errors.Is(err, serve.ErrNoDataDir) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.core.Stats().Persist)
 }
 
 // verdictJSON is the wire form of a core.Verdict.

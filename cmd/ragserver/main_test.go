@@ -19,7 +19,7 @@ func newTestServer(t *testing.T) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(s.core.Close)
+	t.Cleanup(func() { s.core.Close() })
 	return s
 }
 
@@ -164,7 +164,7 @@ func TestSeedDemo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(s.core.Close)
+	t.Cleanup(func() { s.core.Close() })
 	if s.core.Store().Len() == 0 {
 		t.Error("demo seed indexed nothing")
 	}
@@ -190,7 +190,7 @@ func TestStatsEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(s.core.Close)
+	t.Cleanup(func() { s.core.Close() })
 	h := s.routes()
 	if rec := postJSON(t, h, "/ingest", map[string]string{"text": doc}); rec.Code != http.StatusOK {
 		t.Fatalf("ingest status %d: %s", rec.Code, rec.Body)
@@ -221,9 +221,192 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.VerdictCache.Hits == 0 {
 		t.Errorf("repeated ask did not hit the verdict cache: %+v", st.VerdictCache)
 	}
+	// Persistence metrics are present (and report disabled on a
+	// memory-only server).
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["persist"]; !ok {
+		t.Errorf("stats missing persist section: %s", rec.Body)
+	}
+	if st.Persist.Enabled {
+		t.Errorf("memory-only server reports persistence enabled: %+v", st.Persist)
+	}
 	// POST /stats is rejected.
 	rec = postJSON(t, h, "/stats", map[string]string{})
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("POST /stats status = %d", rec.Code)
+	}
+}
+
+func TestIngestBulkEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	h := s.routes()
+	rec := postJSON(t, h, "/ingest/bulk", map[string][]string{"texts": {
+		"The store operates from 9 AM to 5 PM every day of the week.",
+		"Employees are entitled to 14 days of paid annual leave per year.",
+		"At least three shopkeepers are required to run a shop.",
+	}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("bulk ingest status %d: %s", rec.Code, rec.Body)
+	}
+	var out struct {
+		Docs   int `json:"docs"`
+		Chunks int `json:"chunks"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Docs != 3 || out.Chunks < 3 {
+		t.Errorf("bulk ingest = %+v", out)
+	}
+	if got := s.core.Store().Len(); got != out.Chunks {
+		t.Errorf("store holds %d chunks, response said %d", got, out.Chunks)
+	}
+	// Empty and malformed bodies are rejected.
+	if rec := postJSON(t, h, "/ingest/bulk", map[string][]string{"texts": {}}); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty bulk ingest status = %d", rec.Code)
+	}
+}
+
+func TestDocumentEndpointNotFoundMapping(t *testing.T) {
+	s := newTestServer(t)
+	h := s.routes()
+	rec := postJSON(t, h, "/ingest", map[string]string{"text": "The probation period lasts three months."})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest status %d", rec.Code)
+	}
+	// A stored document is retrievable and deletable.
+	req := httptest.NewRequest(http.MethodGet, "/documents/1", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /documents/1 status = %d: %s", rec.Code, rec.Body)
+	}
+	req = httptest.NewRequest(http.MethodDelete, "/documents/1", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("DELETE /documents/1 status = %d: %s", rec.Code, rec.Body)
+	}
+	// Absent IDs map to 404 — typed ErrNotFound, not a 500.
+	for _, method := range []string{http.MethodGet, http.MethodDelete} {
+		req := httptest.NewRequest(method, "/documents/1", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("%s deleted doc status = %d, want 404", method, rec.Code)
+		}
+	}
+	// Garbage IDs are 400.
+	req = httptest.NewRequest(http.MethodGet, "/documents/banana", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("GET /documents/banana status = %d, want 400", rec.Code)
+	}
+}
+
+func TestCheckpointEndpointRequiresDataDir(t *testing.T) {
+	s := newTestServer(t)
+	rec := postJSON(t, s.routes(), "/admin/checkpoint", map[string]string{})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("checkpoint on memory-only server status = %d, want 400", rec.Code)
+	}
+}
+
+// newDurableServer builds a server persisting to dir with the
+// background checkpointer disabled, so tests decide when state moves
+// from WAL to checkpoint.
+func newDurableServer(t *testing.T, dir string) *server {
+	t.Helper()
+	s, err := newServer(serve.Config{
+		TopK: 2, Threshold: 3.2, Shards: 2, DataDir: dir,
+		Persist: serve.PersistConfig{CheckpointEvery: -1},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// getJSON performs a GET and returns the recorder.
+func getJSON(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestRecoveryServesIdenticalResults is the acceptance path: a server
+// with -data-dir is loaded, checkpointed mid-stream, loaded some more,
+// then dies without a graceful shutdown; the restarted server answers
+// /search identically with zero re-ingestion, having replayed the
+// post-checkpoint WAL records on top of the checkpoint.
+func TestRecoveryServesIdenticalResults(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newDurableServer(t, dir)
+	h1 := s1.routes()
+
+	if rec := postJSON(t, h1, "/ingest/bulk", map[string][]string{"texts": {
+		"The store operates from 9 AM to 5 PM, from Sunday to Saturday.",
+		"Employees are entitled to 14 days of paid annual leave per year.",
+	}}); rec.Code != http.StatusOK {
+		t.Fatalf("bulk ingest status %d: %s", rec.Code, rec.Body)
+	}
+	// Move the first wave into a checkpoint.
+	if rec := postJSON(t, h1, "/admin/checkpoint", map[string]string{}); rec.Code != http.StatusOK {
+		t.Fatalf("checkpoint status %d: %s", rec.Code, rec.Body)
+	}
+	// Second wave lives only in the WAL.
+	if rec := postJSON(t, h1, "/ingest", map[string]string{
+		"text": "At least three shopkeepers are required to run a shop. Overtime is paid at time and a half.",
+	}); rec.Code != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", rec.Code, rec.Body)
+	}
+	searchReq := map[string]interface{}{"query": "how many shopkeepers run a shop", "k": 3}
+	before := postJSON(t, h1, "/search", searchReq)
+	if before.Code != http.StatusOK {
+		t.Fatalf("search status %d: %s", before.Code, before.Body)
+	}
+	var health struct {
+		Docs int `json:"docs"`
+	}
+	if err := json.Unmarshal(getJSON(t, h1, "/healthz").Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: s1 is abandoned without Close, so nothing past the explicit
+	// checkpoint gets snapshotted — recovery must come from the WAL.
+
+	s2 := newDurableServer(t, dir)
+	t.Cleanup(func() { s2.core.Close() })
+	h2 := s2.routes()
+	var health2 struct {
+		Docs int `json:"docs"`
+	}
+	if err := json.Unmarshal(getJSON(t, h2, "/healthz").Body.Bytes(), &health2); err != nil {
+		t.Fatal(err)
+	}
+	if health2.Docs != health.Docs || health.Docs == 0 {
+		t.Fatalf("recovered %d docs, want %d", health2.Docs, health.Docs)
+	}
+	after := postJSON(t, h2, "/search", searchReq)
+	if after.Code != http.StatusOK {
+		t.Fatalf("search after recovery status %d: %s", after.Code, after.Body)
+	}
+	if before.Body.String() != after.Body.String() {
+		t.Errorf("search diverged after recovery:\n before %s\n after  %s", before.Body, after.Body)
+	}
+	var st serve.Snapshot
+	if err := json.Unmarshal(getJSON(t, h2, "/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Persist.Enabled {
+		t.Error("durable server reports persistence disabled")
+	}
+	if st.Persist.ReplayedRecords == 0 {
+		t.Error("recovery replayed no WAL records — second wave came from nowhere")
 	}
 }

@@ -1,0 +1,46 @@
+// Package parallel holds the tiny bounded fan-out helper shared by the
+// layers that spread index work across cores (vecdb embedding, serve
+// bulk chunking), so the worker-pool mechanics live in exactly one
+// place.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n) on up to GOMAXPROCS goroutines
+// and returns when all calls have finished. Indices are handed out
+// dynamically, so uneven work items still balance across workers. fn
+// must be safe to call concurrently for distinct i.
+func For(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -22,7 +22,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/rag"
+	"repro/internal/vecdb"
 )
 
 // Config assembles a Server. Zero values take the documented defaults.
@@ -66,6 +68,14 @@ type Config struct {
 	// 4096 each).
 	EmbedCacheSize   int
 	VerdictCacheSize int
+
+	// DataDir, when non-empty, makes the store durable: every mutation
+	// is journaled to a per-shard write-ahead log, shards checkpoint in
+	// the background, and New recovers the previous state instead of
+	// starting empty. Empty means memory-only (the prior behaviour).
+	DataDir string
+	// Persist tunes the durable layer; ignored when DataDir is empty.
+	Persist PersistConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -119,12 +129,22 @@ type Server struct {
 	asks     atomic.Uint64
 	verifies atomic.Uint64
 	ingests  atomic.Uint64
+	searches atomic.Uint64
+	deletes  atomic.Uint64
 }
 
 // New builds and starts a Server (the batcher's collection loop runs
 // until Close).
 func New(cfg Config) (*Server, error) {
+	// Shards=0 means "auto" for a fresh store but "adopt the stored
+	// count" when reopening a data directory — resolve before
+	// withDefaults turns 0 into the machine default, which would reject
+	// a directory created on a machine with a different core count.
+	shards := cfg.Shards
 	cfg = cfg.withDefaults()
+	if cfg.DataDir == "" || (shards <= 0 && !storeMetaExists(cfg.DataDir)) {
+		shards = cfg.Shards
+	}
 	det := cfg.Detector
 	if det == nil {
 		d, err := core.NewProposed()
@@ -137,7 +157,13 @@ func New(cfg Config) (*Server, error) {
 	if gen == nil {
 		gen = rag.ExtractiveGenerator{MaxSentences: 2}
 	}
-	store, err := NewShardedDefault(cfg.Shards, cfg.Dim, cfg.EmbedCacheSize)
+	var store *ShardedDB
+	var err error
+	if cfg.DataDir != "" {
+		store, err = OpenShardedDefault(cfg.DataDir, shards, cfg.Dim, cfg.EmbedCacheSize, cfg.Persist)
+	} else {
+		store, err = NewShardedDefault(shards, cfg.Dim, cfg.EmbedCacheSize)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -149,10 +175,12 @@ func New(cfg Config) (*Server, error) {
 		Threshold: cfg.Threshold,
 	})
 	if err != nil {
+		store.Close()
 		return nil, err
 	}
 	admission, err := NewAdmission(cfg.MaxInFlight, cfg.MaxQueue)
 	if err != nil {
+		store.Close()
 		return nil, err
 	}
 	return &Server{
@@ -169,8 +197,19 @@ func New(cfg Config) (*Server, error) {
 	}, nil
 }
 
-// Close stops the batcher. In-flight requests finish.
-func (s *Server) Close() { s.batcher.Close() }
+// Close stops the batcher and — on a durable store — takes a final
+// checkpoint and closes the per-shard WALs, so a clean shutdown
+// restarts from a snapshot with nothing to replay. In-flight requests
+// finish.
+func (s *Server) Close() error {
+	s.batcher.Close()
+	return s.store.Close()
+}
+
+// Checkpoint snapshots every dirty shard and truncates its WAL — the
+// operation behind POST /admin/checkpoint. It errors on a memory-only
+// server.
+func (s *Server) Checkpoint() error { return s.store.Save() }
 
 // Store exposes the sharded document store (for seeding and tests).
 func (s *Server) Store() *ShardedDB { return s.store }
@@ -256,6 +295,94 @@ func (s *Server) Ingest(ctx context.Context, text string) (int, error) {
 	return s.pipeline.Ingest(text, s.cfg.Chunker)
 }
 
+// IngestBulk chunks and indexes a batch of documents: chunking runs
+// concurrently across documents, then all chunks are written through
+// ShardedDB.AddBulk, which embeds on all cores and groups index writes
+// (and WAL appends, on a durable store) per shard. It returns the
+// total chunk count. The batch costs one admission slot — bulk ingest
+// competes with queries as one request, not len(texts) of them.
+func (s *Server) IngestBulk(ctx context.Context, texts []string) (int, error) {
+	if len(texts) == 0 {
+		return 0, errors.New("serve: empty bulk ingest")
+	}
+	rctx, done, err := s.admit(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer done()
+	if err := rctx.Err(); err != nil {
+		return 0, err
+	}
+	s.ingests.Add(uint64(len(texts)))
+
+	chunked := make([][]string, len(texts))
+	errs := make([]error, len(texts))
+	parallel.For(len(texts), func(i int) {
+		chunked[i], errs[i] = s.cfg.Chunker.Chunk(texts[i])
+	})
+	if err := errors.Join(errs...); err != nil {
+		return 0, err
+	}
+	var chunks []string
+	for _, cs := range chunked {
+		chunks = append(chunks, cs...)
+	}
+	if _, err := s.store.AddBulk(chunks); err != nil {
+		return 0, err
+	}
+	return len(chunks), nil
+}
+
+// Search retrieves the top-k passages for query through admission
+// control — retrieval-only traffic pays an embedding plus a fan-out
+// over every shard, so it must not bypass the load-shedding gate the
+// other endpoints respect.
+func (s *Server) Search(ctx context.Context, query string, k int) ([]vecdb.Hit, error) {
+	if query == "" {
+		return nil, errors.New("serve: empty query")
+	}
+	rctx, done, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	if err := rctx.Err(); err != nil {
+		return nil, err
+	}
+	s.searches.Add(1)
+	return s.store.Search(query, k)
+}
+
+// GetDocument fetches one stored document through admission control.
+// Absent IDs report ErrNotFound.
+func (s *Server) GetDocument(ctx context.Context, id int64) (vecdb.Document, error) {
+	rctx, done, err := s.admit(ctx)
+	if err != nil {
+		return vecdb.Document{}, err
+	}
+	defer done()
+	if err := rctx.Err(); err != nil {
+		return vecdb.Document{}, err
+	}
+	return s.store.Get(id)
+}
+
+// DeleteDocument removes one document through admission control,
+// journaling the removal on a durable store. Absent IDs report
+// ErrNotFound.
+func (s *Server) DeleteDocument(ctx context.Context, id int64) error {
+	rctx, done, err := s.admit(ctx)
+	if err != nil {
+		return err
+	}
+	defer done()
+	if err := rctx.Err(); err != nil {
+		return err
+	}
+	s.deletes.Add(1)
+	return s.store.Delete(id)
+}
+
 // verdictKey separates fields with unit separators so distinct triples
 // never collide.
 func verdictKey(t core.Triple) string {
@@ -314,9 +441,15 @@ func (s *Server) Stats() Snapshot {
 		bs.MeanOccupancy = float64(items) / float64(batches)
 	}
 	return Snapshot{
-		Docs:         s.store.Len(),
-		ShardSizes:   s.store.ShardSizes(),
-		Requests:     RequestStats{Asks: s.asks.Load(), Verifies: s.verifies.Load(), Ingests: s.ingests.Load()},
+		Docs:       s.store.Len(),
+		ShardSizes: s.store.ShardSizes(),
+		Requests: RequestStats{
+			Asks:     s.asks.Load(),
+			Verifies: s.verifies.Load(),
+			Ingests:  s.ingests.Load(),
+			Searches: s.searches.Load(),
+			Deletes:  s.deletes.Load(),
+		},
 		EmbedCache:   ec,
 		VerdictCache: cacheStats(s.verdicts.Len(), vh, vm),
 		Batch:        bs,
@@ -325,5 +458,6 @@ func (s *Server) Stats() Snapshot {
 			QueueDepth: s.admission.QueueDepth(),
 			Shed:       s.admission.Shed(),
 		},
+		Persist: s.store.PersistStats(),
 	}
 }

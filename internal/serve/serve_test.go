@@ -355,7 +355,7 @@ func newTestServer(t testing.TB, cfg Config) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(s.Close)
+	t.Cleanup(func() { s.Close() })
 	ctx := context.Background()
 	if _, err := s.Ingest(ctx, strings.Join(handbook, " ")); err != nil {
 		t.Fatal(err)
@@ -531,5 +531,83 @@ func TestServerEmptyQuestion(t *testing.T) {
 	s := newTestServer(t, Config{Shards: 2, Dim: 64})
 	if _, err := s.Ask(context.Background(), ""); err == nil {
 		t.Error("empty question must fail")
+	}
+}
+
+// TestServerIngestBulk: the bulk path chunks every document, lands all
+// chunks in the store, and costs exactly one admitted ingest batch.
+func TestServerIngestBulk(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 4, TopK: 2})
+	before := s.Store().Len()
+	chunks, err := s.IngestBulk(context.Background(), handbook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunks < len(handbook) {
+		t.Errorf("bulk ingest produced %d chunks for %d docs", chunks, len(handbook))
+	}
+	if got := s.Store().Len() - before; got != chunks {
+		t.Errorf("store grew by %d, response said %d", got, chunks)
+	}
+	// Every fact is retrievable after bulk ingest.
+	hits, err := s.Store().Search("how is overtime compensated", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Error("bulk-ingested corpus not retrievable")
+	}
+	if _, err := s.IngestBulk(context.Background(), nil); err == nil {
+		t.Error("empty bulk ingest succeeded")
+	}
+	// A durable server persists the bulk batch through the same WAL.
+	st := s.Stats()
+	if st.Persist.Enabled {
+		t.Error("memory-only server reports persistence enabled")
+	}
+	if st.Requests.Ingests != 1+uint64(len(handbook)) {
+		t.Errorf("ingest counter = %d, want %d", st.Requests.Ingests, 1+len(handbook))
+	}
+}
+
+// TestServerDurableLifecycle: a Server over a data dir recovers its
+// corpus across Close/New cycles and reports persistence in Stats.
+func TestServerDurableLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	det := calibratedDetector(t)
+	cfg := Config{Shards: 2, TopK: 2, Detector: det, DataDir: dir,
+		Persist: PersistConfig{CheckpointEvery: -1}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.IngestBulk(context.Background(), handbook); err != nil {
+		t.Fatal(err)
+	}
+	docs := s.Store().Len()
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats().Persist; !st.Enabled || st.Checkpoints == 0 || st.WALRecords != 0 {
+		t.Errorf("after checkpoint: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	if r.Store().Len() != docs {
+		t.Fatalf("recovered %d docs, want %d", r.Store().Len(), docs)
+	}
+	ans, err := r.Ask(context.Background(), "What are the store working hours?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Response == "" {
+		t.Error("recovered server produced empty answer")
 	}
 }

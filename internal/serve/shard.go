@@ -21,7 +21,15 @@ type ShardedDB struct {
 	embed  vecdb.Embedder
 	shards []*vecdb.DB
 	nextID atomic.Int64
+	// persist is the durable layer (WAL + checkpoints) attached by
+	// OpenSharded; nil for a memory-only store.
+	persist *persistence
 }
+
+// ErrNotFound is the typed error for operations on absent document
+// IDs, re-exported so HTTP handlers can map it to 404 without
+// importing vecdb. Every ShardedDB method that can miss wraps it.
+var ErrNotFound = vecdb.ErrNotFound
 
 // NewSharded builds n shards over a shared embedder, one index per
 // shard produced by mkIndex. The same embedder serves the ingest path
@@ -78,18 +86,136 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+func (s *ShardedDB) shardIndex(id int64) int {
+	return int(splitmix64(uint64(id)) % uint64(len(s.shards)))
+}
+
 func (s *ShardedDB) shardFor(id int64) *vecdb.DB {
-	return s.shards[splitmix64(uint64(id))%uint64(len(s.shards))]
+	return s.shards[s.shardIndex(id)]
+}
+
+// apply executes a batch of mutations that all route to shard i,
+// journaling them through the shard's WAL when the store is durable.
+// The shard's persistence mutex spans apply+journal, so WAL order is
+// exactly apply order and a concurrent checkpoint can never truncate a
+// record for state its snapshot missed. A batch that fails — in
+// application or in journaling — is rolled back from the in-memory
+// shard, so callers never observe a "failed" write that later becomes
+// durable (or a durable state the caller was told failed).
+func (s *ShardedDB) apply(i int, ms []vecdb.Mutation) error {
+	db := s.shards[i]
+	p := s.persist
+	if p == nil {
+		return applyMutations(db, ms)
+	}
+	// Encode before touching anything: an unjournalable mutation (e.g.
+	// an oversized meta key) must be rejected while no state has moved.
+	payloads := make([][]byte, len(ms))
+	for j, m := range ms {
+		b, err := vecdb.EncodeMutation(m)
+		if err != nil {
+			return err
+		}
+		payloads[j] = b
+	}
+	ds := p.shards[i]
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	// Capture the documents deletes will remove, so they can be
+	// restored if the batch has to roll back.
+	var restore []vecdb.Document
+	for _, m := range ms {
+		if m.Op == vecdb.OpDelete {
+			if d, err := db.Get(m.ID); err == nil {
+				restore = append(restore, d)
+			}
+		}
+	}
+	rollback := func() {
+		for _, m := range ms {
+			if m.Op == vecdb.OpAdd {
+				db.Delete(m.ID) // ErrNotFound fine: the add may not have applied
+			}
+		}
+		for _, d := range restore {
+			if _, err := db.Get(d.ID); err != nil {
+				db.AddWithID(d.ID, d.Text, d.Meta)
+			}
+		}
+	}
+	if err := applyMutations(db, ms); err != nil {
+		rollback()
+		return err
+	}
+	if err := p.journal(i, payloads); err != nil {
+		rollback()
+		return err
+	}
+	return nil
+}
+
+func applyMutations(db *vecdb.DB, ms []vecdb.Mutation) error {
+	if len(ms) == 1 {
+		return db.Apply(ms[0])
+	}
+	return db.ApplyAll(ms)
 }
 
 // Add embeds and stores text on the shard owned by the new document's
 // ID, implementing rag.Store.
 func (s *ShardedDB) Add(text string, meta map[string]string) (int64, error) {
 	id := s.nextID.Add(1)
-	if err := s.shardFor(id).AddWithID(id, text, meta); err != nil {
+	m := vecdb.Mutation{Op: vecdb.OpAdd, ID: id, Text: text, Meta: meta}
+	if err := s.apply(s.shardIndex(id), []vecdb.Mutation{m}); err != nil {
 		return 0, err
 	}
 	return id, nil
+}
+
+// AddBulk stores a batch of texts, returning their IDs in input order.
+// Writes are grouped by owning shard and applied with one lock
+// acquisition, one concurrent embedding pass, and (on a durable store)
+// one journal append batch per shard — shards proceed in parallel. On
+// error, shards already applied stay applied; callers treat the batch
+// as all-or-retry.
+func (s *ShardedDB) AddBulk(texts []string) ([]int64, error) {
+	if len(texts) == 0 {
+		return nil, nil
+	}
+	ids := make([]int64, len(texts))
+	groups := make([][]vecdb.Mutation, len(s.shards))
+	for i, text := range texts {
+		id := s.nextID.Add(1)
+		ids[i] = id
+		si := s.shardIndex(id)
+		groups[si] = append(groups[si], vecdb.Mutation{Op: vecdb.OpAdd, ID: id, Text: text})
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for si, ms := range groups {
+		if len(ms) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int, ms []vecdb.Mutation) {
+			defer wg.Done()
+			if err := s.apply(si, ms); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(si, ms)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return ids, nil
 }
 
 // Get returns the stored document for id from its owning shard.
@@ -97,9 +223,11 @@ func (s *ShardedDB) Get(id int64) (vecdb.Document, error) {
 	return s.shardFor(id).Get(id)
 }
 
-// Delete removes a document from its owning shard.
+// Delete removes a document from its owning shard, journaling the
+// removal on a durable store. A missing ID reports ErrNotFound.
 func (s *ShardedDB) Delete(id int64) error {
-	return s.shardFor(id).Delete(id)
+	m := vecdb.Mutation{Op: vecdb.OpDelete, ID: id}
+	return s.apply(s.shardIndex(id), []vecdb.Mutation{m})
 }
 
 // Len sums the shard sizes, implementing rag.Store.

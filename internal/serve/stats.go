@@ -19,6 +19,9 @@ type Snapshot struct {
 	Batch BatchStats `json:"batch"`
 	// Admission reports the load-shedding gate.
 	Admission AdmissionStats `json:"admission"`
+	// Persist reports the durable layer (WAL + checkpoints); Enabled is
+	// false on a memory-only server.
+	Persist PersistStats `json:"persist"`
 }
 
 // RequestStats counts admitted requests by endpoint kind.
@@ -26,6 +29,8 @@ type RequestStats struct {
 	Asks     uint64 `json:"asks"`
 	Verifies uint64 `json:"verifies"`
 	Ingests  uint64 `json:"ingests"`
+	Searches uint64 `json:"searches"`
+	Deletes  uint64 `json:"deletes"`
 }
 
 // CacheStats describes one LRU cache.

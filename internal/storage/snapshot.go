@@ -1,0 +1,132 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot file layout:
+//
+//	[8B magic "GARXSNAP"][4B LE format version][payload…][4B LE CRC-32
+//	(IEEE) of payload]
+//
+// The version in the header is the *caller's* payload version (e.g.
+// vecdb's snapshot version), so each subsystem evolves its wire form
+// independently while sharing the framing, checksum and atomic-replace
+// machinery. Snapshots are written to a temp file in the target
+// directory, fsynced, then renamed over the destination, so readers
+// only ever observe the old or the new complete snapshot.
+
+var snapshotMagic = [8]byte{'G', 'A', 'R', 'X', 'S', 'N', 'A', 'P'}
+
+const snapshotHeader = 12 // magic + version
+const snapshotTrailer = 4 // crc
+
+// ErrBadSnapshot reports a missing magic, short file, or checksum
+// mismatch — the snapshot is unusable and the caller should fall back
+// to an older checkpoint or an empty state plus WAL replay.
+var ErrBadSnapshot = errors.New("storage: bad snapshot")
+
+// ErrSnapshotVersion reports a payload version the caller does not
+// understand.
+var ErrSnapshotVersion = errors.New("storage: unsupported snapshot version")
+
+// WriteSnapshot atomically replaces path with a framed snapshot whose
+// payload is produced by encode.
+func WriteSnapshot(path string, version uint32, encode func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("storage: snapshot temp: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(tmp)
+	var hdr [snapshotHeader]byte
+	copy(hdr[:8], snapshotMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], version)
+	if _, err = bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("storage: snapshot header: %w", err)
+	}
+	if err = encode(io.MultiWriter(bw, crc)); err != nil {
+		return fmt.Errorf("storage: snapshot encode: %w", err)
+	}
+	var tail [snapshotTrailer]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	if _, err = bw.Write(tail[:]); err != nil {
+		return fmt.Errorf("storage: snapshot trailer: %w", err)
+	}
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("storage: snapshot flush: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("storage: snapshot fsync: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("storage: snapshot close: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("storage: snapshot rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// ReadSnapshot opens the snapshot at path, verifies magic and
+// checksum, and hands the payload to decode. want is the only payload
+// version accepted; a mismatch returns ErrSnapshotVersion. A missing
+// file returns an error satisfying os.IsNotExist / fs.ErrNotExist.
+func ReadSnapshot(path string, want uint32, decode func(r io.Reader) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("storage: snapshot stat: %w", err)
+	}
+	if st.Size() < snapshotHeader+snapshotTrailer {
+		return fmt.Errorf("%w: %s: short file", ErrBadSnapshot, path)
+	}
+	br := bufio.NewReader(f)
+	var hdr [snapshotHeader]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrBadSnapshot, path, err)
+	}
+	if [8]byte(hdr[:8]) != snapshotMagic {
+		return fmt.Errorf("%w: %s: bad magic", ErrBadSnapshot, path)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[8:12]); got != want {
+		return fmt.Errorf("%w: %s: version %d, want %d", ErrSnapshotVersion, path, got, want)
+	}
+	// Verify the checksum over the whole payload before decoding, so a
+	// corrupt snapshot is reported as such rather than as a decoder
+	// error on garbage.
+	payloadLen := st.Size() - snapshotHeader - snapshotTrailer
+	crc := crc32.NewIEEE()
+	if _, err := io.CopyN(crc, br, payloadLen); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrBadSnapshot, path, err)
+	}
+	var tail [snapshotTrailer]byte
+	if _, err := io.ReadFull(br, tail[:]); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrBadSnapshot, path, err)
+	}
+	if binary.LittleEndian.Uint32(tail[:]) != crc.Sum32() {
+		return fmt.Errorf("%w: %s: checksum mismatch", ErrBadSnapshot, path)
+	}
+	if _, err := f.Seek(snapshotHeader, io.SeekStart); err != nil {
+		return fmt.Errorf("storage: snapshot seek: %w", err)
+	}
+	return decode(io.LimitReader(bufio.NewReader(f), payloadLen))
+}

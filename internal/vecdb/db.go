@@ -5,8 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"sync"
+
+	"repro/internal/storage"
 )
 
 // Document is one stored passage with optional caller metadata.
@@ -97,6 +98,12 @@ func (db *DB) AddWithID(id int64, text string, meta map[string]string) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.addLocked(id, text, meta, vec)
+}
+
+// addLocked installs an embedded document under a caller-assigned ID
+// and advances the ID counter past it. Callers hold db.mu.
+func (db *DB) addLocked(id int64, text string, meta map[string]string, vec []float32) error {
 	if err := db.index.Add(id, vec); err != nil {
 		return fmt.Errorf("vecdb: index add: %w", err)
 	}
@@ -146,12 +153,26 @@ func (db *DB) Get(id int64) (Document, error) {
 func (db *DB) Delete(id int64) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.deleteLocked(id)
+}
+
+// deleteLocked removes a document. Callers hold db.mu.
+func (db *DB) deleteLocked(id int64) error {
 	if _, ok := db.docs[id]; !ok {
 		return fmt.Errorf("%w: id %d", ErrNotFound, id)
 	}
 	db.index.Remove(id)
 	delete(db.docs, id)
 	return nil
+}
+
+// NextID reports the next ID the internal counter would assign. A
+// recovering shard router uses it to restore its global allocator past
+// every replayed document.
+func (db *DB) NextID() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.nextID
 }
 
 // Hit is one retrieved document with its similarity score.
@@ -202,8 +223,14 @@ type snapshot struct {
 	NextID  int64
 }
 
-// currentVersion is bumped when the wire form changes incompatibly.
+// currentVersion is bumped when the wire form changes incompatibly. It
+// doubles as the payload version stamped into checkpoint files by the
+// storage codec.
 const currentVersion = 1
+
+// SnapshotVersion is the checkpoint payload version written by
+// SaveFile and accepted by LoadFile.
+const SnapshotVersion uint32 = currentVersion
 
 // Save serializes the database's documents. Vectors are not stored:
 // embedders are deterministic, so Load re-embeds, which keeps the file
@@ -221,21 +248,18 @@ func (db *DB) Save(w io.Writer) error {
 	return nil
 }
 
-// SaveFile writes the database to path.
+// SaveFile checkpoints the database to path through the shared storage
+// codec: the gob payload from Save is framed with a magic, version and
+// checksum, written to a temp file and atomically renamed into place,
+// so a crash mid-checkpoint never leaves a half-written file where a
+// snapshot should be.
 func (db *DB) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("vecdb: save: %w", err)
-	}
-	defer f.Close()
-	if err := db.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return storage.WriteSnapshot(path, SnapshotVersion, db.Save)
 }
 
 // Load restores documents saved by Save into a fresh DB built on the
-// given embedder and index.
+// given embedder and index. Re-embedding runs on a concurrent worker
+// pool, so recovery scales with cores.
 func Load(r io.Reader, embed Embedder, index Index) (*DB, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
@@ -248,12 +272,16 @@ func Load(r io.Reader, embed Embedder, index Index) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, d := range snap.Docs {
-		vec, err := embed.Embed(d.Text)
-		if err != nil {
-			return nil, fmt.Errorf("vecdb: re-embed doc %d: %w", d.ID, err)
-		}
-		if err := index.Add(d.ID, vec); err != nil {
+	texts := make([]string, len(snap.Docs))
+	for i, d := range snap.Docs {
+		texts[i] = d.Text
+	}
+	vecs, err := embedAll(embed, texts)
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range snap.Docs {
+		if err := index.Add(d.ID, vecs[i]); err != nil {
 			return nil, err
 		}
 		db.docs[d.ID] = d
@@ -262,12 +290,19 @@ func Load(r io.Reader, embed Embedder, index Index) (*DB, error) {
 	return db, nil
 }
 
-// LoadFile restores a database from path.
+// LoadFile restores a database from a checkpoint written by SaveFile,
+// verifying the codec frame (magic, version, checksum) before
+// decoding. A missing file surfaces as a not-exist error so callers
+// can cold-start.
 func LoadFile(path string, embed Embedder, index Index) (*DB, error) {
-	f, err := os.Open(path)
+	var db *DB
+	err := storage.ReadSnapshot(path, SnapshotVersion, func(r io.Reader) error {
+		d, err := Load(r, embed, index)
+		db = d
+		return err
+	})
 	if err != nil {
-		return nil, fmt.Errorf("vecdb: load: %w", err)
+		return nil, err
 	}
-	defer f.Close()
-	return Load(f, embed, index)
+	return db, nil
 }

@@ -1,0 +1,226 @@
+package vecdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/parallel"
+)
+
+// Op tags a journaled mutation.
+type Op uint8
+
+const (
+	// OpAdd inserts (or replaces) a document under an explicit ID.
+	OpAdd Op = 1
+	// OpDelete removes a document.
+	OpDelete Op = 2
+)
+
+// Mutation is one deterministic state change to a DB — the unit a
+// write-ahead log journals and replays. Vectors are never part of a
+// mutation: embedders are deterministic, so replay re-embeds, keeping
+// the journal format independent of embedder internals (the same
+// contract Save/Load rely on).
+type Mutation struct {
+	Op   Op
+	ID   int64
+	Text string
+	Meta map[string]string
+}
+
+// Apply executes one mutation. Replaying a journal of previously
+// successful mutations in order reproduces the DB state exactly.
+func (db *DB) Apply(m Mutation) error {
+	switch m.Op {
+	case OpAdd:
+		return db.AddWithID(m.ID, m.Text, m.Meta)
+	case OpDelete:
+		return db.Delete(m.ID)
+	}
+	return fmt.Errorf("vecdb: unknown mutation op %d", m.Op)
+}
+
+// ApplyAll executes a batch of mutations in order. Vectors for the
+// adds are computed concurrently outside the lock, then the whole
+// batch is installed under a single lock acquisition — the fast path
+// for WAL replay and bulk ingest. On error the batch stops at the
+// failing mutation; earlier ones remain applied.
+func (db *DB) ApplyAll(ms []Mutation) error {
+	vecs := make([][]float32, len(ms))
+	var texts []string
+	var slots []int
+	for i, m := range ms {
+		switch m.Op {
+		case OpAdd:
+			if m.ID <= 0 {
+				return fmt.Errorf("vecdb: document ID must be positive, got %d", m.ID)
+			}
+			texts = append(texts, m.Text)
+			slots = append(slots, i)
+		case OpDelete:
+		default:
+			return fmt.Errorf("vecdb: unknown mutation op %d", m.Op)
+		}
+	}
+	embedded, err := embedAll(db.embed, texts)
+	if err != nil {
+		return err
+	}
+	for j, i := range slots {
+		vecs[i] = embedded[j]
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for i, m := range ms {
+		switch m.Op {
+		case OpAdd:
+			if err := db.addLocked(m.ID, m.Text, m.Meta, vecs[i]); err != nil {
+				return err
+			}
+		case OpDelete:
+			if err := db.deleteLocked(m.ID); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// embedAll embeds texts on all cores, preserving order.
+func embedAll(embed Embedder, texts []string) ([][]float32, error) {
+	vecs := make([][]float32, len(texts))
+	errs := make([]error, len(texts))
+	parallel.For(len(texts), func(i int) {
+		v, err := embed.Embed(texts[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		vecs[i] = v
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("vecdb: embed: %w", err)
+		}
+	}
+	return vecs, nil
+}
+
+// Mutation wire form (the WAL payload):
+//
+//	[1B op][8B LE id]                         — OpDelete stops here
+//	[4B LE len][text][2B LE meta count]
+//	then per meta pair: [2B LE len][key][4B LE len][value]
+//
+// The frame-level CRC lives in the WAL record, not here.
+
+// EncodeMutation serializes m for journaling. Fields that overflow
+// their length prefixes are rejected here, before anything is applied
+// or appended — a silently truncated prefix would produce a record
+// that fails to decode on every subsequent boot.
+func EncodeMutation(m Mutation) ([]byte, error) {
+	n := 9
+	if m.Op == OpAdd {
+		if uint64(len(m.Text)) > math.MaxUint32 {
+			return nil, fmt.Errorf("vecdb: text of doc %d exceeds %d bytes", m.ID, uint32(math.MaxUint32))
+		}
+		if len(m.Meta) > math.MaxUint16 {
+			return nil, fmt.Errorf("vecdb: doc %d has %d meta entries, max %d", m.ID, len(m.Meta), math.MaxUint16)
+		}
+		n += 4 + len(m.Text) + 2
+		for k, v := range m.Meta {
+			if len(k) > math.MaxUint16 {
+				return nil, fmt.Errorf("vecdb: meta key of doc %d exceeds %d bytes", m.ID, math.MaxUint16)
+			}
+			if uint64(len(v)) > math.MaxUint32 {
+				return nil, fmt.Errorf("vecdb: meta value of doc %d exceeds %d bytes", m.ID, uint32(math.MaxUint32))
+			}
+			n += 2 + len(k) + 4 + len(v)
+		}
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, byte(m.Op))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.ID))
+	if m.Op != OpAdd {
+		return buf, nil
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Text)))
+	buf = append(buf, m.Text...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.Meta)))
+	for k, v := range m.Meta {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(k)))
+		buf = append(buf, k...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+		buf = append(buf, v...)
+	}
+	return buf, nil
+}
+
+// DecodeMutation parses a journaled mutation.
+func DecodeMutation(b []byte) (Mutation, error) {
+	var m Mutation
+	if len(b) < 9 {
+		return m, fmt.Errorf("vecdb: mutation record too short (%d bytes)", len(b))
+	}
+	m.Op = Op(b[0])
+	m.ID = int64(binary.LittleEndian.Uint64(b[1:9]))
+	b = b[9:]
+	switch m.Op {
+	case OpDelete:
+		if len(b) != 0 {
+			return m, fmt.Errorf("vecdb: %d trailing bytes in delete record", len(b))
+		}
+		return m, nil
+	case OpAdd:
+	default:
+		return m, fmt.Errorf("vecdb: unknown mutation op %d", m.Op)
+	}
+	text, b, err := takeString(b, 4)
+	if err != nil {
+		return m, err
+	}
+	m.Text = text
+	if len(b) < 2 {
+		return m, fmt.Errorf("vecdb: truncated meta count")
+	}
+	count := int(binary.LittleEndian.Uint16(b[:2]))
+	b = b[2:]
+	if count > 0 {
+		m.Meta = make(map[string]string, count)
+	}
+	for i := 0; i < count; i++ {
+		var k, v string
+		if k, b, err = takeString(b, 2); err != nil {
+			return m, err
+		}
+		if v, b, err = takeString(b, 4); err != nil {
+			return m, err
+		}
+		m.Meta[k] = v
+	}
+	if len(b) != 0 {
+		return m, fmt.Errorf("vecdb: %d trailing bytes in add record", len(b))
+	}
+	return m, nil
+}
+
+// takeString reads a length-prefixed string with a prefix of `width`
+// bytes (2 or 4, little-endian).
+func takeString(b []byte, width int) (string, []byte, error) {
+	if len(b) < width {
+		return "", nil, fmt.Errorf("vecdb: truncated length prefix")
+	}
+	var n int
+	if width == 2 {
+		n = int(binary.LittleEndian.Uint16(b[:2]))
+	} else {
+		n = int(binary.LittleEndian.Uint32(b[:4]))
+	}
+	b = b[width:]
+	if len(b) < n {
+		return "", nil, fmt.Errorf("vecdb: truncated string (want %d, have %d)", n, len(b))
+	}
+	return string(b[:n]), b[n:], nil
+}
