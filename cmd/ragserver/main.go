@@ -15,16 +15,26 @@
 //	GET  /documents/{id}                              → stored document
 //	DELETE /documents/{id}                            → {"deleted": id}
 //	POST /admin/checkpoint                            → persistence counters
-//	GET  /healthz                                     → {"status":"ok","docs":n}
+//	GET  /healthz                                     → {"status":"ok","ready":b}  (liveness)
+//	GET  /readyz                                      → 200 | 503                  (recovery + seeding complete)
 //	GET  /stats                                       → serving-layer snapshot
 //
 // Overloaded requests are shed with 429 Too Many Requests; operations
-// on absent document IDs return 404.
+// on absent document IDs return 404. The listener comes up before
+// recovery finishes: /healthz answers immediately, data endpoints
+// return 503 until /readyz flips — which also makes /readyz the probe
+// target a cluster router uses to route around a recovering node.
 //
 // With -data-dir the store is durable: every mutation is journaled to
 // a per-shard write-ahead log, shards checkpoint in the background and
 // on shutdown, and a restarted server recovers its index without
 // re-ingesting (see docs/persistence.md).
+//
+// With -cluster nodes.json the shards live on remote shardnode
+// processes instead: documents are hash-routed over HTTP to the nodes
+// listed in the topology file, with health-checked fan-out and
+// replica failover (see docs/cluster.md). -shards and -data-dir are
+// ignored in this mode; durability is each node's own WAL.
 //
 // Usage:
 //
@@ -33,6 +43,7 @@
 //	          [-max-inflight 64] [-max-queue 256]
 //	          [-data-dir ""] [-fsync never|always|interval]
 //	          [-checkpoint-every 30s]
+//	          [-cluster nodes.json] [-probe-interval 1s]
 package main
 
 import (
@@ -47,14 +58,21 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/serve"
 	"repro/internal/storage"
 )
+
+// clusterBootWait bounds how long a routing server waits for its
+// shard nodes to become reachable at boot (the ID allocator cannot be
+// restored until every shard answers).
+const clusterBootWait = 60 * time.Second
 
 func main() {
 	var (
@@ -70,6 +88,8 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "directory for per-shard WALs and checkpoints (empty = memory-only)")
 		fsync       = flag.String("fsync", "never", "WAL fsync policy: never, always, or interval")
 		ckEvery     = flag.Duration("checkpoint-every", 30*time.Second, "background checkpoint period (negative disables)")
+		clusterFile = flag.String("cluster", "", "nodes.json topology: route to remote shardnodes instead of in-process shards")
+		probeEvery  = flag.Duration("probe-interval", time.Second, "cluster health probe period")
 	)
 	flag.Parse()
 	policy, err := storage.ParseSyncPolicy(*fsync)
@@ -77,7 +97,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ragserver:", err)
 		os.Exit(1)
 	}
-	srv, err := newServer(serve.Config{
+	cfg := serve.Config{
 		Shards:      *shards,
 		TopK:        *topK,
 		Threshold:   *threshold,
@@ -90,25 +110,23 @@ func main() {
 			Fsync:           policy,
 			CheckpointEvery: *ckEvery,
 		},
-	}, *seedDemo)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ragserver:", err)
-		os.Exit(1)
 	}
-	if *dataDir != "" {
-		st := srv.core.Stats().Persist
-		log.Printf("recovered %d docs from %s (replayed %d WAL records)",
-			srv.core.Store().Len(), *dataDir, st.ReplayedRecords)
-	}
-	log.Printf("ragserver listening on %s (shards=%d topk=%d threshold=%.2f)",
-		*addr, srv.core.Store().Shards(), *topK, *threshold)
+
+	// The listener comes up before the (possibly long) store recovery
+	// or cluster attach: /healthz answers immediately, /readyz and the
+	// data endpoints flip once init completes.
+	srv := &server{}
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.routes(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	// Graceful shutdown: stop accepting traffic, then checkpoint the
-	// store so the next boot replays nothing.
+	initDone := make(chan error, 1)
+	go func() {
+		initDone <- srv.init(cfg, *clusterFile, *probeEvery, *seedDemo, *dataDir)
+	}()
+	log.Printf("ragserver listening on %s", *addr)
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
@@ -117,44 +135,136 @@ func main() {
 	case err := <-errCh:
 		fmt.Fprintln(os.Stderr, "ragserver:", err)
 		os.Exit(1)
+	case err := <-initDone:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ragserver:", err)
+			os.Exit(1)
+		}
+		// Init finished; keep serving until a signal or listener error.
+		select {
+		case err := <-errCh:
+			fmt.Fprintln(os.Stderr, "ragserver:", err)
+			os.Exit(1)
+		case <-ctx.Done():
+		}
 	case <-ctx.Done():
 	}
+	// Graceful shutdown: stop accepting traffic, then checkpoint the
+	// store so the next boot replays nothing.
 	log.Printf("shutting down: draining connections and checkpointing")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpServer.Shutdown(shutdownCtx); err != nil {
 		log.Printf("ragserver: http shutdown: %v", err)
 	}
-	if err := srv.core.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "ragserver: close:", err)
-		os.Exit(1)
+	if c := srv.core.Load(); c != nil {
+		if err := c.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ragserver: close:", err)
+			os.Exit(1)
+		}
 	}
 }
 
-// server wires the serving layer behind HTTP handlers.
+// server wires the serving layer behind HTTP handlers. core is nil
+// until init completes; handlers 503 in the meantime.
 type server struct {
-	core *serve.Server
+	core atomic.Pointer[serve.Server]
 }
 
+// init builds the serving core (local shards, durable shards, or a
+// remote cluster), seeds the demo corpus if asked, and flips /readyz.
+func (s *server) init(cfg serve.Config, clusterFile string, probeEvery time.Duration, seedDemo bool, dataDir string) error {
+	if clusterFile != "" {
+		store, err := attachCluster(clusterFile, probeEvery, cfg)
+		if err != nil {
+			return err
+		}
+		cfg.Store = store
+		cfg.DataDir = ""
+	}
+	sv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	if seedDemo {
+		if err := seedDemoCorpus(sv); err != nil {
+			sv.Close()
+			return err
+		}
+	}
+	if dataDir != "" && clusterFile == "" {
+		st := sv.Stats().Persist
+		log.Printf("recovered %d docs from %s (replayed %d WAL records)",
+			sv.Store().Len(), dataDir, st.ReplayedRecords)
+	}
+	s.core.Store(sv)
+	log.Printf("ready (shards=%d topk=%d threshold=%.2f cluster=%v)",
+		sv.Store().Shards(), cfg.TopK, cfg.Threshold, clusterFile != "")
+	return nil
+}
+
+// attachCluster loads the topology file and attaches to the shard
+// nodes, retrying until every node answers (the global ID allocator
+// needs the cluster-wide high-water mark) or clusterBootWait elapses.
+func attachCluster(path string, probeEvery time.Duration, cfg serve.Config) (*serve.RemoteStore, error) {
+	shards, err := cluster.LoadNodes(path)
+	if err != nil {
+		return nil, err
+	}
+	router, err := cluster.NewRouter(shards, cluster.HealthConfig{Interval: probeEvery})
+	if err != nil {
+		return nil, err
+	}
+	// The flags leave Dim and EmbedCacheSize zero; serve.New applies
+	// its defaults only after this store is built, so mirror them here
+	// — an unclamped zero cache would degenerate the router-side
+	// query-embedding LRU to a single entry.
+	dim, embedCache := cfg.Dim, cfg.EmbedCacheSize
+	if dim <= 0 {
+		dim = 256
+	}
+	if embedCache <= 0 {
+		embedCache = 4096
+	}
+	deadline := time.Now().Add(clusterBootWait)
+	for {
+		store, err := serve.NewRemoteStore(router, dim, embedCache)
+		if err == nil {
+			log.Printf("cluster: attached to %d shards from %s (%d docs)", router.Shards(), path, store.Len())
+			return store, nil
+		}
+		if time.Now().After(deadline) {
+			router.Close()
+			return nil, fmt.Errorf("cluster attach: %w", err)
+		}
+		log.Printf("cluster: waiting for shard nodes: %v", err)
+		time.Sleep(500 * time.Millisecond)
+	}
+}
+
+// newServer builds a ready server synchronously — the test and
+// embedding entrypoint; main uses the async init path instead.
 func newServer(cfg serve.Config, seedDemo bool) (*server, error) {
 	sv, err := serve.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	s := &server{core: sv}
 	if seedDemo {
-		if err := s.seedDemo(); err != nil {
+		if err := seedDemoCorpus(sv); err != nil {
+			sv.Close()
 			return nil, err
 		}
 	}
+	s := &server{}
+	s.core.Store(sv)
 	return s, nil
 }
 
-// seedDemo ingests the synthetic handbook and calibrates the
+// seedDemoCorpus ingests the synthetic handbook and calibrates the
 // detector's normalization moments on its responses (Eq. 4's
 // "previous responses"), freezing them so the parallel batch path and
 // the verdict cache see a pure scoring function.
-func (s *server) seedDemo() error {
+func seedDemoCorpus(sv *serve.Server) error {
 	set, err := dataset.Default()
 	if err != nil {
 		return err
@@ -163,9 +273,9 @@ func (s *server) seedDemo() error {
 	// A durable store that recovered documents already holds the demo
 	// corpus (or real traffic) — re-ingesting would duplicate it. The
 	// calibration below is in-memory state and runs on every boot.
-	if s.core.Store().Len() == 0 {
+	if sv.Store().Len() == 0 {
 		for _, ctxText := range set.Contexts() {
-			if _, err := s.core.Store().Add(ctxText, nil); err != nil {
+			if _, err := sv.Store().Add(ctxText, nil); err != nil {
 				return err
 			}
 		}
@@ -178,13 +288,14 @@ func (s *server) seedDemo() error {
 			})
 		}
 	}
-	log.Printf("seeding demo: %d passages, calibrating on %d responses", s.core.Store().Len(), len(triples))
-	return s.core.Calibrate(ctx, triples)
+	log.Printf("seeding demo: %d passages, calibrating on %d responses", sv.Store().Len(), len(triples))
+	return sv.Calibrate(ctx, triples)
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/ingest/bulk", s.handleIngestBulk)
@@ -194,6 +305,17 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/documents/", s.handleDocument)
 	mux.HandleFunc("/admin/checkpoint", s.handleCheckpoint)
 	return mux
+}
+
+// ready returns the serving core, or answers 503 and returns nil
+// while init (recovery, cluster attach, demo seeding) is still
+// running.
+func (s *server) ready(w http.ResponseWriter) *serve.Server {
+	c := s.core.Load()
+	if c == nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("starting: recovery in progress"))
+	}
+	return c
 }
 
 // writeJSON sends v with the given status.
@@ -210,13 +332,15 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // statusFor maps serving-layer errors onto HTTP statuses: shed load is
-// 429, expired deadlines are 503, absent documents are 404, everything
-// else is the fallback.
+// 429, expired deadlines and an unreachable cluster are 503, absent
+// documents are 404, everything else is the fallback.
 func statusFor(err error, fallback int) int {
 	switch {
 	case errors.Is(err, serve.ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, cluster.ErrUnavailable), errors.Is(err, cluster.ErrShardUnavailable):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, serve.ErrNotFound):
 		return http.StatusNotFound
@@ -225,11 +349,24 @@ func statusFor(err error, fallback int) int {
 	}
 }
 
+// handleHealth is pure liveness: it answers as soon as the listener
+// is up, reporting whether init has finished.
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"status": "ok",
-		"docs":   s.core.Store().Len(),
-	})
+	c := s.core.Load()
+	out := map[string]interface{}{"status": "ok", "ready": c != nil}
+	if c != nil {
+		out["docs"] = c.Store().Len()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleReady is readiness: 200 only once recovery (and demo
+// seeding, if any) completed — the probe target for load balancers
+// and for a cluster router's health checker.
+func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if c := s.ready(w); c != nil {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -237,12 +374,20 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.core.Stats())
+	c := s.ready(w)
+	if c == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Stats())
 }
 
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	c := s.ready(w)
+	if c == nil {
 		return
 	}
 	var req struct {
@@ -252,7 +397,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	n, err := s.core.Ingest(r.Context(), req.Text)
+	n, err := c.Ingest(r.Context(), req.Text)
 	if err != nil {
 		writeError(w, statusFor(err, http.StatusBadRequest), err)
 		return
@@ -263,6 +408,10 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleIngestBulk(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	c := s.ready(w)
+	if c == nil {
 		return
 	}
 	var req struct {
@@ -276,7 +425,7 @@ func (s *server) handleIngestBulk(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("empty texts array"))
 		return
 	}
-	chunks, err := s.core.IngestBulk(r.Context(), req.Texts)
+	chunks, err := c.IngestBulk(r.Context(), req.Texts)
 	if err != nil {
 		writeError(w, statusFor(err, http.StatusBadRequest), err)
 		return
@@ -287,6 +436,10 @@ func (s *server) handleIngestBulk(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	c := s.ready(w)
+	if c == nil {
 		return
 	}
 	var req struct {
@@ -304,7 +457,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if req.K <= 0 {
 		req.K = 3
 	}
-	hits, err := s.core.Search(r.Context(), req.Query, req.K)
+	hits, err := c.Search(r.Context(), req.Query, req.K)
 	if err != nil {
 		writeError(w, statusFor(err, http.StatusInternalServerError), err)
 		return
@@ -324,6 +477,10 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // handleDocument serves GET and DELETE on /documents/{id}. Absent IDs
 // are 404 via the serving layer's typed ErrNotFound.
 func (s *server) handleDocument(w http.ResponseWriter, r *http.Request) {
+	c := s.ready(w)
+	if c == nil {
+		return
+	}
 	idStr := strings.TrimPrefix(r.URL.Path, "/documents/")
 	id, err := strconv.ParseInt(idStr, 10, 64)
 	if err != nil || id <= 0 {
@@ -332,7 +489,7 @@ func (s *server) handleDocument(w http.ResponseWriter, r *http.Request) {
 	}
 	switch r.Method {
 	case http.MethodGet:
-		doc, err := s.core.GetDocument(r.Context(), id)
+		doc, err := c.GetDocument(r.Context(), id)
 		if err != nil {
 			writeError(w, statusFor(err, http.StatusInternalServerError), err)
 			return
@@ -341,7 +498,7 @@ func (s *server) handleDocument(w http.ResponseWriter, r *http.Request) {
 			"id": doc.ID, "text": doc.Text, "meta": doc.Meta,
 		})
 	case http.MethodDelete:
-		if err := s.core.DeleteDocument(r.Context(), id); err != nil {
+		if err := c.DeleteDocument(r.Context(), id); err != nil {
 			writeError(w, statusFor(err, http.StatusInternalServerError), err)
 			return
 		}
@@ -358,7 +515,11 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
-	if err := s.core.Checkpoint(); err != nil {
+	c := s.ready(w)
+	if c == nil {
+		return
+	}
+	if err := c.Checkpoint(); err != nil {
 		// A memory-only server is the caller's mistake (400); a failing
 		// checkpoint on a durable server is a server fault (500).
 		status := http.StatusInternalServerError
@@ -368,7 +529,7 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.core.Stats().Persist)
+	writeJSON(w, http.StatusOK, c.Stats().Persist)
 }
 
 // verdictJSON is the wire form of a core.Verdict.
@@ -399,6 +560,10 @@ func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
+	c := s.ready(w)
+	if c == nil {
+		return
+	}
 	var req struct {
 		Question string `json:"question"`
 	}
@@ -410,7 +575,7 @@ func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("empty question"))
 		return
 	}
-	ans, err := s.core.Ask(r.Context(), req.Question)
+	ans, err := c.Ask(r.Context(), req.Question)
 	if err != nil {
 		writeError(w, statusFor(err, http.StatusInternalServerError), err)
 		return
@@ -428,6 +593,10 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
+	c := s.ready(w)
+	if c == nil {
+		return
+	}
 	var req struct {
 		Question string `json:"question"`
 		Context  string `json:"context"`
@@ -437,10 +606,10 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	v, err := s.core.Verify(r.Context(), req.Question, req.Context, req.Response)
+	v, err := c.Verify(r.Context(), req.Question, req.Context, req.Response)
 	if err != nil {
 		writeError(w, statusFor(err, http.StatusBadRequest), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toVerdictJSON(v, v.IsCorrect(s.core.Threshold())))
+	writeJSON(w, http.StatusOK, toVerdictJSON(v, v.IsCorrect(c.Threshold())))
 }

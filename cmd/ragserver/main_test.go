@@ -19,7 +19,7 @@ func newTestServer(t *testing.T) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { s.core.Close() })
+	t.Cleanup(func() { s.core.Load().Close() })
 	return s
 }
 
@@ -49,6 +49,47 @@ func TestHealthz(t *testing.T) {
 	}
 	if out["status"] != "ok" {
 		t.Errorf("health = %v", out)
+	}
+}
+
+// TestReadyzGating: before init completes the listener is alive
+// (/healthz 200, ready:false) but /readyz and every data endpoint
+// answer 503; after init, /readyz flips to 200.
+func TestReadyzGating(t *testing.T) {
+	s := &server{} // core not yet initialized — the pre-recovery window
+	h := s.routes()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz during init = %d, want 200", rec.Code)
+	}
+	var health struct {
+		Ready bool `json:"ready"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Ready {
+		t.Error("healthz claims ready before init")
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz during init = %d, want 503", rec.Code)
+	}
+	if rec := postJSON(t, h, "/ask", map[string]string{"question": "q"}); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("ask during init = %d, want 503", rec.Code)
+	}
+	if rec := postJSON(t, h, "/search", map[string]interface{}{"query": "q"}); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("search during init = %d, want 503", rec.Code)
+	}
+
+	ready := newTestServer(t)
+	rec = httptest.NewRecorder()
+	ready.routes().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("readyz after init = %d, want 200", rec.Code)
 	}
 }
 
@@ -164,8 +205,8 @@ func TestSeedDemo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { s.core.Close() })
-	if s.core.Store().Len() == 0 {
+	t.Cleanup(func() { s.core.Load().Close() })
+	if s.core.Load().Store().Len() == 0 {
 		t.Error("demo seed indexed nothing")
 	}
 }
@@ -190,7 +231,7 @@ func TestStatsEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { s.core.Close() })
+	t.Cleanup(func() { s.core.Load().Close() })
 	h := s.routes()
 	if rec := postJSON(t, h, "/ingest", map[string]string{"text": doc}); rec.Code != http.StatusOK {
 		t.Fatalf("ingest status %d: %s", rec.Code, rec.Body)
@@ -261,7 +302,7 @@ func TestIngestBulkEndpoint(t *testing.T) {
 	if out.Docs != 3 || out.Chunks < 3 {
 		t.Errorf("bulk ingest = %+v", out)
 	}
-	if got := s.core.Store().Len(); got != out.Chunks {
+	if got := s.core.Load().Store().Len(); got != out.Chunks {
 		t.Errorf("store holds %d chunks, response said %d", got, out.Chunks)
 	}
 	// Empty and malformed bodies are rejected.
@@ -381,7 +422,7 @@ func TestRecoveryServesIdenticalResults(t *testing.T) {
 	// checkpoint gets snapshotted — recovery must come from the WAL.
 
 	s2 := newDurableServer(t, dir)
-	t.Cleanup(func() { s2.core.Close() })
+	t.Cleanup(func() { s2.core.Load().Close() })
 	h2 := s2.routes()
 	var health2 struct {
 		Docs int `json:"docs"`

@@ -1,0 +1,159 @@
+// Command shardnode serves one shard of a multi-node cluster over the
+// compact JSON-over-HTTP shard protocol (see docs/cluster.md). It is
+// the unit that moves when a sharded corpus outgrows one process: the
+// same per-shard durable state a single ragserver keeps under
+// -data-dir — one WAL plus one checkpoint — now owned by its own
+// process on its own node, with a routing ragserver (-cluster
+// nodes.json) fanning queries out across many of them.
+//
+// Endpoints:
+//
+//	POST /shard/search          — vector top-k over this shard
+//	POST /shard/apply           — grouped mutations (adds, deletes)
+//	GET  /shard/documents/{id}  — point read
+//	GET  /shard/stat            — doc count + ID high-water mark
+//	GET  /healthz               — liveness (always 200 once listening)
+//	GET  /readyz                — 200 only after WAL recovery completes
+//
+// The listener comes up before recovery: a router probing /readyz
+// keeps routing around the node until its WAL is replayed, then
+// half-open recovery returns it to service automatically.
+//
+// Usage:
+//
+//	shardnode [-addr :9001] [-data-dir ""] [-dim 256]
+//	          [-fsync never|always|interval] [-checkpoint-every 30s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+	"repro/internal/storage"
+	"repro/internal/vecdb"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":9001", "listen address")
+		dataDir = flag.String("data-dir", "", "directory for this shard's WAL and checkpoints (empty = memory-only)")
+		dim     = flag.Int("dim", 256, "embedding width (must match the routing server)")
+		fsync   = flag.String("fsync", "never", "WAL fsync policy: never, always, or interval")
+		ckEvery = flag.Duration("checkpoint-every", 30*time.Second, "background checkpoint period (negative disables)")
+	)
+	flag.Parse()
+	policy, err := storage.ParseSyncPolicy(*fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shardnode:", err)
+		os.Exit(1)
+	}
+
+	node := &nodeState{}
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           cluster.NewNodeHandler(node, node.ready),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	initDone := make(chan error, 1)
+	go func() { initDone <- node.open(*dataDir, *dim, policy, *ckEvery) }()
+	log.Printf("shardnode listening on %s", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "shardnode:", err)
+		os.Exit(1)
+	case err := <-initDone:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shardnode:", err)
+			os.Exit(1)
+		}
+		select {
+		case err := <-errCh:
+			fmt.Fprintln(os.Stderr, "shardnode:", err)
+			os.Exit(1)
+		case <-ctx.Done():
+		}
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining connections and checkpointing")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shardnode: http shutdown: %v", err)
+	}
+	if st := node.store.Load(); st != nil {
+		if err := st.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "shardnode: close:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// nodeState adapts an asynchronously-opened one-shard ShardedDB to
+// cluster.NodeStore. The node handler gates every data endpoint on
+// ready(), so the delegating methods never observe a nil store.
+type nodeState struct {
+	store atomic.Pointer[serve.ShardedDB]
+}
+
+func (n *nodeState) ready() bool { return n.store.Load() != nil }
+
+// open builds the shard store: durable (checkpoint + WAL recovery)
+// under dataDir, memory-only without. One shard — the routing layer
+// above owns the hash ring.
+func (n *nodeState) open(dataDir string, dim int, policy storage.SyncPolicy, ckEvery time.Duration) error {
+	var (
+		st  *serve.ShardedDB
+		err error
+	)
+	if dataDir != "" {
+		st, err = serve.OpenShardedDefault(dataDir, 1, dim, 4096, serve.PersistConfig{
+			Fsync:           policy,
+			CheckpointEvery: ckEvery,
+		})
+	} else {
+		st, err = serve.NewShardedDefault(1, dim, 4096)
+	}
+	if err != nil {
+		return err
+	}
+	if dataDir != "" {
+		log.Printf("recovered %d docs from %s (replayed %d WAL records)",
+			st.Len(), dataDir, st.PersistStats().ReplayedRecords)
+	}
+	n.store.Store(st)
+	log.Printf("ready: serving %d docs (dim=%d durable=%v)", st.Len(), dim, dataDir != "")
+	return nil
+}
+
+func (n *nodeState) SearchVector(vec []float32, k int) ([]vecdb.Hit, error) {
+	return n.store.Load().SearchVector(vec, k)
+}
+
+func (n *nodeState) ApplyAll(ms []vecdb.Mutation) error {
+	return n.store.Load().ApplyAll(ms)
+}
+
+func (n *nodeState) Get(id int64) (vecdb.Document, error) {
+	return n.store.Load().Get(id)
+}
+
+func (n *nodeState) Len() int { return n.store.Load().Len() }
+
+func (n *nodeState) NextID() int64 { return n.store.Load().NextID() }
+
+var _ cluster.NodeStore = (*nodeState)(nil)

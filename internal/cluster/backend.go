@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/vecdb"
+)
+
+// ShardStat is one shard's observable state: its document count and
+// the next ID its store would allocate. The router uses NextID to
+// restore its global ID allocator past every document the cluster
+// already holds, and Len for per-shard counts in /stats.
+type ShardStat struct {
+	Len    int   `json:"len"`
+	NextID int64 `json:"next_id"`
+}
+
+// Backend abstracts the per-shard store operations the sharded
+// serving store exposes — vector search, grouped mutations (the
+// AddBulk/Delete write path), point reads, and size — plus the
+// liveness probe the health checker drives. A LocalBackend serves
+// them from an in-process *vecdb.DB; an HTTPBackend forwards them to
+// a remote shard node. All methods must be safe for concurrent use.
+type Backend interface {
+	// Name identifies the backend in health state and stats (an
+	// address for remote backends).
+	Name() string
+	// SearchVector returns the shard's top-k hits for an
+	// already-embedded query, best first.
+	SearchVector(ctx context.Context, vec []float32, k int) ([]vecdb.Hit, error)
+	// Apply executes a batch of mutations (adds and deletes) that all
+	// route to this shard. Deleting an absent ID reports
+	// vecdb.ErrNotFound.
+	Apply(ctx context.Context, ms []vecdb.Mutation) error
+	// Get returns the stored document for id, or vecdb.ErrNotFound.
+	Get(ctx context.Context, id int64) (vecdb.Document, error)
+	// Stat reports the shard's document count and ID high-water mark.
+	Stat(ctx context.Context) (ShardStat, error)
+	// Probe checks the backend is alive and ready to serve (for a
+	// remote node: recovery complete). The health checker calls it
+	// periodically; an error counts toward ejection.
+	Probe(ctx context.Context) error
+}
+
+// LocalBackend adapts an in-process *vecdb.DB to the Backend
+// interface — the degenerate "cluster" of one process, used to keep
+// the router's semantics identical across transports and to benchmark
+// the HTTP hop against a no-transport baseline.
+type LocalBackend struct {
+	name string
+	db   *vecdb.DB
+}
+
+// NewLocalBackend wraps db as a Backend.
+func NewLocalBackend(name string, db *vecdb.DB) (*LocalBackend, error) {
+	if db == nil {
+		return nil, errors.New("cluster: nil db")
+	}
+	if name == "" {
+		name = "local"
+	}
+	return &LocalBackend{name: name, db: db}, nil
+}
+
+func (b *LocalBackend) Name() string { return b.name }
+
+func (b *LocalBackend) SearchVector(ctx context.Context, vec []float32, k int) ([]vecdb.Hit, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.db.SearchVector(vec, k)
+}
+
+func (b *LocalBackend) Apply(ctx context.Context, ms []vecdb.Mutation) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return b.db.ApplyAll(ms)
+}
+
+func (b *LocalBackend) Get(ctx context.Context, id int64) (vecdb.Document, error) {
+	if err := ctx.Err(); err != nil {
+		return vecdb.Document{}, err
+	}
+	return b.db.Get(id)
+}
+
+func (b *LocalBackend) Stat(ctx context.Context) (ShardStat, error) {
+	if err := ctx.Err(); err != nil {
+		return ShardStat{}, err
+	}
+	return ShardStat{Len: b.db.Len(), NextID: b.db.NextID()}, nil
+}
+
+// Probe always succeeds: an in-process shard is alive as long as the
+// process is.
+func (b *LocalBackend) Probe(ctx context.Context) error { return ctx.Err() }
+
+var _ Backend = (*LocalBackend)(nil)

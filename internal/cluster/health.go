@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// State is one backend's position in the health state machine:
+//
+//	healthy --[FailThreshold consecutive failures]--> ejected
+//	ejected --[one successful probe]--> half-open
+//	half-open --[RecoverThreshold consecutive successes]--> healthy
+//	half-open --[any failure]--> ejected
+//
+// Failures come from both the active prober and live-traffic errors
+// reported by the router; successes for an ejected/half-open backend
+// come only from probes, because the router sends live traffic only
+// to healthy backends.
+type State int32
+
+const (
+	StateHealthy State = iota
+	StateEjected
+	StateHalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateEjected:
+		return "ejected"
+	case StateHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// HealthConfig tunes the active checker. Zero values take the
+// documented defaults.
+type HealthConfig struct {
+	// Interval is the probe period (default 1s).
+	Interval time.Duration
+	// Timeout bounds one probe (default 2s).
+	Timeout time.Duration
+	// FailThreshold is the consecutive-failure count that ejects a
+	// backend (default 3).
+	FailThreshold int
+	// RecoverThreshold is the consecutive-success count that returns a
+	// half-open backend to service (default 2).
+	RecoverThreshold int
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.RecoverThreshold <= 0 {
+		c.RecoverThreshold = 2
+	}
+	return c
+}
+
+// backendHealth is the per-backend state machine plus the last
+// observed ShardStat (for per-shard doc counts in /stats). Backends
+// start healthy so a fresh cluster serves before its first probe
+// round completes.
+type backendHealth struct {
+	backend Backend
+
+	mu         sync.Mutex
+	state      State
+	consecFail int
+	consecOK   int
+	lastErr    string
+	stat       ShardStat
+	statValid  bool
+}
+
+// serving reports whether the backend should receive live traffic.
+func (h *backendHealth) serving() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state == StateHealthy
+}
+
+// reportFailure records one failed probe or live request, ejecting
+// the backend when the consecutive-failure threshold is reached.
+func (h *backendHealth) reportFailure(cfg HealthConfig, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.consecFail++
+	h.consecOK = 0
+	if err != nil {
+		h.lastErr = err.Error()
+	}
+	switch h.state {
+	case StateHealthy:
+		if h.consecFail >= cfg.FailThreshold {
+			h.state = StateEjected
+		}
+	case StateHalfOpen:
+		h.state = StateEjected
+	}
+}
+
+// reportSuccess records one successful probe or live request, walking
+// an ejected backend through half-open back to healthy.
+func (h *backendHealth) reportSuccess(cfg HealthConfig) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.consecFail = 0
+	h.lastErr = ""
+	switch h.state {
+	case StateEjected:
+		h.state = StateHalfOpen
+		h.consecOK = 1
+	case StateHalfOpen:
+		h.consecOK++
+		if h.consecOK >= cfg.RecoverThreshold {
+			h.state = StateHealthy
+			h.consecOK = 0
+		}
+	}
+}
+
+func (h *backendHealth) setStat(st ShardStat) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.stat, h.statValid = st, true
+}
+
+// snapshot returns the state for /stats.
+func (h *backendHealth) snapshot() BackendHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return BackendHealth{
+		Name:                h.backend.Name(),
+		State:               h.state.String(),
+		ConsecutiveFailures: h.consecFail,
+		Docs:                h.stat.Len,
+		LastError:           h.lastErr,
+	}
+}
+
+// checker actively probes every backend of every shard each Interval,
+// feeding the per-backend state machines. A successful probe also
+// refreshes the backend's ShardStat, so /stats carries per-shard doc
+// counts without a fan-out per scrape.
+type checker struct {
+	cfg      HealthConfig
+	backends []*backendHealth
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+func newChecker(cfg HealthConfig, backends []*backendHealth) *checker {
+	c := &checker{
+		cfg:      cfg,
+		backends: backends,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+func (c *checker) run() {
+	defer close(c.done)
+	// Probe immediately on start so stats (and ejections of nodes that
+	// are already down) don't wait a full interval.
+	c.probeAll()
+	t := time.NewTicker(c.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.probeAll()
+		}
+	}
+}
+
+func (c *checker) probeAll() {
+	var wg sync.WaitGroup
+	for _, h := range c.backends {
+		wg.Add(1)
+		go func(h *backendHealth) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.Timeout)
+			defer cancel()
+			if err := h.backend.Probe(ctx); err != nil {
+				h.reportFailure(c.cfg, err)
+				return
+			}
+			h.reportSuccess(c.cfg)
+			if st, err := h.backend.Stat(ctx); err == nil {
+				h.setStat(st)
+			}
+		}(h)
+	}
+	wg.Wait()
+}
+
+func (c *checker) Close() {
+	close(c.stop)
+	<-c.done
+}

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/vecdb"
+)
+
+// HTTPBackend speaks the shard protocol to a remote node (a
+// cmd/shardnode process, or anything mounting NewNodeHandler). It is
+// stateless and safe for concurrent use; the health checker, not the
+// backend, decides whether it receives traffic.
+type HTTPBackend struct {
+	base   string
+	client *http.Client
+}
+
+// DefaultRequestTimeout bounds one shard RPC when the caller's
+// context carries no sooner deadline.
+const DefaultRequestTimeout = 5 * time.Second
+
+// NewHTTPBackend builds a backend for the node at baseURL (scheme +
+// host[:port], no trailing path). A nil client gets a dedicated one
+// with DefaultRequestTimeout.
+func NewHTTPBackend(baseURL string, client *http.Client) (*HTTPBackend, error) {
+	base := strings.TrimSuffix(baseURL, "/")
+	if base == "" {
+		return nil, fmt.Errorf("cluster: empty backend URL")
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if client == nil {
+		client = &http.Client{Timeout: DefaultRequestTimeout}
+	}
+	return &HTTPBackend{base: base, client: client}, nil
+}
+
+func (b *HTTPBackend) Name() string { return b.base }
+
+// do issues one JSON round-trip. Non-2xx responses become errors; 404
+// maps to vecdb.ErrNotFound so callers keep the typed-miss contract
+// across the transport. out may be nil when the body is irrelevant.
+func (b *HTTPBackend) do(ctx context.Context, method, path string, in, out interface{}) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("cluster: encode request: %w", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, b.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: %s %s: %w", method, b.base+path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var remote struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&remote) == nil && remote.Error != "" {
+			msg = remote.Error
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			return fmt.Errorf("%w: %s", vecdb.ErrNotFound, msg)
+		}
+		return fmt.Errorf("cluster: %s %s: %s (status %d)", method, path, msg, resp.StatusCode)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("cluster: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+func (b *HTTPBackend) SearchVector(ctx context.Context, vec []float32, k int) ([]vecdb.Hit, error) {
+	var resp struct {
+		Hits []hitJSON `json:"hits"`
+	}
+	req := struct {
+		Vec []float32 `json:"vec"`
+		K   int       `json:"k"`
+	}{Vec: vec, K: k}
+	if err := b.do(ctx, http.MethodPost, "/shard/search", req, &resp); err != nil {
+		return nil, err
+	}
+	hits := make([]vecdb.Hit, 0, len(resp.Hits))
+	for _, h := range resp.Hits {
+		hits = append(hits, vecdb.Hit{
+			Document: vecdb.Document{ID: h.ID, Text: h.Text, Meta: h.Meta},
+			Score:    h.Score,
+		})
+	}
+	return hits, nil
+}
+
+func (b *HTTPBackend) Apply(ctx context.Context, ms []vecdb.Mutation) error {
+	wire := make([]mutationJSON, len(ms))
+	for i, m := range ms {
+		mj, err := toMutationJSON(m)
+		if err != nil {
+			return err
+		}
+		wire[i] = mj
+	}
+	req := struct {
+		Mutations []mutationJSON `json:"mutations"`
+	}{Mutations: wire}
+	return b.do(ctx, http.MethodPost, "/shard/apply", req, nil)
+}
+
+func (b *HTTPBackend) Get(ctx context.Context, id int64) (vecdb.Document, error) {
+	var doc struct {
+		ID   int64             `json:"id"`
+		Text string            `json:"text"`
+		Meta map[string]string `json:"meta"`
+	}
+	if err := b.do(ctx, http.MethodGet, fmt.Sprintf("/shard/documents/%d", id), nil, &doc); err != nil {
+		return vecdb.Document{}, err
+	}
+	return vecdb.Document{ID: doc.ID, Text: doc.Text, Meta: doc.Meta}, nil
+}
+
+func (b *HTTPBackend) Stat(ctx context.Context) (ShardStat, error) {
+	var st ShardStat
+	if err := b.do(ctx, http.MethodGet, "/shard/stat", nil, &st); err != nil {
+		return ShardStat{}, err
+	}
+	return st, nil
+}
+
+// Probe hits /readyz: a node that is up but still replaying its WAL
+// is treated exactly like a dead one until recovery completes.
+func (b *HTTPBackend) Probe(ctx context.Context) error {
+	return b.do(ctx, http.MethodGet, "/readyz", nil, nil)
+}
+
+var _ Backend = (*HTTPBackend)(nil)

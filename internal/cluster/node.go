@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/vecdb"
+)
+
+// Shard protocol (compact JSON over HTTP), served by NewNodeHandler
+// and spoken by HTTPBackend:
+//
+//	POST /shard/search     {"vec":[...], "k":3}        → {"hits":[{"id","score","text","meta"}]}
+//	POST /shard/apply      {"mutations":[...]}         → {"applied": n}
+//	GET  /shard/documents/{id}                         → {"id","text","meta"} | 404
+//	GET  /shard/stat                                   → {"len": n, "next_id": m}
+//	GET  /healthz                                      → 200 {"status":"ok"}        (liveness)
+//	GET  /readyz                                       → 200 | 503                  (recovery complete)
+//
+// Mutations use {"op":"add"|"delete","id":n,"text":"...","meta":{...}}.
+// Scores and vectors travel as JSON float64s, which round-trip
+// exactly, so a remote shard returns bit-identical hits to a local
+// one. Deletes of absent IDs are 404; malformed requests are 400.
+
+// NodeStore is what a shard node must expose to serve the protocol.
+// Both *vecdb.DB (one bare shard) and serve.ShardedDB (the durable
+// WAL+checkpoint store cmd/shardnode runs) satisfy it.
+type NodeStore interface {
+	SearchVector(vec []float32, k int) ([]vecdb.Hit, error)
+	ApplyAll(ms []vecdb.Mutation) error
+	Get(id int64) (vecdb.Document, error)
+	Len() int
+	NextID() int64
+}
+
+var _ NodeStore = (*vecdb.DB)(nil)
+
+// hitJSON is the wire form of a vecdb.Hit.
+type hitJSON struct {
+	ID    int64             `json:"id"`
+	Score float64           `json:"score"`
+	Text  string            `json:"text"`
+	Meta  map[string]string `json:"meta,omitempty"`
+}
+
+// mutationJSON is the wire form of a vecdb.Mutation.
+type mutationJSON struct {
+	Op   string            `json:"op"`
+	ID   int64             `json:"id"`
+	Text string            `json:"text,omitempty"`
+	Meta map[string]string `json:"meta,omitempty"`
+}
+
+func toMutationJSON(m vecdb.Mutation) (mutationJSON, error) {
+	switch m.Op {
+	case vecdb.OpAdd:
+		return mutationJSON{Op: "add", ID: m.ID, Text: m.Text, Meta: m.Meta}, nil
+	case vecdb.OpDelete:
+		return mutationJSON{Op: "delete", ID: m.ID}, nil
+	}
+	return mutationJSON{}, fmt.Errorf("cluster: unknown mutation op %d", m.Op)
+}
+
+func fromMutationJSON(m mutationJSON) (vecdb.Mutation, error) {
+	switch m.Op {
+	case "add":
+		return vecdb.Mutation{Op: vecdb.OpAdd, ID: m.ID, Text: m.Text, Meta: m.Meta}, nil
+	case "delete":
+		return vecdb.Mutation{Op: vecdb.OpDelete, ID: m.ID}, nil
+	}
+	return vecdb.Mutation{}, fmt.Errorf("cluster: unknown mutation op %q", m.Op)
+}
+
+// NewNodeHandler serves the shard protocol over store. ready gates
+// /readyz (and the data endpoints): a node that is still replaying its
+// WAL answers probes with 503 so the router keeps routing around it
+// until recovery completes. A nil ready means always ready.
+func NewNodeHandler(store NodeStore, ready func() bool) http.Handler {
+	if ready == nil {
+		ready = func() bool { return true }
+	}
+	n := &nodeHandler{store: store, ready: ready}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", n.handleHealthz)
+	mux.HandleFunc("/readyz", n.handleReadyz)
+	mux.HandleFunc("/shard/search", n.handleSearch)
+	mux.HandleFunc("/shard/apply", n.handleApply)
+	mux.HandleFunc("/shard/documents/", n.handleDocument)
+	mux.HandleFunc("/shard/stat", n.handleStat)
+	return mux
+}
+
+type nodeHandler struct {
+	store NodeStore
+	ready func() bool
+}
+
+func nodeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("cluster: encode response: %v", err)
+	}
+}
+
+func nodeError(w http.ResponseWriter, status int, err error) {
+	nodeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (n *nodeHandler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	nodeJSON(w, http.StatusOK, map[string]interface{}{"status": "ok", "ready": n.ready()})
+}
+
+func (n *nodeHandler) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !n.ready() {
+		nodeError(w, http.StatusServiceUnavailable, errors.New("recovering"))
+		return
+	}
+	nodeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// gate rejects data-path requests until recovery completes, so a
+// router that races the probe interval still cannot read a
+// half-replayed shard.
+func (n *nodeHandler) gate(w http.ResponseWriter) bool {
+	if !n.ready() {
+		nodeError(w, http.StatusServiceUnavailable, errors.New("recovering"))
+		return false
+	}
+	return true
+}
+
+func (n *nodeHandler) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		nodeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if !n.gate(w) {
+		return
+	}
+	var req struct {
+		Vec []float32 `json:"vec"`
+		K   int       `json:"k"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		nodeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Vec) == 0 || req.K <= 0 {
+		nodeError(w, http.StatusBadRequest, errors.New("empty vector or non-positive k"))
+		return
+	}
+	hits, err := n.store.SearchVector(req.Vec, req.K)
+	if err != nil {
+		nodeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := make([]hitJSON, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, hitJSON{ID: h.ID, Score: h.Score, Text: h.Text, Meta: h.Meta})
+	}
+	nodeJSON(w, http.StatusOK, map[string]interface{}{"hits": out})
+}
+
+func (n *nodeHandler) handleApply(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		nodeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if !n.gate(w) {
+		return
+	}
+	var req struct {
+		Mutations []mutationJSON `json:"mutations"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		nodeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Mutations) == 0 {
+		nodeError(w, http.StatusBadRequest, errors.New("empty mutation batch"))
+		return
+	}
+	ms := make([]vecdb.Mutation, len(req.Mutations))
+	for i, mj := range req.Mutations {
+		m, err := fromMutationJSON(mj)
+		if err != nil {
+			nodeError(w, http.StatusBadRequest, err)
+			return
+		}
+		ms[i] = m
+	}
+	if err := n.store.ApplyAll(ms); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, vecdb.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		nodeError(w, status, err)
+		return
+	}
+	nodeJSON(w, http.StatusOK, map[string]int{"applied": len(ms)})
+}
+
+func (n *nodeHandler) handleDocument(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		nodeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	if !n.gate(w) {
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/shard/documents/")
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil || id <= 0 {
+		nodeError(w, http.StatusBadRequest, fmt.Errorf("bad document id %q", idStr))
+		return
+	}
+	doc, err := n.store.Get(id)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, vecdb.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		nodeError(w, status, err)
+		return
+	}
+	nodeJSON(w, http.StatusOK, map[string]interface{}{"id": doc.ID, "text": doc.Text, "meta": doc.Meta})
+}
+
+func (n *nodeHandler) handleStat(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		nodeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	if !n.gate(w) {
+		return
+	}
+	nodeJSON(w, http.StatusOK, ShardStat{Len: n.store.Len(), NextID: n.store.NextID()})
+}

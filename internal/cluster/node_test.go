@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/vecdb"
+)
+
+// newNode mounts the shard protocol over a fresh one-shard DB and
+// returns an HTTPBackend pointed at it.
+func newNode(t *testing.T, dim int, ready func() bool) (*vecdb.DB, *HTTPBackend) {
+	t.Helper()
+	db := newLocalDB(t, dim)
+	ts := httptest.NewServer(NewNodeHandler(db, ready))
+	t.Cleanup(ts.Close)
+	b, err := NewHTTPBackend(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, b
+}
+
+// TestHTTPRoundTrip: every Backend operation crosses the wire and
+// lands exactly as the local call would — including float64 scores,
+// which JSON round-trips bit-exactly.
+func TestHTTPRoundTrip(t *testing.T) {
+	const dim = 32
+	db, b := newNode(t, dim, nil)
+	ctx := context.Background()
+
+	if err := b.Probe(ctx); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+
+	ms := make([]vecdb.Mutation, len(corpus))
+	for i, text := range corpus {
+		ms[i] = vecdb.Mutation{Op: vecdb.OpAdd, ID: int64(i + 1), Text: text, Meta: map[string]string{"i": text[:3]}}
+	}
+	if err := b.Apply(ctx, ms); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+
+	st, err := b.Stat(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len != len(corpus) || st.NextID != int64(len(corpus)+1) {
+		t.Errorf("stat = %+v", st)
+	}
+
+	vec, err := db.Embedder().Embed("overtime pay rate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.SearchVector(vec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.SearchVector(ctx, vec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d hits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Score != want[i].Score || got[i].Text != want[i].Text {
+			t.Errorf("hit %d diverged over the wire: got (%d, %v), want (%d, %v)",
+				i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+		}
+	}
+
+	doc, err := b.Get(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Text != corpus[1] || doc.Meta["i"] != corpus[1][:3] {
+		t.Errorf("get = %+v", doc)
+	}
+
+	// Deletes travel as mutations; absent IDs keep the typed miss.
+	if err := b.Apply(ctx, []vecdb.Mutation{{Op: vecdb.OpDelete, ID: 2}}); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := b.Get(ctx, 2); !errors.Is(err, vecdb.ErrNotFound) {
+		t.Errorf("get deleted = %v, want ErrNotFound", err)
+	}
+	if err := b.Apply(ctx, []vecdb.Mutation{{Op: vecdb.OpDelete, ID: 2}}); !errors.Is(err, vecdb.ErrNotFound) {
+		t.Errorf("delete absent = %v, want ErrNotFound", err)
+	}
+}
+
+// TestHTTPNotReady: a recovering node answers the probe and every
+// data endpoint with 503, so a router treats it as down until its WAL
+// replay completes.
+func TestHTTPNotReady(t *testing.T) {
+	var ready atomic.Bool
+	db, b := newNode(t, 16, ready.Load)
+	ctx := context.Background()
+
+	if err := b.Probe(ctx); err == nil {
+		t.Fatal("probe succeeded on a recovering node")
+	}
+	if err := b.Apply(ctx, []vecdb.Mutation{{Op: vecdb.OpAdd, ID: 1, Text: "x"}}); err == nil {
+		t.Fatal("apply succeeded on a recovering node")
+	}
+	if _, err := b.Stat(ctx); err == nil {
+		t.Fatal("stat succeeded on a recovering node")
+	}
+
+	ready.Store(true)
+	if err := b.Probe(ctx); err != nil {
+		t.Fatalf("probe after recovery: %v", err)
+	}
+	if err := b.Apply(ctx, []vecdb.Mutation{{Op: vecdb.OpAdd, ID: 1, Text: "x"}}); err != nil {
+		t.Fatalf("apply after recovery: %v", err)
+	}
+	if db.Len() != 1 {
+		t.Fatalf("db holds %d docs", db.Len())
+	}
+}
+
+// TestHTTPRouterEndToEnd: a router over three HTTP nodes returns the
+// same merged top-k as a router over the same shards in-process — the
+// transport changes nothing about results.
+func TestHTTPRouterEndToEnd(t *testing.T) {
+	const dim = 32
+	var (
+		localShards []ShardBackends
+		httpShards  []ShardBackends
+		dbs         []*vecdb.DB
+	)
+	for i := 0; i < 3; i++ {
+		db, hb := newNode(t, dim, nil)
+		lb, _ := NewLocalBackend("local", db)
+		dbs = append(dbs, db)
+		localShards = append(localShards, ShardBackends{Primary: lb})
+		httpShards = append(httpShards, ShardBackends{Primary: hb})
+	}
+	lr, err := NewRouter(localShards, passiveHealth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lr.Close)
+	hr, err := NewRouter(httpShards, passiveHealth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(hr.Close)
+
+	// Ingest through the HTTP router; both routers see the same DBs.
+	seedRouter(t, hr, corpus)
+
+	vec, err := dbs[0].Embedder().Embed("probation period for new hires")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	want, err := lr.SearchVector(ctx, vec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := hr.SearchVector(ctx, vec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d hits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+			t.Errorf("hit %d: HTTP (%d, %v) vs local (%d, %v)",
+				i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+		}
+	}
+	if next, err := hr.MaxNextID(ctx); err != nil || next != int64(len(corpus)+1) {
+		t.Errorf("MaxNextID over HTTP = %d, %v", next, err)
+	}
+}

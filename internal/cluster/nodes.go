@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+// NodesFile is the on-disk cluster topology consumed by
+// `ragserver -cluster nodes.json`:
+//
+//	{
+//	  "request_timeout_ms": 5000,
+//	  "shards": [
+//	    {"primary": "http://10.0.0.1:9001", "replicas": ["http://10.0.0.4:9001"]},
+//	    {"primary": "http://10.0.0.2:9001"},
+//	    {"primary": "http://10.0.0.3:9001"}
+//	  ]
+//	}
+//
+// Shard order is the hash ring: entry i serves shard i, and the
+// number of entries must match the shard count the corpus was
+// ingested with — documents are hash-routed by ID over len(shards).
+type NodesFile struct {
+	// RequestTimeoutMS bounds one shard RPC (default 5000).
+	RequestTimeoutMS int `json:"request_timeout_ms"`
+	// Shards lists one NodeSet per shard, in hash-ring order.
+	Shards []NodeSet `json:"shards"`
+}
+
+// NodeSet names the node URLs serving one shard.
+type NodeSet struct {
+	Primary  string   `json:"primary"`
+	Replicas []string `json:"replicas,omitempty"`
+}
+
+// LoadNodes parses a nodes file and builds the HTTP backends for
+// NewRouter. All backends share one http.Client (one connection pool
+// toward the cluster).
+func LoadNodes(path string) ([]ShardBackends, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: nodes file: %w", err)
+	}
+	var nf NodesFile
+	if err := json.Unmarshal(raw, &nf); err != nil {
+		return nil, fmt.Errorf("cluster: nodes file %s: %w", path, err)
+	}
+	if len(nf.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: nodes file %s lists no shards", path)
+	}
+	timeout := DefaultRequestTimeout
+	if nf.RequestTimeoutMS > 0 {
+		timeout = time.Duration(nf.RequestTimeoutMS) * time.Millisecond
+	}
+	client := &http.Client{Timeout: timeout}
+	out := make([]ShardBackends, len(nf.Shards))
+	for i, ns := range nf.Shards {
+		if ns.Primary == "" {
+			return nil, fmt.Errorf("cluster: shard %d has no primary", i)
+		}
+		primary, err := NewHTTPBackend(ns.Primary, client)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		sb := ShardBackends{Primary: primary}
+		for _, rep := range ns.Replicas {
+			b, err := NewHTTPBackend(rep, client)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: shard %d replica: %w", i, err)
+			}
+			sb.Replicas = append(sb.Replicas, b)
+		}
+		out[i] = sb
+	}
+	return out, nil
+}

@@ -1,0 +1,379 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+	"repro/internal/vecdb"
+)
+
+// ErrUnavailable reports that no shard has any healthy backend — the
+// cluster as a whole cannot serve. The serving layer's admission gate
+// checks for this before doing any work, so traffic against a dead
+// cluster is shed immediately instead of timing out per request.
+var ErrUnavailable = errors.New("cluster: no healthy backends")
+
+// ErrShardUnavailable reports that one shard has no healthy backend.
+// Reads degrade around it; writes routed to it fail fast with this
+// error rather than waiting out a transport timeout.
+var ErrShardUnavailable = errors.New("cluster: shard unavailable")
+
+// ShardBackends names the backends serving one shard: a primary and
+// zero or more replicas, tried in order.
+type ShardBackends struct {
+	Primary  Backend
+	Replicas []Backend
+}
+
+// Router owns the hash ring over a set of shards, each served by one
+// or more Backends. Queries fan out to every shard in parallel and
+// merge per-shard top-k; reads fail over from an unhealthy primary to
+// its replicas; writes go to every healthy backend of the owning
+// shard. Health state comes from the embedded active checker plus
+// live-traffic outcomes.
+//
+// Replication is best-effort: a replica that was ejected while writes
+// flowed misses them and must be resynced out of band (each node's
+// own WAL is the durable copy). See docs/cluster.md.
+type Router struct {
+	cfg     HealthConfig
+	shards  [][]*backendHealth // primary first
+	checker *checker
+
+	failovers       atomic.Uint64
+	degradedQueries atomic.Uint64
+	shardsSkipped   atomic.Uint64
+}
+
+// NewRouter builds a router over the given shard set and starts its
+// health checker (stopped by Close). The shard count — and therefore
+// the hash ring — is fixed for the router's lifetime.
+func NewRouter(shards []ShardBackends, cfg HealthConfig) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("cluster: no shards")
+	}
+	cfg = cfg.withDefaults()
+	r := &Router{cfg: cfg, shards: make([][]*backendHealth, len(shards))}
+	var all []*backendHealth
+	for i, sb := range shards {
+		if sb.Primary == nil {
+			return nil, fmt.Errorf("cluster: shard %d has no primary backend", i)
+		}
+		bs := make([]*backendHealth, 0, 1+len(sb.Replicas))
+		for _, b := range append([]Backend{sb.Primary}, sb.Replicas...) {
+			if b == nil {
+				return nil, fmt.Errorf("cluster: shard %d has a nil backend", i)
+			}
+			h := &backendHealth{backend: b}
+			bs = append(bs, h)
+			all = append(all, h)
+		}
+		r.shards[i] = bs
+	}
+	r.checker = newChecker(cfg, all)
+	return r, nil
+}
+
+// Close stops the health checker. Backends own no connections beyond
+// their http.Client pools, so there is nothing else to release.
+func (r *Router) Close() { r.checker.Close() }
+
+// Shards reports the shard count (the modulus of the hash ring).
+func (r *Router) Shards() int { return len(r.shards) }
+
+// ShardFor maps a document ID onto its owning shard.
+func (r *Router) ShardFor(id int64) int { return ShardIndex(id, len(r.shards)) }
+
+// ctxFailure reports whether err is the caller's own context giving
+// up, which must not count against the backend's health.
+func ctxFailure(ctx context.Context, err error) bool {
+	return ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}
+
+// searchShard queries one shard, failing over across its backends in
+// order. Ejected backends are skipped without any network wait — that
+// is the early shedding the health checker buys.
+func (r *Router) searchShard(ctx context.Context, si int, vec []float32, k int) ([]vecdb.Hit, error) {
+	var lastErr error
+	tried := 0
+	for _, h := range r.shards[si] {
+		if !h.serving() {
+			continue
+		}
+		tried++
+		hits, err := h.backend.SearchVector(ctx, vec, k)
+		if err == nil {
+			if tried > 1 {
+				r.failovers.Add(1)
+			}
+			h.reportSuccess(r.cfg)
+			return hits, nil
+		}
+		if ctxFailure(ctx, err) {
+			return nil, err
+		}
+		h.reportFailure(r.cfg, err)
+		lastErr = err
+	}
+	if lastErr != nil {
+		return nil, lastErr
+	}
+	return nil, fmt.Errorf("%w: shard %d", ErrShardUnavailable, si)
+}
+
+// SearchVector fans an embedded query out to every shard in parallel
+// and merges the per-shard top-k. Shards with no reachable backend
+// are skipped — the query degrades to the surviving shards — and only
+// a fully unreachable cluster errors with ErrUnavailable. The fan-out
+// runs one worker per shard regardless of core count: remote shards
+// are I/O-bound, so the requests must all be in flight at once.
+func (r *Router) SearchVector(ctx context.Context, vec []float32, k int) ([]vecdb.Hit, error) {
+	n := len(r.shards)
+	lists := make([][]vecdb.Hit, n)
+	errs := make([]error, n)
+	parallel.ForWorkers(n, n, func(i int) {
+		lists[i], errs[i] = r.searchShard(ctx, i, vec, k)
+	})
+	failed := 0
+	for _, err := range errs {
+		if err != nil {
+			if ctxFailure(ctx, err) {
+				return nil, err
+			}
+			failed++
+		}
+	}
+	if failed == n {
+		return nil, fmt.Errorf("%w: all %d shards failed: %v", ErrUnavailable, n, errors.Join(errs...))
+	}
+	if failed > 0 {
+		r.degradedQueries.Add(1)
+		r.shardsSkipped.Add(uint64(failed))
+	}
+	return MergeTopK(lists, k), nil
+}
+
+// Apply executes a mutation batch that all routes to shard si,
+// writing to every healthy backend of that shard (primary and
+// replicas). It succeeds when at least one backend applied the batch;
+// a shard with no healthy backend fails fast with
+// ErrShardUnavailable. A vecdb.ErrNotFound (deleting an absent ID) is
+// an authoritative answer, not a node failure, and carries no health
+// penalty.
+func (r *Router) Apply(ctx context.Context, si int, ms []vecdb.Mutation) error {
+	if si < 0 || si >= len(r.shards) {
+		return fmt.Errorf("cluster: shard %d out of range [0,%d)", si, len(r.shards))
+	}
+	var (
+		ok       int
+		notFound error
+		lastErr  error
+	)
+	for _, h := range r.shards[si] {
+		if !h.serving() {
+			continue
+		}
+		err := h.backend.Apply(ctx, ms)
+		switch {
+		case err == nil:
+			ok++
+			h.reportSuccess(r.cfg)
+		case errors.Is(err, vecdb.ErrNotFound):
+			notFound = err
+		case ctxFailure(ctx, err):
+			return err
+		default:
+			h.reportFailure(r.cfg, err)
+			lastErr = err
+		}
+	}
+	switch {
+	case ok > 0:
+		return nil
+	case notFound != nil:
+		return notFound
+	case lastErr != nil:
+		return lastErr
+	}
+	return fmt.Errorf("%w: shard %d", ErrShardUnavailable, si)
+}
+
+// Get fetches one document from its owning shard, failing over across
+// backends. A vecdb.ErrNotFound from a live backend is authoritative
+// and returned immediately.
+func (r *Router) Get(ctx context.Context, id int64) (vecdb.Document, error) {
+	si := r.ShardFor(id)
+	var lastErr error
+	tried := 0
+	for _, h := range r.shards[si] {
+		if !h.serving() {
+			continue
+		}
+		tried++
+		doc, err := h.backend.Get(ctx, id)
+		switch {
+		case err == nil:
+			if tried > 1 {
+				r.failovers.Add(1)
+			}
+			h.reportSuccess(r.cfg)
+			return doc, nil
+		case errors.Is(err, vecdb.ErrNotFound):
+			return vecdb.Document{}, err
+		case ctxFailure(ctx, err):
+			return vecdb.Document{}, err
+		}
+		h.reportFailure(r.cfg, err)
+		lastErr = err
+	}
+	if lastErr != nil {
+		return vecdb.Document{}, lastErr
+	}
+	return vecdb.Document{}, fmt.Errorf("%w: shard %d", ErrShardUnavailable, si)
+}
+
+// Delete removes one document from its owning shard (all healthy
+// backends), reporting vecdb.ErrNotFound for absent IDs.
+func (r *Router) Delete(ctx context.Context, id int64) error {
+	return r.Apply(ctx, r.ShardFor(id), []vecdb.Mutation{{Op: vecdb.OpDelete, ID: id}})
+}
+
+// statShard returns the freshest ShardStat for shard si: a live call
+// to the first healthy backend, falling back to the checker's cached
+// observation.
+func (r *Router) statShard(ctx context.Context, si int) (ShardStat, bool) {
+	for _, h := range r.shards[si] {
+		if !h.serving() {
+			continue
+		}
+		if st, err := h.backend.Stat(ctx); err == nil {
+			h.setStat(st)
+			return st, true
+		}
+	}
+	for _, h := range r.shards[si] {
+		h.mu.Lock()
+		st, valid := h.stat, h.statValid
+		h.mu.Unlock()
+		if valid {
+			return st, true
+		}
+	}
+	return ShardStat{}, false
+}
+
+// Lens reports per-shard document counts (live where a backend
+// answers, last-observed otherwise; zero for shards never reached).
+func (r *Router) Lens(ctx context.Context) []int {
+	lens := make([]int, len(r.shards))
+	parallel.ForWorkers(len(r.shards), len(r.shards), func(i int) {
+		if st, ok := r.statShard(ctx, i); ok {
+			lens[i] = st.Len
+		}
+	})
+	return lens
+}
+
+// Len sums the per-shard document counts.
+func (r *Router) Len(ctx context.Context) int {
+	n := 0
+	for _, l := range r.Lens(ctx) {
+		n += l
+	}
+	return n
+}
+
+// MaxNextID reports the highest next-ID across all shards, for
+// restoring a router-level ID allocator on boot. It errors if any
+// shard is unreachable: allocating IDs below a dead shard's
+// high-water mark would collide when that shard returns.
+func (r *Router) MaxNextID(ctx context.Context) (int64, error) {
+	var next int64 = 1
+	for si := range r.shards {
+		st, ok := r.statShard(ctx, si)
+		if !ok {
+			return 0, fmt.Errorf("%w: shard %d unreachable, cannot restore ID allocator", ErrShardUnavailable, si)
+		}
+		if st.NextID > next {
+			next = st.NextID
+		}
+	}
+	return next, nil
+}
+
+// Available reports whether the cluster can serve anything at all:
+// nil when at least one shard has a healthy backend, ErrUnavailable
+// otherwise. The serving layer's admission gate calls this on every
+// request, so a fully dead cluster sheds in microseconds.
+func (r *Router) Available() error {
+	for _, bs := range r.shards {
+		for _, h := range bs {
+			if h.serving() {
+				return nil
+			}
+		}
+	}
+	return ErrUnavailable
+}
+
+// BackendHealth is one backend's health state as exposed in /stats.
+type BackendHealth struct {
+	Name                string `json:"name"`
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Docs                int    `json:"docs"`
+	LastError           string `json:"last_error,omitempty"`
+}
+
+// ShardHealth is one shard's health as exposed in /stats: Alive is
+// true when any backend is serving, Docs is the last-observed
+// document count.
+type ShardHealth struct {
+	Shard    int             `json:"shard"`
+	Alive    bool            `json:"alive"`
+	Docs     int             `json:"docs"`
+	Backends []BackendHealth `json:"backends"`
+}
+
+// Health snapshots per-shard, per-backend health for /stats.
+func (r *Router) Health() []ShardHealth {
+	out := make([]ShardHealth, len(r.shards))
+	for si, bs := range r.shards {
+		sh := ShardHealth{Shard: si}
+		for _, h := range bs {
+			b := h.snapshot()
+			sh.Backends = append(sh.Backends, b)
+			if b.State == StateHealthy.String() {
+				sh.Alive = true
+			}
+			if b.Docs > sh.Docs {
+				sh.Docs = b.Docs
+			}
+		}
+		out[si] = sh
+	}
+	return out
+}
+
+// RouterStats counts fan-out outcomes since the router started.
+type RouterStats struct {
+	// Failovers counts reads served by a non-first backend.
+	Failovers uint64 `json:"failovers"`
+	// DegradedQueries counts searches that lost at least one shard.
+	DegradedQueries uint64 `json:"degraded_queries"`
+	// ShardsSkipped counts shard results missing from those degraded
+	// searches (one query losing two shards counts two).
+	ShardsSkipped uint64 `json:"shards_skipped"`
+}
+
+// Stats reports the router's counters.
+func (r *Router) Stats() RouterStats {
+	return RouterStats{
+		Failovers:       r.failovers.Load(),
+		DegradedQueries: r.degradedQueries.Load(),
+		ShardsSkipped:   r.shardsSkipped.Load(),
+	}
+}

@@ -15,7 +15,15 @@ import (
 // dynamically, so uneven work items still balance across workers. fn
 // must be safe to call concurrently for distinct i.
 func For(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
+	ForWorkers(n, runtime.GOMAXPROCS(0), fn)
+}
+
+// ForWorkers is For with an explicit worker cap. CPU-bound callers
+// want the GOMAXPROCS default; I/O-bound fan-outs (e.g. a query
+// hitting every remote shard of a cluster) pass workers == n so a
+// small machine still issues all requests concurrently instead of
+// serializing network waits behind its core count.
+func ForWorkers(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}

@@ -1,0 +1,59 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversEveryIndexOnce: each index is visited exactly once,
+// for sizes around the worker-count boundaries.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		counts := make([]atomic.Int32, n)
+		For(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, got)
+			}
+		}
+	}
+}
+
+// TestForWorkersExceedingN: a worker cap beyond n must not panic or
+// double-visit.
+func TestForWorkersExceedingN(t *testing.T) {
+	var sum atomic.Int64
+	ForWorkers(3, 100, func(i int) { sum.Add(int64(i)) })
+	if sum.Load() != 3 {
+		t.Fatalf("sum = %d, want 3", sum.Load())
+	}
+}
+
+// TestForWorkersActuallyConcurrent: with an explicit worker count of
+// n, all n calls are in flight simultaneously — the property the
+// cluster fan-out needs so network waits overlap even on a
+// single-core machine. The barrier deadlocks (and the test times
+// out) if the calls were serialized.
+func TestForWorkersActuallyConcurrent(t *testing.T) {
+	const n = 8
+	var wg sync.WaitGroup
+	wg.Add(n)
+	ForWorkers(n, n, func(i int) {
+		wg.Done()
+		wg.Wait() // release only once all n are inside
+	})
+}
+
+// TestForWorkersSingle: a cap of 1 (or less) degrades to a plain
+// loop.
+func TestForWorkersSingle(t *testing.T) {
+	order := make([]int, 0, 4)
+	ForWorkers(4, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single-worker order = %v", order)
+		}
+	}
+	ForWorkers(4, 0, func(i int) {}) // must not hang
+}

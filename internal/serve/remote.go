@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/parallel"
+	"repro/internal/vecdb"
+)
+
+// RemoteStore is the cluster-mode Store: documents are hash-routed
+// over a cluster.Router to shard nodes speaking the shard protocol,
+// while ID allocation, query embedding (LRU-cached) and top-k merge
+// stay on the routing server. Because the hash ring, the embedder and
+// the merge order are shared with ShardedDB, a corpus ingested
+// through a RemoteStore over n nodes returns bit-identical results to
+// the same corpus in a single n-shard process.
+//
+// Durability lives on each node (its own WAL + checkpoints, per
+// docs/persistence.md); the router holds no document state, so Save
+// reports ErrNoDataDir and PersistStats is zero.
+type RemoteStore struct {
+	router *cluster.Router
+	embed  vecdb.Embedder
+	nextID atomic.Int64
+	// opTimeout bounds one store operation issued without a caller
+	// context (the rag.Store surface carries none). statTimeout is the
+	// much shorter budget for observational fan-outs (Len/ShardSizes):
+	// they back a liveness endpoint and fall back to the health
+	// checker's cached counts, so a slow node must not stall a scrape.
+	opTimeout   time.Duration
+	statTimeout time.Duration
+}
+
+// NewRemoteStore builds a cluster-mode store over router. dim and
+// embedCache mirror NewShardedDefault's embedder setup. The global ID
+// allocator is restored from the cluster's high-water mark, so every
+// node must be reachable at boot — allocating IDs below a dead
+// shard's maximum would collide when it returns.
+func NewRemoteStore(router *cluster.Router, dim, embedCache int) (*RemoteStore, error) {
+	inner, err := vecdb.NewHashedEmbedder(dim)
+	if err != nil {
+		return nil, err
+	}
+	s := &RemoteStore{
+		router:      router,
+		embed:       NewCachedEmbedder(inner, embedCache),
+		opTimeout:   10 * time.Second,
+		statTimeout: 2 * time.Second,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.opTimeout)
+	defer cancel()
+	next, err := router.MaxNextID(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restore cluster ID allocator: %w", err)
+	}
+	s.nextID.Store(next - 1)
+	return s, nil
+}
+
+// Router exposes the underlying cluster router (for /stats health
+// reporting and tests).
+func (s *RemoteStore) Router() *cluster.Router { return s.router }
+
+func (s *RemoteStore) opCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), s.opTimeout)
+}
+
+// Add embeds-on-arrival is the node's job: the mutation carries text,
+// and the owning node embeds with the same deterministic embedder the
+// router uses for queries.
+func (s *RemoteStore) Add(text string, meta map[string]string) (int64, error) {
+	id := s.nextID.Add(1)
+	ctx, cancel := s.opCtx()
+	defer cancel()
+	m := vecdb.Mutation{Op: vecdb.OpAdd, ID: id, Text: text, Meta: meta}
+	if err := s.router.Apply(ctx, s.router.ShardFor(id), []vecdb.Mutation{m}); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// AddBulk assigns IDs in input order — the same allocation a
+// ShardedDB performs — groups the adds by owning shard, and applies
+// each group in one shard RPC, all shards in flight at once.
+func (s *RemoteStore) AddBulk(texts []string) ([]int64, error) {
+	if len(texts) == 0 {
+		return nil, nil
+	}
+	n := s.router.Shards()
+	ids := make([]int64, len(texts))
+	groups := make([][]vecdb.Mutation, n)
+	for i, text := range texts {
+		id := s.nextID.Add(1)
+		ids[i] = id
+		si := cluster.ShardIndex(id, n)
+		groups[si] = append(groups[si], vecdb.Mutation{Op: vecdb.OpAdd, ID: id, Text: text})
+	}
+	ctx, cancel := s.opCtx()
+	defer cancel()
+	errs := make([]error, n)
+	parallel.ForWorkers(n, n, func(si int) {
+		if len(groups[si]) == 0 {
+			return
+		}
+		errs[si] = s.router.Apply(ctx, si, groups[si])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ids, nil
+}
+
+// Search embeds the query once (through the router-side cache) and
+// fans the vector out.
+func (s *RemoteStore) Search(query string, k int) ([]vecdb.Hit, error) {
+	vec, err := s.embed.Embed(query)
+	if err != nil {
+		return nil, fmt.Errorf("serve: embed query: %w", err)
+	}
+	return s.SearchVector(vec, k)
+}
+
+// SearchVector fans the query out to every shard node and merges,
+// degrading around dead shards (see cluster.Router.SearchVector).
+func (s *RemoteStore) SearchVector(vec []float32, k int) ([]vecdb.Hit, error) {
+	ctx, cancel := s.opCtx()
+	defer cancel()
+	return s.router.SearchVector(ctx, vec, k)
+}
+
+// Get fetches one document from its owning shard, failing over across
+// that shard's backends.
+func (s *RemoteStore) Get(id int64) (vecdb.Document, error) {
+	ctx, cancel := s.opCtx()
+	defer cancel()
+	return s.router.Get(ctx, id)
+}
+
+// Delete removes one document from its owning shard.
+func (s *RemoteStore) Delete(id int64) error {
+	ctx, cancel := s.opCtx()
+	defer cancel()
+	return s.router.Delete(ctx, id)
+}
+
+// Len sums live per-shard counts (last-observed for shards that don't
+// answer within the stat budget).
+func (s *RemoteStore) Len() int {
+	ctx, cancel := context.WithTimeout(context.Background(), s.statTimeout)
+	defer cancel()
+	return s.router.Len(ctx)
+}
+
+// Shards reports the hash-ring width.
+func (s *RemoteStore) Shards() int { return s.router.Shards() }
+
+// ShardSizes reports per-shard document counts.
+func (s *RemoteStore) ShardSizes() []int {
+	ctx, cancel := context.WithTimeout(context.Background(), s.statTimeout)
+	defer cancel()
+	return s.router.Lens(ctx)
+}
+
+// Embedder exposes the router-side cached query embedder.
+func (s *RemoteStore) Embedder() vecdb.Embedder { return s.embed }
+
+// Save reports ErrNoDataDir: checkpointing is each node's own
+// business (their background checkpointers keep running regardless of
+// what the router does).
+func (s *RemoteStore) Save() error { return ErrNoDataDir }
+
+// Close stops the router's health checker. Node processes are not
+// touched.
+func (s *RemoteStore) Close() error {
+	s.router.Close()
+	return nil
+}
+
+// PersistStats is zero: the router owns no durable state.
+func (s *RemoteStore) PersistStats() PersistStats { return PersistStats{} }
+
+// Available feeds the admission gate: ErrUnavailable when no shard
+// has a healthy backend.
+func (s *RemoteStore) Available() error { return s.router.Available() }
+
+var (
+	_ Store                = (*RemoteStore)(nil)
+	_ availabilityReporter = (*RemoteStore)(nil)
+)

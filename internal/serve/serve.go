@@ -76,6 +76,12 @@ type Config struct {
 	DataDir string
 	// Persist tunes the durable layer; ignored when DataDir is empty.
 	Persist PersistConfig
+
+	// Store, when non-nil, supplies the document store directly and
+	// overrides Shards/DataDir/Persist — the cluster mode, where a
+	// RemoteStore routes to shard nodes instead of in-process shards.
+	// The Server takes ownership and closes it with Close.
+	Store Store
 }
 
 func (c Config) withDefaults() Config {
@@ -119,7 +125,7 @@ func (c Config) withDefaults() Config {
 // same Ask/Verify/Ingest surface as the seed pipeline.
 type Server struct {
 	cfg       Config
-	store     *ShardedDB
+	store     Store
 	pipeline  *rag.Pipeline
 	batcher   *Batcher
 	admission *Admission
@@ -131,6 +137,9 @@ type Server struct {
 	ingests  atomic.Uint64
 	searches atomic.Uint64
 	deletes  atomic.Uint64
+	// unavailableShed counts requests shed at admission because the
+	// cluster store reported no healthy backends.
+	unavailableShed atomic.Uint64
 }
 
 // New builds and starts a Server (the batcher's collection loop runs
@@ -157,11 +166,14 @@ func New(cfg Config) (*Server, error) {
 	if gen == nil {
 		gen = rag.ExtractiveGenerator{MaxSentences: 2}
 	}
-	var store *ShardedDB
+	var store Store
 	var err error
-	if cfg.DataDir != "" {
+	switch {
+	case cfg.Store != nil:
+		store = cfg.Store
+	case cfg.DataDir != "":
 		store, err = OpenShardedDefault(cfg.DataDir, shards, cfg.Dim, cfg.EmbedCacheSize, cfg.Persist)
-	} else {
+	default:
 		store, err = NewShardedDefault(shards, cfg.Dim, cfg.EmbedCacheSize)
 	}
 	if err != nil {
@@ -211,8 +223,9 @@ func (s *Server) Close() error {
 // server.
 func (s *Server) Checkpoint() error { return s.store.Save() }
 
-// Store exposes the sharded document store (for seeding and tests).
-func (s *Server) Store() *ShardedDB { return s.store }
+// Store exposes the document store (for seeding and tests) — a
+// *ShardedDB in single-process mode, a *RemoteStore in cluster mode.
+func (s *Server) Store() Store { return s.store }
 
 // Threshold returns the configured acceptance threshold.
 func (s *Server) Threshold() float64 { return s.pipeline.Threshold }
@@ -226,8 +239,17 @@ func (s *Server) Calibrate(ctx context.Context, triples []core.Triple) error {
 }
 
 // admit applies admission control and the per-request deadline. The
-// returned done func releases the slot and cancels the deadline.
+// returned done func releases the slot and cancels the deadline. A
+// cluster store with no healthy backends sheds here, before any slot
+// or transport work is spent — the per-shard health state feeding
+// admission control.
 func (s *Server) admit(ctx context.Context) (context.Context, func(), error) {
+	if av, ok := s.store.(availabilityReporter); ok {
+		if err := av.Available(); err != nil {
+			s.unavailableShed.Add(1)
+			return nil, nil, err
+		}
+	}
 	release, err := s.admission.Acquire(ctx)
 	if err != nil {
 		return nil, nil, err
@@ -440,9 +462,17 @@ func (s *Server) Stats() Snapshot {
 	if batches > 0 {
 		bs.MeanOccupancy = float64(items) / float64(batches)
 	}
-	return Snapshot{
-		Docs:       s.store.Len(),
-		ShardSizes: s.store.ShardSizes(),
+	// One ShardSizes pass feeds both fields: on a cluster store each
+	// call is a shard fan-out, so Docs is derived rather than fetched
+	// again.
+	sizes := s.store.ShardSizes()
+	docs := 0
+	for _, n := range sizes {
+		docs += n
+	}
+	snap := Snapshot{
+		Docs:       docs,
+		ShardSizes: sizes,
 		Requests: RequestStats{
 			Asks:     s.asks.Load(),
 			Verifies: s.verifies.Load(),
@@ -460,4 +490,14 @@ func (s *Server) Stats() Snapshot {
 		},
 		Persist: s.store.PersistStats(),
 	}
+	if rs, ok := s.store.(*RemoteStore); ok {
+		r := rs.Router()
+		snap.Cluster = ClusterStats{
+			Enabled:         true,
+			Shards:          r.Health(),
+			Router:          r.Stats(),
+			ShedUnavailable: s.unavailableShed.Load(),
+		}
+	}
+	return snap
 }

@@ -3,10 +3,10 @@ package serve
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cluster"
 	"repro/internal/rag"
 	"repro/internal/vecdb"
 )
@@ -77,17 +77,12 @@ func NewShardedDefault(n, dim, embedCache int) (*ShardedDB, error) {
 	return s, nil
 }
 
-// splitmix64 is the integer finalizer used to hash document IDs onto
-// shards; sequential IDs land on uncorrelated shards.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
+// shardIndex maps a document ID onto its owning shard through the
+// shared hash ring in internal/cluster — the same function a
+// multi-node router uses, so a corpus keeps its routing when its
+// shards move onto separate nodes.
 func (s *ShardedDB) shardIndex(id int64) int {
-	return int(splitmix64(uint64(id)) % uint64(len(s.shards)))
+	return cluster.ShardIndex(id, len(s.shards))
 }
 
 func (s *ShardedDB) shardFor(id int64) *vecdb.DB {
@@ -218,6 +213,76 @@ func (s *ShardedDB) AddBulk(texts []string) ([]int64, error) {
 	return ids, nil
 }
 
+// ApplyAll executes a batch of externally-journaled mutations with
+// caller-assigned IDs — the write path of the shard protocol, where a
+// cluster router allocates IDs globally and a shard node applies (and
+// WAL-journals, on a durable store) the mutations that hash to it.
+// Mutations are grouped by owning shard, preserving relative order
+// within each shard, and shards proceed in parallel. The internal ID
+// allocator is advanced past every ID in the batch before anything
+// applies, so Adds issued *after* an ApplyAll returns (or after the
+// reservation below) allocate above it. Running ApplyAll and
+// Add/AddBulk concurrently is not part of the contract: a shard node
+// takes router-assigned IDs or allocates locally, never both at once.
+func (s *ShardedDB) ApplyAll(ms []vecdb.Mutation) error {
+	if len(ms) == 0 {
+		return nil
+	}
+	groups := make([][]vecdb.Mutation, len(s.shards))
+	var maxID int64
+	for _, m := range ms {
+		si := s.shardIndex(m.ID)
+		groups[si] = append(groups[si], m)
+		if m.Op == vecdb.OpAdd && m.ID > maxID {
+			maxID = m.ID
+		}
+	}
+	// Reserve the ID range before applying: a concurrent Add must not
+	// be handed an ID this batch is about to install.
+	for {
+		cur := s.nextID.Load()
+		if maxID <= cur || s.nextID.CompareAndSwap(cur, maxID) {
+			break
+		}
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for si, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int, group []vecdb.Mutation) {
+			defer wg.Done()
+			if err := s.apply(si, group); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(si, group)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// NextID reports the next ID the store would allocate — the high-water
+// mark a cluster router reads (via the shard protocol's stat endpoint)
+// to restore its global allocator past every stored document.
+func (s *ShardedDB) NextID() int64 {
+	next := s.nextID.Load() + 1
+	for _, sh := range s.shards {
+		if id := sh.NextID(); id > next {
+			next = id
+		}
+	}
+	return next
+}
+
 // Get returns the stored document for id from its owning shard.
 func (s *ShardedDB) Get(id int64) (vecdb.Document, error) {
 	return s.shardFor(id).Get(id)
@@ -277,39 +342,34 @@ func (s *ShardedDB) SearchVector(vec []float32, k int) ([]vecdb.Hit, error) {
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
-		merged   []vecdb.Hit
 		firstErr error
 	)
+	lists := make([][]vecdb.Hit, len(s.shards))
 	wg.Add(len(s.shards))
-	for _, sh := range s.shards {
-		go func(db *vecdb.DB) {
+	for i, sh := range s.shards {
+		go func(i int, db *vecdb.DB) {
 			defer wg.Done()
 			hits, err := db.SearchVector(vec, k)
-			mu.Lock()
-			defer mu.Unlock()
 			if err != nil {
+				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
 				}
+				mu.Unlock()
 				return
 			}
-			merged = append(merged, hits...)
-		}(sh)
+			lists[i] = hits
+		}(i, sh)
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	sort.Slice(merged, func(i, j int) bool {
-		if merged[i].Score != merged[j].Score {
-			return merged[i].Score > merged[j].Score
-		}
-		return merged[i].ID < merged[j].ID
-	})
-	if len(merged) > k {
-		merged = merged[:k]
-	}
-	return merged, nil
+	return cluster.MergeTopK(lists, k), nil
 }
 
 var _ rag.Store = (*ShardedDB)(nil)
+
+// A ShardedDB is also a complete shard-protocol store: cmd/shardnode
+// mounts cluster.NewNodeHandler over a one-shard durable ShardedDB.
+var _ cluster.NodeStore = (*ShardedDB)(nil)

@@ -1,12 +1,16 @@
 package serve
 
+import "repro/internal/cluster"
+
 // Snapshot is the point-in-time view of the serving layer exposed by
 // GET /stats. All fields are JSON-stable: dashboards and tests key on
 // them.
 type Snapshot struct {
 	// Docs is the total stored document count across shards.
 	Docs int `json:"docs"`
-	// ShardSizes is the per-shard document count, in shard order.
+	// ShardSizes is the per-shard document count, in shard order — for
+	// a cluster store, each shard node's last-observed count, so
+	// imbalance stays visible across the transport.
 	ShardSizes []int `json:"shard_sizes"`
 
 	// Requests counts admitted calls by kind.
@@ -22,6 +26,24 @@ type Snapshot struct {
 	// Persist reports the durable layer (WAL + checkpoints); Enabled is
 	// false on a memory-only server.
 	Persist PersistStats `json:"persist"`
+	// Cluster reports multi-node routing state; Enabled is false when
+	// shards are in-process.
+	Cluster ClusterStats `json:"cluster"`
+}
+
+// ClusterStats is the multi-node section of the snapshot: per-shard,
+// per-backend health (ejections are visible here) plus the router's
+// failover/degradation counters.
+type ClusterStats struct {
+	Enabled bool `json:"enabled"`
+	// Shards carries each shard's health state and last-observed
+	// document count.
+	Shards []cluster.ShardHealth `json:"shards,omitempty"`
+	// Router counts failovers and degraded (shard-losing) queries.
+	Router cluster.RouterStats `json:"router"`
+	// ShedUnavailable counts requests shed at admission because no
+	// shard had a healthy backend.
+	ShedUnavailable uint64 `json:"shed_unavailable"`
 }
 
 // RequestStats counts admitted requests by endpoint kind.

@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"repro/internal/rag"
+	"repro/internal/vecdb"
+)
+
+// Store is the document-store surface the Server drives. Two
+// implementations exist: ShardedDB (in-process shards, optionally
+// durable via per-shard WAL + checkpoints) and RemoteStore (a
+// cluster.Router fanning the same operations out to shard nodes over
+// HTTP). The Server is agnostic: the full Ask path — admission,
+// caches, micro-batched verification — is identical in both modes;
+// only where the vectors live changes.
+type Store interface {
+	rag.Store
+	// AddBulk stores a batch of texts, returning their IDs in input
+	// order, with writes grouped per shard.
+	AddBulk(texts []string) ([]int64, error)
+	// SearchVector answers an already-embedded query with the merged
+	// top-k across shards.
+	SearchVector(vec []float32, k int) ([]vecdb.Hit, error)
+	// Get returns a stored document, or ErrNotFound.
+	Get(id int64) (vecdb.Document, error)
+	// Delete removes a document, or reports ErrNotFound.
+	Delete(id int64) error
+	// Embedder exposes the query-path embedder.
+	Embedder() vecdb.Embedder
+	// Shards reports the shard count; ShardSizes the per-shard
+	// document counts.
+	Shards() int
+	ShardSizes() []int
+	// Save checkpoints durable state now (ErrNoDataDir when the store
+	// owns none — a RemoteStore's durability lives on its nodes).
+	Save() error
+	// Close releases the store (final checkpoint + WAL close for a
+	// durable ShardedDB, health-checker shutdown for a RemoteStore).
+	Close() error
+	// PersistStats reports durability counters (zero-valued when the
+	// store owns no durable state).
+	PersistStats() PersistStats
+}
+
+var _ Store = (*ShardedDB)(nil)
+
+// availabilityReporter is implemented by stores that can become
+// partially or fully unreachable (RemoteStore). The admission gate
+// consults it before spending any work on a request, so traffic
+// against a dead cluster sheds in microseconds instead of waiting out
+// transport timeouts.
+type availabilityReporter interface {
+	Available() error
+}
