@@ -13,7 +13,9 @@ package repro
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -624,4 +626,138 @@ func BenchmarkRecover(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- streaming ingest vs bulk ingest ---
+
+// BenchmarkStreamIngest compares the NDJSON streaming path (bounded
+// pipeline, credit-gate backpressure, adaptive index batches) against
+// the one-shot /ingest/bulk path on the same corpus. The acceptance
+// bar is streamed throughput ≥ the bulk path — streaming buys
+// incremental progress and bounded memory, and must not give back
+// throughput for it.
+func BenchmarkStreamIngest(b *testing.B) {
+	const docsPerOp = 512
+	docs := make([]string, docsPerOp)
+	for i := range docs {
+		docs[i] = fmt.Sprintf(
+			"Streamed policy document %d. Section %d covers topic %d in detail. Employees in group %d must follow rule %d at all times.",
+			i, i*3, i%17, i%5, i*11)
+	}
+	var payload strings.Builder
+	for _, d := range docs {
+		fmt.Fprintf(&payload, "{\"text\":%q}\n", d)
+	}
+	ndjson := payload.String()
+	// The bulk path's wire form — both sub-benchmarks start from bytes
+	// on the wire and pay their own decode, as the HTTP handlers do.
+	bulkPayload, err := json.Marshal(map[string][]string{"texts": docs})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	newServer := func(b *testing.B) *serve.Server {
+		_, _, triples := serveCorpus(b)
+		srv, err := serve.New(serve.Config{
+			Shards: 8, Dim: 256, Detector: calibratedProposed(b, triples),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return srv
+	}
+	ctx := context.Background()
+
+	b.Run("bulk", func(b *testing.B) {
+		srv := newServer(b)
+		defer srv.Close()
+		b.SetBytes(int64(len(bulkPayload)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var req struct {
+				Texts []string `json:"texts"`
+			}
+			if err := json.Unmarshal(bulkPayload, &req); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := srv.IngestBulk(ctx, req.Texts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		srv := newServer(b)
+		defer srv.Close()
+		b.SetBytes(int64(len(ndjson)))
+		b.ResetTimer()
+		var st serve.StreamStats
+		for i := 0; i < b.N; i++ {
+			if _, err := srv.IngestStream(ctx, strings.NewReader(ndjson), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st = srv.Stats().IngestStream
+		b.ReportMetric(float64(st.Batch.Limit), "batch_limit")
+		b.ReportMetric(float64(st.ThrottleEvents)/float64(b.N), "throttles/op")
+	})
+}
+
+// --- adaptive vs static micro-batching under bursty load ---
+
+// BenchmarkAdaptiveBatchingBursty drives the verification batcher
+// with a bursty arrival pattern — short salvos of concurrent requests
+// separated by idle gaps, the regime where a static (MaxBatch,
+// MaxWait) pair must pick one loss: a long wait taxes the lone
+// requests, a short one shreds the bursts into tiny batches. The
+// AIMD controller must hold mean latency no worse than the best
+// static setting.
+func BenchmarkAdaptiveBatchingBursty(b *testing.B) {
+	_, _, triples := serveCorpus(b)
+	det := calibratedProposed(b, triples)
+	ctx := context.Background()
+
+	run := func(b *testing.B, cfg serve.BatcherConfig) {
+		batcher := serve.NewBatcher(det, cfg)
+		defer batcher.Close()
+		var latNanos, ops atomic.Int64
+		var n atomic.Uint64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				// Burst boundary: pause so the batcher sees a gap, then a
+				// salvo of back-to-back requests from this worker.
+				if i%8 == 0 {
+					time.Sleep(2 * time.Millisecond)
+				}
+				i++
+				t := triples[n.Add(1)%uint64(len(triples))]
+				start := time.Now()
+				if _, err := batcher.Verify(ctx, t); err != nil {
+					b.Error(err)
+					return
+				}
+				latNanos.Add(time.Since(start).Nanoseconds())
+				ops.Add(1)
+			}
+		})
+		b.StopTimer()
+		if ops.Load() > 0 {
+			b.ReportMetric(float64(latNanos.Load())/float64(ops.Load())/1e6, "ms/req")
+		}
+	}
+
+	b.Run("adaptive", func(b *testing.B) {
+		run(b, serve.BatcherConfig{MaxBatch: 16, MaxWait: 2 * time.Millisecond})
+	})
+	b.Run("static-16-2ms", func(b *testing.B) {
+		run(b, serve.BatcherConfig{MaxBatch: 16, MaxWait: 2 * time.Millisecond, Static: true})
+	})
+	b.Run("static-16-500us", func(b *testing.B) {
+		run(b, serve.BatcherConfig{MaxBatch: 16, MaxWait: 500 * time.Microsecond, Static: true})
+	})
+	b.Run("static-1", func(b *testing.B) {
+		run(b, serve.BatcherConfig{MaxBatch: 1, Static: true})
+	})
 }

@@ -9,6 +9,7 @@
 //
 //	POST /ingest           {"text": "..."}            → {"chunks": n}
 //	POST /ingest/bulk      {"texts": ["...", ...]}    → {"docs": n, "chunks": m}
+//	POST /ingest/stream    NDJSON body (one doc/line) → NDJSON progress frames + final {"done":true,...}
 //	POST /ask              {"question": "..."}        → answer + verdict
 //	POST /verify           {"question","context","response"} → verdict
 //	POST /search           {"query": "...", "k": 3}   → {"hits": [...]}
@@ -18,6 +19,16 @@
 //	GET  /healthz                                     → {"status":"ok","ready":b}  (liveness)
 //	GET  /readyz                                      → 200 | 503                  (recovery + seeding complete)
 //	GET  /stats                                       → serving-layer snapshot
+//
+// /ingest/stream reads NDJSON (one document per line — an object
+// {"text":"...","meta":{...}} or a bare string), indexes it through a
+// bounded pipeline with credit-based backpressure (an overwhelmed
+// server slows the upload via TCP flow control instead of buffering
+// unboundedly), and streams progress heartbeat frames back while the
+// upload runs. Verification micro-batches and ingest index batches
+// are sized adaptively (AIMD on observed occupancy and queue depth)
+// within [-max-batch, -max-wait] bounds; -static-batch pins them. See
+// docs/ingest.md.
 //
 // Overloaded requests are shed with 429 Too Many Requests; operations
 // on absent document IDs return 404. The listener comes up before
@@ -39,7 +50,8 @@
 // Usage:
 //
 //	ragserver [-addr :8080] [-topk 3] [-threshold 3.2] [-seed-demo]
-//	          [-shards 4] [-max-batch 16] [-max-wait 2ms]
+//	          [-shards 4] [-max-batch 16] [-max-wait 2ms] [-static-batch]
+//	          [-ingest-pending 1024]
 //	          [-max-inflight 64] [-max-queue 256]
 //	          [-data-dir ""] [-fsync never|always|interval]
 //	          [-checkpoint-every 30s]
@@ -58,6 +70,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -65,6 +78,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/ingest"
 	"repro/internal/serve"
 	"repro/internal/storage"
 )
@@ -81,8 +95,10 @@ func main() {
 		threshold   = flag.Float64("threshold", 3.2, "verification acceptance threshold")
 		seedDemo    = flag.Bool("seed-demo", false, "preload the synthetic HR handbook and calibrate on it")
 		shards      = flag.Int("shards", 0, "vector DB shards (0 = auto, or the stored count when -data-dir exists)")
-		maxBatch    = flag.Int("max-batch", 16, "max verification requests per micro-batch")
-		maxWait     = flag.Duration("max-wait", 2*time.Millisecond, "max wait to fill a micro-batch")
+		maxBatch    = flag.Int("max-batch", 16, "upper bound on verification requests per micro-batch")
+		maxWait     = flag.Duration("max-wait", 2*time.Millisecond, "upper bound on the wait to fill a micro-batch")
+		staticBatch = flag.Bool("static-batch", false, "pin batches at -max-batch/-max-wait instead of adapting (AIMD)")
+		ingestPend  = flag.Int("ingest-pending", 0, "chunk credit pool bounding in-flight streaming-ingest memory (0 = 1024)")
 		maxInflight = flag.Int("max-inflight", 64, "max concurrently executing requests")
 		maxQueue    = flag.Int("max-queue", 256, "max requests waiting for a slot before shedding (-1 disables queueing)")
 		dataDir     = flag.String("data-dir", "", "directory for per-shard WALs and checkpoints (empty = memory-only)")
@@ -98,14 +114,16 @@ func main() {
 		os.Exit(1)
 	}
 	cfg := serve.Config{
-		Shards:      *shards,
-		TopK:        *topK,
-		Threshold:   *threshold,
-		MaxBatch:    *maxBatch,
-		MaxWait:     *maxWait,
-		MaxInFlight: *maxInflight,
-		MaxQueue:    *maxQueue,
-		DataDir:     *dataDir,
+		Shards:           *shards,
+		TopK:             *topK,
+		Threshold:        *threshold,
+		MaxBatch:         *maxBatch,
+		MaxWait:          *maxWait,
+		StaticBatch:      *staticBatch,
+		StreamMaxPending: *ingestPend,
+		MaxInFlight:      *maxInflight,
+		MaxQueue:         *maxQueue,
+		DataDir:          *dataDir,
 		Persist: serve.PersistConfig{
 			Fsync:           policy,
 			CheckpointEvery: *ckEvery,
@@ -299,6 +317,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/ingest/bulk", s.handleIngestBulk)
+	mux.HandleFunc("/ingest/stream", s.handleIngestStream)
 	mux.HandleFunc("/ask", s.handleAsk)
 	mux.HandleFunc("/verify", s.handleVerify)
 	mux.HandleFunc("/search", s.handleSearch)
@@ -431,6 +450,76 @@ func (s *server) handleIngestBulk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"docs": len(req.Texts), "chunks": chunks})
+}
+
+// streamFrame is one NDJSON line of the /ingest/stream response:
+// heartbeat frames carry the live counters; the final frame adds
+// done=true and, when the stream aborted, the error.
+type streamFrame struct {
+	ingest.Stats
+	Done  bool   `json:"done,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// handleIngestStream pipes the request body through the streaming
+// ingest pipeline, writing NDJSON progress frames as the upload runs.
+// Shedding (429) and cluster-unavailable (503) happen before the
+// first frame; after that, errors arrive in the final frame because
+// the 200 header is already on the wire. Backpressure needs no code
+// here: when the pipeline's credit gate fills, IngestStream stops
+// reading r.Body and TCP flow control slows the client.
+func (s *server) handleIngestStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	c := s.ready(w)
+	if c == nil {
+		return
+	}
+	// Writing a response while the request body is still uploading
+	// needs full-duplex HTTP: without it, Go's HTTP/1.x server closes
+	// the body on the first response write and the upload dies with
+	// "invalid Read on closed Body". Where full duplex is unavailable,
+	// degrade to a single final frame instead of killing the stream.
+	fullDuplex := http.NewResponseController(w).EnableFullDuplex() == nil
+	var (
+		mu    sync.Mutex
+		wrote bool
+	)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	writeFrame := func(f streamFrame) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !wrote {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			wrote = true
+		}
+		if err := enc.Encode(f); err == nil && flusher != nil {
+			flusher.Flush()
+		}
+	}
+	var progress func(ingest.Stats)
+	if fullDuplex {
+		progress = func(p ingest.Stats) { writeFrame(streamFrame{Stats: p}) }
+	}
+	st, err := c.IngestStream(r.Context(), r.Body, progress)
+	mu.Lock()
+	headerSent := wrote
+	mu.Unlock()
+	if err != nil && !headerSent {
+		// Nothing on the wire yet — shed/unavailable/bad-stream errors
+		// can still use a proper status code.
+		writeError(w, statusFor(err, http.StatusBadRequest), err)
+		return
+	}
+	final := streamFrame{Stats: st, Done: true}
+	if err != nil {
+		final.Error = err.Error()
+	}
+	writeFrame(final)
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {

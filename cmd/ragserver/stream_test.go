@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// postStream sends an NDJSON body to /ingest/stream and decodes every
+// response frame.
+func postStream(t *testing.T, h http.Handler, body string) (*httptest.ResponseRecorder, []map[string]interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/ingest/stream", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var frames []map[string]interface{}
+	sc := bufio.NewScanner(bytes.NewReader(rec.Body.Bytes()))
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var f map[string]interface{}
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			t.Fatalf("bad frame %q: %v", sc.Text(), err)
+		}
+		frames = append(frames, f)
+	}
+	return rec, frames
+}
+
+func TestIngestStreamEndpoint(t *testing.T) {
+	s, err := newServer(serve.Config{TopK: 2, Threshold: 3.2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.routes()
+
+	var body strings.Builder
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(&body, "{\"text\":\"Document %d explains policy number %d in detail.\"}\n", i, i)
+	}
+	rec, frames := postStream(t, h, body.String())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	if len(frames) == 0 {
+		t.Fatal("no frames in response")
+	}
+	final := frames[len(frames)-1]
+	if final["done"] != true {
+		t.Fatalf("last frame not done: %v", final)
+	}
+	if _, hasErr := final["error"]; hasErr {
+		t.Fatalf("unexpected error in final frame: %v", final)
+	}
+	if acc := final["accepted"].(float64); acc != 50 {
+		t.Fatalf("accepted = %v, want 50", acc)
+	}
+	if idx := final["indexed"].(float64); idx != 50 {
+		t.Fatalf("indexed = %v, want 50", idx)
+	}
+
+	// The streamed corpus is immediately searchable.
+	rec2 := postJSON(t, h, "/search", map[string]interface{}{"query": "policy number 7", "k": 3})
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("search after stream: %d %s", rec2.Code, rec2.Body.String())
+	}
+
+	// And the totals surface in /stats.
+	req := httptest.NewRequest(http.MethodGet, "/stats", nil)
+	rec3 := httptest.NewRecorder()
+	h.ServeHTTP(rec3, req)
+	var snap struct {
+		IngestStream struct {
+			Streams      uint64 `json:"streams"`
+			AcceptedDocs uint64 `json:"accepted_docs"`
+		} `json:"ingest_stream"`
+	}
+	if err := json.Unmarshal(rec3.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.IngestStream.Streams != 1 || snap.IngestStream.AcceptedDocs != 50 {
+		t.Fatalf("stats ingest_stream = %+v", snap.IngestStream)
+	}
+}
+
+func TestIngestStreamEndpointMalformedLines(t *testing.T) {
+	s, err := newServer(serve.Config{TopK: 2, Threshold: 3.2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := "{\"text\":\"good document one\"}\nTHIS IS NOT JSON\n{\"text\":\"good document two\"}\n"
+	rec, frames := postStream(t, s.routes(), body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	final := frames[len(frames)-1]
+	if final["done"] != true {
+		t.Fatalf("last frame not done: %v", final)
+	}
+	if acc, failed := final["accepted"].(float64), final["failed"].(float64); acc != 2 || failed != 1 {
+		t.Fatalf("accepted=%v failed=%v, want 2/1", acc, failed)
+	}
+}
+
+func TestIngestStreamEndpointMethodAndReadiness(t *testing.T) {
+	s, err := newServer(serve.Config{TopK: 2, Threshold: 3.2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/ingest/stream", nil)
+	rec := httptest.NewRecorder()
+	s.routes().ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d, want 405", rec.Code)
+	}
+
+	// A server still recovering answers 503 before reading the body.
+	notReady := &server{}
+	req = httptest.NewRequest(http.MethodPost, "/ingest/stream", strings.NewReader("{\"text\":\"x\"}\n"))
+	rec = httptest.NewRecorder()
+	notReady.routes().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("not-ready status = %d, want 503", rec.Code)
+	}
+}

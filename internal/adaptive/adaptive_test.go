@@ -1,0 +1,150 @@
+package adaptive
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDefaultsAndClamps(t *testing.T) {
+	c := New(Config{})
+	limit, wait := c.Limits()
+	if limit != 1 {
+		t.Fatalf("fresh adaptive controller limit = %d, want MinBatch 1", limit)
+	}
+	if wait != 200*time.Microsecond {
+		t.Fatalf("fresh adaptive controller wait = %v, want 200µs", wait)
+	}
+	if c.Static() {
+		t.Fatal("default controller reported Static")
+	}
+}
+
+func TestStaticPinsAtMax(t *testing.T) {
+	c := New(Config{MaxBatch: 32, MaxWait: 5 * time.Millisecond, Static: true})
+	for i := 0; i < 100; i++ {
+		c.Observe(1, false, 0) // sparse traffic would shrink an adaptive controller
+	}
+	limit, wait := c.Limits()
+	if limit != 32 || wait != 5*time.Millisecond {
+		t.Fatalf("static controller moved to (%d, %v)", limit, wait)
+	}
+	st := c.Stats()
+	if st.Adaptive || st.Grows != 0 || st.Shrinks != 0 {
+		t.Fatalf("static controller stats = %+v", st)
+	}
+}
+
+func TestGrowsUnderPressureToMax(t *testing.T) {
+	c := New(Config{MaxBatch: 16})
+	for i := 0; i < 100; i++ {
+		limit, _ := c.Limits()
+		c.Observe(limit, true, 3)
+	}
+	limit, _ := c.Limits()
+	if limit != 16 {
+		t.Fatalf("limit = %d after sustained pressure, want MaxBatch 16", limit)
+	}
+	if st := c.Stats(); st.Grows == 0 {
+		t.Fatalf("no grows recorded: %+v", st)
+	}
+}
+
+func TestQueueDepthAloneGrows(t *testing.T) {
+	c := New(Config{MaxBatch: 16})
+	before, _ := c.Limits()
+	c.Observe(before, false, 5) // timer flush, but a backlog is waiting
+	after, _ := c.Limits()
+	if after <= before {
+		t.Fatalf("queued backlog did not grow the limit: %d -> %d", before, after)
+	}
+}
+
+func TestShrinksWhenSparse(t *testing.T) {
+	c := New(Config{MaxBatch: 16, MaxWait: 2 * time.Millisecond})
+	// Grow to max first (a backlog is what lifts the limit off the
+	// floor — full batches at limit 1 are vacuous).
+	for i := 0; i < 100; i++ {
+		limit, _ := c.Limits()
+		c.Observe(limit, true, 1)
+	}
+	// Then traffic goes sparse: timer flushes with one item each (a
+	// real collector reports full only once the limit is down to 1).
+	for i := 0; i < 100; i++ {
+		limit, _ := c.Limits()
+		c.Observe(1, limit <= 1, 0)
+	}
+	limit, wait := c.Limits()
+	if limit != 1 {
+		t.Fatalf("limit = %d after sustained sparse traffic, want MinBatch 1", limit)
+	}
+	if wait != 200*time.Microsecond {
+		t.Fatalf("wait = %v after sustained sparse traffic, want MinWait", wait)
+	}
+	if st := c.Stats(); st.Shrinks == 0 {
+		t.Fatalf("no shrinks recorded: %+v", st)
+	}
+}
+
+func TestDecentOccupancyGrowsWaitOnly(t *testing.T) {
+	c := New(Config{MinBatch: 8, MaxBatch: 16, MaxWait: 2 * time.Millisecond})
+	limitBefore, waitBefore := c.Limits()
+	c.Observe(6, false, 0) // 6/8 = 75% full on a timer flush
+	limitAfter, waitAfter := c.Limits()
+	if limitAfter != limitBefore {
+		t.Fatalf("limit moved on a decent-occupancy timer flush: %d -> %d", limitBefore, limitAfter)
+	}
+	if waitAfter <= waitBefore {
+		t.Fatalf("wait did not grow: %v -> %v", waitBefore, waitAfter)
+	}
+	// And it saturates at MaxWait.
+	for i := 0; i < 100; i++ {
+		c.Observe(6, false, 0)
+	}
+	if _, w := c.Limits(); w != 2*time.Millisecond {
+		t.Fatalf("wait = %v, want MaxWait cap", w)
+	}
+}
+
+func TestNeverLeavesBounds(t *testing.T) {
+	cfg := Config{MinBatch: 2, MaxBatch: 12, MinWait: time.Millisecond, MaxWait: 4 * time.Millisecond}
+	c := New(cfg)
+	obs := []struct {
+		n      int
+		full   bool
+		queued int
+	}{
+		{12, true, 9}, {1, false, 0}, {6, false, 0}, {12, true, 0},
+		{1, false, 0}, {1, false, 0}, {3, false, 2}, {0, false, 0},
+	}
+	for round := 0; round < 50; round++ {
+		for _, o := range obs {
+			c.Observe(o.n, o.full, o.queued)
+			limit, wait := c.Limits()
+			if limit < 2 || limit > 12 {
+				t.Fatalf("limit %d escaped [2,12]", limit)
+			}
+			if wait < time.Millisecond || wait > 4*time.Millisecond {
+				t.Fatalf("wait %v escaped [1ms,4ms]", wait)
+			}
+		}
+	}
+}
+
+func TestConcurrentObserveRaceClean(t *testing.T) {
+	c := New(Config{MaxBatch: 16})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				limit, _ := c.Limits()
+				c.Observe((g+i)%17, g%2 == 0, i%3)
+				_ = limit
+				c.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -79,6 +79,7 @@ type backendHealth struct {
 	state      State
 	consecFail int
 	consecOK   int
+	totalFail  uint64
 	lastErr    string
 	stat       ShardStat
 	statValid  bool
@@ -97,6 +98,7 @@ func (h *backendHealth) reportFailure(cfg HealthConfig, err error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.consecFail++
+	h.totalFail++
 	h.consecOK = 0
 	if err != nil {
 		h.lastErr = err.Error()
@@ -145,6 +147,7 @@ func (h *backendHealth) snapshot() BackendHealth {
 		Name:                h.backend.Name(),
 		State:               h.state.String(),
 		ConsecutiveFailures: h.consecFail,
+		TotalFailures:       h.totalFail,
 		Docs:                h.stat.Len,
 		LastError:           h.lastErr,
 	}

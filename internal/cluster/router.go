@@ -46,6 +46,8 @@ type Router struct {
 	failovers       atomic.Uint64
 	degradedQueries atomic.Uint64
 	shardsSkipped   atomic.Uint64
+	writeFailures   atomic.Uint64
+	partialWrites   atomic.Uint64
 }
 
 // NewRouter builds a router over the given shard set and starts its
@@ -187,11 +189,18 @@ func (r *Router) Apply(ctx context.Context, si int, ms []vecdb.Mutation) error {
 			return err
 		default:
 			h.reportFailure(r.cfg, err)
+			r.writeFailures.Add(1)
 			lastErr = err
 		}
 	}
 	switch {
 	case ok > 0:
+		// The batch is durable on at least one backend; a backend that
+		// failed it has diverged and needs resync — count the partial
+		// write so the gap is visible in /stats.
+		if lastErr != nil {
+			r.partialWrites.Add(1)
+		}
 		return nil
 	case notFound != nil:
 		return notFound
@@ -324,8 +333,12 @@ type BackendHealth struct {
 	Name                string `json:"name"`
 	State               string `json:"state"`
 	ConsecutiveFailures int    `json:"consecutive_failures"`
-	Docs                int    `json:"docs"`
-	LastError           string `json:"last_error,omitempty"`
+	// TotalFailures counts every failed probe or live request against
+	// this backend since the router started — the per-node failure
+	// ledger bulk and streamed ingest batches report into.
+	TotalFailures uint64 `json:"total_failures"`
+	Docs          int    `json:"docs"`
+	LastError     string `json:"last_error,omitempty"`
 }
 
 // ShardHealth is one shard's health as exposed in /stats: Alive is
@@ -367,6 +380,14 @@ type RouterStats struct {
 	// ShardsSkipped counts shard results missing from those degraded
 	// searches (one query losing two shards counts two).
 	ShardsSkipped uint64 `json:"shards_skipped"`
+	// WriteFailures counts mutation batches that failed on an
+	// individual backend (each failure is also charged to that
+	// backend's TotalFailures).
+	WriteFailures uint64 `json:"write_failures"`
+	// PartialWrites counts batches acknowledged by at least one backend
+	// of a shard while another healthy backend failed them — replicas
+	// that diverged and need resync.
+	PartialWrites uint64 `json:"partial_writes"`
 }
 
 // Stats reports the router's counters.
@@ -375,5 +396,7 @@ func (r *Router) Stats() RouterStats {
 		Failovers:       r.failovers.Load(),
 		DegradedQueries: r.degradedQueries.Load(),
 		ShardsSkipped:   r.shardsSkipped.Load(),
+		WriteFailures:   r.writeFailures.Load(),
+		PartialWrites:   r.partialWrites.Load(),
 	}
 }

@@ -1,0 +1,517 @@
+// Package ingest is the streaming ingest pipeline: it parses an
+// NDJSON document stream incrementally, chunks and indexes the
+// documents through a bounded parse → chunk → index pipeline, and
+// pushes backpressure all the way to the producer's socket when the
+// index (or its WAL fsync) cannot keep up.
+//
+// Wire format (see docs/ingest.md): one document per line, either a
+// JSON object {"text": "...", "meta": {...}} or a bare JSON string.
+// Blank lines are skipped; a malformed line fails alone (counted in
+// Stats.Failed) until MaxErrors is exceeded.
+//
+// Backpressure is credit-based: a fixed pool of MaxPending chunk
+// credits bounds every chunk buffered or in flight anywhere in the
+// pipeline — queued between stages, accumulating in the batch
+// assembler, or inside a store AddBulk call (embedding + index write +
+// WAL append). When the store slows down (a cold shard, a saturated
+// disk, a slow fsync policy), credits stop returning, the chunk
+// workers block, the bounded doc channel fills, and the reader stops
+// pulling bytes off the socket — TCP flow control slows the producer.
+// Memory therefore stays bounded by configuration, never by how fast
+// the client can upload. Stats.Throttled counts how often the
+// pipeline had to block on credits, making engaged backpressure
+// visible in /stats.
+//
+// Batch sizing is adaptive: the assembler asks an AIMD controller
+// (internal/adaptive — the same controller type the verification
+// micro-batcher uses) for its live batch limit and linger wait before
+// each flush, and feeds occupancy and backlog back after.
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adaptive"
+)
+
+// Doc is one parsed NDJSON line. Meta is accepted for forward
+// compatibility but not yet stored: the bulk write path
+// (Store.AddBulk) carries texts only — plumbing per-chunk metadata
+// through it is a ROADMAP follow-up. Note that a non-string meta
+// value is a JSON type error and fails the line.
+type Doc struct {
+	Text string            `json:"text"`
+	Meta map[string]string `json:"meta,omitempty"`
+}
+
+// Store is the indexing surface the pipeline writes to — implemented
+// by serve.ShardedDB (in-process shards) and serve.RemoteStore
+// (cluster routing), so streamed batches reach cluster mode through
+// the same interface as every other write.
+type Store interface {
+	AddBulk(texts []string) ([]int64, error)
+}
+
+// Chunker splits one document into indexable passages (rag.Chunker
+// satisfies this).
+type Chunker interface {
+	Chunk(text string) ([]string, error)
+}
+
+// ErrTooManyErrors aborts a stream whose malformed-line count exceeded
+// MaxErrors.
+var ErrTooManyErrors = errors.New("ingest: too many malformed lines")
+
+// ErrLineTooLong aborts a stream containing a line over MaxLineBytes —
+// the scanner cannot resynchronize past it.
+var ErrLineTooLong = errors.New("ingest: line exceeds maximum length")
+
+// Config assembles a pipeline run. Zero values take the documented
+// defaults.
+type Config struct {
+	// Store receives the chunk batches.
+	Store Store
+	// Chunker splits documents; required.
+	Chunker Chunker
+	// Workers is the chunking concurrency (default GOMAXPROCS, capped
+	// at 8).
+	Workers int
+	// MaxPending is the chunk credit pool: the hard bound on chunks
+	// buffered or in flight anywhere in the pipeline (default 1024).
+	MaxPending int
+	// MaxLineBytes bounds one NDJSON line (default 1 MiB).
+	MaxLineBytes int
+	// MaxErrors is how many malformed lines a stream tolerates before
+	// aborting (default 100; negative means unlimited).
+	MaxErrors int
+	// Controller sizes the index batches; nil builds a per-run adaptive
+	// controller with MaxBatch 256 / MaxWait 20ms bounds. Sharing one
+	// controller across runs (as serve.Server does) carries the learned
+	// operating point between streams.
+	Controller *adaptive.Controller
+	// ProgressEvery is the heartbeat period for the progress callback
+	// (default 500ms).
+	ProgressEvery time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 1024
+	}
+	if c.MaxLineBytes <= 0 {
+		c.MaxLineBytes = 1 << 20
+	}
+	if c.MaxErrors == 0 {
+		c.MaxErrors = 100
+	}
+	if c.Controller == nil {
+		// The default batch cap stays acquirable from the credit pool —
+		// a limit past MaxPending could never fill and every flush
+		// would stall on the linger timer.
+		maxBatch := 256
+		if maxBatch > c.MaxPending {
+			maxBatch = c.MaxPending
+		}
+		c.Controller = adaptive.New(adaptive.Config{
+			MaxBatch: maxBatch,
+			MinWait:  time.Millisecond,
+			MaxWait:  20 * time.Millisecond,
+		})
+	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 500 * time.Millisecond
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of one stream: the payload of the
+// progress heartbeat frames and the final result.
+type Stats struct {
+	// Accepted counts documents parsed and chunked successfully — on a
+	// clean completion Accepted == Indexed.
+	Accepted uint64 `json:"accepted"`
+	// Indexed counts documents whose chunks are all applied to the
+	// store (and journaled, on a durable store).
+	Indexed uint64 `json:"indexed"`
+	// Failed counts unusable lines skipped (malformed JSON, empty
+	// text, or a document the chunker rejected).
+	Failed uint64 `json:"failed"`
+	// Bytes counts stream bytes consumed.
+	Bytes int64 `json:"bytes"`
+	// Chunks counts passages written to the store.
+	Chunks uint64 `json:"chunks"`
+	// Throttled counts pipeline blocks on the credit gate — non-zero
+	// means backpressure engaged and the producer was slowed.
+	Throttled uint64 `json:"throttled"`
+}
+
+// counters is the live, atomically-updated form of Stats.
+type counters struct {
+	accepted  atomic.Uint64
+	indexed   atomic.Uint64
+	failed    atomic.Uint64
+	bytes     atomic.Int64
+	chunks    atomic.Uint64
+	throttled atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Accepted:  c.accepted.Load(),
+		Indexed:   c.indexed.Load(),
+		Failed:    c.failed.Load(),
+		Bytes:     c.bytes.Load(),
+		Chunks:    c.chunks.Load(),
+		Throttled: c.throttled.Load(),
+	}
+}
+
+// parseLine decodes one NDJSON line: an object with a "text" field or
+// a bare JSON string.
+func parseLine(line []byte) (Doc, error) {
+	var d Doc
+	if len(line) > 0 && line[0] == '"' {
+		if err := json.Unmarshal(line, &d.Text); err != nil {
+			return Doc{}, err
+		}
+	} else if err := json.Unmarshal(line, &d); err != nil {
+		return Doc{}, err
+	}
+	if d.Text == "" {
+		return Doc{}, errors.New("ingest: document has no text")
+	}
+	return d, nil
+}
+
+// credits is the backpressure gate: a counting semaphore over chunks.
+// Multi-credit draws are serialized by mu, so two workers can never
+// interleave partial acquisitions and wedge the pool with nobody
+// holding a complete set — the one in-progress acquirer always
+// completes, because releases come from the assembler, which never
+// acquires. Callers must never request more than the pool capacity
+// in one call (workers split oversized documents first).
+type credits struct {
+	mu        sync.Mutex
+	sem       chan struct{}
+	throttled *atomic.Uint64
+}
+
+// acquire claims n credits, blocking while the pipeline is full. A
+// block is counted once per acquire call, not per credit.
+func (g *credits) acquire(ctx context.Context, n int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	counted := false
+	for i := 0; i < n; i++ {
+		select {
+		case g.sem <- struct{}{}:
+		default:
+			if !counted {
+				g.throttled.Add(1)
+				counted = true
+			}
+			select {
+			case g.sem <- struct{}{}:
+			case <-ctx.Done():
+				g.release(i)
+				return ctx.Err()
+			}
+		}
+	}
+	return nil
+}
+
+func (g *credits) release(n int) {
+	for i := 0; i < n; i++ {
+		<-g.sem
+	}
+}
+
+// chunkedDoc is one document (or one pool-sized piece of an oversized
+// document) after the chunk stage. docDone marks the piece whose
+// indexing completes the document, for the Indexed counter.
+type chunkedDoc struct {
+	chunks  []string
+	docDone bool
+}
+
+// Run streams r through the pipeline: parse → chunk (Workers-wide) →
+// adaptive batch → Store.AddBulk. It blocks until the stream is fully
+// indexed, the context dies (client disconnect), or the stream is
+// aborted by a store or format error, and always returns the stats
+// accumulated so far. progress, when non-nil, is called with a
+// snapshot every ProgressEvery while the stream runs (from a single
+// goroutine; it must not block for long or heartbeats skew).
+func Run(ctx context.Context, cfg Config, r io.Reader, progress func(Stats)) (Stats, error) {
+	if cfg.Store == nil || cfg.Chunker == nil {
+		return Stats{}, errors.New("ingest: nil store or chunker")
+	}
+	cfg = cfg.withDefaults()
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		cnt  counters
+		gate = credits{sem: make(chan struct{}, cfg.MaxPending), throttled: &cnt.throttled}
+
+		lines     = make(chan []byte, 2*cfg.Workers)
+		assembled = make(chan chunkedDoc, 2*cfg.Workers)
+
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	// Progress heartbeat.
+	var heartbeat sync.WaitGroup
+	stopBeat := make(chan struct{})
+	if progress != nil {
+		heartbeat.Add(1)
+		go func() {
+			defer heartbeat.Done()
+			t := time.NewTicker(cfg.ProgressEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					progress(cnt.snapshot())
+				case <-stopBeat:
+					return
+				}
+			}
+		}()
+	}
+
+	// Stage 2: parse+chunk workers. JSON decoding runs here rather
+	// than on the reader goroutine so it parallelizes across cores —
+	// the reader stays a thin byte pump. Each worker acquires chunk
+	// credits *before* handing its document to the assembler, so the
+	// credit pool bounds everything downstream of parsing.
+	var chunkers sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		chunkers.Add(1)
+		go func() {
+			defer chunkers.Done()
+			// lineFailed records one unusable line (unparsable or
+			// unchunkable — both leave it out of Accepted, so a clean
+			// completion keeps accepted == indexed) and aborts the
+			// stream past the MaxErrors tolerance.
+			lineFailed := func(err error) bool {
+				n := cnt.failed.Add(1)
+				if cfg.MaxErrors >= 0 && n > uint64(cfg.MaxErrors) {
+					fail(fmt.Errorf("%w: %d (last: %v)", ErrTooManyErrors, n, err))
+					return false
+				}
+				return true
+			}
+			for line := range lines {
+				d, err := parseLine(line)
+				if err != nil {
+					if !lineFailed(err) {
+						return
+					}
+					continue
+				}
+				chunks, err := cfg.Chunker.Chunk(d.Text)
+				if err == nil && len(chunks) == 0 {
+					err = errors.New("ingest: document produced no chunks")
+				}
+				if err != nil {
+					// A chunker rejection is a per-document failure, like a
+					// malformed line: the stream continues.
+					if !lineFailed(err) {
+						return
+					}
+					continue
+				}
+				cnt.accepted.Add(1)
+				// A document with more chunks than the whole credit pool
+				// could never acquire them all at once; split it into
+				// pool-sized pieces so it flows through the gate like any
+				// other backlog (only the final piece completes the doc).
+				for start := 0; start < len(chunks); start += cfg.MaxPending {
+					end := start + cfg.MaxPending
+					if end > len(chunks) {
+						end = len(chunks)
+					}
+					piece := chunkedDoc{chunks: chunks[start:end], docDone: end == len(chunks)}
+					if err := gate.acquire(ctx, len(piece.chunks)); err != nil {
+						return // canceled while throttled
+					}
+					select {
+					case assembled <- piece:
+					case <-ctx.Done():
+						gate.release(len(piece.chunks))
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Stage 3: the assembler — single goroutine batching chunked docs
+	// up to the controller's live limit (cut at document boundaries, so
+	// one document's chunks always land in one AddBulk and Indexed
+	// counts whole documents) and flushing through the store.
+	var assembler sync.WaitGroup
+	assembler.Add(1)
+	go func() {
+		defer assembler.Done()
+		var (
+			batch     []string
+			batchDocs uint64
+		)
+		// drain marks the end-of-stream flush: a partial final batch
+		// says nothing about arrival rate and must not be fed to the
+		// controller (it would read every stream's tail as sparse
+		// traffic and halve the learned limit).
+		flush := func(full, drain bool) {
+			if len(batch) == 0 {
+				return
+			}
+			n, nd := len(batch), batchDocs
+			_, err := cfg.Store.AddBulk(batch)
+			gate.release(n)
+			batch, batchDocs = nil, 0
+			if err != nil {
+				fail(fmt.Errorf("ingest: index batch: %w", err))
+				return
+			}
+			cnt.chunks.Add(uint64(n))
+			cnt.indexed.Add(nd)
+			if !drain {
+				cfg.Controller.Observe(n, full, len(assembled))
+			}
+		}
+		var timer *time.Timer
+		var timeout <-chan time.Time
+		stopTimer := func() {
+			if timer != nil {
+				timer.Stop()
+				timer, timeout = nil, nil
+			}
+		}
+		defer stopTimer()
+		for {
+			limit, wait := cfg.Controller.Limits()
+			select {
+			case cd, ok := <-assembled:
+				if !ok {
+					stopTimer()
+					flush(false, true)
+					return
+				}
+				if len(batch) == 0 {
+					stopTimer()
+					timer = time.NewTimer(wait)
+					timeout = timer.C
+				}
+				batch = append(batch, cd.chunks...)
+				if cd.docDone {
+					batchDocs++
+				}
+				if len(batch) >= limit {
+					stopTimer()
+					flush(true, false)
+				}
+			case <-timeout:
+				timer, timeout = nil, nil
+				flush(false, false)
+			case <-ctx.Done():
+				// Canceled mid-stream: drop the partial batch; its credits
+				// must still return so blocked workers can observe ctx.
+				gate.release(len(batch))
+				batch, batchDocs = nil, 0
+				// Drain whatever workers already handed over.
+				for cd := range assembled {
+					gate.release(len(cd.chunks))
+				}
+				return
+			}
+		}
+	}()
+
+	// Stage 1: the reader, on the caller's goroutine — when it blocks
+	// (bounded lines channel, which backs up when workers block on
+	// credits), the HTTP server stops reading the request body and TCP
+	// flow control slows the client.
+	sc := bufio.NewScanner(r)
+	// The scanner's cap is the larger of the initial buffer and the
+	// max, so the initial buffer must not exceed MaxLineBytes.
+	initial := 64 * 1024
+	if initial > cfg.MaxLineBytes {
+		initial = cfg.MaxLineBytes
+	}
+	sc.Buffer(make([]byte, initial), cfg.MaxLineBytes)
+	readErr := func() error {
+		for sc.Scan() {
+			line := sc.Bytes()
+			cnt.bytes.Add(int64(len(line)) + 1) // +1 for the newline
+			trimmed := bytes.TrimSpace(line)
+			if len(trimmed) == 0 {
+				continue
+			}
+			// The scanner reuses its buffer across Scan calls, so the
+			// line must be copied before crossing the channel.
+			select {
+			case lines <- append([]byte(nil), trimmed...):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if err := sc.Err(); err != nil {
+			if errors.Is(err, bufio.ErrTooLong) {
+				return fmt.Errorf("%w (max %d bytes)", ErrLineTooLong, cfg.MaxLineBytes)
+			}
+			// A read error mid-body is the client vanishing; prefer the
+			// context's verdict when it fired first.
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("ingest: read stream: %w", err)
+		}
+		return ctx.Err()
+	}()
+	if readErr != nil {
+		fail(readErr)
+	}
+
+	close(lines)
+	chunkers.Wait()
+	close(assembled)
+	assembler.Wait()
+	close(stopBeat)
+	heartbeat.Wait()
+
+	// No trailing progress call: the returned Stats are the final
+	// word, and the HTTP handler writes its own done frame from them —
+	// a duplicate counters-only frame would precede it otherwise.
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	return cnt.snapshot(), err
+}

@@ -1,0 +1,416 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/adaptive"
+)
+
+// memStore collects AddBulk batches, optionally sleeping per call to
+// simulate a slow index (cold shard, saturated disk, slow WAL fsync).
+type memStore struct {
+	delay time.Duration
+	fail  error
+
+	mu      sync.Mutex
+	batches [][]string
+	chunks  atomic.Uint64
+}
+
+func (m *memStore) AddBulk(texts []string) ([]int64, error) {
+	if m.delay > 0 {
+		time.Sleep(m.delay)
+	}
+	if m.fail != nil {
+		return nil, m.fail
+	}
+	m.mu.Lock()
+	m.batches = append(m.batches, append([]string(nil), texts...))
+	m.mu.Unlock()
+	ids := make([]int64, len(texts))
+	m.chunks.Add(uint64(len(texts)))
+	return ids, nil
+}
+
+func (m *memStore) texts() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for _, b := range m.batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// oneChunk passes each document through as a single chunk, making
+// document and chunk counts line up exactly in invariants.
+type oneChunk struct{}
+
+func (oneChunk) Chunk(text string) ([]string, error) { return []string{text}, nil }
+
+// splitChunk splits on "|" so one document can fan into several
+// chunks.
+type splitChunk struct{}
+
+func (splitChunk) Chunk(text string) ([]string, error) {
+	return strings.Split(text, "|"), nil
+}
+
+func ndjson(lines ...string) io.Reader { return strings.NewReader(strings.Join(lines, "\n") + "\n") }
+
+func TestStreamHappyPath(t *testing.T) {
+	store := &memStore{}
+	st, err := Run(context.Background(), Config{Store: store, Chunker: splitChunk{}}, ndjson(
+		`{"text":"alpha|beta"}`,
+		``,
+		`"gamma"`, // bare-string form
+		`   `,     // whitespace-only lines are skipped
+		`{"text":"delta","meta":{"src":"test"}}`,
+	), nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Accepted != 3 || st.Indexed != 3 || st.Failed != 0 {
+		t.Fatalf("stats = %+v, want 3 accepted, 3 indexed, 0 failed", st)
+	}
+	if st.Chunks != 4 {
+		t.Fatalf("chunks = %d, want 4", st.Chunks)
+	}
+	got := store.texts()
+	want := map[string]bool{"alpha": true, "beta": true, "gamma": true, "delta": true}
+	if len(got) != 4 {
+		t.Fatalf("store holds %d chunks: %v", len(got), got)
+	}
+	for _, c := range got {
+		if !want[c] {
+			t.Fatalf("unexpected chunk %q", c)
+		}
+	}
+	if st.Bytes == 0 {
+		t.Fatal("bytes not counted")
+	}
+}
+
+func TestMalformedLinesFailAlone(t *testing.T) {
+	store := &memStore{}
+	st, err := Run(context.Background(), Config{Store: store, Chunker: oneChunk{}}, ndjson(
+		`{"text":"good one"}`,
+		`{not json`,
+		`{"text":""}`,  // no text
+		`{"other":42}`, // no text field
+		`{"text":"good two"}`,
+	), nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Accepted != 2 || st.Indexed != 2 {
+		t.Fatalf("stats = %+v, want 2 accepted + indexed", st)
+	}
+	if st.Failed != 3 {
+		t.Fatalf("failed = %d, want 3", st.Failed)
+	}
+}
+
+// rejectChunk fails every document whose text contains "bad".
+type rejectChunk struct{}
+
+func (rejectChunk) Chunk(text string) ([]string, error) {
+	if strings.Contains(text, "bad") {
+		return nil, errors.New("rejected")
+	}
+	return []string{text}, nil
+}
+
+// TestChunkerFailuresCountAgainstMaxErrors: a document the chunker
+// rejects is an unusable line like any other — excluded from
+// Accepted, counted in Failed, and subject to the MaxErrors abort.
+func TestChunkerFailuresCountAgainstMaxErrors(t *testing.T) {
+	store := &memStore{}
+	st, err := Run(context.Background(), Config{Store: store, Chunker: rejectChunk{}}, ndjson(
+		`{"text":"good"}`, `{"text":"bad one"}`, `{"text":"bad two"}`,
+	), nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Accepted != 1 || st.Indexed != 1 || st.Failed != 2 {
+		t.Fatalf("stats = %+v, want 1 accepted+indexed, 2 failed", st)
+	}
+
+	var lines []string
+	for i := 0; i < 10; i++ {
+		lines = append(lines, `{"text":"bad doc"}`)
+	}
+	if _, err := Run(context.Background(), Config{Store: store, Chunker: rejectChunk{}, MaxErrors: 3},
+		ndjson(lines...), nil); !errors.Is(err, ErrTooManyErrors) {
+		t.Fatalf("err = %v, want ErrTooManyErrors from chunker failures", err)
+	}
+}
+
+func TestTooManyErrorsAborts(t *testing.T) {
+	store := &memStore{}
+	var lines []string
+	for i := 0; i < 10; i++ {
+		lines = append(lines, `{broken`)
+	}
+	_, err := Run(context.Background(), Config{Store: store, Chunker: oneChunk{}, MaxErrors: 3}, ndjson(lines...), nil)
+	if !errors.Is(err, ErrTooManyErrors) {
+		t.Fatalf("err = %v, want ErrTooManyErrors", err)
+	}
+}
+
+func TestLineTooLongAborts(t *testing.T) {
+	store := &memStore{}
+	long := `{"text":"` + strings.Repeat("x", 4096) + `"}`
+	_, err := Run(context.Background(), Config{Store: store, Chunker: oneChunk{}, MaxLineBytes: 1024}, ndjson(
+		`{"text":"fine"}`, long,
+	), nil)
+	if !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("err = %v, want ErrLineTooLong", err)
+	}
+}
+
+func TestStoreErrorAbortsStream(t *testing.T) {
+	boom := errors.New("disk on fire")
+	store := &memStore{fail: boom}
+	var lines []string
+	for i := 0; i < 200; i++ {
+		lines = append(lines, fmt.Sprintf(`{"text":"doc %d"}`, i))
+	}
+	st, err := Run(context.Background(), Config{Store: store, Chunker: oneChunk{}}, ndjson(lines...), nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped store error", err)
+	}
+	if st.Indexed != 0 {
+		t.Fatalf("indexed = %d after store failure", st.Indexed)
+	}
+}
+
+// trackedReader emits NDJSON lines one per Read and records, at every
+// produce, how far production ran ahead of what the store has durably
+// indexed — the end-to-end backpressure invariant.
+type trackedReader struct {
+	store    *memStore
+	line     []byte
+	total    int
+	produced int
+	maxAhead int
+}
+
+func (r *trackedReader) Read(p []byte) (int, error) {
+	if r.produced >= r.total {
+		return 0, io.EOF
+	}
+	if ahead := r.produced - int(r.store.chunks.Load()); ahead > r.maxAhead {
+		r.maxAhead = ahead
+	}
+	r.produced++
+	n := copy(p, r.line)
+	return n, nil
+}
+
+// TestSlowStoreThrottlesProducer is the backpressure acceptance test:
+// a store whose every AddBulk stalls (a slow-fsync shard) must slow a
+// fast producer down to its own pace, keeping the bytes buffered in
+// the pipeline bounded by configuration — and the throttling must be
+// visible in the stats.
+func TestSlowStoreThrottlesProducer(t *testing.T) {
+	const (
+		docs       = 400
+		maxPending = 8
+		workers    = 2
+		lineBytes  = 2048
+	)
+	store := &memStore{delay: 2 * time.Millisecond}
+	line := []byte(`{"text":"` + strings.Repeat("y", lineBytes) + `"}` + "\n")
+	r := &trackedReader{store: store, line: line, total: docs}
+
+	st, err := Run(context.Background(), Config{
+		Store:      store,
+		Chunker:    oneChunk{},
+		Workers:    workers,
+		MaxPending: maxPending,
+		// Small static batches keep AddBulk calls frequent so the store
+		// delay actually throttles.
+		Controller: adaptive.New(adaptive.Config{MaxBatch: 4, Static: true, MaxWait: time.Millisecond}),
+	}, r, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Indexed != docs {
+		t.Fatalf("indexed = %d, want %d", st.Indexed, docs)
+	}
+	if st.Throttled == 0 {
+		t.Fatal("slow store engaged no throttling")
+	}
+	// How far the producer may legitimately run ahead: the scanner's
+	// read-ahead buffer plus every bounded stage of the pipeline
+	// (docs channel, workers' in-hand docs, the credit pool, and the
+	// assembler handoff channel).
+	scannerLines := 64*1024/len(line) + 1
+	bound := scannerLines + 2*workers + workers + maxPending + 2*workers + 8
+	if r.maxAhead > bound {
+		t.Fatalf("producer ran %d docs ahead of the index (bound %d): backpressure failed", r.maxAhead, bound)
+	}
+	t.Logf("maxAhead=%d (bound %d), throttled=%d", r.maxAhead, bound, st.Throttled)
+}
+
+// blockingReader yields a few lines, then blocks until its context
+// dies, mimicking http.Request.Body during a client stall +
+// disconnect (the server unblocks Body reads with an error when the
+// connection drops).
+type blockingReader struct {
+	ctx   context.Context
+	lines io.Reader
+	done  bool
+}
+
+func (r *blockingReader) Read(p []byte) (int, error) {
+	if !r.done {
+		n, err := r.lines.Read(p)
+		if err == nil {
+			return n, nil
+		}
+		r.done = true
+	}
+	<-r.ctx.Done()
+	return 0, errors.New("connection reset by peer")
+}
+
+func TestClientDisconnectMidStream(t *testing.T) {
+	store := &memStore{}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &blockingReader{ctx: ctx, lines: ndjson(`{"text":"one"}`, `{"text":"two"}`)}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	st, err := Run(ctx, Config{Store: store, Chunker: oneChunk{}}, r, nil)
+	if err == nil {
+		t.Fatal("Run returned nil error after disconnect")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Run took %v to notice the disconnect", elapsed)
+	}
+	if st.Accepted != 2 {
+		t.Fatalf("accepted = %d, want the 2 pre-disconnect docs", st.Accepted)
+	}
+}
+
+func TestProgressHeartbeat(t *testing.T) {
+	store := &memStore{delay: 2 * time.Millisecond}
+	var beats atomic.Uint64
+	var lines []string
+	for i := 0; i < 100; i++ {
+		lines = append(lines, fmt.Sprintf(`{"text":"doc %d"}`, i))
+	}
+	st, err := Run(context.Background(), Config{
+		Store:         store,
+		Chunker:       oneChunk{},
+		ProgressEvery: 5 * time.Millisecond,
+		Controller:    adaptive.New(adaptive.Config{MaxBatch: 8, Static: true}),
+	}, ndjson(lines...), func(p Stats) {
+		beats.Add(1)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// 100 docs in batches of 8 at 2ms per flush ≈ 26ms of runtime
+	// against a 5ms heartbeat period.
+	if beats.Load() < 2 {
+		t.Fatalf("progress called %d times, want periodic heartbeats", beats.Load())
+	}
+	if st.Indexed != 100 {
+		t.Fatalf("indexed = %d", st.Indexed)
+	}
+}
+
+func TestNilStoreOrChunker(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Chunker: oneChunk{}}, ndjson(), nil); err == nil {
+		t.Fatal("nil store accepted")
+	}
+	if _, err := Run(context.Background(), Config{Store: &memStore{}}, ndjson(), nil); err == nil {
+		t.Fatal("nil chunker accepted")
+	}
+}
+
+// TestOversizedDocumentFlowsThroughGate: a document with more chunks
+// than the whole credit pool must still ingest (in pool-sized pieces)
+// instead of deadlocking on credits it can never hold at once.
+func TestOversizedDocumentFlowsThroughGate(t *testing.T) {
+	store := &memStore{}
+	// 10 chunks through a 4-credit pool.
+	doc := strings.Join([]string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}, "|")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := Run(ctx, Config{Store: store, Chunker: splitChunk{}, MaxPending: 4},
+		ndjson(`{"text":"`+doc+`"}`, `{"text":"small"}`), nil)
+	if err != nil {
+		t.Fatalf("Run: %v (deadlock would surface as context.DeadlineExceeded)", err)
+	}
+	if st.Indexed != 2 || st.Chunks != 11 {
+		t.Fatalf("stats = %+v, want 2 docs / 11 chunks", st)
+	}
+	if n := len(store.texts()); n != 11 {
+		t.Fatalf("store holds %d chunks, want 11", n)
+	}
+}
+
+// TestConcurrentMultiChunkDocsNoWedge: many workers acquiring several
+// credits each from a small pool must not interleave partial
+// acquisitions into a mutual wedge (the pre-fix failure mode: 8
+// workers × partial draws exhaust the pool with nobody complete).
+func TestConcurrentMultiChunkDocsNoWedge(t *testing.T) {
+	store := &memStore{}
+	var lines []string
+	for i := 0; i < 200; i++ {
+		lines = append(lines, fmt.Sprintf(`{"text":"p%d|q%d|r%d|s%d"}`, i, i, i, i))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := Run(ctx, Config{
+		Store: store, Chunker: splitChunk{}, Workers: 8, MaxPending: 8,
+	}, ndjson(lines...), nil)
+	if err != nil {
+		t.Fatalf("Run: %v (a credit wedge would surface as context.DeadlineExceeded)", err)
+	}
+	if st.Indexed != 200 || st.Chunks != 800 {
+		t.Fatalf("stats = %+v, want 200 docs / 800 chunks", st)
+	}
+}
+
+func TestConcurrentStreamsShareController(t *testing.T) {
+	// Two streams into one store through one shared controller, as the
+	// serving layer runs them — race-clean under -race and the
+	// controller's learned state survives both.
+	store := &memStore{}
+	ctrl := adaptive.New(adaptive.Config{MaxBatch: 32})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var lines []string
+			for i := 0; i < 200; i++ {
+				lines = append(lines, fmt.Sprintf(`{"text":"g%d doc %d"}`, g, i))
+			}
+			if _, err := Run(context.Background(), Config{
+				Store: store, Chunker: oneChunk{}, Controller: ctrl,
+			}, ndjson(lines...), nil); err != nil {
+				t.Errorf("stream %d: %v", g, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := len(store.texts()); n != 600 {
+		t.Fatalf("store holds %d chunks, want 600", n)
+	}
+}

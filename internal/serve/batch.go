@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adaptive"
 	"repro/internal/core"
 )
 
@@ -16,16 +17,35 @@ var ErrClosed = errors.New("serve: batcher closed")
 
 // BatcherConfig tunes the micro-batching scheduler. Zero values take
 // the documented defaults.
+//
+// Since the adaptive-batching change, MaxBatch and MaxWait are the
+// *upper bounds* of an AIMD controller rather than fixed operating
+// points: the batcher moves its live batch limit and linger wait
+// inside [MinBatch, MaxBatch] × [MinWait, MaxWait] from observed batch
+// occupancy and queue depth (see internal/adaptive). Static pins the
+// old fixed behaviour.
 type BatcherConfig struct {
 	// MaxBatch caps how many requests one dispatch carries (default 16).
 	MaxBatch int
 	// MaxWait bounds how long the first request of a batch waits for
 	// company before the batch is flushed anyway (default 2ms).
 	MaxWait time.Duration
+	// MinBatch / MinWait are the adaptive controller's lower clamps
+	// (defaults 1 and 200µs). Ignored under Static.
+	MinBatch int
+	MinWait  time.Duration
+	// Static disables adaptation: every batch uses exactly
+	// (MaxBatch, MaxWait), the pre-adaptive behaviour.
+	Static bool
 	// Workers is the fan-out inside core.Detector.ScoreBatch — how many
 	// (sentence, model) calls run concurrently per dispatch (default
 	// GOMAXPROCS).
 	Workers int
+	// QueueDepth, when non-nil, reports the backlog visible behind the
+	// batcher (the Server wires the admission queue depth — the same
+	// field /stats exposes). The controller treats a non-empty queue at
+	// flush time as pressure.
+	QueueDepth func() int
 }
 
 func (c BatcherConfig) withDefaults() BatcherConfig {
@@ -42,13 +62,15 @@ func (c BatcherConfig) withDefaults() BatcherConfig {
 }
 
 // Batcher collects verification requests from concurrent callers into
-// micro-batches (bounded by MaxBatch and MaxWait) and dispatches each
-// batch through core.Detector.ScoreBatch, so the detector's M
-// verifiers score many requests' sentences in one concurrent fan-out
-// instead of sequentially per request.
+// micro-batches (bounded by the adaptive controller's live limit and
+// linger wait) and dispatches each batch through
+// core.Detector.ScoreBatch, so the detector's M verifiers score many
+// requests' sentences in one concurrent fan-out instead of
+// sequentially per request.
 type Batcher struct {
 	det       *core.Detector
 	cfg       BatcherConfig
+	ctrl      *adaptive.Controller
 	jobs      chan batchJob
 	done      chan struct{}
 	loopDone  sync.WaitGroup
@@ -58,6 +80,7 @@ type Batcher struct {
 	batches    atomic.Uint64 // dispatches
 	items      atomic.Uint64 // requests across all dispatches
 	maxBatchOb atomic.Int64  // largest batch observed
+	inflight   atomic.Int64  // flushes currently executing
 }
 
 type batchJob struct {
@@ -68,9 +91,17 @@ type batchJob struct {
 
 // NewBatcher starts the collection loop over det.
 func NewBatcher(det *core.Detector, cfg BatcherConfig) *Batcher {
+	cfg = cfg.withDefaults()
 	b := &Batcher{
-		det:  det,
-		cfg:  cfg.withDefaults(),
+		det: det,
+		cfg: cfg,
+		ctrl: adaptive.New(adaptive.Config{
+			MinBatch: cfg.MinBatch,
+			MaxBatch: cfg.MaxBatch,
+			MinWait:  cfg.MinWait,
+			MaxWait:  cfg.MaxWait,
+			Static:   cfg.Static,
+		}),
 		jobs: make(chan batchJob),
 		done: make(chan struct{}),
 	}
@@ -114,18 +145,31 @@ func (b *Batcher) Stats() (batches, items uint64, maxBatch int) {
 	return b.batches.Load(), b.items.Load(), int(b.maxBatchOb.Load())
 }
 
+// Controller exposes the AIMD tuning state for /stats.
+func (b *Batcher) Controller() *adaptive.Controller { return b.ctrl }
+
 func (b *Batcher) loop() {
 	defer b.loopDone.Done()
 	for {
 		select {
 		case first := <-b.jobs:
-			batch := b.collect(first)
+			batch, full := b.collect(first)
+			// Backlog behind the batcher: dispatches still scoring when
+			// this batch finished collecting (continuous demand that
+			// batching wider would absorb) plus the admission queue.
+			queued := int(b.inflight.Load())
+			if b.cfg.QueueDepth != nil {
+				queued += b.cfg.QueueDepth()
+			}
+			b.ctrl.Observe(len(batch), full, queued)
 			// Dispatch asynchronously so the next batch can collect (and
 			// score) while this one is in flight; admission control
 			// upstream bounds the number of concurrent batches.
 			b.flushes.Add(1)
+			b.inflight.Add(1)
 			go func() {
 				defer b.flushes.Done()
+				defer b.inflight.Add(-1)
 				b.flush(batch)
 			}()
 		case <-b.done:
@@ -134,26 +178,27 @@ func (b *Batcher) loop() {
 	}
 }
 
-// collect gathers followers for the first job until the batch is full
-// or MaxWait elapses.
-func (b *Batcher) collect(first batchJob) []batchJob {
-	batch := []batchJob{first}
-	if b.cfg.MaxBatch == 1 {
-		return batch
+// collect gathers followers for the first job until the controller's
+// live batch limit is reached (full=true) or its linger wait elapses.
+func (b *Batcher) collect(first batchJob) (batch []batchJob, full bool) {
+	limit, wait := b.ctrl.Limits()
+	batch = []batchJob{first}
+	if limit <= 1 {
+		return batch, true
 	}
-	timer := time.NewTimer(b.cfg.MaxWait)
+	timer := time.NewTimer(wait)
 	defer timer.Stop()
-	for len(batch) < b.cfg.MaxBatch {
+	for len(batch) < limit {
 		select {
 		case j := <-b.jobs:
 			batch = append(batch, j)
 		case <-timer.C:
-			return batch
+			return batch, false
 		case <-b.done:
-			return batch
+			return batch, false
 		}
 	}
-	return batch
+	return batch, true
 }
 
 // flush scores one batch. Jobs whose context already expired are

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adaptive"
 	"repro/internal/core"
 	"repro/internal/parallel"
 	"repro/internal/rag"
@@ -48,11 +49,23 @@ type Config struct {
 	// rag.DefaultChunker().
 	Chunker rag.Chunker
 
-	// MaxBatch / MaxWait / BatchWorkers tune the micro-batcher (see
-	// BatcherConfig).
+	// MaxBatch / MaxWait bound the micro-batcher's adaptive controller
+	// from above, MinBatch / MinWait from below; StaticBatch pins
+	// (MaxBatch, MaxWait) instead of adapting (see BatcherConfig).
 	MaxBatch     int
 	MaxWait      time.Duration
+	MinBatch     int
+	MinWait      time.Duration
+	StaticBatch  bool
 	BatchWorkers int
+
+	// StreamWorkers / StreamMaxPending / StreamMaxErrors tune the
+	// streaming ingest pipeline (see ingest.Config): chunking
+	// concurrency, the chunk credit pool bounding in-flight memory, and
+	// the malformed-line tolerance per stream.
+	StreamWorkers    int
+	StreamMaxPending int
+	StreamMaxErrors  int
 
 	// MaxInFlight bounds concurrently executing requests (default 64).
 	MaxInFlight int
@@ -131,6 +144,11 @@ type Server struct {
 	admission *Admission
 	verdicts  *lruCache[string, core.Verdict]
 	vflight   flightGroup[string, core.Verdict]
+	// ingestCtrl is the adaptive batch controller shared by every
+	// ingest stream, so the learned operating point carries between
+	// streams; stream accumulates their lifetime totals.
+	ingestCtrl *adaptive.Controller
+	stream     streamCounters
 
 	asks     atomic.Uint64
 	verifies atomic.Uint64
@@ -202,12 +220,52 @@ func New(cfg Config) (*Server, error) {
 		batcher: NewBatcher(det, BatcherConfig{
 			MaxBatch: cfg.MaxBatch,
 			MaxWait:  cfg.MaxWait,
+			MinBatch: cfg.MinBatch,
+			MinWait:  cfg.MinWait,
+			Static:   cfg.StaticBatch,
 			Workers:  cfg.BatchWorkers,
+			// Queue depth behind the batcher is the admission queue —
+			// the same field /stats exposes feeds the AIMD controller.
+			QueueDepth: admission.QueueDepth,
 		}),
 		admission: admission,
 		verdicts:  newLRU[string, core.Verdict](cfg.VerdictCacheSize),
+		ingestCtrl: adaptive.New(adaptive.Config{
+			// The batch limit must stay acquirable from the credit pool:
+			// past it, batches could never fill and every flush would
+			// stall on the linger timer.
+			MaxBatch: minInt(ingestMaxBatch, streamPool(cfg.StreamMaxPending)),
+			MinWait:  time.Millisecond,
+			MaxWait:  ingestMaxWait,
+			Static:   cfg.StaticBatch,
+		}),
 	}, nil
 }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// streamPool mirrors ingest.Config's MaxPending default.
+func streamPool(configured int) int {
+	if configured <= 0 {
+		return 1024
+	}
+	return configured
+}
+
+// Ingest batches are chunk writes, far cheaper per item than a
+// verification, so the ingest controller runs in a much wider band
+// than the verify batcher: a full-width batch amortizes the per-shard
+// fan-out (lock + embed pass + WAL append) the way one bulk ingest
+// call does.
+const (
+	ingestMaxBatch = 512
+	ingestMaxWait  = 20 * time.Millisecond
+)
 
 // Close stops the batcher and — on a durable store — takes a final
 // checkpoint and closes the per-shard WALs, so a clean shutdown
@@ -458,7 +516,7 @@ func (s *Server) Stats() Snapshot {
 	}
 	vh, vm := s.verdicts.Counters()
 	batches, items, maxBatch := s.batcher.Stats()
-	bs := BatchStats{Batches: batches, Items: items, MaxBatch: maxBatch}
+	bs := BatchStats{Batches: batches, Items: items, MaxBatch: maxBatch, Tuner: s.batcher.Controller().Stats()}
 	if batches > 0 {
 		bs.MeanOccupancy = float64(items) / float64(batches)
 	}
@@ -488,7 +546,8 @@ func (s *Server) Stats() Snapshot {
 			QueueDepth: s.admission.QueueDepth(),
 			Shed:       s.admission.Shed(),
 		},
-		Persist: s.store.PersistStats(),
+		IngestStream: s.stream.stats(s.ingestCtrl),
+		Persist:      s.store.PersistStats(),
 	}
 	if rs, ok := s.store.(*RemoteStore); ok {
 		r := rs.Router()

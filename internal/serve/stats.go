@@ -1,6 +1,9 @@
 package serve
 
-import "repro/internal/cluster"
+import (
+	"repro/internal/adaptive"
+	"repro/internal/cluster"
+)
 
 // Snapshot is the point-in-time view of the serving layer exposed by
 // GET /stats. All fields are JSON-stable: dashboards and tests key on
@@ -23,6 +26,10 @@ type Snapshot struct {
 	Batch BatchStats `json:"batch"`
 	// Admission reports the load-shedding gate.
 	Admission AdmissionStats `json:"admission"`
+	// IngestStream reports the streaming ingest pipeline (POST
+	// /ingest/stream): lifetime totals plus the adaptive controller's
+	// operating point.
+	IngestStream StreamStats `json:"ingest_stream"`
 	// Persist reports the durable layer (WAL + checkpoints); Enabled is
 	// false on a memory-only server.
 	Persist PersistStats `json:"persist"`
@@ -81,6 +88,29 @@ type BatchStats struct {
 	MeanOccupancy float64 `json:"mean_occupancy"`
 	// MaxBatch is the largest single dispatch observed.
 	MaxBatch int `json:"max_batch"`
+	// Tuner is the AIMD controller's live operating point: current
+	// batch limit, linger wait, and grow/shrink counts.
+	Tuner adaptive.Stats `json:"tuner"`
+}
+
+// StreamStats is the streaming-ingest section of the snapshot,
+// accumulated across every POST /ingest/stream since boot.
+type StreamStats struct {
+	// Streams counts streams admitted.
+	Streams uint64 `json:"streams"`
+	// AcceptedDocs / IndexedDocs / FailedLines count documents parsed,
+	// documents fully indexed, and malformed lines across all streams.
+	AcceptedDocs uint64 `json:"accepted_docs"`
+	IndexedDocs  uint64 `json:"indexed_docs"`
+	FailedLines  uint64 `json:"failed_lines"`
+	// Chunks counts passages written; Bytes counts stream bytes read.
+	Chunks uint64 `json:"chunks"`
+	Bytes  int64  `json:"bytes"`
+	// ThrottleEvents counts pipeline blocks on the chunk credit gate —
+	// non-zero means backpressure engaged and producers were slowed.
+	ThrottleEvents uint64 `json:"throttle_events"`
+	// Batch is the shared ingest batch controller's operating point.
+	Batch adaptive.Stats `json:"batch"`
 }
 
 // AdmissionStats describes the load-shedding gate.
