@@ -1,0 +1,288 @@
+//go:build cluster_integration
+
+// This file ports the CI cluster-smoke shell job into go test: three
+// real shardnode processes behind a routing ragserver, asserting
+// merged top-k identical to a single-process twin, degraded-but-
+// correct search after kill -9, and identical results again after the
+// node restarts and recovers from its WAL. The CI job is now a thin
+// wrapper around this test:
+//
+//	go test -tags cluster_integration -run TestClusterKillRecover -v .
+//
+// It builds the binaries it drives, so it needs a working `go build`
+// and free loopback ports — which is why it hides behind the build
+// tag instead of running in the default tier-1 suite.
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// freePort grabs an ephemeral loopback port. The listener is closed
+// before the child process binds it — a small race, acceptable for a
+// test that owns the machine while it runs.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+// buildBinaries compiles ragserver and shardnode into dir.
+func buildBinaries(t *testing.T, dir string) (ragserver, shardnode string) {
+	t.Helper()
+	ragserver = filepath.Join(dir, "ragserver")
+	shardnode = filepath.Join(dir, "shardnode")
+	for bin, pkg := range map[string]string{ragserver: "./cmd/ragserver", shardnode: "./cmd/shardnode"} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return ragserver, shardnode
+}
+
+// proc is one child process under test control.
+type proc struct {
+	t   *testing.T
+	cmd *exec.Cmd
+}
+
+func startProc(t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", bin, err)
+	}
+	p := &proc{t: t, cmd: cmd}
+	t.Cleanup(func() { p.kill() })
+	return p
+}
+
+// kill sends SIGKILL — the ungraceful death the smoke is about — and
+// reaps the child.
+func (p *proc) kill() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+	}
+}
+
+func waitReady(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("%s never became ready", addr)
+}
+
+func postJSON(t *testing.T, url string, body string) []byte {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, buf.String())
+	}
+	return buf.Bytes()
+}
+
+// clusterStats is the slice of /stats this test asserts on.
+type clusterStats struct {
+	Cluster struct {
+		Enabled bool `json:"enabled"`
+		Shards  []struct {
+			Alive bool `json:"alive"`
+		} `json:"shards"`
+		Router struct {
+			DegradedQueries uint64 `json:"degraded_queries"`
+		} `json:"router"`
+	} `json:"cluster"`
+}
+
+func getStats(t *testing.T, addr string) clusterStats {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st clusterStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode /stats: %v", err)
+	}
+	return st
+}
+
+func aliveShards(st clusterStats) int {
+	n := 0
+	for _, sh := range st.Cluster.Shards {
+		if sh.Alive {
+			n++
+		}
+	}
+	return n
+}
+
+func waitAlive(t *testing.T, addr string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if aliveShards(getStats(t, addr)) == want {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("never reached %d alive shards (now %d)", want, aliveShards(getStats(t, addr)))
+}
+
+// searchHits runs one /search and returns the decoded hits plus the
+// raw body (for exact cross-server comparison).
+func searchHits(t *testing.T, addr, query string, k int) (int, string) {
+	t.Helper()
+	body := postJSON(t, "http://"+addr+"/search", fmt.Sprintf(`{"query":%q,"k":%d}`, query, k))
+	var out struct {
+		Hits []json.RawMessage `json:"hits"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decode search: %v", err)
+	}
+	return len(out.Hits), string(body)
+}
+
+var smokeCorpus = []string{
+	"The store operates from 9 AM to 5 PM, from Sunday to Saturday.",
+	"Employees are entitled to 14 days of paid annual leave per year.",
+	"At least three shopkeepers are required to run a shop.",
+	"Overtime is paid at one and a half times the hourly rate.",
+	"The probation period lasts three months for all new hires.",
+	"Annual performance reviews take place every December.",
+}
+
+// TestClusterKillRecover is the 3-node kill/recover smoke as a Go
+// test: cluster == single-process on the same corpus; kill -9 one
+// node → degraded but correct, ejection visible in /stats; restart on
+// the same data dir → identical results again.
+func TestClusterKillRecover(t *testing.T) {
+	workDir := t.TempDir()
+	ragserverBin, shardnodeBin := buildBinaries(t, workDir)
+
+	// Three shard nodes, each with its own durable dir.
+	nodePorts := make([]int, 3)
+	nodeDirs := make([]string, 3)
+	nodes := make([]*proc, 3)
+	for i := range nodes {
+		nodePorts[i] = freePort(t)
+		nodeDirs[i] = filepath.Join(workDir, fmt.Sprintf("shard%d", i))
+		nodes[i] = startProc(t, shardnodeBin,
+			"-addr", fmt.Sprintf("127.0.0.1:%d", nodePorts[i]),
+			"-data-dir", nodeDirs[i])
+	}
+	for _, p := range nodePorts {
+		waitReady(t, fmt.Sprintf("127.0.0.1:%d", p))
+	}
+
+	topo := struct {
+		Shards []struct {
+			Primary string `json:"primary"`
+		} `json:"shards"`
+	}{}
+	for _, p := range nodePorts {
+		topo.Shards = append(topo.Shards, struct {
+			Primary string `json:"primary"`
+		}{Primary: fmt.Sprintf("http://127.0.0.1:%d", p)})
+	}
+	raw, err := json.Marshal(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodesFile := filepath.Join(workDir, "nodes.json")
+	if err := os.WriteFile(nodesFile, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Routing server over the nodes, plus a single-process twin.
+	routerAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	localAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	startProc(t, ragserverBin, "-addr", routerAddr, "-cluster", nodesFile,
+		"-probe-interval", "200ms", "-resync-interval", "200ms")
+	startProc(t, ragserverBin, "-addr", localAddr, "-shards", "3")
+	waitReady(t, routerAddr)
+	waitReady(t, localAddr)
+
+	corpus, err := json.Marshal(map[string][]string{"texts": smokeCorpus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	postJSON(t, "http://"+routerAddr+"/ingest/bulk", string(corpus))
+	postJSON(t, "http://"+localAddr+"/ingest/bulk", string(corpus))
+
+	const query = "how many shopkeepers run a shop"
+	_, clusterBody := searchHits(t, routerAddr, query, 4)
+	_, singleBody := searchHits(t, localAddr, query, 4)
+	if clusterBody != singleBody {
+		t.Fatalf("cluster diverged from single process:\n%s\n%s", clusterBody, singleBody)
+	}
+	if st := getStats(t, routerAddr); !st.Cluster.Enabled || aliveShards(st) != 3 {
+		t.Fatalf("expected 3 alive shards: %+v", st)
+	}
+
+	// Kill one node: search keeps answering from the survivors, the
+	// ejection shows in /stats, and results change (a shard is gone).
+	nodes[1].kill()
+	waitAlive(t, routerAddr, 2)
+	hits, degradedBody := searchHits(t, routerAddr, query, 4)
+	if hits == 0 {
+		t.Fatal("degraded search returned nothing")
+	}
+	if degradedBody == clusterBody {
+		t.Fatal("search unchanged after losing a shard")
+	}
+
+	// Restart the node on its data dir: WAL replay + the half-open
+	// cycle must restore identical full results.
+	nodes[1] = startProc(t, shardnodeBin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", nodePorts[1]),
+		"-data-dir", nodeDirs[1])
+	waitAlive(t, routerAddr, 3)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		_, recoveredBody := searchHits(t, routerAddr, query, 4)
+		if recoveredBody == clusterBody {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("search diverged after recovery:\n%s\n%s", recoveredBody, clusterBody)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if st := getStats(t, routerAddr); st.Cluster.Router.DegradedQueries == 0 {
+		t.Fatalf("degraded queries not counted: %+v", st)
+	}
+}

@@ -16,6 +16,7 @@
 //	GET  /documents/{id}                              → stored document
 //	DELETE /documents/{id}                            → {"deleted": id}
 //	POST /admin/checkpoint                            → persistence counters
+//	POST /admin/resync                                → cluster stats after one anti-entropy sweep
 //	GET  /healthz                                     → {"status":"ok","ready":b}  (liveness)
 //	GET  /readyz                                      → 200 | 503                  (recovery + seeding complete)
 //	GET  /stats                                       → serving-layer snapshot
@@ -43,9 +44,12 @@
 //
 // With -cluster nodes.json the shards live on remote shardnode
 // processes instead: documents are hash-routed over HTTP to the nodes
-// listed in the topology file, with health-checked fan-out and
-// replica failover (see docs/cluster.md). -shards and -data-dir are
-// ignored in this mode; durability is each node's own WAL.
+// listed in the topology file, with health-checked fan-out, replica
+// failover, and anti-entropy replica resync — a replica that missed
+// writes while ejected is streamed the gap from its peers' WALs
+// (every -resync-interval, or on POST /admin/resync) before it is
+// re-admitted to reads (see docs/cluster.md). -shards and -data-dir
+// are ignored in this mode; durability is each node's own WAL.
 //
 // Usage:
 //
@@ -56,6 +60,7 @@
 //	          [-data-dir ""] [-fsync never|always|interval]
 //	          [-checkpoint-every 30s]
 //	          [-cluster nodes.json] [-probe-interval 1s]
+//	          [-resync-interval 1s]
 package main
 
 import (
@@ -106,6 +111,7 @@ func main() {
 		ckEvery     = flag.Duration("checkpoint-every", 30*time.Second, "background checkpoint period (negative disables)")
 		clusterFile = flag.String("cluster", "", "nodes.json topology: route to remote shardnodes instead of in-process shards")
 		probeEvery  = flag.Duration("probe-interval", time.Second, "cluster health probe period")
+		resyncEvery = flag.Duration("resync-interval", time.Second, "anti-entropy resync sweep period (negative disables background sweeps)")
 	)
 	flag.Parse()
 	policy, err := storage.ParseSyncPolicy(*fsync)
@@ -141,7 +147,7 @@ func main() {
 	}
 	initDone := make(chan error, 1)
 	go func() {
-		initDone <- srv.init(cfg, *clusterFile, *probeEvery, *seedDemo, *dataDir)
+		initDone <- srv.init(cfg, *clusterFile, *probeEvery, *resyncEvery, *seedDemo, *dataDir)
 	}()
 	log.Printf("ragserver listening on %s", *addr)
 
@@ -191,9 +197,9 @@ type server struct {
 
 // init builds the serving core (local shards, durable shards, or a
 // remote cluster), seeds the demo corpus if asked, and flips /readyz.
-func (s *server) init(cfg serve.Config, clusterFile string, probeEvery time.Duration, seedDemo bool, dataDir string) error {
+func (s *server) init(cfg serve.Config, clusterFile string, probeEvery, resyncEvery time.Duration, seedDemo bool, dataDir string) error {
 	if clusterFile != "" {
-		store, err := attachCluster(clusterFile, probeEvery, cfg)
+		store, err := attachCluster(clusterFile, probeEvery, resyncEvery, cfg)
 		if err != nil {
 			return err
 		}
@@ -224,12 +230,15 @@ func (s *server) init(cfg serve.Config, clusterFile string, probeEvery time.Dura
 // attachCluster loads the topology file and attaches to the shard
 // nodes, retrying until every node answers (the global ID allocator
 // needs the cluster-wide high-water mark) or clusterBootWait elapses.
-func attachCluster(path string, probeEvery time.Duration, cfg serve.Config) (*serve.RemoteStore, error) {
+func attachCluster(path string, probeEvery, resyncEvery time.Duration, cfg serve.Config) (*serve.RemoteStore, error) {
 	shards, err := cluster.LoadNodes(path)
 	if err != nil {
 		return nil, err
 	}
-	router, err := cluster.NewRouter(shards, cluster.HealthConfig{Interval: probeEvery})
+	router, err := cluster.NewRouter(shards, cluster.HealthConfig{
+		Interval:       probeEvery,
+		ResyncInterval: resyncEvery,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -323,6 +332,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/search", s.handleSearch)
 	mux.HandleFunc("/documents/", s.handleDocument)
 	mux.HandleFunc("/admin/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("/admin/resync", s.handleResync)
 	return mux
 }
 
@@ -619,6 +629,32 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, c.Stats().Persist)
+}
+
+// handleResync forces one synchronous anti-entropy sweep — the
+// operator's knob to repair a just-restarted replica immediately
+// instead of waiting for the background resync interval.
+func (s *server) handleResync(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	c := s.ready(w)
+	if c == nil {
+		return
+	}
+	if err := c.Resync(r.Context()); err != nil {
+		// Resync on a non-cluster server is the caller's mistake (400);
+		// a repair that failed mid-sweep is reported as a server fault,
+		// with the next sweep (or retry) picking it back up.
+		status := http.StatusInternalServerError
+		if errors.Is(err, serve.ErrNoCluster) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Stats().Cluster)
 }
 
 // verdictJSON is the wire form of a core.Verdict.

@@ -11,7 +11,11 @@
 //	POST /shard/search          — vector top-k over this shard
 //	POST /shard/apply           — grouped mutations (adds, deletes)
 //	GET  /shard/documents/{id}  — point read
-//	GET  /shard/stat            — doc count + ID high-water mark
+//	GET  /shard/stat            — doc count, ID high-water mark, seq, checksum
+//	GET  /shard/mutations       — journaled delta since a seq (410 when truncated)
+//	POST /shard/resync          — apply a delta shipped by the router's resync manager
+//	GET  /shard/snapshot        — full doc set + seq (snapshot-transfer source)
+//	POST /shard/snapshot        — adopt a full doc set + seq (snapshot-transfer target)
 //	GET  /healthz               — liveness (always 200 once listening)
 //	GET  /readyz                — 200 only after WAL recovery completes
 //
@@ -155,5 +159,25 @@ func (n *nodeState) Get(id int64) (vecdb.Document, error) {
 func (n *nodeState) Len() int { return n.store.Load().Len() }
 
 func (n *nodeState) NextID() int64 { return n.store.Load().NextID() }
+
+func (n *nodeState) Seq() uint64 { return n.store.Load().Seq() }
+
+func (n *nodeState) Checksum() uint64 { return n.store.Load().Checksum() }
+
+func (n *nodeState) MutationsSince(since uint64, max int) ([]vecdb.SeqMutation, error) {
+	return n.store.Load().MutationsSince(since, max)
+}
+
+func (n *nodeState) ApplyResync(ms []vecdb.SeqMutation) error {
+	return n.store.Load().ApplyResync(ms)
+}
+
+func (n *nodeState) SnapshotDocs() (uint64, []vecdb.Document, error) {
+	return n.store.Load().SnapshotDocs()
+}
+
+func (n *nodeState) ApplySnapshot(seq uint64, docs []vecdb.Document) error {
+	return n.store.Load().ApplySnapshot(seq, docs)
+}
 
 var _ cluster.NodeStore = (*nodeState)(nil)

@@ -12,12 +12,18 @@
 //     served by NewNodeHandler (and by cmd/shardnode);
 //   - a Router that fans queries out to every shard in parallel,
 //     merges per-shard top-k, and fails over to replica backends when
-//     a primary is unhealthy; and
+//     a primary is unhealthy;
 //   - an active health Checker (periodic probe, consecutive-failure
 //     ejection, half-open recovery) whose per-shard state both steers
 //     the router away from dead backends and feeds the serving
 //     layer's admission control, so traffic against a dead cluster is
-//     shed early instead of timing out.
+//     shed early instead of timing out; and
+//   - an anti-entropy resync manager (resync.go) that detects
+//     backends lagging their shard peers by mutation sequence number
+//     (or silently diverged by content checksum), streams them the
+//     journaled mutations they missed — full snapshot when the WAL
+//     has been truncated past the gap — and only then releases them
+//     back into the read path.
 //
 // See docs/cluster.md for the wire protocol, the health state
 // machine, and a three-node quickstart.

@@ -50,6 +50,15 @@ type HealthConfig struct {
 	// RecoverThreshold is the consecutive-success count that returns a
 	// half-open backend to service (default 2).
 	RecoverThreshold int
+	// ResyncInterval is the anti-entropy sweep period — how often the
+	// router compares seq/checksum across each shard's backends and
+	// repairs laggards (default: the probe Interval; negative disables
+	// background sweeps, leaving ResyncNow as the only trigger).
+	ResyncInterval time.Duration
+	// ResyncBatch is the number of mutations applied per catch-up RPC
+	// (default 256). The delta is fetched from the source's WAL in one
+	// scan and chunked by this for the apply legs.
+	ResyncBatch int
 }
 
 func (c HealthConfig) withDefaults() HealthConfig {
@@ -64,6 +73,12 @@ func (c HealthConfig) withDefaults() HealthConfig {
 	}
 	if c.RecoverThreshold <= 0 {
 		c.RecoverThreshold = 2
+	}
+	if c.ResyncInterval == 0 {
+		c.ResyncInterval = c.Interval
+	}
+	if c.ResyncBatch <= 0 {
+		c.ResyncBatch = 256
 	}
 	return c
 }
@@ -83,6 +98,12 @@ type backendHealth struct {
 	lastErr    string
 	stat       ShardStat
 	statValid  bool
+	// needsResync holds a recovering backend in half-open — probes may
+	// succeed, but the backend missed writes and must not serve reads
+	// until the resync manager has verified (or restored) seq parity
+	// with its peers. Set on ejection and on partial writes; cleared
+	// only by clearResync.
+	needsResync bool
 }
 
 // serving reports whether the backend should receive live traffic.
@@ -106,15 +127,25 @@ func (h *backendHealth) reportFailure(cfg HealthConfig, err error) {
 	switch h.state {
 	case StateHealthy:
 		if h.consecFail >= cfg.FailThreshold {
+			// An ejected backend has (presumably) missed writes: hold it
+			// out of service after recovery until the resync manager
+			// verifies it against its peers. If nothing was written while
+			// it was away, the next anti-entropy sweep clears the hold at
+			// seq parity without shipping anything.
 			h.state = StateEjected
+			h.needsResync = true
 		}
 	case StateHalfOpen:
 		h.state = StateEjected
+		h.needsResync = true
 	}
 }
 
 // reportSuccess records one successful probe or live request, walking
-// an ejected backend through half-open back to healthy.
+// an ejected backend through half-open back to healthy. A backend
+// held by needsResync saturates in half-open: probes alone cannot
+// re-admit it to reads — only the resync manager's clearResync, which
+// first proves the backend converged with its peers.
 func (h *backendHealth) reportSuccess(cfg HealthConfig) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -126,11 +157,47 @@ func (h *backendHealth) reportSuccess(cfg HealthConfig) {
 		h.consecOK = 1
 	case StateHalfOpen:
 		h.consecOK++
-		if h.consecOK >= cfg.RecoverThreshold {
+		if h.consecOK >= cfg.RecoverThreshold && !h.needsResync {
 			h.state = StateHealthy
 			h.consecOK = 0
 		}
 	}
+}
+
+// markResync flags the backend as diverged: it missed a write its
+// shard peers acknowledged. A healthy backend is demoted to half-open
+// on the spot — serving reads from a store known to be missing data
+// is worse than losing a replica for the second or two catch-up
+// takes, and taking further live writes would interleave local seq
+// numbering with the resync stream.
+func (h *backendHealth) markResync() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.needsResync = true
+	if h.state == StateHealthy {
+		h.state = StateHalfOpen
+		h.consecOK = 0
+	}
+}
+
+// clearResync releases the resync hold after the manager verified seq
+// and checksum parity, promoting a backend whose probes already
+// cleared the recovery threshold.
+func (h *backendHealth) clearResync(cfg HealthConfig) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.needsResync = false
+	if h.state == StateHalfOpen && h.consecOK >= cfg.RecoverThreshold {
+		h.state = StateHealthy
+		h.consecOK = 0
+	}
+}
+
+// resyncNeeded reports whether the backend is held for catch-up.
+func (h *backendHealth) resyncNeeded() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.needsResync
 }
 
 func (h *backendHealth) setStat(st ShardStat) {
@@ -149,6 +216,8 @@ func (h *backendHealth) snapshot() BackendHealth {
 		ConsecutiveFailures: h.consecFail,
 		TotalFailures:       h.totalFail,
 		Docs:                h.stat.Len,
+		Seq:                 h.stat.Seq,
+		NeedsResync:         h.needsResync,
 		LastError:           h.lastErr,
 	}
 }

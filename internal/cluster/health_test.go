@@ -128,8 +128,21 @@ func TestHealthTransitions(t *testing.T) {
 	}
 	h.reportSuccess(cfg)
 	h.reportSuccess(cfg)
+	// Ejection marked the backend for resync: probe successes alone
+	// saturate in half-open — only the resync manager's parity check
+	// re-admits it to reads.
+	if st() != StateHalfOpen {
+		t.Fatalf("resync-held backend left half-open early: %v", st())
+	}
+	if !h.resyncNeeded() {
+		t.Fatal("ejection did not mark the backend for resync")
+	}
+	if h.serving() {
+		t.Fatal("resync-held backend serving")
+	}
+	h.clearResync(cfg)
 	if st() != StateHealthy {
-		t.Fatalf("RecoverThreshold successes did not restore: %v", st())
+		t.Fatalf("clearResync after RecoverThreshold successes did not restore: %v", st())
 	}
 	if !h.serving() {
 		t.Fatal("healthy backend not serving")

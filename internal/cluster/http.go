@@ -80,6 +80,12 @@ func (b *HTTPBackend) do(ctx context.Context, method, path string, in, out inter
 		if resp.StatusCode == http.StatusNotFound {
 			return fmt.Errorf("%w: %s", vecdb.ErrNotFound, msg)
 		}
+		if resp.StatusCode == http.StatusGone {
+			// The node's journal no longer retains the requested delta —
+			// keep the typed snapshot-fallback signal across the
+			// transport.
+			return fmt.Errorf("%w: %s", vecdb.ErrSeqTruncated, msg)
+		}
 		return fmt.Errorf("cluster: %s %s: %s (status %d)", method, path, msg, resp.StatusCode)
 	}
 	if out == nil {
@@ -152,6 +158,67 @@ func (b *HTTPBackend) Stat(ctx context.Context) (ShardStat, error) {
 // is treated exactly like a dead one until recovery completes.
 func (b *HTTPBackend) Probe(ctx context.Context) error {
 	return b.do(ctx, http.MethodGet, "/readyz", nil, nil)
+}
+
+func (b *HTTPBackend) MutationsSince(ctx context.Context, since uint64, max int) ([]vecdb.SeqMutation, error) {
+	var resp struct {
+		Mutations []seqMutationJSON `json:"mutations"`
+	}
+	path := fmt.Sprintf("/shard/mutations?since=%d&max=%d", since, max)
+	if err := b.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	ms := make([]vecdb.SeqMutation, len(resp.Mutations))
+	for i, mj := range resp.Mutations {
+		m, err := fromMutationJSON(mj.mutationJSON)
+		if err != nil {
+			return nil, err
+		}
+		ms[i] = vecdb.SeqMutation{Seq: mj.Seq, Mutation: m}
+	}
+	return ms, nil
+}
+
+func (b *HTTPBackend) ApplyResync(ctx context.Context, ms []vecdb.SeqMutation) error {
+	wire := make([]seqMutationJSON, len(ms))
+	for i, m := range ms {
+		mj, err := toMutationJSON(m.Mutation)
+		if err != nil {
+			return err
+		}
+		wire[i] = seqMutationJSON{Seq: m.Seq, mutationJSON: mj}
+	}
+	req := struct {
+		Mutations []seqMutationJSON `json:"mutations"`
+	}{Mutations: wire}
+	return b.do(ctx, http.MethodPost, "/shard/resync", req, nil)
+}
+
+func (b *HTTPBackend) SnapshotDocs(ctx context.Context) (uint64, []vecdb.Document, error) {
+	var resp struct {
+		Seq  uint64    `json:"seq"`
+		Docs []docJSON `json:"docs"`
+	}
+	if err := b.do(ctx, http.MethodGet, "/shard/snapshot", nil, &resp); err != nil {
+		return 0, nil, err
+	}
+	docs := make([]vecdb.Document, len(resp.Docs))
+	for i, d := range resp.Docs {
+		docs[i] = vecdb.Document{ID: d.ID, Text: d.Text, Meta: d.Meta}
+	}
+	return resp.Seq, docs, nil
+}
+
+func (b *HTTPBackend) ApplySnapshot(ctx context.Context, seq uint64, docs []vecdb.Document) error {
+	wire := make([]docJSON, len(docs))
+	for i, d := range docs {
+		wire[i] = docJSON{ID: d.ID, Text: d.Text, Meta: d.Meta}
+	}
+	req := struct {
+		Seq  uint64    `json:"seq"`
+		Docs []docJSON `json:"docs"`
+	}{Seq: seq, Docs: wire}
+	return b.do(ctx, http.MethodPost, "/shard/snapshot", req, nil)
 }
 
 var _ Backend = (*HTTPBackend)(nil)

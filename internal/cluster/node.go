@@ -18,24 +18,43 @@ import (
 //	POST /shard/search     {"vec":[...], "k":3}        → {"hits":[{"id","score","text","meta"}]}
 //	POST /shard/apply      {"mutations":[...]}         → {"applied": n}
 //	GET  /shard/documents/{id}                         → {"id","text","meta"} | 404
-//	GET  /shard/stat                                   → {"len": n, "next_id": m}
+//	GET  /shard/stat                                   → {"len","next_id","seq","checksum"}
+//	GET  /shard/mutations?since=S&max=N                → {"mutations":[{"seq",...}]} | 410
+//	POST /shard/resync     {"mutations":[{"seq",...}]} → {"applied": n, "seq": s}
+//	GET  /shard/snapshot                               → {"seq": s, "docs":[{"id","text","meta"}]}
+//	POST /shard/snapshot   {"seq": s, "docs":[...]}    → {"docs": n, "seq": s}
 //	GET  /healthz                                      → 200 {"status":"ok"}        (liveness)
 //	GET  /readyz                                       → 200 | 503                  (recovery complete)
 //
-// Mutations use {"op":"add"|"delete","id":n,"text":"...","meta":{...}}.
-// Scores and vectors travel as JSON float64s, which round-trip
-// exactly, so a remote shard returns bit-identical hits to a local
-// one. Deletes of absent IDs are 404; malformed requests are 400.
+// Mutations use {"op":"add"|"delete","id":n,"text":"...","meta":{...}};
+// the resync endpoints carry the same shape plus the per-shard "seq"
+// each mutation was applied at. Scores and vectors travel as JSON
+// float64s, which round-trip exactly, so a remote shard returns
+// bit-identical hits to a local one. Deletes of absent IDs are 404;
+// malformed requests are 400; a delta request past the journal's
+// retention is 410 Gone (mapped back to vecdb.ErrSeqTruncated by
+// HTTPBackend), telling the resync manager to fall back to snapshot
+// transfer.
 
 // NodeStore is what a shard node must expose to serve the protocol.
 // Both *vecdb.DB (one bare shard) and serve.ShardedDB (the durable
-// WAL+checkpoint store cmd/shardnode runs) satisfy it.
+// WAL+checkpoint store cmd/shardnode runs) satisfy it. The resync
+// methods mirror Backend's: MutationsSince serves the journaled delta
+// (vecdb.ErrSeqTruncated when the journal cannot), ApplyResync and
+// ApplySnapshot are the idempotent catch-up writes, SnapshotDocs is
+// the full-transfer read.
 type NodeStore interface {
 	SearchVector(vec []float32, k int) ([]vecdb.Hit, error)
 	ApplyAll(ms []vecdb.Mutation) error
 	Get(id int64) (vecdb.Document, error)
 	Len() int
 	NextID() int64
+	Seq() uint64
+	Checksum() uint64
+	MutationsSince(since uint64, max int) ([]vecdb.SeqMutation, error)
+	ApplyResync(ms []vecdb.SeqMutation) error
+	SnapshotDocs() (uint64, []vecdb.Document, error)
+	ApplySnapshot(seq uint64, docs []vecdb.Document) error
 }
 
 var _ NodeStore = (*vecdb.DB)(nil)
@@ -53,6 +72,21 @@ type mutationJSON struct {
 	Op   string            `json:"op"`
 	ID   int64             `json:"id"`
 	Text string            `json:"text,omitempty"`
+	Meta map[string]string `json:"meta,omitempty"`
+}
+
+// seqMutationJSON is the wire form of a vecdb.SeqMutation (the resync
+// delta unit).
+type seqMutationJSON struct {
+	Seq uint64 `json:"seq"`
+	mutationJSON
+}
+
+// docJSON is the wire form of a stored document in snapshot
+// transfers.
+type docJSON struct {
+	ID   int64             `json:"id"`
+	Text string            `json:"text"`
 	Meta map[string]string `json:"meta,omitempty"`
 }
 
@@ -92,6 +126,9 @@ func NewNodeHandler(store NodeStore, ready func() bool) http.Handler {
 	mux.HandleFunc("/shard/apply", n.handleApply)
 	mux.HandleFunc("/shard/documents/", n.handleDocument)
 	mux.HandleFunc("/shard/stat", n.handleStat)
+	mux.HandleFunc("/shard/mutations", n.handleMutations)
+	mux.HandleFunc("/shard/resync", n.handleResync)
+	mux.HandleFunc("/shard/snapshot", n.handleSnapshot)
 	return mux
 }
 
@@ -240,5 +277,133 @@ func (n *nodeHandler) handleStat(w http.ResponseWriter, r *http.Request) {
 	if !n.gate(w) {
 		return
 	}
-	nodeJSON(w, http.StatusOK, ShardStat{Len: n.store.Len(), NextID: n.store.NextID()})
+	nodeJSON(w, http.StatusOK, ShardStat{
+		Len:      n.store.Len(),
+		NextID:   n.store.NextID(),
+		Seq:      n.store.Seq(),
+		Checksum: n.store.Checksum(),
+	})
+}
+
+// handleMutations serves the journaled delta past ?since= (capped at
+// ?max= records). A journal that no longer retains the range answers
+// 410 Gone — the snapshot-fallback signal.
+func (n *nodeHandler) handleMutations(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		nodeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	if !n.gate(w) {
+		return
+	}
+	q := r.URL.Query()
+	since, err := strconv.ParseUint(q.Get("since"), 10, 64)
+	if err != nil {
+		nodeError(w, http.StatusBadRequest, fmt.Errorf("bad since %q", q.Get("since")))
+		return
+	}
+	max := 0
+	if s := q.Get("max"); s != "" {
+		if max, err = strconv.Atoi(s); err != nil || max < 0 {
+			nodeError(w, http.StatusBadRequest, fmt.Errorf("bad max %q", s))
+			return
+		}
+	}
+	ms, err := n.store.MutationsSince(since, max)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, vecdb.ErrSeqTruncated) {
+			status = http.StatusGone
+		}
+		nodeError(w, status, err)
+		return
+	}
+	out := make([]seqMutationJSON, 0, len(ms))
+	for _, m := range ms {
+		mj, err := toMutationJSON(m.Mutation)
+		if err != nil {
+			nodeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out = append(out, seqMutationJSON{Seq: m.Seq, mutationJSON: mj})
+	}
+	nodeJSON(w, http.StatusOK, map[string]interface{}{"mutations": out, "seq": n.store.Seq()})
+}
+
+// handleResync applies a shipped delta under its explicit sequence
+// numbers.
+func (n *nodeHandler) handleResync(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		nodeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if !n.gate(w) {
+		return
+	}
+	var req struct {
+		Mutations []seqMutationJSON `json:"mutations"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		nodeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Mutations) == 0 {
+		nodeError(w, http.StatusBadRequest, errors.New("empty resync batch"))
+		return
+	}
+	ms := make([]vecdb.SeqMutation, len(req.Mutations))
+	for i, mj := range req.Mutations {
+		m, err := fromMutationJSON(mj.mutationJSON)
+		if err != nil {
+			nodeError(w, http.StatusBadRequest, err)
+			return
+		}
+		ms[i] = vecdb.SeqMutation{Seq: mj.Seq, Mutation: m}
+	}
+	if err := n.store.ApplyResync(ms); err != nil {
+		nodeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	nodeJSON(w, http.StatusOK, map[string]interface{}{"applied": len(ms), "seq": n.store.Seq()})
+}
+
+// handleSnapshot serves the full document set on GET and replaces the
+// node's contents with an uploaded one on POST.
+func (n *nodeHandler) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !n.gate(w) {
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		seq, docs, err := n.store.SnapshotDocs()
+		if err != nil {
+			nodeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out := make([]docJSON, 0, len(docs))
+		for _, d := range docs {
+			out = append(out, docJSON{ID: d.ID, Text: d.Text, Meta: d.Meta})
+		}
+		nodeJSON(w, http.StatusOK, map[string]interface{}{"seq": seq, "docs": out})
+	case http.MethodPost:
+		var req struct {
+			Seq  uint64    `json:"seq"`
+			Docs []docJSON `json:"docs"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			nodeError(w, http.StatusBadRequest, err)
+			return
+		}
+		docs := make([]vecdb.Document, len(req.Docs))
+		for i, d := range req.Docs {
+			docs[i] = vecdb.Document{ID: d.ID, Text: d.Text, Meta: d.Meta}
+		}
+		if err := n.store.ApplySnapshot(req.Seq, docs); err != nil {
+			nodeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		nodeJSON(w, http.StatusOK, map[string]interface{}{"docs": len(docs), "seq": n.store.Seq()})
+	default:
+		nodeError(w, http.StatusMethodNotAllowed, errors.New("GET or POST required"))
+	}
 }

@@ -35,13 +35,17 @@ type ShardBackends struct {
 // shard. Health state comes from the embedded active checker plus
 // live-traffic outcomes.
 //
-// Replication is best-effort: a replica that was ejected while writes
-// flowed misses them and must be resynced out of band (each node's
-// own WAL is the durable copy). See docs/cluster.md.
+// Replication is convergent: a replica that was ejected (or failed a
+// write its peers acknowledged) is marked for catch-up and held out
+// of reads until the in-band resync manager has streamed it the
+// mutations it missed from the most advanced backend's WAL — or a
+// full snapshot when that WAL has been truncated past the gap. See
+// resync.go and docs/cluster.md for the convergence semantics.
 type Router struct {
 	cfg     HealthConfig
 	shards  [][]*backendHealth // primary first
 	checker *checker
+	resync  *resyncer
 
 	failovers       atomic.Uint64
 	degradedQueries atomic.Uint64
@@ -76,12 +80,17 @@ func NewRouter(shards []ShardBackends, cfg HealthConfig) (*Router, error) {
 		r.shards[i] = bs
 	}
 	r.checker = newChecker(cfg, all)
+	r.resync = newResyncer(r)
 	return r, nil
 }
 
-// Close stops the health checker. Backends own no connections beyond
-// their http.Client pools, so there is nothing else to release.
-func (r *Router) Close() { r.checker.Close() }
+// Close stops the health checker and the resync manager. Backends own
+// no connections beyond their http.Client pools, so there is nothing
+// else to release.
+func (r *Router) Close() {
+	r.checker.Close()
+	r.resync.Close()
+}
 
 // Shards reports the shard count (the modulus of the hash ring).
 func (r *Router) Shards() int { return len(r.shards) }
@@ -173,6 +182,7 @@ func (r *Router) Apply(ctx context.Context, si int, ms []vecdb.Mutation) error {
 		ok       int
 		notFound error
 		lastErr  error
+		failed   []*backendHealth
 	)
 	for _, h := range r.shards[si] {
 		if !h.serving() {
@@ -190,16 +200,22 @@ func (r *Router) Apply(ctx context.Context, si int, ms []vecdb.Mutation) error {
 		default:
 			h.reportFailure(r.cfg, err)
 			r.writeFailures.Add(1)
+			failed = append(failed, h)
 			lastErr = err
 		}
 	}
 	switch {
 	case ok > 0:
 		// The batch is durable on at least one backend; a backend that
-		// failed it has diverged and needs resync — count the partial
-		// write so the gap is visible in /stats.
+		// failed it has diverged — count the partial write, hold the
+		// diverged backend out of service, and nudge the resync manager
+		// to repair it.
 		if lastErr != nil {
 			r.partialWrites.Add(1)
+			for _, h := range failed {
+				h.markResync()
+			}
+			r.resync.nudge()
 		}
 		return nil
 	case notFound != nil:
@@ -338,7 +354,13 @@ type BackendHealth struct {
 	// ledger bulk and streamed ingest batches report into.
 	TotalFailures uint64 `json:"total_failures"`
 	Docs          int    `json:"docs"`
-	LastError     string `json:"last_error,omitempty"`
+	// Seq is the backend's last observed mutation sequence number;
+	// comparing it across a shard's backends shows who lags.
+	Seq uint64 `json:"seq"`
+	// NeedsResync reports that the backend is held out of reads until
+	// the resync manager restores seq/checksum parity with its peers.
+	NeedsResync bool   `json:"needs_resync,omitempty"`
+	LastError   string `json:"last_error,omitempty"`
 }
 
 // ShardHealth is one shard's health as exposed in /stats: Alive is

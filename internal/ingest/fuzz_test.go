@@ -1,0 +1,44 @@
+package ingest
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzNDJSONLine drives the NDJSON line parser — the first thing the
+// streaming ingest reader does with every untrusted byte a client
+// uploads — over arbitrary input. The invariants: no panic, no
+// accepted document without text, and accepted documents carry only
+// string metadata (the wire contract docs/ingest.md promises).
+func FuzzNDJSONLine(f *testing.F) {
+	f.Add([]byte(`{"text":"hello world"}`))
+	f.Add([]byte(`{"text":"x","meta":{"source":"fuzz","lang":"en"}}`))
+	f.Add([]byte(`"a bare string document"`))
+	f.Add([]byte(`{"text":""}`))
+	f.Add([]byte(`{"meta":{"k":"v"}}`))
+	f.Add([]byte(`{"text": 42}`))
+	f.Add([]byte(`{"text":"dup","text":"second"}`))
+	f.Add([]byte(`["not","an","object"]`))
+	f.Add([]byte("\"unterminated"))
+	f.Add([]byte{0xff, 0xfe, '{', '}'})
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		d, err := parseLine(line)
+		if err != nil {
+			return // rejected lines are fine; they must just not panic
+		}
+		if d.Text == "" {
+			t.Fatalf("accepted document with no text from %q", line)
+		}
+		// encoding/json only produces valid UTF-8 strings (invalid
+		// sequences are replaced, never passed through raw).
+		if !utf8.ValidString(d.Text) {
+			t.Fatalf("accepted invalid UTF-8 text from %q", line)
+		}
+		for k, v := range d.Meta {
+			if !utf8.ValidString(k) || !utf8.ValidString(v) {
+				t.Fatalf("accepted invalid UTF-8 meta %q=%q from %q", k, v, line)
+			}
+		}
+	})
+}

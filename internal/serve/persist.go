@@ -137,6 +137,12 @@ type durableShard struct {
 	mu  sync.Mutex
 	dir string
 	wal *storage.WAL
+	// base is the highest sequence number folded into the checkpoint —
+	// the WAL retains exactly the records with seq > base, so
+	// MutationsSince(since) can serve a delta iff since >= base.
+	// Updated after every truncation; read lock-free by the resync
+	// read path.
+	base atomic.Uint64
 }
 
 // persistence is the durable state attached to a ShardedDB opened with
@@ -320,11 +326,32 @@ func recoverShard(dir string, embed vecdb.Embedder, mkIndex func() (vecdb.Index,
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	// The checkpoint pins the seq its contents are current as of; WAL
+	// records carry their own seqs on top (legacy unframed records get
+	// the next number in the stream). Replay restores the position from
+	// the records, not by counting applies — dedupeReplay may drop
+	// records the checkpoint already reflects.
+	ckSeq := db.Seq()
+	maxSeq, firstSeq := ckSeq, uint64(0)
+	haveFirst := false
 	var ms []vecdb.Mutation
 	if _, err := wal.Replay(func(payload []byte) error {
-		m, err := vecdb.DecodeMutation(payload)
+		seq, raw, framed, err := storage.DecodeSeqPayload(payload)
 		if err != nil {
 			return err
+		}
+		if !framed {
+			seq = maxSeq + 1
+		}
+		m, err := vecdb.DecodeMutation(raw)
+		if err != nil {
+			return err
+		}
+		if !haveFirst {
+			firstSeq, haveFirst = seq, true
+		}
+		if seq > maxSeq {
+			maxSeq = seq
 		}
 		ms = append(ms, m)
 		return nil
@@ -337,7 +364,17 @@ func recoverShard(dir string, embed vecdb.Embedder, mkIndex func() (vecdb.Index,
 		wal.Close()
 		return nil, nil, 0, fmt.Errorf("wal replay: %w", err)
 	}
-	return db, &durableShard{dir: dir, wal: wal}, uint64(len(ms)), nil
+	db.SetSeq(maxSeq)
+	ds := &durableShard{dir: dir, wal: wal}
+	// A crash between checkpoint and truncation leaves records the
+	// checkpoint already covers: the delta floor is then the seq just
+	// below the first retained record, not the checkpoint seq.
+	base := ckSeq
+	if haveFirst && firstSeq-1 < base {
+		base = firstSeq - 1
+	}
+	ds.base.Store(base)
+	return db, ds, uint64(len(ms)), nil
 }
 
 // dedupeReplay drops deletes whose target is already absent from the
@@ -435,12 +472,23 @@ func (p *persistence) checkpointShard(s *ShardedDB, i int) error {
 	ds := p.shards[i]
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
+	return p.checkpointShardLocked(s, i)
+}
+
+// checkpointShardLocked is checkpointShard for callers already holding
+// the shard's persistence mutex (the snapshot-resync apply path, which
+// must pin its adopted seq durably in the same critical section).
+func (p *persistence) checkpointShardLocked(s *ShardedDB, i int) error {
+	ds := p.shards[i]
 	if err := s.shards[i].SaveFile(filepath.Join(ds.dir, checkpointFile)); err != nil {
 		return err
 	}
 	if err := ds.wal.Truncate(); err != nil {
 		return err
 	}
+	// Everything up to the shard's current seq is now in the
+	// checkpoint; the WAL serves deltas only past it.
+	ds.base.Store(s.shards[i].Seq())
 	p.checkpoints.Add(1)
 	p.lastCk.Store(time.Now().UnixNano())
 	return nil

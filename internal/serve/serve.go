@@ -555,8 +555,26 @@ func (s *Server) Stats() Snapshot {
 			Enabled:         true,
 			Shards:          r.Health(),
 			Router:          r.Stats(),
+			Resync:          r.ResyncStats(),
 			ShedUnavailable: s.unavailableShed.Load(),
 		}
 	}
 	return snap
+}
+
+// ErrNoCluster reports a cluster-only operation on a single-process
+// server, so HTTP handlers can map it to a client error rather than a
+// server fault.
+var ErrNoCluster = errors.New("serve: server is not in cluster mode")
+
+// Resync runs one synchronous anti-entropy sweep across the cluster —
+// the operation behind POST /admin/resync, for operators who want a
+// just-recovered replica repaired now rather than on the next
+// background sweep.
+func (s *Server) Resync(ctx context.Context) error {
+	rs, ok := s.store.(*RemoteStore)
+	if !ok {
+		return ErrNoCluster
+	}
+	return rs.Router().ResyncNow(ctx)
 }

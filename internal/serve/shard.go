@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/rag"
+	"repro/internal/storage"
 	"repro/internal/vecdb"
 )
 
@@ -105,17 +106,26 @@ func (s *ShardedDB) apply(i int, ms []vecdb.Mutation) error {
 	}
 	// Encode before touching anything: an unjournalable mutation (e.g.
 	// an oversized meta key) must be rejected while no state has moved.
-	payloads := make([][]byte, len(ms))
+	raw := make([][]byte, len(ms))
 	for j, m := range ms {
 		b, err := vecdb.EncodeMutation(m)
 		if err != nil {
 			return err
 		}
-		payloads[j] = b
+		raw[j] = b
 	}
 	ds := p.shards[i]
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
+	// The persistence mutex serializes appliers, so the batch owns the
+	// seq range (base, base+len] — frame each record with the seq its
+	// mutation will be applied at, which is what MutationsSince serves
+	// back to lagging replicas.
+	base := db.Seq()
+	payloads := make([][]byte, len(ms))
+	for j, b := range raw {
+		payloads[j] = storage.EncodeSeqPayload(base+1+uint64(j), b)
+	}
 	// Capture the documents deletes will remove, so they can be
 	// restored if the batch has to roll back.
 	var restore []vecdb.Document
@@ -137,6 +147,9 @@ func (s *ShardedDB) apply(i int, ms []vecdb.Mutation) error {
 				db.AddWithID(d.ID, d.Text, d.Meta)
 			}
 		}
+		// The primitive undo calls above do not touch the seq counter;
+		// restore it over whatever prefix ApplyAll advanced.
+		db.SetSeq(base)
 	}
 	if err := applyMutations(db, ms); err != nil {
 		rollback()

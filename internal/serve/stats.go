@@ -48,6 +48,10 @@ type ClusterStats struct {
 	Shards []cluster.ShardHealth `json:"shards,omitempty"`
 	// Router counts failovers and degraded (shard-losing) queries.
 	Router cluster.RouterStats `json:"router"`
+	// Resync counts anti-entropy repairs: completed resyncs, mutations
+	// shipped to lagging replicas, and snapshot fallbacks taken when a
+	// WAL delta was unavailable.
+	Resync cluster.ResyncStats `json:"resync"`
 	// ShedUnavailable counts requests shed at admission because no
 	// shard had a healthy backend.
 	ShedUnavailable uint64 `json:"shed_unavailable"`

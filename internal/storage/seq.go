@@ -1,0 +1,46 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Seq-framed WAL payloads. A WAL record's payload may carry the
+// per-shard mutation sequence number it was applied at, so replica
+// resync can serve "everything after seq S" straight from the
+// segments and recovery can restore the journal position exactly:
+//
+//	[1B marker 0xA6][8B little-endian seq][inner payload]
+//
+// The marker byte distinguishes framed payloads from records written
+// before seq tracking existed (vecdb mutation payloads start with the
+// op byte, 0x01 or 0x02, never 0xA6): readers fall back to treating
+// an unmarked payload as a legacy record with an unknown seq and
+// synthesize the next number in the stream, so pre-upgrade WALs keep
+// replaying.
+
+const seqMarker = 0xA6
+
+const seqFrameHeader = 9 // marker + seq
+
+// EncodeSeqPayload frames payload with its sequence number.
+func EncodeSeqPayload(seq uint64, payload []byte) []byte {
+	out := make([]byte, 0, seqFrameHeader+len(payload))
+	out = append(out, seqMarker)
+	out = binary.LittleEndian.AppendUint64(out, seq)
+	return append(out, payload...)
+}
+
+// DecodeSeqPayload splits a WAL payload into its sequence number and
+// inner payload. framed is false for legacy records written without a
+// seq frame — the inner payload is then the input itself and the
+// caller assigns the next sequence number in its stream.
+func DecodeSeqPayload(b []byte) (seq uint64, payload []byte, framed bool, err error) {
+	if len(b) == 0 || b[0] != seqMarker {
+		return 0, b, false, nil
+	}
+	if len(b) < seqFrameHeader {
+		return 0, nil, false, fmt.Errorf("storage: truncated seq frame (%d bytes)", len(b))
+	}
+	return binary.LittleEndian.Uint64(b[1:seqFrameHeader]), b[seqFrameHeader:], true, nil
+}

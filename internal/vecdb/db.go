@@ -27,6 +27,15 @@ type DB struct {
 	index  Index
 	docs   map[int64]Document
 	nextID int64
+	// seq is the last applied mutation sequence number (see Seq); it
+	// advances only through the journaled mutation paths
+	// (Apply/ApplyAll/ApplyResync/ApplySnapshot), never through the
+	// primitive Add/Delete calls, so rollback helpers can undo state
+	// without disturbing the stream numbering.
+	seq uint64
+	// check is the XOR of every stored document's docHash — the
+	// order-independent content checksum behind Checksum.
+	check uint64
 }
 
 // New creates a database over the given embedder and index. The index
@@ -68,18 +77,9 @@ func (db *DB) Add(text string, meta map[string]string) (int64, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	id := db.nextID
-	db.nextID++
-	if err := db.index.Add(id, vec); err != nil {
-		return 0, fmt.Errorf("vecdb: index add: %w", err)
+	if err := db.addLocked(id, text, meta, vec); err != nil {
+		return 0, err
 	}
-	var metaCopy map[string]string
-	if meta != nil {
-		metaCopy = make(map[string]string, len(meta))
-		for k, v := range meta {
-			metaCopy[k] = v
-		}
-	}
-	db.docs[id] = Document{ID: id, Text: text, Meta: metaCopy}
 	return id, nil
 }
 
@@ -114,7 +114,12 @@ func (db *DB) addLocked(id int64, text string, meta map[string]string, vec []flo
 			metaCopy[k] = v
 		}
 	}
-	db.docs[id] = Document{ID: id, Text: text, Meta: metaCopy}
+	if old, ok := db.docs[id]; ok {
+		db.check ^= docHash(old) // replacement: retire the old content hash
+	}
+	doc := Document{ID: id, Text: text, Meta: metaCopy}
+	db.docs[id] = doc
+	db.check ^= docHash(doc)
 	if id >= db.nextID {
 		db.nextID = id + 1
 	}
@@ -158,11 +163,13 @@ func (db *DB) Delete(id int64) error {
 
 // deleteLocked removes a document. Callers hold db.mu.
 func (db *DB) deleteLocked(id int64) error {
-	if _, ok := db.docs[id]; !ok {
+	old, ok := db.docs[id]
+	if !ok {
 		return fmt.Errorf("%w: id %d", ErrNotFound, id)
 	}
 	db.index.Remove(id)
 	delete(db.docs, id)
+	db.check ^= docHash(old)
 	return nil
 }
 
@@ -216,11 +223,16 @@ func (db *DB) SearchVector(vec []float32, k int) ([]Hit, error) {
 // DBs (shards) can embed queries once.
 func (db *DB) Embedder() Embedder { return db.embed }
 
-// snapshot is the gob wire form of a DB.
+// snapshot is the gob wire form of a DB. Seq carries the last applied
+// mutation sequence number, so a checkpoint pins the journal position
+// its contents are current as of; snapshots written before seq
+// tracking decode with Seq 0 (gob treats the missing field as zero)
+// and the WAL replay on top re-derives the position.
 type snapshot struct {
 	Version int
 	Docs    []Document
 	NextID  int64
+	Seq     uint64
 }
 
 // currentVersion is bumped when the wire form changes incompatibly. It
@@ -237,7 +249,7 @@ const SnapshotVersion uint32 = currentVersion
 // format independent of embedder internals.
 func (db *DB) Save(w io.Writer) error {
 	db.mu.RLock()
-	snap := snapshot{Version: currentVersion, NextID: db.nextID}
+	snap := snapshot{Version: currentVersion, NextID: db.nextID, Seq: db.seq}
 	for _, d := range db.docs {
 		snap.Docs = append(snap.Docs, d)
 	}
@@ -285,8 +297,10 @@ func Load(r io.Reader, embed Embedder, index Index) (*DB, error) {
 			return nil, err
 		}
 		db.docs[d.ID] = d
+		db.check ^= docHash(d)
 	}
 	db.nextID = snap.NextID
+	db.seq = snap.Seq
 	return db, nil
 }
 

@@ -30,16 +30,11 @@ type Mutation struct {
 	Meta map[string]string
 }
 
-// Apply executes one mutation. Replaying a journal of previously
-// successful mutations in order reproduces the DB state exactly.
+// Apply executes one mutation, advancing the sequence counter with
+// it. Replaying a journal of previously successful mutations in order
+// reproduces the DB state exactly.
 func (db *DB) Apply(m Mutation) error {
-	switch m.Op {
-	case OpAdd:
-		return db.AddWithID(m.ID, m.Text, m.Meta)
-	case OpDelete:
-		return db.Delete(m.ID)
-	}
-	return fmt.Errorf("vecdb: unknown mutation op %d", m.Op)
+	return db.ApplyAll([]Mutation{m})
 }
 
 // ApplyAll executes a batch of mutations in order. Vectors for the
@@ -84,6 +79,10 @@ func (db *DB) ApplyAll(ms []Mutation) error {
 				return err
 			}
 		}
+		// One seq per applied mutation: on a partial failure the counter
+		// covers exactly the applied prefix, and the caller that rolls
+		// the batch back restores it with SetSeq.
+		db.seq++
 	}
 	return nil
 }
