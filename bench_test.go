@@ -28,6 +28,7 @@ import (
 	"repro/internal/rag"
 	"repro/internal/serve"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/vecdb"
 )
 
@@ -480,6 +481,43 @@ func BenchmarkShardedSearchParallel(b *testing.B) {
 			s, err := serve.NewShardedDefault(shards, 256, 4096)
 			if err != nil {
 				b.Fatal(err)
+			}
+			for _, d := range docs {
+				if _, err := s.Add(d, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var n atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					q := questions[n.Add(1)%uint64(len(questions))]
+					if _, err := s.Search(q, 3); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkTelemetryOverhead prices the instrumentation itself: the
+// same concurrent in-process search path (embed → fan-out → merge)
+// with the store's stage histograms detached versus bound to a live
+// registry. The instrumented arm pays one time.Now() per stage and one
+// atomic bucket increment per observation; the committed
+// BENCH_telemetry.json pins the delta under 5%.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	docs, questions, _ := serveCorpus(b)
+	for _, arm := range []string{"bare", "instrumented"} {
+		b.Run(arm, func(b *testing.B) {
+			s, err := serve.NewShardedDefault(4, 256, 4096)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if arm == "instrumented" {
+				s.SetTelemetry(telemetry.NewRegistry())
 			}
 			for _, d := range docs {
 				if _, err := s.Add(d, nil); err != nil {

@@ -18,11 +18,15 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -71,6 +75,42 @@ func startProc(t *testing.T, bin string, args ...string) *proc {
 	p := &proc{t: t, cmd: cmd}
 	t.Cleanup(func() { p.kill() })
 	return p
+}
+
+// logBuffer is a concurrency-safe sink for a child process's output,
+// so the test can grep captured request-log lines while the child is
+// still writing them.
+type logBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *logBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *logBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startProcCapture is startProc teeing the child's output into a
+// logBuffer as well as the test's stderr.
+func startProcCapture(t *testing.T, bin string, args ...string) (*proc, *logBuffer) {
+	t.Helper()
+	buf := &logBuffer{}
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = io.MultiWriter(os.Stderr, buf)
+	cmd.Stderr = io.MultiWriter(os.Stderr, buf)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", bin, err)
+	}
+	p := &proc{t: t, cmd: cmd}
+	t.Cleanup(func() { p.kill() })
+	return p, buf
 }
 
 // kill sends SIGKILL — the ungraceful death the smoke is about — and
@@ -162,6 +202,36 @@ func waitAlive(t *testing.T, addr string, want int) {
 	t.Fatalf("never reached %d alive shards (now %d)", want, aliveShards(getStats(t, addr)))
 }
 
+// metricValue scrapes GET /metrics on addr and returns the value of
+// the exact series line (name plus rendered label set), failing the
+// test when the series is absent.
+func metricValue(t *testing.T, addr, series string) float64 {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics on %s: %v", addr, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read /metrics on %s: %v", addr, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics on %s: status %d", addr, resp.StatusCode)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("parse %s on %s: %v (line %q)", series, addr, err, line)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s absent from %s/metrics:\n%s", series, addr, body)
+	return 0
+}
+
 // searchHits runs one /search and returns the decoded hits plus the
 // raw body (for exact cross-server comparison).
 func searchHits(t *testing.T, addr, query string, k int) (int, string) {
@@ -197,12 +267,21 @@ func TestClusterKillRecover(t *testing.T) {
 	nodePorts := make([]int, 3)
 	nodeDirs := make([]string, 3)
 	nodes := make([]*proc, 3)
+	var node0Log *logBuffer
 	for i := range nodes {
 		nodePorts[i] = freePort(t)
 		nodeDirs[i] = filepath.Join(workDir, fmt.Sprintf("shard%d", i))
-		nodes[i] = startProc(t, shardnodeBin,
+		args := []string{
 			"-addr", fmt.Sprintf("127.0.0.1:%d", nodePorts[i]),
-			"-data-dir", nodeDirs[i])
+			"-data-dir", nodeDirs[i],
+		}
+		if i == 0 {
+			// Node 0 survives the whole test; its captured request log
+			// is where the traced request ID must surface.
+			nodes[i], node0Log = startProcCapture(t, shardnodeBin, append(args, "-log-requests")...)
+		} else {
+			nodes[i] = startProc(t, shardnodeBin, args...)
+		}
 	}
 	for _, p := range nodePorts {
 		waitReady(t, fmt.Sprintf("127.0.0.1:%d", p))
@@ -251,6 +330,59 @@ func TestClusterKillRecover(t *testing.T) {
 	}
 	if st := getStats(t, routerAddr); !st.Cluster.Enabled || aliveShards(st) != 3 {
 		t.Fatalf("expected 3 alive shards: %+v", st)
+	}
+
+	// One traced search: the X-Request-ID sent to the router must be
+	// echoed back and must reappear in the shard node's request log for
+	// the fan-out leg — the cross-process tracing contract.
+	const traceID = "trace-cluster-42"
+	tracedReq, err := http.NewRequest(http.MethodPost, "http://"+routerAddr+"/search",
+		strings.NewReader(fmt.Sprintf(`{"query":%q,"k":4}`, query)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracedReq.Header.Set("X-Request-ID", traceID)
+	tracedResp, err := http.DefaultClient.Do(tracedReq)
+	if err != nil {
+		t.Fatalf("traced search: %v", err)
+	}
+	io.Copy(io.Discard, tracedResp.Body)
+	tracedResp.Body.Close()
+	if tracedResp.StatusCode != http.StatusOK {
+		t.Fatalf("traced search: status %d", tracedResp.StatusCode)
+	}
+	if got := tracedResp.Header.Get("X-Request-ID"); got != traceID {
+		t.Fatalf("router did not echo the request ID: got %q, want %q", got, traceID)
+	}
+	logDeadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(node0Log.String(), "id="+traceID) {
+		if time.Now().After(logDeadline) {
+			t.Fatalf("request ID %s never surfaced in the shard node's log:\n%s",
+				traceID, node0Log.String())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Scrape /metrics on the router and one shard node. Every /search
+	// fans out exactly once (and nothing else observes that stage), so
+	// the fan-out histogram count must equal the admitted-search
+	// counter; the node must have timed its single-shard probes under
+	// the same shared stage family and counted the fan-out requests it
+	// served.
+	searches := metricValue(t, routerAddr, `search_requests_total`)
+	if searches <= 0 {
+		t.Fatalf("router search_requests_total = %v, want > 0", searches)
+	}
+	fanouts := metricValue(t, routerAddr, `stage_duration_seconds_count{stage="shard_fanout"}`)
+	if fanouts != searches {
+		t.Fatalf("fan-out histogram count %v != search_requests_total %v", fanouts, searches)
+	}
+	node0Addr := fmt.Sprintf("127.0.0.1:%d", nodePorts[0])
+	if probes := metricValue(t, node0Addr, `stage_duration_seconds_count{stage="shard_search"}`); probes <= 0 {
+		t.Fatalf("shard node shard_search stage count = %v, want > 0", probes)
+	}
+	if served := metricValue(t, node0Addr, `http_requests_total{code="200",route="/shard/search"}`); served <= 0 {
+		t.Fatalf("shard node /shard/search requests = %v, want > 0", served)
 	}
 
 	// Kill one node: search keeps answering from the survivors, the

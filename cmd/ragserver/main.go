@@ -20,6 +20,7 @@
 //	GET  /healthz                                     → {"status":"ok","ready":b}  (liveness)
 //	GET  /readyz                                      → 200 | 503                  (recovery + seeding complete)
 //	GET  /stats                                       → serving-layer snapshot
+//	GET  /metrics                                     → Prometheus text exposition
 //
 // /ingest/stream reads NDJSON (one document per line — an object
 // {"text":"...","meta":{...}} or a bare string), indexes it through a
@@ -51,6 +52,16 @@
 // re-admitted to reads (see docs/cluster.md). -shards and -data-dir
 // are ignored in this mode; durability is each node's own WAL.
 //
+// Every request flows through the telemetry middleware chain: an
+// X-Request-ID is adopted (or generated) and echoed, per-route
+// counters and latency histograms are recorded, and panics recover to
+// 500. GET /metrics renders the registry — request counters, hot-path
+// stage histograms (embed, shard fan-out, merge, verify, WAL,
+// checkpoint, ingest), per-backend RPC timings in cluster mode — in
+// Prometheus text format. -log-requests emits one line per completed
+// request; -debug-addr serves net/http/pprof on a separate listener.
+// See docs/observability.md.
+//
 // Usage:
 //
 //	ragserver [-addr :8080] [-topk 3] [-threshold 3.2] [-seed-demo]
@@ -61,6 +72,7 @@
 //	          [-checkpoint-every 30s]
 //	          [-cluster nodes.json] [-probe-interval 1s]
 //	          [-resync-interval 1s]
+//	          [-log-requests] [-debug-addr ""]
 package main
 
 import (
@@ -86,6 +98,11 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/serve"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
+
+	// Registers the profiling handlers on http.DefaultServeMux, which
+	// only the optional -debug-addr listener serves.
+	_ "net/http/pprof"
 )
 
 // clusterBootWait bounds how long a routing server waits for its
@@ -112,6 +129,8 @@ func main() {
 		clusterFile = flag.String("cluster", "", "nodes.json topology: route to remote shardnodes instead of in-process shards")
 		probeEvery  = flag.Duration("probe-interval", time.Second, "cluster health probe period")
 		resyncEvery = flag.Duration("resync-interval", time.Second, "anti-entropy resync sweep period (negative disables background sweeps)")
+		logRequests = flag.Bool("log-requests", false, "log one structured line per completed request")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 	policy, err := storage.ParseSyncPolicy(*fsync)
@@ -119,7 +138,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ragserver:", err)
 		os.Exit(1)
 	}
+	// The registry is created here, not by serve.New, because /metrics
+	// (and the middleware recording into it) must serve from the moment
+	// the listener is up — before the possibly long store recovery.
+	reg := telemetry.NewRegistry()
 	cfg := serve.Config{
+		Telemetry:        reg,
 		Shards:           *shards,
 		TopK:             *topK,
 		Threshold:        *threshold,
@@ -139,7 +163,7 @@ func main() {
 	// The listener comes up before the (possibly long) store recovery
 	// or cluster attach: /healthz answers immediately, /readyz and the
 	// data endpoints flip once init completes.
-	srv := &server{}
+	srv := &server{reg: reg, logRequests: *logRequests}
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.routes(),
@@ -150,6 +174,14 @@ func main() {
 		initDone <- srv.init(cfg, *clusterFile, *probeEvery, *resyncEvery, *seedDemo, *dataDir)
 	}()
 	log.Printf("ragserver listening on %s", *addr)
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("pprof listening on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("ragserver: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -193,13 +225,18 @@ func main() {
 // until init completes; handlers 503 in the meantime.
 type server struct {
 	core atomic.Pointer[serve.Server]
+	// reg is the process-wide metrics registry: the middleware chain
+	// records into it and /metrics renders it, from before init
+	// completes.
+	reg         *telemetry.Registry
+	logRequests bool
 }
 
 // init builds the serving core (local shards, durable shards, or a
 // remote cluster), seeds the demo corpus if asked, and flips /readyz.
 func (s *server) init(cfg serve.Config, clusterFile string, probeEvery, resyncEvery time.Duration, seedDemo bool, dataDir string) error {
 	if clusterFile != "" {
-		store, err := attachCluster(clusterFile, probeEvery, resyncEvery, cfg)
+		store, err := attachCluster(clusterFile, probeEvery, resyncEvery, cfg, s.reg)
 		if err != nil {
 			return err
 		}
@@ -230,7 +267,7 @@ func (s *server) init(cfg serve.Config, clusterFile string, probeEvery, resyncEv
 // attachCluster loads the topology file and attaches to the shard
 // nodes, retrying until every node answers (the global ID allocator
 // needs the cluster-wide high-water mark) or clusterBootWait elapses.
-func attachCluster(path string, probeEvery, resyncEvery time.Duration, cfg serve.Config) (*serve.RemoteStore, error) {
+func attachCluster(path string, probeEvery, resyncEvery time.Duration, cfg serve.Config, reg *telemetry.Registry) (*serve.RemoteStore, error) {
 	shards, err := cluster.LoadNodes(path)
 	if err != nil {
 		return nil, err
@@ -238,6 +275,7 @@ func attachCluster(path string, probeEvery, resyncEvery time.Duration, cfg serve
 	router, err := cluster.NewRouter(shards, cluster.HealthConfig{
 		Interval:       probeEvery,
 		ResyncInterval: resyncEvery,
+		Telemetry:      reg,
 	})
 	if err != nil {
 		return nil, err
@@ -282,7 +320,7 @@ func newServer(cfg serve.Config, seedDemo bool) (*server, error) {
 			return nil, err
 		}
 	}
-	s := &server{}
+	s := &server{reg: sv.Telemetry()}
 	s.core.Store(sv)
 	return s, nil
 }
@@ -324,6 +362,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/readyz", s.handleReady)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.Handle("/metrics", s.reg.Handler())
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/ingest/bulk", s.handleIngestBulk)
 	mux.HandleFunc("/ingest/stream", s.handleIngestStream)
@@ -333,7 +372,41 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/documents/", s.handleDocument)
 	mux.HandleFunc("/admin/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/admin/resync", s.handleResync)
-	return mux
+	// Outermost first: the request ID exists before anything records or
+	// logs; metrics wrap logging so 504s from the deadline layer and
+	// 500s from the recovery layer are counted per route.
+	return telemetry.Chain(mux,
+		telemetry.RequestID(),
+		telemetry.Metrics(s.reg, routeLabel),
+		telemetry.RequestLog(s.logRequests, routeLabel, s.shardCount),
+		telemetry.Deadline(0),
+		telemetry.Recover(s.reg),
+	)
+}
+
+// routeLabel maps a request to a bounded metric label: path patterns,
+// never raw paths, so label cardinality cannot grow with traffic.
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	if strings.HasPrefix(p, "/documents/") {
+		return "/documents/{id}"
+	}
+	switch p {
+	case "/healthz", "/readyz", "/stats", "/metrics",
+		"/ingest", "/ingest/bulk", "/ingest/stream",
+		"/ask", "/verify", "/search",
+		"/admin/checkpoint", "/admin/resync":
+		return p
+	}
+	return "other"
+}
+
+// shardCount feeds the request log; 0 while init is still running.
+func (s *server) shardCount() int {
+	if c := s.core.Load(); c != nil {
+		return c.Store().Shards()
+	}
+	return 0
 }
 
 // ready returns the serving core, or answers 503 and returns nil

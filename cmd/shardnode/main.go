@@ -18,15 +18,25 @@
 //	POST /shard/snapshot        — adopt a full doc set + seq (snapshot-transfer target)
 //	GET  /healthz               — liveness (always 200 once listening)
 //	GET  /readyz                — 200 only after WAL recovery completes
+//	GET  /metrics               — Prometheus text exposition
 //
 // The listener comes up before recovery: a router probing /readyz
 // keeps routing around the node until its WAL is replayed, then
 // half-open recovery returns it to service automatically.
 //
+// Requests run the same telemetry middleware chain as ragserver: the
+// router's X-Request-ID hop header is adopted into the node's metrics
+// and -log-requests lines (so one user query is traceable across the
+// cluster), and X-Deadline-Ms becomes a context deadline so work for
+// an upstream that already gave up cancels. /metrics carries the
+// node-side stage histograms (shard_search, wal_append, wal_fsync,
+// checkpoint). See docs/observability.md.
+//
 // Usage:
 //
 //	shardnode [-addr :9001] [-data-dir ""] [-dim 256]
 //	          [-fsync never|always|interval] [-checkpoint-every 30s]
+//	          [-log-requests] [-debug-addr ""]
 package main
 
 import (
@@ -37,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -44,16 +55,23 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/serve"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/vecdb"
+
+	// Registers the profiling handlers on http.DefaultServeMux, which
+	// only the optional -debug-addr listener serves.
+	_ "net/http/pprof"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":9001", "listen address")
-		dataDir = flag.String("data-dir", "", "directory for this shard's WAL and checkpoints (empty = memory-only)")
-		dim     = flag.Int("dim", 256, "embedding width (must match the routing server)")
-		fsync   = flag.String("fsync", "never", "WAL fsync policy: never, always, or interval")
-		ckEvery = flag.Duration("checkpoint-every", 30*time.Second, "background checkpoint period (negative disables)")
+		addr        = flag.String("addr", ":9001", "listen address")
+		dataDir     = flag.String("data-dir", "", "directory for this shard's WAL and checkpoints (empty = memory-only)")
+		dim         = flag.Int("dim", 256, "embedding width (must match the routing server)")
+		fsync       = flag.String("fsync", "never", "WAL fsync policy: never, always, or interval")
+		ckEvery     = flag.Duration("checkpoint-every", 30*time.Second, "background checkpoint period (negative disables)")
+		logRequests = flag.Bool("log-requests", false, "log one structured line per completed request")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 	policy, err := storage.ParseSyncPolicy(*fsync)
@@ -62,15 +80,24 @@ func main() {
 		os.Exit(1)
 	}
 
-	node := &nodeState{}
+	reg := telemetry.NewRegistry()
+	node := &nodeState{reg: reg}
 	httpServer := &http.Server{
 		Addr:              *addr,
-		Handler:           cluster.NewNodeHandler(node, node.ready),
+		Handler:           nodeRoutes(node, reg, *logRequests),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	initDone := make(chan error, 1)
 	go func() { initDone <- node.open(*dataDir, *dim, policy, *ckEvery) }()
 	log.Printf("shardnode listening on %s", *addr)
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("pprof listening on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("shardnode: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -107,14 +134,55 @@ func main() {
 	}
 }
 
+// nodeRoutes mounts /metrics beside the shard protocol handler and
+// wraps everything in the telemetry middleware chain — the same order
+// as ragserver, so a request ID minted at the router is adopted here
+// and the router's X-Deadline-Ms hop header bounds node-side work.
+func nodeRoutes(node *nodeState, reg *telemetry.Registry, logRequests bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/", cluster.NewNodeHandler(node, node.ready))
+	return telemetry.Chain(mux,
+		telemetry.RequestID(),
+		telemetry.Metrics(reg, nodeRouteLabel),
+		telemetry.RequestLog(logRequests, nodeRouteLabel, node.shardCount),
+		telemetry.Deadline(0),
+		telemetry.Recover(reg),
+	)
+}
+
+// nodeRouteLabel maps shard-protocol paths to bounded metric labels.
+func nodeRouteLabel(r *http.Request) string {
+	p := r.URL.Path
+	if strings.HasPrefix(p, "/shard/documents/") {
+		return "/shard/documents/{id}"
+	}
+	switch p {
+	case "/shard/search", "/shard/apply", "/shard/stat", "/shard/mutations",
+		"/shard/resync", "/shard/snapshot",
+		"/healthz", "/readyz", "/metrics":
+		return p
+	}
+	return "other"
+}
+
 // nodeState adapts an asynchronously-opened one-shard ShardedDB to
 // cluster.NodeStore. The node handler gates every data endpoint on
 // ready(), so the delegating methods never observe a nil store.
 type nodeState struct {
 	store atomic.Pointer[serve.ShardedDB]
+	reg   *telemetry.Registry
 }
 
 func (n *nodeState) ready() bool { return n.store.Load() != nil }
+
+// shardCount feeds the request log: one shard once recovery is done.
+func (n *nodeState) shardCount() int {
+	if n.ready() {
+		return 1
+	}
+	return 0
+}
 
 // open builds the shard store: durable (checkpoint + WAL recovery)
 // under dataDir, memory-only without. One shard — the routing layer
@@ -128,6 +196,7 @@ func (n *nodeState) open(dataDir string, dim int, policy storage.SyncPolicy, ckE
 		st, err = serve.OpenShardedDefault(dataDir, 1, dim, 4096, serve.PersistConfig{
 			Fsync:           policy,
 			CheckpointEvery: ckEvery,
+			Telemetry:       n.reg,
 		})
 	} else {
 		st, err = serve.NewShardedDefault(1, dim, 4096)
@@ -135,6 +204,7 @@ func (n *nodeState) open(dataDir string, dim int, policy storage.SyncPolicy, ckE
 	if err != nil {
 		return err
 	}
+	st.SetTelemetry(n.reg)
 	if dataDir != "" {
 		log.Printf("recovered %d docs from %s (replayed %d WAL records)",
 			st.Len(), dataDir, st.PersistStats().ReplayedRecords)

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // State is one backend's position in the health state machine:
@@ -59,6 +61,10 @@ type HealthConfig struct {
 	// (default 256). The delta is fetched from the source's WAL in one
 	// scan and chunked by this for the apply legs.
 	ResyncBatch int
+	// Telemetry, when non-nil, receives the router's fan-out/merge
+	// stage timings and per-backend RPC metrics. It must be set before
+	// NewRouter so backends are instrumented before the first probe.
+	Telemetry *telemetry.Registry
 }
 
 func (c HealthConfig) withDefaults() HealthConfig {

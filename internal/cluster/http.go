@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/vecdb"
 )
 
@@ -20,6 +22,23 @@ import (
 type HTTPBackend struct {
 	base   string
 	client *http.Client
+	// tele is set once by the router (before its checker starts) and
+	// never mutated afterwards; nil means uninstrumented.
+	tele *telemetry.Registry
+}
+
+// setTelemetry implements the router's telemetrySink injection.
+func (b *HTTPBackend) setTelemetry(reg *telemetry.Registry) { b.tele = reg }
+
+// pathOp reduces a shard-protocol path to a bounded op label:
+// "/shard/documents/123" → "documents", "/readyz" → "readyz".
+func pathOp(path string) string {
+	path = strings.TrimPrefix(path, "/shard/")
+	path = strings.TrimPrefix(path, "/")
+	if i := strings.IndexAny(path, "/?"); i >= 0 {
+		path = path[:i]
+	}
+	return path
 }
 
 // DefaultRequestTimeout bounds one shard RPC when the caller's
@@ -48,7 +67,27 @@ func (b *HTTPBackend) Name() string { return b.base }
 // do issues one JSON round-trip. Non-2xx responses become errors; 404
 // maps to vecdb.ErrNotFound so callers keep the typed-miss contract
 // across the transport. out may be nil when the body is irrelevant.
-func (b *HTTPBackend) do(ctx context.Context, method, path string, in, out interface{}) error {
+// The caller's request ID and remaining deadline ride along as
+// X-Request-ID / X-Deadline-Ms hop headers, and instrumented backends
+// record per-backend, per-op duration and outcome.
+func (b *HTTPBackend) do(ctx context.Context, method, path string, in, out interface{}) (err error) {
+	if b.tele != nil {
+		op := pathOp(path)
+		start := time.Now()
+		defer func() {
+			outcome := "ok"
+			if err != nil {
+				outcome = "error"
+			}
+			b.tele.Histogram("backend_request_duration_seconds",
+				"Shard RPC round-trip time by backend and op.", nil,
+				telemetry.L("backend", b.base), telemetry.L("op", op)).ObserveSince(start)
+			b.tele.Counter("backend_requests_total",
+				"Shard RPCs by backend, op and outcome.",
+				telemetry.L("backend", b.base), telemetry.L("op", op),
+				telemetry.L("outcome", outcome)).Inc()
+		}()
+	}
 	var body io.Reader
 	if in != nil {
 		raw, err := json.Marshal(in)
@@ -63,6 +102,16 @@ func (b *HTTPBackend) do(ctx context.Context, method, path string, in, out inter
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if id := telemetry.RequestIDFrom(ctx); id != "" {
+		req.Header.Set(telemetry.RequestIDHeader, id)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1 // let the node answer 504 rather than reject the header
+		}
+		req.Header.Set(telemetry.DeadlineHeader, strconv.FormatInt(ms, 10))
 	}
 	resp, err := b.client.Do(req)
 	if err != nil {

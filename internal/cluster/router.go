@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 	"repro/internal/vecdb"
 )
 
@@ -52,6 +54,18 @@ type Router struct {
 	shardsSkipped   atomic.Uint64
 	writeFailures   atomic.Uint64
 	partialWrites   atomic.Uint64
+
+	// Query-path stage timers, bound at construction from
+	// cfg.Telemetry; nil (no-op) without a registry.
+	fanoutH *telemetry.Histogram
+	mergeH  *telemetry.Histogram
+}
+
+// telemetrySink is implemented by backends that can be instrumented
+// (HTTPBackend). NewRouter injects the registry before the health
+// checker starts, so backends never see it change mid-flight.
+type telemetrySink interface {
+	setTelemetry(*telemetry.Registry)
 }
 
 // NewRouter builds a router over the given shard set and starts its
@@ -78,6 +92,16 @@ func NewRouter(shards []ShardBackends, cfg HealthConfig) (*Router, error) {
 			all = append(all, h)
 		}
 		r.shards[i] = bs
+	}
+	if cfg.Telemetry != nil {
+		const help = "Hot-path stage latency in seconds."
+		r.fanoutH = cfg.Telemetry.Histogram("stage_duration_seconds", help, nil, telemetry.L("stage", "shard_fanout"))
+		r.mergeH = cfg.Telemetry.Histogram("stage_duration_seconds", help, nil, telemetry.L("stage", "merge"))
+		for _, h := range all {
+			if ts, ok := h.backend.(telemetrySink); ok {
+				ts.setTelemetry(cfg.Telemetry)
+			}
+		}
 	}
 	r.checker = newChecker(cfg, all)
 	r.resync = newResyncer(r)
@@ -145,9 +169,14 @@ func (r *Router) SearchVector(ctx context.Context, vec []float32, k int) ([]vecd
 	n := len(r.shards)
 	lists := make([][]vecdb.Hit, n)
 	errs := make([]error, n)
+	var fanoutStart time.Time
+	if r.fanoutH != nil {
+		fanoutStart = time.Now()
+	}
 	parallel.ForWorkers(n, n, func(i int) {
 		lists[i], errs[i] = r.searchShard(ctx, i, vec, k)
 	})
+	r.fanoutH.ObserveSince(fanoutStart)
 	failed := 0
 	for _, err := range errs {
 		if err != nil {
@@ -164,7 +193,13 @@ func (r *Router) SearchVector(ctx context.Context, vec []float32, k int) ([]vecd
 		r.degradedQueries.Add(1)
 		r.shardsSkipped.Add(uint64(failed))
 	}
-	return MergeTopK(lists, k), nil
+	if r.mergeH == nil {
+		return MergeTopK(lists, k), nil
+	}
+	mergeStart := time.Now()
+	hits := MergeTopK(lists, k)
+	r.mergeH.ObserveSince(mergeStart)
+	return hits, nil
 }
 
 // Apply executes a mutation batch that all routes to shard si,

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/adaptive"
+	"repro/internal/telemetry"
 )
 
 // Doc is one parsed NDJSON line. Meta is accepted for forward
@@ -60,6 +61,14 @@ type Doc struct {
 // the same interface as every other write.
 type Store interface {
 	AddBulk(texts []string) ([]int64, error)
+}
+
+// ctxStore is the optional context-aware write surface. When the
+// store implements it, batches are written under the stream's context
+// so the request ID (and any deadline) rides cluster-mode writes onto
+// the shard nodes.
+type ctxStore interface {
+	AddBulkContext(ctx context.Context, texts []string) ([]int64, error)
 }
 
 // Chunker splits one document into indexable passages (rag.Chunker
@@ -102,6 +111,9 @@ type Config struct {
 	// ProgressEvery is the heartbeat period for the progress callback
 	// (default 500ms).
 	ProgressEvery time.Duration
+	// Telemetry, when non-nil, times the parse+chunk stage
+	// (stage="ingest_chunk").
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -306,6 +318,11 @@ func Run(ctx context.Context, cfg Config, r io.Reader, progress func(Stats)) (St
 		}()
 	}
 
+	// chunkH times one document's parse+chunk; nil (no-op) without a
+	// registry.
+	chunkH := cfg.Telemetry.Histogram("stage_duration_seconds",
+		"Hot-path stage latency in seconds.", nil, telemetry.L("stage", "ingest_chunk"))
+
 	// Stage 2: parse+chunk workers. JSON decoding runs here rather
 	// than on the reader goroutine so it parallelizes across cores —
 	// the reader stays a thin byte pump. Each worker acquires chunk
@@ -329,6 +346,7 @@ func Run(ctx context.Context, cfg Config, r io.Reader, progress func(Stats)) (St
 				return true
 			}
 			for line := range lines {
+				chunkStart := time.Now()
 				d, err := parseLine(line)
 				if err != nil {
 					if !lineFailed(err) {
@@ -337,6 +355,7 @@ func Run(ctx context.Context, cfg Config, r io.Reader, progress func(Stats)) (St
 					continue
 				}
 				chunks, err := cfg.Chunker.Chunk(d.Text)
+				chunkH.ObserveSince(chunkStart)
 				if err == nil && len(chunks) == 0 {
 					err = errors.New("ingest: document produced no chunks")
 				}
@@ -394,7 +413,12 @@ func Run(ctx context.Context, cfg Config, r io.Reader, progress func(Stats)) (St
 				return
 			}
 			n, nd := len(batch), batchDocs
-			_, err := cfg.Store.AddBulk(batch)
+			var err error
+			if cs, ok := cfg.Store.(ctxStore); ok {
+				_, err = cs.AddBulkContext(ctx, batch)
+			} else {
+				_, err = cfg.Store.AddBulk(batch)
+			}
 			gate.release(n)
 			batch, batchDocs = nil, 0
 			if err != nil {

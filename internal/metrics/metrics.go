@@ -3,6 +3,14 @@
 // point (Fig. 3, Fig. 5), the best-precision-with-recall≥0.5 operating
 // point (Fig. 4), score histograms per label (Fig. 6–7), and ROC/AUC as
 // an additional summary.
+//
+// Naming note — metrics vs telemetry: this package evaluates the
+// *detector* against labelled ground truth (offline, per experiment
+// run); the separate internal/telemetry package measures the *serving
+// system* in production (request counters, stage latency histograms,
+// GET /metrics). The two share a name lineage but nothing else — they
+// never import each other. See docs/architecture.md for the split and
+// docs/observability.md for the serving-side metric reference.
 package metrics
 
 import (

@@ -87,7 +87,14 @@ type Answer struct {
 // batch verification across requests call Draft, verify the response
 // through their own scheduler, and fill in the verdict.
 func (p *Pipeline) Draft(question string) (Answer, error) {
-	hits, err := p.retriever.Retrieve(question)
+	return p.DraftContext(context.Background(), question)
+}
+
+// DraftContext is Draft under the caller's context: retrieval runs
+// with the request's ID and deadline when the store is
+// context-aware (see ContextSearcher).
+func (p *Pipeline) DraftContext(ctx context.Context, question string) (Answer, error) {
+	hits, err := p.retriever.RetrieveContext(ctx, question)
 	if err != nil {
 		return Answer{}, err
 	}
@@ -120,7 +127,7 @@ func (p *Pipeline) Detector() *core.Detector { return p.detector }
 
 // Ask runs retrieve → generate → verify for one question.
 func (p *Pipeline) Ask(ctx context.Context, question string) (Answer, error) {
-	draft, err := p.Draft(question)
+	draft, err := p.DraftContext(ctx, question)
 	if err != nil {
 		return Answer{}, err
 	}

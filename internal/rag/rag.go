@@ -7,6 +7,7 @@
 package rag
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -69,6 +70,14 @@ type Store interface {
 
 var _ Store = (*vecdb.DB)(nil)
 
+// ContextSearcher is the optional context-aware search surface. A
+// Store implementing it (serve.ShardedDB, serve.RemoteStore) receives
+// the caller's context on retrieval, keeping request IDs and
+// deadlines flowing from an HTTP handler down to cluster RPCs.
+type ContextSearcher interface {
+	SearchContext(ctx context.Context, query string, k int) ([]vecdb.Hit, error)
+}
+
 // Retriever answers questions with the top-k most relevant passages
 // from a document store.
 type Retriever struct {
@@ -90,6 +99,20 @@ func NewRetriever(db Store, topK int) (*Retriever, error) {
 // Retrieve returns the top passages for the question, best first.
 func (r *Retriever) Retrieve(question string) ([]vecdb.Hit, error) {
 	hits, err := r.db.Search(question, r.topK)
+	if err != nil {
+		return nil, fmt.Errorf("rag: retrieve: %w", err)
+	}
+	return hits, nil
+}
+
+// RetrieveContext is Retrieve under the caller's context when the
+// store supports it, falling back to the context-free path.
+func (r *Retriever) RetrieveContext(ctx context.Context, question string) ([]vecdb.Hit, error) {
+	cs, ok := r.db.(ContextSearcher)
+	if !ok {
+		return r.Retrieve(question)
+	}
+	hits, err := cs.SearchContext(ctx, question, r.topK)
 	if err != nil {
 		return nil, fmt.Errorf("rag: retrieve: %w", err)
 	}

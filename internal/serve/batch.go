@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/adaptive"
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // ErrClosed is returned by Batcher.Verify after Close.
@@ -46,6 +47,10 @@ type BatcherConfig struct {
 	// field /stats exposes). The controller treats a non-empty queue at
 	// flush time as pressure.
 	QueueDepth func() int
+	// Telemetry, when non-nil, separates verify queue wait
+	// (stage="verify_wait": enqueue → dispatch) from scoring time
+	// (stage="verify_exec": one ScoreBatch call).
+	Telemetry *telemetry.Registry
 }
 
 func (c BatcherConfig) withDefaults() BatcherConfig {
@@ -81,12 +86,17 @@ type Batcher struct {
 	items      atomic.Uint64 // requests across all dispatches
 	maxBatchOb atomic.Int64  // largest batch observed
 	inflight   atomic.Int64  // flushes currently executing
+
+	// Stage timers; nil (no-op) without a registry.
+	waitH *telemetry.Histogram
+	execH *telemetry.Histogram
 }
 
 type batchJob struct {
-	triple core.Triple
-	ctx    context.Context
-	out    chan core.BatchResult
+	triple   core.Triple
+	ctx      context.Context
+	out      chan core.BatchResult
+	enqueued time.Time // zero when the batcher is uninstrumented
 }
 
 // NewBatcher starts the collection loop over det.
@@ -105,6 +115,11 @@ func NewBatcher(det *core.Detector, cfg BatcherConfig) *Batcher {
 		jobs: make(chan batchJob),
 		done: make(chan struct{}),
 	}
+	if cfg.Telemetry != nil {
+		const help = "Hot-path stage latency in seconds."
+		b.waitH = cfg.Telemetry.Histogram("stage_duration_seconds", help, nil, telemetry.L("stage", "verify_wait"))
+		b.execH = cfg.Telemetry.Histogram("stage_duration_seconds", help, nil, telemetry.L("stage", "verify_exec"))
+	}
 	b.loopDone.Add(1)
 	go b.loop()
 	return b
@@ -116,6 +131,9 @@ func NewBatcher(det *core.Detector, cfg BatcherConfig) *Batcher {
 // the other callers.
 func (b *Batcher) Verify(ctx context.Context, t core.Triple) (core.Verdict, error) {
 	job := batchJob{triple: t, ctx: ctx, out: make(chan core.BatchResult, 1)}
+	if b.waitH != nil {
+		job.enqueued = time.Now()
+	}
 	select {
 	case b.jobs <- job:
 	case <-ctx.Done():
@@ -227,10 +245,15 @@ func (b *Batcher) flush(batch []batchJob) {
 		}
 	}
 	triples := make([]core.Triple, len(live))
+	execStart := time.Now()
 	for i, j := range live {
 		triples[i] = j.triple
+		if b.waitH != nil && !j.enqueued.IsZero() {
+			b.waitH.Observe(execStart.Sub(j.enqueued).Seconds())
+		}
 	}
 	results := b.det.ScoreBatch(context.Background(), triples, b.cfg.Workers)
+	b.execH.ObserveSince(execStart)
 	for i, j := range live {
 		j.out <- results[i]
 	}

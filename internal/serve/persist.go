@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/vecdb"
 )
 
@@ -51,6 +52,9 @@ type PersistConfig struct {
 	// CheckpointBytes triggers an early checkpoint once a shard's WAL
 	// exceeds this size (default 8 MiB).
 	CheckpointBytes int64
+	// Telemetry, when non-nil, receives wal_append / wal_fsync /
+	// checkpoint stage timings (shared across shards).
+	Telemetry *telemetry.Registry
 }
 
 func (c PersistConfig) withDefaults() PersistConfig {
@@ -163,6 +167,10 @@ type persistence struct {
 	syncErrors  atomic.Uint64
 	lastCk      atomic.Int64 // unix nanos; 0 = never
 	closeOnce   sync.Once
+
+	// checkpointH times checkpoint+truncate; nil (no-op) without a
+	// registry.
+	checkpointH *telemetry.Histogram
 }
 
 // shardDirName formats the directory for shard i.
@@ -197,6 +205,8 @@ func OpenSharded(dir string, n int, embed vecdb.Embedder, mkIndex func() (vecdb.
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	p.checkpointH = pcfg.Telemetry.Histogram("stage_duration_seconds",
+		"Hot-path stage latency in seconds.", nil, telemetry.L("stage", "checkpoint"))
 	s := &ShardedDB{embed: embed, shards: make([]*vecdb.DB, n), persist: p}
 
 	var wg sync.WaitGroup
@@ -322,6 +332,7 @@ func recoverShard(dir string, embed vecdb.Embedder, mkIndex func() (vecdb.Index,
 	wal, err := storage.OpenWAL(filepath.Join(dir, "wal"), storage.WALOptions{
 		SegmentBytes: pcfg.SegmentBytes,
 		Sync:         pcfg.Fsync,
+		Telemetry:    pcfg.Telemetry,
 	})
 	if err != nil {
 		return nil, nil, 0, err
@@ -479,6 +490,8 @@ func (p *persistence) checkpointShard(s *ShardedDB, i int) error {
 // the shard's persistence mutex (the snapshot-resync apply path, which
 // must pin its adopted seq durably in the same critical section).
 func (p *persistence) checkpointShardLocked(s *ShardedDB, i int) error {
+	start := time.Now()
+	defer p.checkpointH.ObserveSince(start)
 	ds := p.shards[i]
 	if err := s.shards[i].SaveFile(filepath.Join(ds.dir, checkpointFile)); err != nil {
 		return err

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 	"repro/internal/vecdb"
 )
 
@@ -33,6 +34,8 @@ type RemoteStore struct {
 	// checker's cached counts, so a slow node must not stall a scrape.
 	opTimeout   time.Duration
 	statTimeout time.Duration
+	// embedH times query embedding; nil until SetTelemetry.
+	embedH atomic.Pointer[telemetry.Histogram]
 }
 
 // NewRemoteStore builds a cluster-mode store over router. dim and
@@ -65,8 +68,27 @@ func NewRemoteStore(router *cluster.Router, dim, embedCache int) (*RemoteStore, 
 // reporting and tests).
 func (s *RemoteStore) Router() *cluster.Router { return s.router }
 
-func (s *RemoteStore) opCtx() (context.Context, context.CancelFunc) {
-	return context.WithTimeout(context.Background(), s.opTimeout)
+// opCtx bounds one store operation. parent, when non-nil, keeps the
+// caller's cancellation, deadline and request ID flowing into the
+// cluster RPCs (context.WithTimeout keeps whichever deadline is
+// earlier); the context-free rag.Store surface passes nil.
+func (s *RemoteStore) opCtx(parent context.Context) (context.Context, context.CancelFunc) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	return context.WithTimeout(parent, s.opTimeout)
+}
+
+// SetTelemetry binds the router-side embed stage histogram. The
+// fan-out/merge/backend series are bound by the router itself at
+// construction (cluster.HealthConfig.Telemetry).
+func (s *RemoteStore) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		s.embedH.Store(nil)
+		return
+	}
+	s.embedH.Store(reg.Histogram("stage_duration_seconds",
+		"Hot-path stage latency in seconds.", nil, telemetry.L("stage", "embed")))
 }
 
 // Add embeds-on-arrival is the node's job: the mutation carries text,
@@ -74,7 +96,7 @@ func (s *RemoteStore) opCtx() (context.Context, context.CancelFunc) {
 // router uses for queries.
 func (s *RemoteStore) Add(text string, meta map[string]string) (int64, error) {
 	id := s.nextID.Add(1)
-	ctx, cancel := s.opCtx()
+	ctx, cancel := s.opCtx(nil)
 	defer cancel()
 	m := vecdb.Mutation{Op: vecdb.OpAdd, ID: id, Text: text, Meta: meta}
 	if err := s.router.Apply(ctx, s.router.ShardFor(id), []vecdb.Mutation{m}); err != nil {
@@ -87,6 +109,13 @@ func (s *RemoteStore) Add(text string, meta map[string]string) (int64, error) {
 // ShardedDB performs — groups the adds by owning shard, and applies
 // each group in one shard RPC, all shards in flight at once.
 func (s *RemoteStore) AddBulk(texts []string) ([]int64, error) {
+	return s.AddBulkContext(nil, texts)
+}
+
+// AddBulkContext is AddBulk under the caller's context, so streamed
+// ingest batches carry their request ID (and any deadline) onto the
+// shard-node writes.
+func (s *RemoteStore) AddBulkContext(parent context.Context, texts []string) ([]int64, error) {
 	if len(texts) == 0 {
 		return nil, nil
 	}
@@ -99,7 +128,7 @@ func (s *RemoteStore) AddBulk(texts []string) ([]int64, error) {
 		si := cluster.ShardIndex(id, n)
 		groups[si] = append(groups[si], vecdb.Mutation{Op: vecdb.OpAdd, ID: id, Text: text})
 	}
-	ctx, cancel := s.opCtx()
+	ctx, cancel := s.opCtx(parent)
 	defer cancel()
 	errs := make([]error, n)
 	parallel.ForWorkers(n, n, func(si int) {
@@ -119,17 +148,32 @@ func (s *RemoteStore) AddBulk(texts []string) ([]int64, error) {
 // Search embeds the query once (through the router-side cache) and
 // fans the vector out.
 func (s *RemoteStore) Search(query string, k int) ([]vecdb.Hit, error) {
+	return s.SearchContext(nil, query, k)
+}
+
+// SearchContext is Search under the caller's context: the request ID
+// rides the shard RPCs (X-Request-ID) and the caller's deadline, if
+// sooner than opTimeout, bounds them (X-Deadline-Ms).
+func (s *RemoteStore) SearchContext(parent context.Context, query string, k int) ([]vecdb.Hit, error) {
+	var start time.Time
+	h := s.embedH.Load()
+	if h != nil {
+		start = time.Now()
+	}
 	vec, err := s.embed.Embed(query)
 	if err != nil {
 		return nil, fmt.Errorf("serve: embed query: %w", err)
 	}
-	return s.SearchVector(vec, k)
+	h.ObserveSince(start)
+	ctx, cancel := s.opCtx(parent)
+	defer cancel()
+	return s.router.SearchVector(ctx, vec, k)
 }
 
 // SearchVector fans the query out to every shard node and merges,
 // degrading around dead shards (see cluster.Router.SearchVector).
 func (s *RemoteStore) SearchVector(vec []float32, k int) ([]vecdb.Hit, error) {
-	ctx, cancel := s.opCtx()
+	ctx, cancel := s.opCtx(nil)
 	defer cancel()
 	return s.router.SearchVector(ctx, vec, k)
 }
@@ -137,14 +181,24 @@ func (s *RemoteStore) SearchVector(vec []float32, k int) ([]vecdb.Hit, error) {
 // Get fetches one document from its owning shard, failing over across
 // that shard's backends.
 func (s *RemoteStore) Get(id int64) (vecdb.Document, error) {
-	ctx, cancel := s.opCtx()
+	return s.GetContext(nil, id)
+}
+
+// GetContext is Get under the caller's context.
+func (s *RemoteStore) GetContext(parent context.Context, id int64) (vecdb.Document, error) {
+	ctx, cancel := s.opCtx(parent)
 	defer cancel()
 	return s.router.Get(ctx, id)
 }
 
 // Delete removes one document from its owning shard.
 func (s *RemoteStore) Delete(id int64) error {
-	ctx, cancel := s.opCtx()
+	return s.DeleteContext(nil, id)
+}
+
+// DeleteContext is Delete under the caller's context.
+func (s *RemoteStore) DeleteContext(parent context.Context, id int64) error {
+	ctx, cancel := s.opCtx(parent)
 	defer cancel()
 	return s.router.Delete(ctx, id)
 }

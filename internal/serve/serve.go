@@ -18,13 +18,14 @@ import (
 	"context"
 	"errors"
 	"runtime"
-	"sync/atomic"
+	"strings"
 	"time"
 
 	"repro/internal/adaptive"
 	"repro/internal/core"
 	"repro/internal/parallel"
 	"repro/internal/rag"
+	"repro/internal/telemetry"
 	"repro/internal/vecdb"
 )
 
@@ -95,6 +96,13 @@ type Config struct {
 	// RemoteStore routes to shard nodes instead of in-process shards.
 	// The Server takes ownership and closes it with Close.
 	Store Store
+
+	// Telemetry is the metrics registry every stage reports into —
+	// request counters, per-stage latency histograms, cache and
+	// admission bridges — and the source /metrics is rendered from.
+	// Nil means the Server creates a private registry, so /stats is
+	// always backed by real (race-clean) series either way.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -150,14 +158,17 @@ type Server struct {
 	ingestCtrl *adaptive.Controller
 	stream     streamCounters
 
-	asks     atomic.Uint64
-	verifies atomic.Uint64
-	ingests  atomic.Uint64
-	searches atomic.Uint64
-	deletes  atomic.Uint64
+	// Request counters live in the telemetry registry so /stats and
+	// /metrics read the same race-clean series (the pre-telemetry
+	// atomics were a second, divergent set of books).
+	asks     *telemetry.Counter
+	verifies *telemetry.Counter
+	ingests  *telemetry.Counter
+	searches *telemetry.Counter
+	deletes  *telemetry.Counter
 	// unavailableShed counts requests shed at admission because the
 	// cluster store reported no healthy backends.
-	unavailableShed atomic.Uint64
+	unavailableShed *telemetry.Counter
 }
 
 // New builds and starts a Server (the batcher's collection loop runs
@@ -172,6 +183,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DataDir == "" || (shards <= 0 && !storeMetaExists(cfg.DataDir)) {
 		shards = cfg.Shards
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	cfg.Persist.Telemetry = cfg.Telemetry
 	det := cfg.Detector
 	if det == nil {
 		d, err := core.NewProposed()
@@ -197,6 +212,9 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if ts, ok := store.(interface{ SetTelemetry(*telemetry.Registry) }); ok {
+		ts.SetTelemetry(cfg.Telemetry)
+	}
 	pipeline, err := rag.NewPipeline(rag.PipelineConfig{
 		DB:        store,
 		TopK:      cfg.TopK,
@@ -213,23 +231,27 @@ func New(cfg Config) (*Server, error) {
 		store.Close()
 		return nil, err
 	}
-	return &Server{
-		cfg:      cfg,
-		store:    store,
-		pipeline: pipeline,
-		batcher: NewBatcher(det, BatcherConfig{
-			MaxBatch: cfg.MaxBatch,
-			MaxWait:  cfg.MaxWait,
-			MinBatch: cfg.MinBatch,
-			MinWait:  cfg.MinWait,
-			Static:   cfg.StaticBatch,
-			Workers:  cfg.BatchWorkers,
-			// Queue depth behind the batcher is the admission queue —
-			// the same field /stats exposes feeds the AIMD controller.
-			QueueDepth: admission.QueueDepth,
-		}),
+	batcher := NewBatcher(det, BatcherConfig{
+		MaxBatch: cfg.MaxBatch,
+		MaxWait:  cfg.MaxWait,
+		MinBatch: cfg.MinBatch,
+		MinWait:  cfg.MinWait,
+		Static:   cfg.StaticBatch,
+		Workers:  cfg.BatchWorkers,
+		// Queue depth behind the batcher is the admission queue —
+		// the same field /stats exposes feeds the AIMD controller.
+		QueueDepth: admission.QueueDepth,
+		Telemetry:  cfg.Telemetry,
+	})
+	verdicts := newLRU[string, core.Verdict](cfg.VerdictCacheSize)
+	reg := cfg.Telemetry
+	s := &Server{
+		cfg:       cfg,
+		store:     store,
+		pipeline:  pipeline,
+		batcher:   batcher,
 		admission: admission,
-		verdicts:  newLRU[string, core.Verdict](cfg.VerdictCacheSize),
+		verdicts:  verdicts,
 		ingestCtrl: adaptive.New(adaptive.Config{
 			// The batch limit must stay acquirable from the credit pool:
 			// past it, batches could never fill and every flush would
@@ -239,7 +261,36 @@ func New(cfg Config) (*Server, error) {
 			MaxWait:  ingestMaxWait,
 			Static:   cfg.StaticBatch,
 		}),
-	}, nil
+		asks:     reg.Counter("ask_requests_total", "Admitted Ask requests."),
+		verifies: reg.Counter("verify_requests_total", "Admitted Verify requests."),
+		ingests:  reg.Counter("ingest_docs_total", "Documents admitted for ingest (bulk counts each document)."),
+		searches: reg.Counter("search_requests_total", "Admitted Search requests."),
+		deletes:  reg.Counter("delete_requests_total", "Admitted Delete requests."),
+		unavailableShed: reg.Counter("cluster_shed_unavailable_total",
+			"Requests shed at admission because no shard had a healthy backend."),
+	}
+	// Bridge the pre-existing component counters into /metrics without
+	// moving them: closures read the same state /stats reports.
+	reg.GaugeFunc("admission_in_flight", "Requests holding an admission slot.",
+		func() float64 { return float64(admission.InFlight()) })
+	reg.GaugeFunc("admission_queue_depth", "Requests queued for an admission slot.",
+		func() float64 { return float64(admission.QueueDepth()) })
+	reg.CounterFunc("admission_shed_total", "Requests shed by the admission gate.", admission.Shed)
+	reg.CounterFunc("verify_batches_total", "Micro-batch dispatches to the detector.",
+		func() uint64 { b, _, _ := batcher.Stats(); return b })
+	reg.CounterFunc("verify_batch_items_total", "Requests carried by micro-batch dispatches.",
+		func() uint64 { _, i, _ := batcher.Stats(); return i })
+	reg.CounterFunc("cache_hits_total", "Verdict-cache hits.",
+		func() uint64 { h, _ := verdicts.Counters(); return h }, telemetry.L("cache", "verdict"))
+	reg.CounterFunc("cache_misses_total", "Verdict-cache misses.",
+		func() uint64 { _, m := verdicts.Counters(); return m }, telemetry.L("cache", "verdict"))
+	if embed, ok := store.Embedder().(*CachedEmbedder); ok {
+		reg.CounterFunc("cache_hits_total", "Embedding-cache hits.",
+			func() uint64 { h, _ := embed.Counters(); return h }, telemetry.L("cache", "embed"))
+		reg.CounterFunc("cache_misses_total", "Embedding-cache misses.",
+			func() uint64 { _, m := embed.Counters(); return m }, telemetry.L("cache", "embed"))
+	}
+	return s, nil
 }
 
 func minInt(a, b int) int {
@@ -304,7 +355,7 @@ func (s *Server) Calibrate(ctx context.Context, triples []core.Triple) error {
 func (s *Server) admit(ctx context.Context) (context.Context, func(), error) {
 	if av, ok := s.store.(availabilityReporter); ok {
 		if err := av.Available(); err != nil {
-			s.unavailableShed.Add(1)
+			s.unavailableShed.Inc()
 			return nil, nil, err
 		}
 	}
@@ -327,11 +378,12 @@ func (s *Server) Ask(ctx context.Context, question string) (rag.Answer, error) {
 		return rag.Answer{}, err
 	}
 	defer done()
-	s.asks.Add(1)
-	// Retrieval and generation are fast local compute without context
-	// plumbing; the deadline is enforced at the stage boundary and
-	// throughout verification.
-	draft, err := s.pipeline.Draft(question)
+	s.asks.Inc()
+	// Retrieval runs under the request context so the request ID and
+	// deadline reach the store (and, in cluster mode, the shard RPC
+	// headers); generation is fast local compute, and the deadline is
+	// re-checked at the stage boundary and throughout verification.
+	draft, err := s.pipeline.DraftContext(rctx, question)
 	if err != nil {
 		return rag.Answer{}, err
 	}
@@ -355,7 +407,7 @@ func (s *Server) Verify(ctx context.Context, question, contextText, response str
 		return core.Verdict{}, err
 	}
 	defer done()
-	s.verifies.Add(1)
+	s.verifies.Inc()
 	return s.verdict(rctx, core.Triple{Question: question, Context: contextText, Response: response})
 }
 
@@ -371,7 +423,7 @@ func (s *Server) Ingest(ctx context.Context, text string) (int, error) {
 	if err := rctx.Err(); err != nil {
 		return 0, err
 	}
-	s.ingests.Add(1)
+	s.ingests.Inc()
 	return s.pipeline.Ingest(text, s.cfg.Chunker)
 }
 
@@ -407,10 +459,34 @@ func (s *Server) IngestBulk(ctx context.Context, texts []string) (int, error) {
 	for _, cs := range chunked {
 		chunks = append(chunks, cs...)
 	}
-	if _, err := s.store.AddBulk(chunks); err != nil {
+	if _, err := storeAddBulk(rctx, s.store, chunks); err != nil {
 		return 0, err
 	}
 	return len(chunks), nil
+}
+
+// Optional context-aware store surfaces. The Store interface keeps its
+// context-free contract (plain *vecdb.DB satisfies it); stores that
+// can carry a request's ID and deadline further down — ShardedDB into
+// stage timers, RemoteStore into shard RPC hop headers — implement
+// these and are picked up per call.
+type ctxBulkAdder interface {
+	AddBulkContext(ctx context.Context, texts []string) ([]int64, error)
+}
+
+type ctxGetter interface {
+	GetContext(ctx context.Context, id int64) (vecdb.Document, error)
+}
+
+type ctxDeleter interface {
+	DeleteContext(ctx context.Context, id int64) error
+}
+
+func storeAddBulk(ctx context.Context, st Store, texts []string) ([]int64, error) {
+	if ca, ok := st.(ctxBulkAdder); ok {
+		return ca.AddBulkContext(ctx, texts)
+	}
+	return st.AddBulk(texts)
 }
 
 // Search retrieves the top-k passages for query through admission
@@ -429,7 +505,10 @@ func (s *Server) Search(ctx context.Context, query string, k int) ([]vecdb.Hit, 
 	if err := rctx.Err(); err != nil {
 		return nil, err
 	}
-	s.searches.Add(1)
+	s.searches.Inc()
+	if cs, ok := s.store.(rag.ContextSearcher); ok {
+		return cs.SearchContext(rctx, query, k)
+	}
 	return s.store.Search(query, k)
 }
 
@@ -443,6 +522,9 @@ func (s *Server) GetDocument(ctx context.Context, id int64) (vecdb.Document, err
 	defer done()
 	if err := rctx.Err(); err != nil {
 		return vecdb.Document{}, err
+	}
+	if cg, ok := s.store.(ctxGetter); ok {
+		return cg.GetContext(rctx, id)
 	}
 	return s.store.Get(id)
 }
@@ -459,7 +541,10 @@ func (s *Server) DeleteDocument(ctx context.Context, id int64) error {
 	if err := rctx.Err(); err != nil {
 		return err
 	}
-	s.deletes.Add(1)
+	s.deletes.Inc()
+	if cd, ok := s.store.(ctxDeleter); ok {
+		return cd.DeleteContext(rctx, id)
+	}
 	return s.store.Delete(id)
 }
 
@@ -532,11 +617,11 @@ func (s *Server) Stats() Snapshot {
 		Docs:       docs,
 		ShardSizes: sizes,
 		Requests: RequestStats{
-			Asks:     s.asks.Load(),
-			Verifies: s.verifies.Load(),
-			Ingests:  s.ingests.Load(),
-			Searches: s.searches.Load(),
-			Deletes:  s.deletes.Load(),
+			Asks:     s.asks.Value(),
+			Verifies: s.verifies.Value(),
+			Ingests:  s.ingests.Value(),
+			Searches: s.searches.Value(),
+			Deletes:  s.deletes.Value(),
 		},
 		EmbedCache:   ec,
 		VerdictCache: cacheStats(s.verdicts.Len(), vh, vm),
@@ -548,6 +633,7 @@ func (s *Server) Stats() Snapshot {
 		},
 		IngestStream: s.stream.stats(s.ingestCtrl),
 		Persist:      s.store.PersistStats(),
+		Stages:       stageStats(s.cfg.Telemetry),
 	}
 	if rs, ok := s.store.(*RemoteStore); ok {
 		r := rs.Router()
@@ -556,11 +642,43 @@ func (s *Server) Stats() Snapshot {
 			Shards:          r.Health(),
 			Router:          r.Stats(),
 			Resync:          r.ResyncStats(),
-			ShedUnavailable: s.unavailableShed.Load(),
+			ShedUnavailable: s.unavailableShed.Value(),
 		}
 	}
 	return snap
 }
+
+// stageStats summarizes the stage_duration_seconds histograms into the
+// Stages section of the snapshot: one count + p50/p95/p99 row per
+// instrumented hot-path stage that has observed at least one event.
+func stageStats(reg *telemetry.Registry) map[string]StageStats {
+	snaps := reg.HistogramSnapshots("stage_duration_seconds")
+	if len(snaps) == 0 {
+		return nil
+	}
+	out := make(map[string]StageStats, len(snaps))
+	for key, hs := range snaps {
+		if hs.Count == 0 {
+			continue
+		}
+		// Keys are canonical label strings ("stage=embed").
+		name := strings.TrimPrefix(key, "stage=")
+		out[name] = StageStats{
+			Count: hs.Count,
+			P50:   hs.Quantile(0.50),
+			P95:   hs.Quantile(0.95),
+			P99:   hs.Quantile(0.99),
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Telemetry exposes the server's metrics registry — the one /metrics
+// renders and the middleware chain records into.
+func (s *Server) Telemetry() *telemetry.Registry { return s.cfg.Telemetry }
 
 // ErrNoCluster reports a cluster-only operation on a single-process
 // server, so HTTP handlers can map it to a client error rather than a

@@ -1,14 +1,17 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/rag"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/vecdb"
 )
 
@@ -25,6 +28,36 @@ type ShardedDB struct {
 	// persist is the durable layer (WAL + checkpoints) attached by
 	// OpenSharded; nil for a memory-only store.
 	persist *persistence
+	// tele holds the query-path stage timers; nil until SetTelemetry.
+	// An atomic pointer because telemetry attaches after the store is
+	// built, possibly while recovery traffic is already flowing.
+	tele atomic.Pointer[searchStageTimers]
+}
+
+// searchStageTimers are the query-path stage histograms, bound once so
+// the hot path never takes a registry lock.
+type searchStageTimers struct {
+	embed  *telemetry.Histogram
+	search *telemetry.Histogram // single-shard probe (shardnode mode)
+	fanout *telemetry.Histogram
+	merge  *telemetry.Histogram
+}
+
+// SetTelemetry binds the query-path stage histograms (embed,
+// shard_search, shard_fanout, merge) to reg. Safe to call while the
+// store is serving; nil reg detaches.
+func (s *ShardedDB) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		s.tele.Store(nil)
+		return
+	}
+	const help = "Hot-path stage latency in seconds."
+	s.tele.Store(&searchStageTimers{
+		embed:  reg.Histogram("stage_duration_seconds", help, nil, telemetry.L("stage", "embed")),
+		search: reg.Histogram("stage_duration_seconds", help, nil, telemetry.L("stage", "shard_search")),
+		fanout: reg.Histogram("stage_duration_seconds", help, nil, telemetry.L("stage", "shard_fanout")),
+		merge:  reg.Histogram("stage_duration_seconds", help, nil, telemetry.L("stage", "merge")),
+	})
 }
 
 // ErrNotFound is the typed error for operations on absent document
@@ -226,6 +259,16 @@ func (s *ShardedDB) AddBulk(texts []string) ([]int64, error) {
 	return ids, nil
 }
 
+// AddBulkContext is AddBulk checking ctx before starting — the
+// ingest pipeline's write path, so an aborted stream stops spending
+// embedding work at the next batch boundary.
+func (s *ShardedDB) AddBulkContext(ctx context.Context, texts []string) ([]int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.AddBulk(texts)
+}
+
 // ApplyAll executes a batch of externally-journaled mutations with
 // caller-assigned IDs — the write path of the shard protocol, where a
 // cluster router allocates IDs globally and a shard node applies (and
@@ -337,11 +380,32 @@ func (s *ShardedDB) Embedder() vecdb.Embedder { return s.embed }
 // Search embeds the query once and fans it out, implementing
 // rag.Store.
 func (s *ShardedDB) Search(query string, k int) ([]vecdb.Hit, error) {
+	t := s.tele.Load()
+	if t == nil {
+		vec, err := s.embed.Embed(query)
+		if err != nil {
+			return nil, fmt.Errorf("serve: embed query: %w", err)
+		}
+		return s.SearchVector(vec, k)
+	}
+	start := time.Now()
 	vec, err := s.embed.Embed(query)
 	if err != nil {
 		return nil, fmt.Errorf("serve: embed query: %w", err)
 	}
+	t.embed.ObserveSince(start)
 	return s.SearchVector(vec, k)
+}
+
+// SearchContext is Search honoring ctx cancellation between stages —
+// the handler-facing entry point that keeps request deadlines live on
+// the in-process store. (Shard probes themselves are CPU-bound and
+// non-blocking, so cancellation is checked at stage boundaries.)
+func (s *ShardedDB) SearchContext(ctx context.Context, query string, k int) ([]vecdb.Hit, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Search(query, k)
 }
 
 // SearchVector queries every shard in parallel with the same vector
@@ -349,8 +413,19 @@ func (s *ShardedDB) Search(query string, k int) ([]vecdb.Hit, error) {
 // the same deterministic (score desc, ID asc) order a single index
 // returns.
 func (s *ShardedDB) SearchVector(vec []float32, k int) ([]vecdb.Hit, error) {
+	t := s.tele.Load()
 	if len(s.shards) == 1 {
-		return s.shards[0].SearchVector(vec, k)
+		if t == nil {
+			return s.shards[0].SearchVector(vec, k)
+		}
+		start := time.Now()
+		hits, err := s.shards[0].SearchVector(vec, k)
+		t.search.ObserveSince(start)
+		return hits, err
+	}
+	var fanoutStart time.Time
+	if t != nil {
+		fanoutStart = time.Now()
 	}
 	var (
 		wg       sync.WaitGroup
@@ -378,7 +453,14 @@ func (s *ShardedDB) SearchVector(vec []float32, k int) ([]vecdb.Hit, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	return cluster.MergeTopK(lists, k), nil
+	if t == nil {
+		return cluster.MergeTopK(lists, k), nil
+	}
+	mergeStart := time.Now()
+	t.fanout.Observe(mergeStart.Sub(fanoutStart).Seconds())
+	hits := cluster.MergeTopK(lists, k)
+	t.merge.ObserveSince(mergeStart)
+	return hits, nil
 }
 
 var _ rag.Store = (*ShardedDB)(nil)

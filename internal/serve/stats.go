@@ -36,6 +36,23 @@ type Snapshot struct {
 	// Cluster reports multi-node routing state; Enabled is false when
 	// shards are in-process.
 	Cluster ClusterStats `json:"cluster"`
+	// Stages summarizes the telemetry registry's per-stage latency
+	// histograms (stage_duration_seconds) as count + p50/p95/p99 per
+	// hot-path stage: embed, shard_fanout, merge, verify_wait,
+	// verify_exec, wal_append, wal_fsync, checkpoint, ingest_chunk.
+	// Stages that have observed nothing are omitted; /metrics exposes
+	// the full bucket detail.
+	Stages map[string]StageStats `json:"stages,omitempty"`
+}
+
+// StageStats is one row of Snapshot.Stages: how many times the stage
+// ran and its latency quantiles in seconds (estimated from fixed
+// histogram buckets by linear interpolation).
+type StageStats struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_seconds"`
+	P95   float64 `json:"p95_seconds"`
+	P99   float64 `json:"p99_seconds"`
 }
 
 // ClusterStats is the multi-node section of the snapshot: per-shard,

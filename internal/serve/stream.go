@@ -31,7 +31,7 @@ import (
 func (s *Server) IngestStream(ctx context.Context, r io.Reader, progress func(ingest.Stats)) (ingest.Stats, error) {
 	if av, ok := s.store.(availabilityReporter); ok {
 		if err := av.Available(); err != nil {
-			s.unavailableShed.Add(1)
+			s.unavailableShed.Inc()
 			return ingest.Stats{}, err
 		}
 	}
@@ -48,6 +48,7 @@ func (s *Server) IngestStream(ctx context.Context, r io.Reader, progress func(in
 		MaxPending: s.cfg.StreamMaxPending,
 		MaxErrors:  s.cfg.StreamMaxErrors,
 		Controller: s.ingestCtrl,
+		Telemetry:  s.cfg.Telemetry,
 	}, r, progress)
 	s.stream.accumulate(st)
 	s.ingests.Add(st.Accepted)

@@ -19,6 +19,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // SyncPolicy controls when WAL appends reach stable storage.
@@ -70,6 +73,10 @@ type WALOptions struct {
 	SegmentBytes int64
 	// Sync is the fsync policy (default SyncNever).
 	Sync SyncPolicy
+	// Telemetry, when non-nil, receives wal_append / wal_fsync stage
+	// timings. Every WAL handed the same registry shares the same
+	// series, so per-shard logs aggregate naturally.
+	Telemetry *telemetry.Registry
 }
 
 const defaultSegmentBytes = 4 << 20
@@ -107,6 +114,10 @@ type WAL struct {
 	size    int64 // bytes across all segments
 	records uint64
 	closed  bool
+
+	// Stage timing histograms; nil (no-op) when no registry was given.
+	appendH *telemetry.Histogram
+	fsyncH  *telemetry.Histogram
 }
 
 // segmentName formats the file for sequence number seq.
@@ -133,6 +144,10 @@ func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
 		return nil, fmt.Errorf("storage: wal dir: %w", err)
 	}
 	w := &WAL{dir: dir, opts: opts}
+	w.appendH = opts.Telemetry.Histogram("stage_duration_seconds",
+		"Hot-path stage latency in seconds.", nil, telemetry.L("stage", "wal_append"))
+	w.fsyncH = opts.Telemetry.Histogram("stage_duration_seconds",
+		"Hot-path stage latency in seconds.", nil, telemetry.L("stage", "wal_fsync"))
 	seqs, err := w.segments()
 	if err != nil {
 		return nil, err
@@ -332,6 +347,8 @@ func (w *WAL) AppendBatch(payloads [][]byte) error {
 			return err
 		}
 	}
+	appendStart := time.Now()
+	defer w.appendH.ObserveSince(appendStart)
 	start, startTotal, startRecords := w.actSize, w.size, w.records
 	abort := func(err error) error {
 		if terr := w.active.Truncate(start); terr != nil {
@@ -359,6 +376,8 @@ func (w *WAL) AppendBatch(payloads [][]byte) error {
 		w.records++
 	}
 	if w.opts.Sync == SyncAlways {
+		fsyncStart := time.Now()
+		defer w.fsyncH.ObserveSince(fsyncStart)
 		if err := w.active.Sync(); err != nil {
 			// The batch was reported failed; drop it from the file too so
 			// memory (rolled back by the caller) and disk agree.
@@ -387,6 +406,8 @@ func (w *WAL) Sync() error {
 	if w.closed {
 		return nil
 	}
+	start := time.Now()
+	defer w.fsyncH.ObserveSince(start)
 	if err := w.active.Sync(); err != nil {
 		return fmt.Errorf("storage: wal fsync: %w", err)
 	}

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// fmtFloat renders a float the way the Prometheus text format wants:
+// shortest exact representation, "+Inf" for infinity.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every family in text exposition format
+// (version 0.0.4): `# HELP` / `# TYPE` headers, then one line per
+// series, with cumulative `_bucket{le=...}` plus `_sum`/`_count` for
+// histograms. Families and series are emitted in sorted order so
+// scrapes diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.sortedSeries() {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch f.kind {
+	case kindCounter:
+		v := s.counter.Value()
+		if s.counterFn != nil {
+			v = s.counterFn()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(s.labels), v)
+		return err
+	case kindGauge:
+		v := s.gauge.Value()
+		if s.gaugeFn != nil {
+			v = s.gaugeFn()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(s.labels), fmtFloat(v))
+		return err
+	default:
+		snap := s.hist.Snapshot()
+		var cum uint64
+		for i, b := range snap.Bounds {
+			cum += snap.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(s.labels, L("le", fmtFloat(b))), cum); err != nil {
+				return err
+			}
+		}
+		if len(snap.Counts) > 0 {
+			cum += snap.Counts[len(snap.Counts)-1]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(s.labels, L("le", "+Inf")), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(s.labels), fmtFloat(snap.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(s.labels), cum)
+		return err
+	}
+}
+
+// Handler returns the GET /metrics endpoint: the registry in
+// Prometheus text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

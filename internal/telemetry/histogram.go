@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency bucket upper bounds in seconds,
+// spanning 100µs (an in-memory shard probe) to 10s (a request that
+// should have been shed). Sixteen buckets keeps a histogram at ~150
+// bytes of counters.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram counts observations into fixed buckets with atomic
+// per-bucket counters — no locks on the observe path, so it sits
+// directly on hot serving stages. A nil Histogram no-ops, which is
+// how uninstrumented components run at zero cost.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds; len(counts) = len(bounds)+1
+	counts []atomic.Uint64 // counts[len(bounds)] is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-updated
+}
+
+// NewHistogram builds a detached histogram with the given sorted
+// upper bounds (nil → DefBuckets). Detached histograms are useful in
+// tests; production code gets them from Registry.Histogram.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one value. An observation lands in the first bucket
+// whose upper bound is >= v (Prometheus `le` semantics).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start — the usual
+// call at the end of a timed stage.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Snapshot returns a point-in-time copy. Concurrent Observes may land
+// between bucket reads, so a snapshot is approximate while writers
+// are active, but always internally consistent: Count is derived from
+// the bucket counts it actually read.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a histogram's state,
+// mergeable across shards/nodes that share a bucket layout.
+type HistogramSnapshot struct {
+	Bounds []float64 // bucket upper bounds; Counts has one extra +Inf slot
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Merge folds other into s. Both snapshots must share the exact
+// bucket layout — the invariant that makes cross-node latency
+// aggregation sound.
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) error {
+	if len(s.Bounds) == 0 && len(s.Counts) == 0 {
+		*s = other
+		return nil
+	}
+	if len(other.Counts) == 0 {
+		return nil
+	}
+	if len(s.Bounds) != len(other.Bounds) {
+		return fmt.Errorf("telemetry: merge bucket count mismatch: %d vs %d", len(s.Bounds), len(other.Bounds))
+	}
+	for i, b := range s.Bounds {
+		if b != other.Bounds[i] {
+			return fmt.Errorf("telemetry: merge bucket bound mismatch at %d: %g vs %g", i, b, other.Bounds[i])
+		}
+	}
+	for i := range s.Counts {
+		s.Counts[i] += other.Counts[i]
+	}
+	s.Sum += other.Sum
+	s.Count += other.Count
+	return nil
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) by linear
+// interpolation within the bucket holding the target rank, the same
+// estimate Prometheus's histogram_quantile computes. The error bound
+// is the width of that bucket. Observations in the +Inf bucket clamp
+// to the highest finite bound. Returns 0 for an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(s.Bounds) {
+				// +Inf bucket: no upper bound to interpolate toward.
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			upper := s.Bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (upper-lower)*frac
+		}
+		cum += c
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Mean returns the average observed value, 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}

@@ -1,0 +1,376 @@
+// Package telemetry is the serving-side observability layer: a
+// dependency-free metrics registry (counters, gauges, fixed-bucket
+// latency histograms with mergeable snapshots and p50/p95/p99
+// estimation), a Prometheus text-exposition writer for GET /metrics,
+// and the per-request HTTP middleware chain (request IDs, deadline
+// propagation, per-route timing, panic recovery, request logging)
+// shared by cmd/ragserver and cmd/shardnode.
+//
+// Naming note — telemetry vs metrics: this package measures the
+// *serving system* (how fast, how many, how broken); the separate
+// internal/metrics package is the *paper-evaluation* machinery
+// (precision/recall/F1, ROC/AUC over labelled verdicts, §V of the
+// paper). The two never import each other. See docs/observability.md
+// for the metric reference and docs/architecture.md for the split.
+//
+// Every constructor is safe on a nil *Registry and every metric
+// method is safe on a nil receiver: a component handed no registry
+// gets nil metrics whose Observe/Inc/Add are no-ops, so hot paths
+// carry no conditional wiring — they just call through.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value metric dimension. Keep cardinality low:
+// routes, stages, backend base URLs — never request IDs or document
+// IDs.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing uint64, safe for concurrent
+// use. A nil Counter ignores writes and reads as zero.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down, safe for concurrent
+// use. A nil Gauge ignores writes and reads as zero.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge by v (negative v decrements).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labelled instance within a family. Exactly one of the
+// value fields is set, matching the family kind.
+type series struct {
+	labels    []Label // sorted by name
+	counter   *Counter
+	counterFn func() uint64
+	gauge     *Gauge
+	gaugeFn   func() float64
+	hist      *Histogram
+}
+
+// family groups all series sharing a metric name.
+type family struct {
+	name string
+	help string
+	kind metricKind
+
+	mu     sync.RWMutex
+	series map[string]*series // keyed by canonical label string
+}
+
+// Registry is a set of named metric families. Get-or-create lookups
+// (Counter, Gauge, Histogram) return the same instance for the same
+// name+labels, so independent components observing the same series —
+// e.g. every shard's WAL timing into stage="wal_append" — share one
+// histogram. All methods are safe for concurrent use and safe on a
+// nil receiver (returning nil metrics that no-op).
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// canonLabels sorts labels by name and returns the canonical
+// "k=v,k=v" series key.
+func canonLabels(labels []Label) ([]Label, string) {
+	if len(labels) == 0 {
+		return nil, ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return ls, b.String()
+}
+
+// lookup returns (creating as needed) the series for name+labels,
+// checking the family kind. New series are fully initialized by init
+// before publication, so their metric fields are immutable afterwards
+// and readable without the family lock. A kind conflict returns nil
+// rather than corrupting the exposition — the caller then holds a
+// detached nil metric, which no-ops.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []Label, init func(*series)) *series {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		f = r.families[name]
+		if f == nil {
+			f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind {
+		return nil
+	}
+	ls, key := canonLabels(labels)
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[key]; s != nil {
+		return s
+	}
+	s = &series{labels: ls}
+	init(s)
+	f.series[key] = s
+	return s
+}
+
+// Counter returns the counter for name+labels, creating it on first
+// use. Nil registry → nil counter (no-op).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.lookup(name, help, kindCounter, labels, func(s *series) { s.counter = new(Counter) })
+	if s == nil {
+		return nil
+	}
+	// A series registered via CounterFunc has no settable cell; hand
+	// back a detached counter so callers still get a working metric.
+	if s.counter == nil {
+		return new(Counter)
+	}
+	return s.counter
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// scrape time — the bridge for pre-existing atomic counters that
+// should appear in /metrics without being rewired. The first
+// registration for a series wins.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.lookup(name, help, kindCounter, labels, func(s *series) { s.counterFn = fn })
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.lookup(name, help, kindGauge, labels, func(s *series) { s.gauge = new(Gauge) })
+	if s == nil {
+		return nil
+	}
+	if s.gauge == nil {
+		return new(Gauge)
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time. The first registration for a series wins.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.lookup(name, help, kindGauge, labels, func(s *series) { s.gaugeFn = fn })
+}
+
+// Histogram returns the histogram for name+labels, creating it with
+// the given bucket upper bounds on first use (nil → DefBuckets).
+// Later lookups reuse the first layout regardless of the buckets
+// argument, keeping every series in a family mergeable.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	s := r.lookup(name, help, kindHistogram, labels, func(s *series) { s.hist = NewHistogram(buckets) })
+	if s == nil {
+		return nil
+	}
+	return s.hist
+}
+
+// HistogramSnapshots returns a snapshot of every series in the named
+// histogram family, keyed by canonical label string ("stage=embed").
+// Unknown or non-histogram names return an empty map.
+func (r *Registry) HistogramSnapshots(name string) map[string]HistogramSnapshot {
+	out := make(map[string]HistogramSnapshot)
+	if r == nil {
+		return out
+	}
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil || f.kind != kindHistogram {
+		return out
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for key, s := range f.series {
+		if s.hist != nil {
+			out[key] = s.hist.Snapshot()
+		}
+	}
+	return out
+}
+
+// CounterValue returns the current value of the named counter series,
+// or zero when absent — a read-side convenience for tests and /stats.
+func (r *Registry) CounterValue(name string, labels ...Label) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil || f.kind != kindCounter {
+		return 0
+	}
+	_, key := canonLabels(labels)
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s == nil {
+		return 0
+	}
+	if s.counterFn != nil {
+		return s.counterFn()
+	}
+	return s.counter.Value()
+}
+
+// sortedFamilies returns families sorted by name for deterministic
+// exposition.
+func (r *Registry) sortedFamilies() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedSeries returns a family's series sorted by label key.
+func (f *family) sortedSeries() []*series {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, f.series[k])
+	}
+	f.mu.RUnlock()
+	return out
+}
+
+// labelString renders {k="v",...} for exposition, with extra labels
+// (le for histogram buckets) appended.
+func labelString(labels []Label, extra ...Label) string {
+	all := append(append([]Label{}, labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes quotes, backslashes and newlines — the exact set
+		// the Prometheus text format requires escaped in label values.
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

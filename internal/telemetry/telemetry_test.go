@@ -1,0 +1,301 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the `le` semantics: a value equal
+// to a bucket's upper bound lands in that bucket, a value just above
+// it lands in the next, and values beyond the last bound land in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0},        // below every bound → first bucket
+		{0.001, 0},    // exactly on a bound → that bucket (le semantics)
+		{0.0011, 1},   // just above → next bucket
+		{0.01, 1},     //
+		{0.05, 2},     //
+		{0.1, 2},      // last finite bound
+		{0.11, 3},     // beyond the last bound → +Inf
+		{math.Inf(1), 3},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 2, 2, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d: got %d observations, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != uint64(len(cases)) {
+		t.Errorf("Count = %d, want %d", s.Count, len(cases))
+	}
+}
+
+// TestHistogramQuantile checks the interpolation estimate stays within
+// its documented error bound: the width of the bucket holding the
+// target rank.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(nil) // DefBuckets
+	// 1000 uniform observations over (0, 0.1]: the true q-th quantile
+	// is q*0.1.
+	const n = 1000
+	for i := 1; i <= n; i++ {
+		h.Observe(0.1 * float64(i) / n)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		truth := 0.1 * q
+		got := s.Quantile(q)
+		// Bucket width at the truth's location bounds the error.
+		width := bucketWidthAt(DefBuckets, truth)
+		if math.Abs(got-truth) > width {
+			t.Errorf("Quantile(%g) = %g, want %g ± %g", q, got, truth, width)
+		}
+	}
+	if got := s.Quantile(0); got < 0 {
+		t.Errorf("Quantile(0) = %g, want >= 0", got)
+	}
+	// Everything beyond the last finite bound clamps to it.
+	inf := NewHistogram([]float64{0.001})
+	inf.Observe(5)
+	if got := inf.Snapshot().Quantile(0.99); got != 0.001 {
+		t.Errorf("+Inf bucket quantile = %g, want clamp to 0.001", got)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty snapshot quantile = %g, want 0", got)
+	}
+}
+
+func bucketWidthAt(bounds []float64, v float64) float64 {
+	lower := 0.0
+	for _, b := range bounds {
+		if v <= b {
+			return b - lower
+		}
+		lower = b
+	}
+	return math.Inf(1)
+}
+
+// TestHistogramConcurrent hammers Observe from many goroutines while a
+// reader snapshots — meaningful under -race, and the final snapshot
+// must account for every observation.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(nil)
+	const (
+		writers = 8
+		perW    = 5000
+	)
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // concurrent reader: snapshots must never over-count
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if s := h.Snapshot(); s.Count > writers*perW {
+					t.Errorf("snapshot Count %d exceeds total writes", s.Count)
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(float64(i%100) / 1000)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	s := h.Snapshot()
+	if s.Count != writers*perW {
+		t.Fatalf("final Count = %d, want %d", s.Count, writers*perW)
+	}
+	var fromBuckets uint64
+	for _, c := range s.Counts {
+		fromBuckets += c
+	}
+	if fromBuckets != s.Count {
+		t.Fatalf("bucket total %d != Count %d", fromBuckets, s.Count)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]float64{0.01, 0.1})
+	b := NewHistogram([]float64{0.01, 0.1})
+	a.Observe(0.005)
+	a.Observe(0.5)
+	b.Observe(0.05)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if err := sa.Merge(sb); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if sa.Count != 3 {
+		t.Errorf("merged Count = %d, want 3", sa.Count)
+	}
+	if want := 0.005 + 0.5 + 0.05; math.Abs(sa.Sum-want) > 1e-12 {
+		t.Errorf("merged Sum = %g, want %g", sa.Sum, want)
+	}
+	if got := []uint64{sa.Counts[0], sa.Counts[1], sa.Counts[2]}; got[0] != 1 || got[1] != 1 || got[2] != 1 {
+		t.Errorf("merged Counts = %v, want one per bucket", sa.Counts)
+	}
+	// Mismatched layouts must refuse, not silently mis-aggregate.
+	c := NewHistogram([]float64{1, 2}).Snapshot()
+	if err := sa.Merge(c); err == nil {
+		t.Error("Merge accepted a mismatched bucket layout")
+	}
+	// Merging into an empty snapshot adopts the other layout.
+	var empty HistogramSnapshot
+	if err := empty.Merge(sb); err != nil || empty.Count != 1 {
+		t.Errorf("Merge into empty: err=%v count=%d", err, empty.Count)
+	}
+}
+
+// TestRegistrySharedSeries verifies the get-or-create contract: same
+// name+labels return the same instance, label order does not matter,
+// and different label values are distinct series.
+func TestRegistrySharedSeries(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("stage_duration_seconds", "h", nil, L("stage", "embed"))
+	h2 := r.Histogram("stage_duration_seconds", "h", nil, L("stage", "embed"))
+	if h1 != h2 {
+		t.Error("same name+labels returned distinct histograms")
+	}
+	h3 := r.Histogram("stage_duration_seconds", "h", nil, L("stage", "merge"))
+	if h1 == h3 {
+		t.Error("distinct label values shared a histogram")
+	}
+	c1 := r.Counter("x_total", "c", L("a", "1"), L("b", "2"))
+	c2 := r.Counter("x_total", "c", L("b", "2"), L("a", "1"))
+	if c1 != c2 {
+		t.Error("label order changed series identity")
+	}
+	// Kind conflict: the caller gets a detached no-op metric, never a
+	// panic or a corrupted family.
+	if g := r.Gauge("x_total", "not a counter"); g == nil {
+		// nil is fine too — the point is no panic and no cross-kind reuse
+		_ = g
+	}
+	c1.Add(7)
+	if got := r.CounterValue("x_total", L("a", "1"), L("b", "2")); got != 7 {
+		t.Errorf("CounterValue = %d, want 7", got)
+	}
+}
+
+func TestNilRegistryAndMetricsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a_total", "")
+	g := r.Gauge("b", "")
+	h := r.Histogram("c_seconds", "", nil)
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(-1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Error("nil metrics must read as zero")
+	}
+	r.CounterFunc("d_total", "", func() uint64 { return 1 })
+	r.GaugeFunc("e", "", func() float64 { return 1 })
+	if v := r.CounterValue("d_total"); v != 0 {
+		t.Errorf("nil registry CounterValue = %d", v)
+	}
+	if snaps := r.HistogramSnapshots("c_seconds"); len(snaps) != 0 {
+		t.Error("nil registry returned snapshots")
+	}
+}
+
+// TestWritePrometheus pins the text exposition format: HELP/TYPE
+// headers, cumulative le buckets ending at +Inf, _sum/_count, function
+// metrics evaluated at scrape time, and escaped label values.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "Requests served.", L("route", "/ask"), L("code", "200")).Add(3)
+	r.Gauge("inflight", "In-flight requests.").Set(2)
+	r.CounterFunc("bridged_total", "Bridged counter.", func() uint64 { return 42 })
+	h := r.Histogram("dur_seconds", "Latency.", []float64{0.01, 0.1}, L("stage", "embed"))
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+	r.Counter("esc_total", "Escapes.", L("v", `a"b\c`)).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP requests_total Requests served.",
+		"# TYPE requests_total counter",
+		`requests_total{code="200",route="/ask"} 3`,
+		"# TYPE inflight gauge",
+		"inflight 2",
+		"bridged_total 42",
+		"# TYPE dur_seconds histogram",
+		`dur_seconds_bucket{stage="embed",le="0.01"} 1`,
+		`dur_seconds_bucket{stage="embed",le="0.1"} 2`,
+		`dur_seconds_bucket{stage="embed",le="+Inf"} 3`,
+		`dur_seconds_count{stage="embed"} 3`,
+		`esc_total{v="a\"b\\c"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, `dur_seconds_sum{stage="embed"} `) {
+		t.Errorf("exposition missing _sum series\n---\n%s", out)
+	}
+}
+
+// TestRegistryConcurrentLookup races get-or-create against scrapes —
+// the publication path must be race-clean (run with -race).
+func TestRegistryConcurrentLookup(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stages := []string{"embed", "merge", "fanout", "verify"}
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				st := stages[i%len(stages)]
+				r.Histogram("stage_duration_seconds", "h", nil, L("stage", st)).Observe(0.001)
+				r.Counter("ops_total", "c", L("stage", st)).Inc()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			var b strings.Builder
+			_ = r.WritePrometheus(&b)
+			_ = r.HistogramSnapshots("stage_duration_seconds")
+		}
+	}()
+	wg.Wait()
+	var total uint64
+	for _, s := range r.HistogramSnapshots("stage_duration_seconds") {
+		total += s.Count
+	}
+	if total != 8*500 {
+		t.Errorf("total observations = %d, want %d", total, 8*500)
+	}
+}
