@@ -64,10 +64,22 @@
 //
 // Usage:
 //
+// The vector index behind the shards is configurable: -index selects
+// flat (exact scan), ivf (clustered probes) or hnsw (graph), -quantize
+// int8 switches the scan to int8 codes with an exact float32 re-rank
+// of the top -rerank-k candidates, and -nprobe / -ef-search tune the
+// recall/latency trade-off. Invalid combinations fail at startup; the
+// active configuration (and the index's memory footprint) is echoed in
+// /stats under "index". See docs/vector.md.
+//
+// Usage:
+//
 //	ragserver [-addr :8080] [-topk 3] [-threshold 3.2] [-seed-demo]
 //	          [-shards 4] [-max-batch 16] [-max-wait 2ms] [-static-batch]
 //	          [-ingest-pending 1024]
 //	          [-max-inflight 64] [-max-queue 256]
+//	          [-index flat|ivf|hnsw] [-quantize none|int8] [-rerank-k 0]
+//	          [-nprobe 8] [-ef-search 64]
 //	          [-data-dir ""] [-fsync never|always|interval]
 //	          [-checkpoint-every 30s]
 //	          [-cluster nodes.json] [-probe-interval 1s]
@@ -123,6 +135,11 @@ func main() {
 		ingestPend  = flag.Int("ingest-pending", 0, "chunk credit pool bounding in-flight streaming-ingest memory (0 = 1024)")
 		maxInflight = flag.Int("max-inflight", 64, "max concurrently executing requests")
 		maxQueue    = flag.Int("max-queue", 256, "max requests waiting for a slot before shedding (-1 disables queueing)")
+		indexKind   = flag.String("index", "flat", "vector index per shard: flat, ivf, or hnsw")
+		quantize    = flag.String("quantize", "none", "stored-vector representation: none (float32) or int8 (quantized scan + exact re-rank)")
+		rerankK     = flag.Int("rerank-k", 0, "quantized-scan candidates re-scored exactly per query (0 = 4×k)")
+		nprobe      = flag.Int("nprobe", 0, "IVF clusters probed per query (0 = default 8)")
+		efSearch    = flag.Int("ef-search", 0, "HNSW query beam width (0 = default 64)")
 		dataDir     = flag.String("data-dir", "", "directory for per-shard WALs and checkpoints (empty = memory-only)")
 		fsync       = flag.String("fsync", "never", "WAL fsync policy: never, always, or interval")
 		ckEvery     = flag.Duration("checkpoint-every", 30*time.Second, "background checkpoint period (negative disables)")
@@ -135,6 +152,17 @@ func main() {
 	flag.Parse()
 	policy, err := storage.ParseSyncPolicy(*fsync)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "ragserver:", err)
+		os.Exit(1)
+	}
+	indexCfg := serve.IndexConfig{
+		Kind:     *indexKind,
+		Quantize: *quantize,
+		RerankK:  *rerankK,
+		NProbe:   *nprobe,
+		EfSearch: *efSearch,
+	}
+	if err := indexCfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "ragserver:", err)
 		os.Exit(1)
 	}
@@ -153,6 +181,7 @@ func main() {
 		StreamMaxPending: *ingestPend,
 		MaxInFlight:      *maxInflight,
 		MaxQueue:         *maxQueue,
+		Index:            indexCfg,
 		DataDir:          *dataDir,
 		Persist: serve.PersistConfig{
 			Fsync:           policy,
@@ -259,8 +288,9 @@ func (s *server) init(cfg serve.Config, clusterFile string, probeEvery, resyncEv
 			sv.Store().Len(), dataDir, st.ReplayedRecords)
 	}
 	s.core.Store(sv)
-	log.Printf("ready (shards=%d topk=%d threshold=%.2f cluster=%v)",
-		sv.Store().Shards(), cfg.TopK, cfg.Threshold, clusterFile != "")
+	log.Printf("ready (shards=%d topk=%d threshold=%.2f index=%s quantize=%s cluster=%v)",
+		sv.Store().Shards(), cfg.TopK, cfg.Threshold,
+		sv.Stats().Index.Config.Kind, sv.Stats().Index.Config.Quantize, clusterFile != "")
 	return nil
 }
 

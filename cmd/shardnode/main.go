@@ -18,6 +18,7 @@
 //	POST /shard/snapshot        — adopt a full doc set + seq (snapshot-transfer target)
 //	GET  /healthz               — liveness (always 200 once listening)
 //	GET  /readyz                — 200 only after WAL recovery completes
+//	GET  /stats                 — node snapshot: docs, seq/checksum, index config, persistence
 //	GET  /metrics               — Prometheus text exposition
 //
 // The listener comes up before recovery: a router probing /readyz
@@ -32,15 +33,23 @@
 // node-side stage histograms (shard_search, wal_append, wal_fsync,
 // checkpoint). See docs/observability.md.
 //
+// The node's vector index takes the same -index / -quantize /
+// -rerank-k / -nprobe / -ef-search flags as ragserver (validated at
+// startup, echoed in GET /stats); a cluster normally runs the same
+// configuration on every node. See docs/vector.md.
+//
 // Usage:
 //
 //	shardnode [-addr :9001] [-data-dir ""] [-dim 256]
+//	          [-index flat|ivf|hnsw] [-quantize none|int8] [-rerank-k 0]
+//	          [-nprobe 8] [-ef-search 64]
 //	          [-fsync never|always|interval] [-checkpoint-every 30s]
 //	          [-log-requests] [-debug-addr ""]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -68,6 +77,11 @@ func main() {
 		addr        = flag.String("addr", ":9001", "listen address")
 		dataDir     = flag.String("data-dir", "", "directory for this shard's WAL and checkpoints (empty = memory-only)")
 		dim         = flag.Int("dim", 256, "embedding width (must match the routing server)")
+		indexKind   = flag.String("index", "flat", "vector index: flat, ivf, or hnsw")
+		quantize    = flag.String("quantize", "none", "stored-vector representation: none (float32) or int8 (quantized scan + exact re-rank)")
+		rerankK     = flag.Int("rerank-k", 0, "quantized-scan candidates re-scored exactly per query (0 = 4×k)")
+		nprobe      = flag.Int("nprobe", 0, "IVF clusters probed per query (0 = default 8)")
+		efSearch    = flag.Int("ef-search", 0, "HNSW query beam width (0 = default 64)")
 		fsync       = flag.String("fsync", "never", "WAL fsync policy: never, always, or interval")
 		ckEvery     = flag.Duration("checkpoint-every", 30*time.Second, "background checkpoint period (negative disables)")
 		logRequests = flag.Bool("log-requests", false, "log one structured line per completed request")
@@ -76,6 +90,17 @@ func main() {
 	flag.Parse()
 	policy, err := storage.ParseSyncPolicy(*fsync)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "shardnode:", err)
+		os.Exit(1)
+	}
+	indexCfg := serve.IndexConfig{
+		Kind:     *indexKind,
+		Quantize: *quantize,
+		RerankK:  *rerankK,
+		NProbe:   *nprobe,
+		EfSearch: *efSearch,
+	}
+	if err := indexCfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "shardnode:", err)
 		os.Exit(1)
 	}
@@ -88,7 +113,7 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	initDone := make(chan error, 1)
-	go func() { initDone <- node.open(*dataDir, *dim, policy, *ckEvery) }()
+	go func() { initDone <- node.open(*dataDir, *dim, indexCfg, policy, *ckEvery) }()
 	log.Printf("shardnode listening on %s", *addr)
 	if *debugAddr != "" {
 		go func() {
@@ -141,6 +166,7 @@ func main() {
 func nodeRoutes(node *nodeState, reg *telemetry.Registry, logRequests bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/stats", node.handleStats)
 	mux.Handle("/", cluster.NewNodeHandler(node, node.ready))
 	return telemetry.Chain(mux,
 		telemetry.RequestID(),
@@ -160,7 +186,7 @@ func nodeRouteLabel(r *http.Request) string {
 	switch p {
 	case "/shard/search", "/shard/apply", "/shard/stat", "/shard/mutations",
 		"/shard/resync", "/shard/snapshot",
-		"/healthz", "/readyz", "/metrics":
+		"/healthz", "/readyz", "/stats", "/metrics":
 		return p
 	}
 	return "other"
@@ -187,19 +213,19 @@ func (n *nodeState) shardCount() int {
 // open builds the shard store: durable (checkpoint + WAL recovery)
 // under dataDir, memory-only without. One shard — the routing layer
 // above owns the hash ring.
-func (n *nodeState) open(dataDir string, dim int, policy storage.SyncPolicy, ckEvery time.Duration) error {
+func (n *nodeState) open(dataDir string, dim int, ic serve.IndexConfig, policy storage.SyncPolicy, ckEvery time.Duration) error {
 	var (
 		st  *serve.ShardedDB
 		err error
 	)
 	if dataDir != "" {
-		st, err = serve.OpenShardedDefault(dataDir, 1, dim, 4096, serve.PersistConfig{
+		st, err = serve.OpenShardedWithIndex(dataDir, 1, dim, 4096, ic, serve.PersistConfig{
 			Fsync:           policy,
 			CheckpointEvery: ckEvery,
 			Telemetry:       n.reg,
 		})
 	} else {
-		st, err = serve.NewShardedDefault(1, dim, 4096)
+		st, err = serve.NewShardedWithIndex(1, dim, 4096, ic)
 	}
 	if err != nil {
 		return err
@@ -210,8 +236,43 @@ func (n *nodeState) open(dataDir string, dim int, policy storage.SyncPolicy, ckE
 			st.Len(), dataDir, st.PersistStats().ReplayedRecords)
 	}
 	n.store.Store(st)
-	log.Printf("ready: serving %d docs (dim=%d durable=%v)", st.Len(), dim, dataDir != "")
+	ec := st.IndexStats().Config
+	log.Printf("ready: serving %d docs (dim=%d index=%s quantize=%s durable=%v)",
+		st.Len(), dim, ec.Kind, ec.Quantize, dataDir != "")
 	return nil
+}
+
+// handleStats is the node-local snapshot: document count, replication
+// position (seq + checksum), the index configuration in force, and
+// durability counters — the single-node analogue of ragserver's much
+// larger /stats.
+func (n *nodeState) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, `{"error":"GET required"}`, http.StatusMethodNotAllowed)
+		return
+	}
+	st := n.store.Load()
+	if st == nil {
+		http.Error(w, `{"error":"starting: recovery in progress"}`, http.StatusServiceUnavailable)
+		return
+	}
+	out := struct {
+		Docs     int                `json:"docs"`
+		Seq      uint64             `json:"seq"`
+		Checksum string             `json:"checksum"`
+		Index    serve.IndexStats   `json:"index"`
+		Persist  serve.PersistStats `json:"persist"`
+	}{
+		Docs:     st.Len(),
+		Seq:      st.Seq(),
+		Checksum: fmt.Sprintf("%016x", st.Checksum()),
+		Index:    st.IndexStats(),
+		Persist:  st.PersistStats(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		log.Printf("shardnode: encode stats: %v", err)
+	}
 }
 
 func (n *nodeState) SearchVector(vec []float32, k int) ([]vecdb.Hit, error) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/serve"
 	"repro/internal/storage"
 	"repro/internal/vecdb"
 )
@@ -34,7 +35,7 @@ func TestNodeServesAfterOpen(t *testing.T) {
 		t.Fatal("stat succeeded before open")
 	}
 
-	if err := node.open(dir, 32, storage.SyncNever, -1); err != nil {
+	if err := node.open(dir, 32, serve.IndexConfig{}, storage.SyncNever, -1); err != nil {
 		t.Fatal(err)
 	}
 	if err := b.Probe(ctx); err != nil {
@@ -63,7 +64,7 @@ func TestNodeServesAfterOpen(t *testing.T) {
 	// both documents back.
 	node.store.Load().CloseNoCheckpoint()
 	node2 := &nodeState{}
-	if err := node2.open(dir, 32, storage.SyncNever, -1); err != nil {
+	if err := node2.open(dir, 32, serve.IndexConfig{}, storage.SyncNever, -1); err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { node2.store.Load().Close() })
@@ -79,7 +80,7 @@ func TestNodeServesAfterOpen(t *testing.T) {
 // memory (the throwaway-bench configuration).
 func TestNodeOpenMemoryOnly(t *testing.T) {
 	node := &nodeState{}
-	if err := node.open("", 16, storage.SyncNever, time.Second); err != nil {
+	if err := node.open("", 16, serve.IndexConfig{}, storage.SyncNever, time.Second); err != nil {
 		t.Fatal(err)
 	}
 	if !node.ready() {

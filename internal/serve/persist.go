@@ -252,18 +252,7 @@ func OpenSharded(dir string, n int, embed vecdb.Embedder, mkIndex func() (vecdb.
 // NewShardedDefault. Recovery re-embeds through the raw embedder so
 // replaying a million passages cannot evict hot query vectors.
 func OpenShardedDefault(dir string, n, dim, embedCache int, pcfg PersistConfig) (*ShardedDB, error) {
-	inner, err := vecdb.NewHashedEmbedder(dim)
-	if err != nil {
-		return nil, err
-	}
-	s, err := OpenSharded(dir, n, inner, func() (vecdb.Index, error) {
-		return vecdb.NewFlatIndex(vecdb.Cosine, dim)
-	}, pcfg)
-	if err != nil {
-		return nil, err
-	}
-	s.embed = NewCachedEmbedder(inner, embedCache)
-	return s, nil
+	return OpenShardedWithIndex(dir, n, dim, embedCache, IndexConfig{}, pcfg)
 }
 
 // loadOrInitMeta reads the store metadata, creating it on first open.

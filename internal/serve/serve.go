@@ -83,6 +83,11 @@ type Config struct {
 	EmbedCacheSize   int
 	VerdictCacheSize int
 
+	// Index selects and tunes the per-shard vector index (kind,
+	// quantization, re-rank depth, IVF/HNSW parameters). The zero value
+	// keeps exact flat cosine scans. Ignored when Store is set.
+	Index IndexConfig
+
 	// DataDir, when non-empty, makes the store durable: every mutation
 	// is journaled to a per-shard write-ahead log, shards checkpoint in
 	// the background, and New recovers the previous state instead of
@@ -199,15 +204,18 @@ func New(cfg Config) (*Server, error) {
 	if gen == nil {
 		gen = rag.ExtractiveGenerator{MaxSentences: 2}
 	}
+	if err := cfg.Index.Validate(); err != nil {
+		return nil, err
+	}
 	var store Store
 	var err error
 	switch {
 	case cfg.Store != nil:
 		store = cfg.Store
 	case cfg.DataDir != "":
-		store, err = OpenShardedDefault(cfg.DataDir, shards, cfg.Dim, cfg.EmbedCacheSize, cfg.Persist)
+		store, err = OpenShardedWithIndex(cfg.DataDir, shards, cfg.Dim, cfg.EmbedCacheSize, cfg.Index, cfg.Persist)
 	default:
-		store, err = NewShardedDefault(shards, cfg.Dim, cfg.EmbedCacheSize)
+		store, err = NewShardedWithIndex(shards, cfg.Dim, cfg.EmbedCacheSize, cfg.Index)
 	}
 	if err != nil {
 		return nil, err
@@ -634,6 +642,9 @@ func (s *Server) Stats() Snapshot {
 		IngestStream: s.stream.stats(s.ingestCtrl),
 		Persist:      s.store.PersistStats(),
 		Stages:       stageStats(s.cfg.Telemetry),
+	}
+	if is, ok := s.store.(interface{ IndexStats() IndexStats }); ok {
+		snap.Index = is.IndexStats()
 	}
 	if rs, ok := s.store.(*RemoteStore); ok {
 		r := rs.Router()

@@ -32,6 +32,9 @@ type ShardedDB struct {
 	// An atomic pointer because telemetry attaches after the store is
 	// built, possibly while recovery traffic is already flowing.
 	tele atomic.Pointer[searchStageTimers]
+	// indexCfg echoes the index configuration the store was built with
+	// (zero for custom NewSharded factories); see IndexStats.
+	indexCfg IndexConfig
 }
 
 // searchStageTimers are the query-path stage histograms, bound once so
@@ -44,11 +47,14 @@ type searchStageTimers struct {
 }
 
 // SetTelemetry binds the query-path stage histograms (embed,
-// shard_search, shard_fanout, merge) to reg. Safe to call while the
-// store is serving; nil reg detaches.
+// shard_search, shard_fanout, merge, rerank) to reg. Safe to call
+// while the store is serving; nil reg detaches.
 func (s *ShardedDB) SetTelemetry(reg *telemetry.Registry) {
 	if reg == nil {
 		s.tele.Store(nil)
+		for _, sh := range s.shards {
+			sh.SetStageObserver(nil)
+		}
 		return
 	}
 	const help = "Hot-path stage latency in seconds."
@@ -58,6 +64,17 @@ func (s *ShardedDB) SetTelemetry(reg *telemetry.Registry) {
 		fanout: reg.Histogram("stage_duration_seconds", help, nil, telemetry.L("stage", "shard_fanout")),
 		merge:  reg.Histogram("stage_duration_seconds", help, nil, telemetry.L("stage", "merge")),
 	})
+	// Index-internal stages (the quantized re-rank) report through the
+	// per-shard stage observer into the same series.
+	rerank := reg.Histogram("stage_duration_seconds", help, nil, telemetry.L("stage", "rerank"))
+	obs := func(stage string, seconds float64) {
+		if stage == "rerank" {
+			rerank.Observe(seconds)
+		}
+	}
+	for _, sh := range s.shards {
+		sh.SetStageObserver(obs)
+	}
 }
 
 // ErrNotFound is the typed error for operations on absent document
@@ -97,18 +114,7 @@ func NewSharded(n int, embed vecdb.Embedder, mkIndex func() (vecdb.Index, error)
 // ingest (each passage embedded once, never looked up again) cannot
 // evict hot query vectors.
 func NewShardedDefault(n, dim, embedCache int) (*ShardedDB, error) {
-	inner, err := vecdb.NewHashedEmbedder(dim)
-	if err != nil {
-		return nil, err
-	}
-	s, err := NewSharded(n, inner, func() (vecdb.Index, error) {
-		return vecdb.NewFlatIndex(vecdb.Cosine, dim)
-	})
-	if err != nil {
-		return nil, err
-	}
-	s.embed = NewCachedEmbedder(inner, embedCache)
-	return s, nil
+	return NewShardedWithIndex(n, dim, embedCache, IndexConfig{})
 }
 
 // shardIndex maps a document ID onto its owning shard through the

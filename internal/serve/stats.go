@@ -30,6 +30,11 @@ type Snapshot struct {
 	// /ingest/stream): lifetime totals plus the adaptive controller's
 	// operating point.
 	IngestStream StreamStats `json:"ingest_stream"`
+	// Index echoes the per-shard vector index configuration (kind,
+	// quantization, re-rank depth) and its aggregate storage footprint;
+	// zero-valued on stores that do not report one (cluster mode, where
+	// each node's /stats carries its own).
+	Index IndexStats `json:"index"`
 	// Persist reports the durable layer (WAL + checkpoints); Enabled is
 	// false on a memory-only server.
 	Persist PersistStats `json:"persist"`
@@ -39,7 +44,8 @@ type Snapshot struct {
 	// Stages summarizes the telemetry registry's per-stage latency
 	// histograms (stage_duration_seconds) as count + p50/p95/p99 per
 	// hot-path stage: embed, shard_fanout, merge, verify_wait,
-	// verify_exec, wal_append, wal_fsync, checkpoint, ingest_chunk.
+	// verify_exec, rerank, wal_append, wal_fsync, checkpoint,
+	// ingest_chunk.
 	// Stages that have observed nothing are omitted; /metrics exposes
 	// the full bucket detail.
 	Stages map[string]StageStats `json:"stages,omitempty"`

@@ -223,6 +223,29 @@ func (db *DB) SearchVector(vec []float32, k int) ([]Hit, error) {
 // DBs (shards) can embed queries once.
 func (db *DB) Embedder() Embedder { return db.embed }
 
+// SetStageObserver forwards a stage-timing observer (fn(stage,
+// seconds)) to the underlying index when it reports internal stages
+// (StageObservable); on other indexes it is a no-op. A nil fn
+// detaches.
+func (db *DB) SetStageObserver(fn func(stage string, seconds float64)) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if so, ok := db.index.(StageObservable); ok {
+		so.SetStageObserver(fn)
+	}
+}
+
+// IndexMemory reports the index's storage footprint when the index
+// accounts one (MemoryReporter); ok is false otherwise.
+func (db *DB) IndexMemory() (IndexMemory, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if mr, ok := db.index.(MemoryReporter); ok {
+		return mr.Memory(), true
+	}
+	return IndexMemory{}, false
+}
+
 // snapshot is the gob wire form of a DB. Seq carries the last applied
 // mutation sequence number, so a checkpoint pins the journal position
 // its contents are current as of; snapshots written before seq

@@ -3,6 +3,8 @@ package vecdb
 import (
 	"fmt"
 	"math"
+	"sort"
+	"time"
 
 	"repro/internal/rng"
 )
@@ -18,6 +20,10 @@ import (
 // The implementation follows Malkov & Yashunin (2016): insertion-time
 // level sampling with P(level ≥ l) = exp(-l/mL), M links per node per
 // layer (2M on layer 0), and efSearch/efConstruction beam widths.
+//
+// Vector storage is the shared rowSet: with QuantInt8 the graph
+// traversal scores neighbours through the int8 kernel and the final
+// candidate beam is re-ranked against the exact float32 rows.
 type HNSWIndex struct {
 	metric Metric
 	dim    int
@@ -29,14 +35,21 @@ type HNSWIndex struct {
 	maxLevel int
 	levels   map[int64]int       // node → top layer
 	links    map[int64][][]int64 // node → per-layer neighbour lists
-	vectors  map[int64][]float32
+	rs       rowSet
 	src      *rng.Source
+	observe  func(stage string, seconds float64)
 }
 
 // NewHNSWIndex creates an HNSW index. m is the per-layer link budget
 // (a typical value is 16), efConstruction the insertion beam width
 // (e.g. 100), efSearch the query beam width (e.g. 50).
 func NewHNSWIndex(metric Metric, dim, m, efConstruction, efSearch int) (*HNSWIndex, error) {
+	return NewHNSWIndexQ(metric, dim, m, efConstruction, efSearch, QuantConfig{})
+}
+
+// NewHNSWIndexQ creates an HNSW index with the given quantization
+// config (QuantConfig{} keeps exact float traversal).
+func NewHNSWIndexQ(metric Metric, dim, m, efConstruction, efSearch int, q QuantConfig) (*HNSWIndex, error) {
 	if dim <= 0 {
 		return nil, fmt.Errorf("vecdb: index dim must be positive, got %d", dim)
 	}
@@ -51,25 +64,40 @@ func NewHNSWIndex(metric Metric, dim, m, efConstruction, efSearch int) (*HNSWInd
 		metric: metric, dim: dim, m: m,
 		efCons: efConstruction, efSrch: efSearch,
 		entry: -1, levels: map[int64]int{},
-		links:   map[int64][][]int64{},
-		vectors: map[int64][]float32{},
-		src:     rng.NewFromString("hnsw-levels"),
+		links: map[int64][][]int64{},
+		rs:    newRowSet(dim, q),
+		src:   rng.NewFromString("hnsw-levels"),
 	}, nil
 }
 
-// Len implements Index.
-func (h *HNSWIndex) Len() int { return len(h.vectors) }
+// SetStageObserver implements StageObservable.
+func (h *HNSWIndex) SetStageObserver(fn func(stage string, seconds float64)) { h.observe = fn }
 
-// score is the metric similarity between a stored node and a query
-// vector (higher is better). Dangling ids (left behind by deletions as
+// Memory implements MemoryReporter.
+func (h *HNSWIndex) Memory() IndexMemory {
+	m := h.rs.memory()
+	for _, layers := range h.links {
+		m.GraphBytes += 24 // slice header per node
+		for _, l := range layers {
+			m.GraphBytes += 24 + int64(len(l))*8
+		}
+	}
+	return m
+}
+
+// Len implements Index.
+func (h *HNSWIndex) Len() int { return h.rs.len() }
+
+// scoreID is the traversal score between a stored node and the
+// prepared query (higher is better): quantized when the rowSet carries
+// codes, exact otherwise. Dangling ids (left behind by deletions as
 // one-directional in-links) score -Inf so they are never selected.
-func (h *HNSWIndex) score(id int64, q []float32) float64 {
-	v, ok := h.vectors[id]
+func (h *HNSWIndex) scoreID(id int64, pq *preparedQuery) float64 {
+	row, ok := h.rs.pos[id]
 	if !ok {
 		return math.Inf(-1)
 	}
-	s, _ := Similarity(h.metric, v, q)
-	return s
+	return h.rs.scoreRow(h.metric, row, pq)
 }
 
 // randomLevel samples the insertion level with the standard geometric
@@ -93,13 +121,12 @@ func (h *HNSWIndex) Add(id int64, vec []float32) error {
 	if len(vec) != h.dim {
 		return fmt.Errorf("%w: index dim %d, vector dim %d", ErrDimMismatch, h.dim, len(vec))
 	}
-	if _, exists := h.vectors[id]; exists {
+	if _, exists := h.rs.pos[id]; exists {
 		h.Remove(id)
 	}
-	cp := make([]float32, len(vec))
-	copy(cp, vec)
 	level := h.randomLevel()
-	h.vectors[id] = cp
+	row := h.rs.add(id, vec)
+	cp := h.rs.vecs[row]
 	h.levels[id] = level
 	h.links[id] = make([][]int64, level+1)
 
@@ -108,10 +135,11 @@ func (h *HNSWIndex) Add(id int64, vec []float32) error {
 		h.maxLevel = level
 		return nil
 	}
+	pq := h.rs.prepare(cp)
 	// Greedy descent from the global entry to the insertion level.
 	cur := h.entry
 	for l := h.maxLevel; l > level; l-- {
-		cur = h.greedyStep(cur, cp, l)
+		cur = h.greedyStep(cur, &pq, l)
 	}
 	// Beam search + link on each layer from min(level, maxLevel) down.
 	top := level
@@ -119,13 +147,14 @@ func (h *HNSWIndex) Add(id int64, vec []float32) error {
 		top = h.maxLevel
 	}
 	for l := top; l >= 0; l-- {
-		candidates := h.searchLayer(cur, cp, h.efCons, l)
-		neighbours := h.selectNeighbours(candidates, cp, h.capacity(l))
+		candidates := h.searchLayer(cur, &pq, h.efCons, l)
+		neighbours := h.selectNeighbours(candidates, &pq, h.capacity(l))
 		h.links[id][l] = append([]int64(nil), neighbours...)
 		for _, n := range neighbours {
 			h.links[n][l] = append(h.links[n][l], id)
 			if cap := h.capacity(l); len(h.links[n][l]) > cap {
-				h.links[n][l] = h.selectNeighbours(h.links[n][l], h.vectors[n], cap)
+				npq := h.rs.prepare(h.rs.vecs[h.rs.pos[n]])
+				h.links[n][l] = h.selectNeighbours(h.links[n][l], &npq, cap)
 			}
 		}
 		if len(candidates) > 0 {
@@ -141,17 +170,17 @@ func (h *HNSWIndex) Add(id int64, vec []float32) error {
 
 // greedyStep moves to the best-scoring neighbour until no neighbour
 // improves, returning the local optimum on the layer.
-func (h *HNSWIndex) greedyStep(start int64, q []float32, layer int) int64 {
+func (h *HNSWIndex) greedyStep(start int64, pq *preparedQuery, layer int) int64 {
 	cur := start
-	curScore := h.score(cur, q)
+	curScore := h.scoreID(cur, pq)
 	for {
 		improved := false
 		if layer < len(h.links[cur]) {
 			for _, n := range h.links[cur][layer] {
-				if _, ok := h.vectors[n]; !ok {
+				if _, ok := h.rs.pos[n]; !ok {
 					continue // dangling in-link from a deletion
 				}
-				if s := h.score(n, q); s > curScore {
+				if s := h.scoreID(n, pq); s > curScore {
 					cur, curScore = n, s
 					improved = true
 				}
@@ -165,12 +194,12 @@ func (h *HNSWIndex) greedyStep(start int64, q []float32, layer int) int64 {
 
 // searchLayer runs a best-first beam search of width ef on one layer,
 // returning up to ef node ids ordered by descending score.
-func (h *HNSWIndex) searchLayer(start int64, q []float32, ef, layer int) []int64 {
+func (h *HNSWIndex) searchLayer(start int64, pq *preparedQuery, ef, layer int) []int64 {
 	visited := map[int64]bool{start: true}
 	// candidates: max-heap by score (explore best first); results:
 	// bounded min-heap of the best ef.
-	cand := resultHeap{{ID: start, Score: -h.score(start, q)}} // negated: container/heap min == best
-	results := resultHeap{{ID: start, Score: h.score(start, q)}}
+	cand := resultHeap{{ID: start, Score: -h.scoreID(start, pq)}} // negated: container/heap min == best
+	results := resultHeap{{ID: start, Score: h.scoreID(start, pq)}}
 	for len(cand) > 0 {
 		// Pop the best unexplored candidate.
 		best := cand[0]
@@ -188,10 +217,10 @@ func (h *HNSWIndex) searchLayer(start int64, q []float32, ef, layer int) []int64
 					continue
 				}
 				visited[n] = true
-				if _, ok := h.vectors[n]; !ok {
+				if _, ok := h.rs.pos[n]; !ok {
 					continue // dangling in-link from a deletion
 				}
-				s := h.score(n, q)
+				s := h.scoreID(n, pq)
 				if len(results) < ef || s > results[0].Score {
 					results = pushHeap(results, Result{ID: n, Score: s})
 					if len(results) > ef {
@@ -218,19 +247,59 @@ func (h *HNSWIndex) neighboursAt(id int64, layer int) []int64 {
 	return ls[layer]
 }
 
-// selectNeighbours keeps the `cap` candidates most similar to vec.
-func (h *HNSWIndex) selectNeighbours(candidates []int64, vec []float32, cap int) []int64 {
-	if len(candidates) <= cap {
-		return dedupe(candidates)
-	}
-	heap := make(resultHeap, 0, cap)
+// selectNeighbours picks up to cap links for the base point described
+// by pq with the Malkov & Yashunin diversity heuristic (Algorithm 4):
+// walking candidates best-first, a candidate is linked only when it is
+// closer to the base than to every neighbour already selected. Plain
+// top-cap selection spends the whole link budget inside the base's own
+// cluster and leaves layer 0 disconnected on clustered corpora — raising
+// efSearch then cannot recover queries whose cluster is unreachable. The
+// heuristic keeps a few longer "bridge" links instead, at pure
+// construction-time cost. Leftover slots are backfilled with the best
+// pruned candidates (keepPrunedConnections in the paper). Selection
+// scores are exact float even on a quantized index: graph topology
+// should not inherit quantization error.
+func (h *HNSWIndex) selectNeighbours(candidates []int64, pq *preparedQuery, cap int) []int64 {
+	scored := make([]Result, 0, len(candidates))
 	for _, c := range dedupe(candidates) {
-		pushTopK(&heap, cap, Result{ID: c, Score: h.score(c, vec)})
+		row, ok := h.rs.pos[c]
+		if !ok {
+			continue // dangling in-link from a deletion
+		}
+		scored = append(scored, Result{ID: c, Score: h.rs.exactScore(h.metric, row, pq)})
 	}
-	sorted := drainSorted(&heap)
-	out := make([]int64, len(sorted))
-	for i, r := range sorted {
-		out[i] = r.ID
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Score != scored[j].Score {
+			return scored[i].Score > scored[j].Score
+		}
+		return scored[i].ID < scored[j].ID // deterministic tie order
+	})
+	out := make([]int64, 0, cap)
+	var pruned []int64
+	for _, c := range scored {
+		if len(out) == cap {
+			break
+		}
+		keep := true
+		cvec := h.rs.vecs[h.rs.pos[c.ID]]
+		for _, s := range out {
+			toSel, _ := Similarity(h.metric, cvec, h.rs.vecs[h.rs.pos[s]])
+			if toSel > c.Score {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, c.ID)
+		} else {
+			pruned = append(pruned, c.ID)
+		}
+	}
+	for _, id := range pruned {
+		if len(out) == cap {
+			break
+		}
+		out = append(out, id)
 	}
 	return out
 }
@@ -252,7 +321,7 @@ func dedupe(ids []int64) []int64 {
 // with churn-heavy workloads should rebuild periodically (Len tracks
 // size for that decision).
 func (h *HNSWIndex) Remove(id int64) bool {
-	if _, ok := h.vectors[id]; !ok {
+	if _, ok := h.rs.pos[id]; !ok {
 		return false
 	}
 	for l, neigh := range h.links[id] {
@@ -272,7 +341,7 @@ func (h *HNSWIndex) Remove(id int64) bool {
 			}
 		}
 	}
-	delete(h.vectors, id)
+	h.rs.remove(id)
 	delete(h.levels, id)
 	delete(h.links, id)
 	if h.entry == id {
@@ -289,7 +358,9 @@ func (h *HNSWIndex) Remove(id int64) bool {
 	return true
 }
 
-// Search implements Index.
+// Search implements Index. On a quantized index the beam is widened to
+// the re-rank depth and the returned top-k is exact-scored against the
+// float32 rows.
 func (h *HNSWIndex) Search(query []float32, k int) ([]Result, error) {
 	if k <= 0 {
 		return nil, ErrBadK
@@ -297,25 +368,47 @@ func (h *HNSWIndex) Search(query []float32, k int) ([]Result, error) {
 	if len(query) != h.dim {
 		return nil, fmt.Errorf("%w: index dim %d, query dim %d", ErrDimMismatch, h.dim, len(query))
 	}
+	if err := validMetric(h.metric); err != nil {
+		return nil, err
+	}
 	if h.entry == -1 {
 		return nil, nil
 	}
+	pq := h.rs.prepare(query)
 	cur := h.entry
 	for l := h.maxLevel; l > 0; l-- {
-		cur = h.greedyStep(cur, query, l)
+		cur = h.greedyStep(cur, &pq, l)
 	}
 	ef := h.efSrch
 	if ef < k {
 		ef = k
 	}
-	ids := h.searchLayer(cur, query, ef, 0)
-	if len(ids) > k {
-		ids = ids[:k]
+	if h.rs.quantized() {
+		if d := h.rs.quant.rerankDepth(k); ef < d {
+			ef = d
+		}
 	}
-	out := make([]Result, len(ids))
+	ids := h.searchLayer(cur, &pq, ef, 0)
+	if !h.rs.quantized() {
+		if len(ids) > k {
+			ids = ids[:k]
+		}
+		out := make([]Result, len(ids))
+		for i, id := range ids {
+			out[i] = Result{ID: id, Score: h.scoreID(id, &pq)}
+		}
+		return out, nil
+	}
+	cands := make([]Result, len(ids))
 	for i, id := range ids {
-		out[i] = Result{ID: id, Score: h.score(id, query)}
+		cands[i] = Result{ID: id}
 	}
+	var start time.Time
+	if h.observe != nil {
+		start = time.Now()
+	}
+	out := h.rs.rerank(h.metric, &pq, cands, k)
+	observeStage(h.observe, "rerank", start)
 	return out, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/rng"
 )
@@ -75,87 +76,114 @@ func drainSorted(h *resultHeap) []Result {
 	return out
 }
 
+// observeStage times a stage when an observer is attached; zero start
+// means "not timing".
+func observeStage(fn func(string, float64), stage string, start time.Time) {
+	if fn != nil {
+		fn(stage, time.Since(start).Seconds())
+	}
+}
+
 // FlatIndex is the exact brute-force index: every query scans every
 // vector. It is the correctness baseline the IVF index is tested
-// against, and the right choice below ~100k vectors.
+// against, and the right choice below ~100k vectors. With QuantInt8 it
+// scans the blocked int8 code mirror instead (≈4× less memory
+// traffic) and re-ranks the top candidates against the exact floats.
 type FlatIndex struct {
-	metric Metric
-	dim    int
-	ids    []int64
-	vecs   [][]float32
-	pos    map[int64]int
+	metric  Metric
+	rs      rowSet
+	observe func(stage string, seconds float64)
 }
 
 // NewFlatIndex creates an exact index for vectors of width dim.
 func NewFlatIndex(metric Metric, dim int) (*FlatIndex, error) {
+	return NewFlatIndexQ(metric, dim, QuantConfig{})
+}
+
+// NewFlatIndexQ creates a flat index with the given quantization
+// config (QuantConfig{} scans exact floats, preserving NewFlatIndex
+// semantics).
+func NewFlatIndexQ(metric Metric, dim int, q QuantConfig) (*FlatIndex, error) {
 	if dim <= 0 {
 		return nil, fmt.Errorf("vecdb: index dim must be positive, got %d", dim)
 	}
-	return &FlatIndex{metric: metric, dim: dim, pos: map[int64]int{}}, nil
+	return &FlatIndex{metric: metric, rs: newRowSet(dim, q)}, nil
 }
+
+// SetStageObserver implements StageObservable.
+func (x *FlatIndex) SetStageObserver(fn func(stage string, seconds float64)) { x.observe = fn }
+
+// Memory implements MemoryReporter.
+func (x *FlatIndex) Memory() IndexMemory { return x.rs.memory() }
 
 // Add implements Index.
 func (x *FlatIndex) Add(id int64, vec []float32) error {
-	if len(vec) != x.dim {
-		return fmt.Errorf("%w: index dim %d, vector dim %d", ErrDimMismatch, x.dim, len(vec))
+	if len(vec) != x.rs.dim {
+		return fmt.Errorf("%w: index dim %d, vector dim %d", ErrDimMismatch, x.rs.dim, len(vec))
 	}
-	cp := make([]float32, len(vec))
-	copy(cp, vec)
-	if p, ok := x.pos[id]; ok {
-		x.vecs[p] = cp
-		return nil
-	}
-	x.pos[id] = len(x.ids)
-	x.ids = append(x.ids, id)
-	x.vecs = append(x.vecs, cp)
+	x.rs.add(id, vec)
 	return nil
 }
 
 // Remove implements Index using swap-with-last deletion.
-func (x *FlatIndex) Remove(id int64) bool {
-	p, ok := x.pos[id]
-	if !ok {
-		return false
-	}
-	last := len(x.ids) - 1
-	x.ids[p] = x.ids[last]
-	x.vecs[p] = x.vecs[last]
-	x.pos[x.ids[p]] = p
-	x.ids = x.ids[:last]
-	x.vecs = x.vecs[:last]
-	delete(x.pos, id)
-	return true
-}
+func (x *FlatIndex) Remove(id int64) bool { return x.rs.remove(id) }
 
 // Len implements Index.
-func (x *FlatIndex) Len() int { return len(x.ids) }
+func (x *FlatIndex) Len() int { return x.rs.len() }
 
 // ErrBadK reports a non-positive k.
 var ErrBadK = errors.New("vecdb: k must be positive")
 
-// Search implements Index with a full scan.
+// Search implements Index with a full scan. On a quantized index the
+// scan reads int8 codes and the top rerank-depth candidates are
+// re-scored exactly before the top-k is returned.
 func (x *FlatIndex) Search(query []float32, k int) ([]Result, error) {
 	if k <= 0 {
 		return nil, ErrBadK
 	}
-	if len(query) != x.dim {
-		return nil, fmt.Errorf("%w: index dim %d, query dim %d", ErrDimMismatch, x.dim, len(query))
+	if len(query) != x.rs.dim {
+		return nil, fmt.Errorf("%w: index dim %d, query dim %d", ErrDimMismatch, x.rs.dim, len(query))
 	}
-	h := make(resultHeap, 0, k)
-	for i, v := range x.vecs {
-		s, err := Similarity(x.metric, query, v)
-		if err != nil {
-			return nil, err
-		}
-		pushTopK(&h, k, Result{ID: x.ids[i], Score: s})
+	if err := validMetric(x.metric); err != nil {
+		return nil, err
 	}
-	return drainSorted(&h), nil
+	pq := x.rs.prepare(query)
+	if !x.rs.quantized() {
+		h := make(resultHeap, 0, k)
+		x.rs.scanInto(&h, k, x.metric, &pq)
+		return drainSorted(&h), nil
+	}
+	depth := x.rs.quant.rerankDepth(k)
+	h := make(resultHeap, 0, depth)
+	x.rs.scanInto(&h, depth, x.metric, &pq)
+	cands := drainSorted(&h)
+	var start time.Time
+	if x.observe != nil {
+		start = time.Now()
+	}
+	out := x.rs.rerank(x.metric, &pq, cands, k)
+	observeStage(x.observe, "rerank", start)
+	return out, nil
+}
+
+// validMetric rejects metrics Similarity would also reject, once per
+// query instead of once per comparison.
+func validMetric(m Metric) error {
+	switch m {
+	case Cosine, Dot, L2:
+		return nil
+	default:
+		return fmt.Errorf("vecdb: unknown metric %v", m)
+	}
 }
 
 // IVFIndex is an inverted-file index: vectors are partitioned into
 // nlist clusters by k-means on insertion-time training data, and a
 // query scans only the nprobe nearest clusters. Recall trades against
-// speed via nprobe; the benchmark suite measures both.
+// speed via nprobe; the benchmark suite measures both. Vector storage
+// is the same dense rowSet the flat index scans — with QuantInt8 each
+// probed list is scored through the int8 kernel and the merged
+// candidates re-ranked exactly.
 type IVFIndex struct {
 	metric     Metric
 	dim        int
@@ -164,13 +192,20 @@ type IVFIndex struct {
 	trained    bool
 	centroids  [][]float32
 	lists      [][]int64
-	vectors    map[int64][]float32
+	rs         rowSet
 	membership map[int64]int
+	observe    func(stage string, seconds float64)
 }
 
 // NewIVFIndex creates an IVF index with nlist clusters probing nprobe
 // of them per query. Train must be called before Add/Search.
 func NewIVFIndex(metric Metric, dim, nlist, nprobe int) (*IVFIndex, error) {
+	return NewIVFIndexQ(metric, dim, nlist, nprobe, QuantConfig{})
+}
+
+// NewIVFIndexQ creates an IVF index with the given quantization
+// config.
+func NewIVFIndexQ(metric Metric, dim, nlist, nprobe int, q QuantConfig) (*IVFIndex, error) {
 	if dim <= 0 {
 		return nil, fmt.Errorf("vecdb: index dim must be positive, got %d", dim)
 	}
@@ -179,8 +214,21 @@ func NewIVFIndex(metric Metric, dim, nlist, nprobe int) (*IVFIndex, error) {
 	}
 	return &IVFIndex{
 		metric: metric, dim: dim, nlist: nlist, nprobe: nprobe,
-		vectors: map[int64][]float32{}, membership: map[int64]int{},
+		rs: newRowSet(dim, q), membership: map[int64]int{},
 	}, nil
+}
+
+// SetStageObserver implements StageObservable.
+func (x *IVFIndex) SetStageObserver(fn func(stage string, seconds float64)) { x.observe = fn }
+
+// Memory implements MemoryReporter.
+func (x *IVFIndex) Memory() IndexMemory {
+	m := x.rs.memory()
+	m.GraphBytes = int64(len(x.centroids)) * int64(x.dim) * 4 // centroid rows
+	for _, l := range x.lists {
+		m.GraphBytes += int64(len(l)) * 8
+	}
+	return m
 }
 
 // ErrNotTrained is returned by Add/Search before Train.
@@ -279,13 +327,11 @@ func (x *IVFIndex) Add(id int64, vec []float32) error {
 	if len(vec) != x.dim {
 		return fmt.Errorf("%w: index dim %d, vector dim %d", ErrDimMismatch, x.dim, len(vec))
 	}
-	if _, ok := x.vectors[id]; ok {
+	if _, ok := x.membership[id]; ok {
 		x.Remove(id)
 	}
-	cp := make([]float32, len(vec))
-	copy(cp, vec)
-	c := x.nearestCentroid(cp)
-	x.vectors[id] = cp
+	c := x.nearestCentroid(vec)
+	x.rs.add(id, vec)
 	x.membership[id] = c
 	x.lists[c] = append(x.lists[c], id)
 	return nil
@@ -305,13 +351,13 @@ func (x *IVFIndex) Remove(id int64) bool {
 			break
 		}
 	}
-	delete(x.vectors, id)
+	x.rs.remove(id)
 	delete(x.membership, id)
 	return true
 }
 
 // Len implements Index.
-func (x *IVFIndex) Len() int { return len(x.vectors) }
+func (x *IVFIndex) Len() int { return x.rs.len() }
 
 // Search implements Index by scanning the nprobe closest clusters.
 func (x *IVFIndex) Search(query []float32, k int) ([]Result, error) {
@@ -323,6 +369,9 @@ func (x *IVFIndex) Search(query []float32, k int) ([]Result, error) {
 	}
 	if len(query) != x.dim {
 		return nil, fmt.Errorf("%w: index dim %d, query dim %d", ErrDimMismatch, x.dim, len(query))
+	}
+	if err := validMetric(x.metric); err != nil {
+		return nil, err
 	}
 	// Rank centroids by score.
 	type cs struct {
@@ -338,15 +387,27 @@ func (x *IVFIndex) Search(query []float32, k int) ([]Result, error) {
 		order[c] = cs{c: c, s: s}
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i].s > order[j].s })
-	h := make(resultHeap, 0, k)
+	pq := x.rs.prepare(query)
+	depth := k
+	if x.rs.quantized() {
+		depth = x.rs.quant.rerankDepth(k)
+	}
+	h := make(resultHeap, 0, depth)
 	for p := 0; p < x.nprobe && p < len(order); p++ {
 		for _, id := range x.lists[order[p].c] {
-			s, err := Similarity(x.metric, query, x.vectors[id])
-			if err != nil {
-				return nil, err
-			}
-			pushTopK(&h, k, Result{ID: id, Score: s})
+			row := x.rs.pos[id]
+			pushTopK(&h, depth, Result{ID: id, Score: x.rs.scoreRow(x.metric, row, &pq)})
 		}
 	}
-	return drainSorted(&h), nil
+	if !x.rs.quantized() {
+		return drainSorted(&h), nil
+	}
+	cands := drainSorted(&h)
+	var start time.Time
+	if x.observe != nil {
+		start = time.Now()
+	}
+	out := x.rs.rerank(x.metric, &pq, cands, k)
+	observeStage(x.observe, "rerank", start)
+	return out, nil
 }

@@ -1,0 +1,208 @@
+package vecdb
+
+import (
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// QuantKind selects the stored-vector representation an index scans.
+type QuantKind int
+
+const (
+	// QuantNone stores and scans full float32 vectors (exact).
+	QuantNone QuantKind = iota
+	// QuantInt8 stores an int8 scalar-quantized mirror of every vector
+	// (one byte per dimension plus per-vector scale/offset) and scans
+	// it with integer kernels, re-ranking the top candidates against
+	// the exact float32 rows.
+	QuantInt8
+)
+
+// String names the kind for flags, /stats and reports.
+func (k QuantKind) String() string {
+	switch k {
+	case QuantNone:
+		return "none"
+	case QuantInt8:
+		return "int8"
+	default:
+		return fmt.Sprintf("quant(%d)", int(k))
+	}
+}
+
+// ParseQuantKind parses the flag form produced by String.
+func ParseQuantKind(s string) (QuantKind, error) {
+	switch s {
+	case "", "none":
+		return QuantNone, nil
+	case "int8":
+		return QuantInt8, nil
+	default:
+		return 0, fmt.Errorf("vecdb: unknown quantization %q (want none or int8)", s)
+	}
+}
+
+// QuantConfig tunes an index's quantized scan path.
+type QuantConfig struct {
+	// Kind selects the representation; QuantNone disables quantization.
+	Kind QuantKind
+	// RerankK is how many quantized-scan candidates are re-scored
+	// against the exact float32 vectors before the top-k is returned.
+	// It is clamped up to k at query time; <= 0 means the default of
+	// 4·k.
+	RerankK int
+}
+
+// rerankDepth resolves the candidate depth for a top-k query.
+func (c QuantConfig) rerankDepth(k int) int {
+	if c.RerankK <= 0 {
+		return 4 * k
+	}
+	if c.RerankK < k {
+		return k
+	}
+	return c.RerankK
+}
+
+// quantParams are one stored vector's affine dequantization
+// parameters: v̂[d] = Offset + Scale·code[d].
+type quantParams struct {
+	scale  float32
+	offset float32
+}
+
+// quantizeRow computes the int8 codes and affine parameters for vec,
+// writing len(vec) codes into codes. The mapping spreads [min, max]
+// over the 256 code points, so the per-element reconstruction error is
+// at most (max−min)/510 (half a quantization step).
+func quantizeRow(vec []float32, codes []int8) quantParams {
+	mn, mx := minMax(vec)
+	if !(mx > mn) {
+		// Constant vector (or empty): a zero scale makes dequantization
+		// exact regardless of the codes.
+		for i := range codes {
+			codes[i] = 0
+		}
+		return quantParams{scale: 0, offset: mn}
+	}
+	// The gap and the per-element offsets are computed in float64: for
+	// extreme inputs mx-mn overflows float32 (to +Inf) even though the
+	// resulting scale and offset are representable.
+	gap := float64(mx) - float64(mn)
+	scale := float32(gap / 255)
+	inv := 255 / gap
+	for i, v := range vec {
+		q := int32((float64(v)-float64(mn))*inv + 0.5)
+		if q > 255 {
+			q = 255
+		}
+		if q < 0 {
+			q = 0
+		}
+		codes[i] = int8(q - 128)
+	}
+	return quantParams{scale: scale, offset: float32(float64(mn) + 128*float64(scale))}
+}
+
+// dequantizeRow reconstructs the float32 approximation of a code row.
+// The affine step runs in float64 and clamps to the float32 range:
+// near ±MaxFloat32 the rounding of offset+scale·code can land just
+// outside it even though the original element was representable.
+func dequantizeRow(codes []int8, p quantParams, out []float32) {
+	scale, off := float64(p.scale), float64(p.offset)
+	for i, c := range codes {
+		v := off + scale*float64(c)
+		if v > math.MaxFloat32 {
+			v = math.MaxFloat32
+		} else if v < -math.MaxFloat32 {
+			v = -math.MaxFloat32
+		}
+		out[i] = float32(v)
+	}
+}
+
+// codeBlockRows is the number of vector rows per aligned code block.
+// At dim 256 a block is 128 KiB of codes — large enough that block
+// boundaries are irrelevant to scan cost, small enough that growth
+// never copies code memory (blocks are immutable once allocated).
+const codeBlockRows = 512
+
+// codeBlockAlign aligns every block's first row on a cache-line
+// boundary so the scan's sequential prefetch starts clean.
+const codeBlockAlign = 64
+
+// alignedInt8 allocates an int8 slice of the given size whose first
+// element sits on a codeBlockAlign boundary.
+func alignedInt8(size int) []int8 {
+	buf := make([]int8, size+codeBlockAlign)
+	addr := uintptr(unsafe.Pointer(&buf[0]))
+	pad := int((codeBlockAlign - addr%codeBlockAlign) % codeBlockAlign)
+	return buf[pad : pad+size : pad+size]
+}
+
+// blockedCodes is the struct-of-arrays quantized mirror of a vector
+// row set: int8 code rows packed contiguously into 64-byte-aligned
+// blocks, with per-row scale/offset in parallel flat slices. Rows are
+// addressed by the same dense row index as the float storage, so
+// swap-with-last deletion moves one code row and one parameter pair.
+type blockedCodes struct {
+	dim     int
+	n       int
+	blocks  [][]int8
+	scales  []float32
+	offsets []float32
+}
+
+func newBlockedCodes(dim int) *blockedCodes {
+	return &blockedCodes{dim: dim}
+}
+
+// row returns the code row for a dense row index.
+func (b *blockedCodes) row(i int) []int8 {
+	blk := b.blocks[i/codeBlockRows]
+	start := (i % codeBlockRows) * b.dim
+	return blk[start : start+b.dim : start+b.dim]
+}
+
+// grow ensures capacity for row n.
+func (b *blockedCodes) grow(n int) {
+	for n >= len(b.blocks)*codeBlockRows {
+		b.blocks = append(b.blocks, alignedInt8(codeBlockRows*b.dim))
+	}
+}
+
+// append quantizes vec into the next row.
+func (b *blockedCodes) append(vec []float32) {
+	b.grow(b.n)
+	p := quantizeRow(vec, b.row(b.n))
+	b.scales = append(b.scales, p.scale)
+	b.offsets = append(b.offsets, p.offset)
+	b.n++
+}
+
+// set re-quantizes vec into an existing row.
+func (b *blockedCodes) set(i int, vec []float32) {
+	p := quantizeRow(vec, b.row(i))
+	b.scales[i] = p.scale
+	b.offsets[i] = p.offset
+}
+
+// moveRow copies row src over row dst (swap-with-last deletion).
+func (b *blockedCodes) moveRow(dst, src int) {
+	copy(b.row(dst), b.row(src))
+	b.scales[dst] = b.scales[src]
+	b.offsets[dst] = b.offsets[src]
+}
+
+// truncate drops the last row. One empty trailing block is kept as
+// hysteresis; blocks beyond it are released.
+func (b *blockedCodes) truncate() {
+	b.n--
+	b.scales = b.scales[:b.n]
+	b.offsets = b.offsets[:b.n]
+	for len(b.blocks) >= 2 && (len(b.blocks)-2)*codeBlockRows >= b.n {
+		b.blocks[len(b.blocks)-1] = nil
+		b.blocks = b.blocks[:len(b.blocks)-1]
+	}
+}

@@ -1,0 +1,253 @@
+package vecdb
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"unsafe"
+
+	"repro/internal/rng"
+)
+
+// quantTolerance is the reconstruction error budget for one element of
+// a quantized row: half a quantization step — the documented
+// (max−min)/510 bound — plus float32 rounding slop proportional to the
+// operand magnitudes, plus one denormal for gaps too small for the
+// float32 scale to represent.
+func quantTolerance(mn, mx float32) float64 {
+	gap := float64(mx) - float64(mn)
+	maxAbs := math.Max(math.Abs(float64(mn)), math.Abs(float64(mx)))
+	// The constant term absorbs denormal-range scale rounding: a scale
+	// near the float32 denormal floor can round by ~0.7e-45, amplified
+	// by up to 128 code units.
+	return gap/510 + gap*1e-6 + 4e-7*maxAbs + 2e-43
+}
+
+// checkRoundTrip quantizes vec, dequantizes it back, and fails if any
+// element's error exceeds the documented bound.
+func checkRoundTrip(t *testing.T, vec []float32) {
+	t.Helper()
+	codes := make([]int8, len(vec))
+	p := quantizeRow(vec, codes)
+	if math.IsInf(float64(p.scale), 0) || math.IsNaN(float64(p.scale)) ||
+		math.IsInf(float64(p.offset), 0) || math.IsNaN(float64(p.offset)) {
+		t.Fatalf("non-finite params %+v for %v", p, vec)
+	}
+	out := make([]float32, len(vec))
+	dequantizeRow(codes, p, out)
+	mn, mx := minMax(vec)
+	tol := quantTolerance(mn, mx)
+	if p.scale == 0 {
+		// Constant rows are exact; a scale underflow (gap too small for
+		// float32) reconstructs every element as the offset, so the error
+		// is bounded by the gap itself.
+		tol = (float64(mx)-float64(mn))*1.000001 + 2e-45
+	}
+	for i := range vec {
+		if err := math.Abs(float64(out[i]) - float64(vec[i])); err > tol {
+			t.Fatalf("element %d: %v -> code %d -> %v, error %g exceeds %g (scale=%g offset=%g)",
+				i, vec[i], codes[i], out[i], err, tol, p.scale, p.offset)
+		}
+	}
+}
+
+// TestQuantizeRoundTripErrorBound: over random rows at many dims and
+// magnitudes, reconstruction stays within half a quantization step.
+func TestQuantizeRoundTripErrorBound(t *testing.T) {
+	src := rng.NewFromString("quantize-roundtrip")
+	for _, dim := range []int{1, 2, 3, 7, 8, 15, 64, 256, 300} {
+		for _, mag := range []float64{1e-3, 1, 1e4, 1e30} {
+			vec := make([]float32, dim)
+			for i := range vec {
+				vec[i] = float32(src.NormFloat64() * mag)
+			}
+			checkRoundTrip(t, vec)
+		}
+	}
+}
+
+// TestQuantizeConstantAndEmptyRows: degenerate rows are exact.
+func TestQuantizeConstantAndEmptyRows(t *testing.T) {
+	for _, vec := range [][]float32{
+		{},
+		{0, 0, 0, 0},
+		{3.25, 3.25, 3.25},
+		{-1e30},
+	} {
+		codes := make([]int8, len(vec))
+		p := quantizeRow(vec, codes)
+		if p.scale != 0 {
+			t.Fatalf("constant row %v got scale %g, want 0", vec, p.scale)
+		}
+		out := make([]float32, len(vec))
+		dequantizeRow(codes, p, out)
+		for i := range vec {
+			if out[i] != vec[i] {
+				t.Fatalf("constant row %v reconstructed %v", vec, out)
+			}
+		}
+	}
+}
+
+// TestKernelEquivalence: the unrolled int8 kernels agree exactly with
+// their scalar references on every dim around the unroll widths —
+// including dims that are not multiples of 8 (dot) or 4 (l2), where the
+// tail loop takes over.
+func TestKernelEquivalence(t *testing.T) {
+	src := rng.NewFromString("kernel-equivalence")
+	for dim := 0; dim <= 70; dim++ {
+		a := make([]int8, dim)
+		b := make([]int8, dim)
+		for trial := 0; trial < 8; trial++ {
+			for i := range a {
+				a[i] = int8(src.Intn(256) - 128)
+				b[i] = int8(src.Intn(256) - 128)
+			}
+			if trial == 0 && dim > 0 {
+				// Extremes: the accumulators must absorb dim * 128 * 128.
+				a[0], b[0] = -128, -128
+				a[dim-1], b[dim-1] = 127, -128
+			}
+			if got, want := dotInt8(a, b), dotInt8Ref(a, b); got != want {
+				t.Fatalf("dotInt8 dim %d: %d, reference %d", dim, got, want)
+			}
+			if got, want := l2Int8(a, b), l2Int8Ref(a, b); got != want {
+				t.Fatalf("l2Int8 dim %d: %d, reference %d", dim, got, want)
+			}
+		}
+	}
+}
+
+// TestQuantizedTopKOverlap: on a clustered corpus, the int8 scan +
+// exact re-rank pipeline returns top-k sets that overlap the exact
+// float32 scan's by at least 95%.
+func TestQuantizedTopKOverlap(t *testing.T) {
+	const n, dim, nq, k = 2000, 64, 50, 10
+	src := rng.NewFromString("topk-overlap-corpus")
+	centers := make([][]float64, 32)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for d := range centers[c] {
+			centers[c][d] = src.NormFloat64()
+		}
+	}
+	exact, err := NewFlatIndex(Cosine, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quant, err := NewFlatIndexQ(Cosine, dim, QuantConfig{Kind: QuantInt8, RerankK: 4 * k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := make([][]float32, n)
+	for i := range corpus {
+		c := centers[src.Intn(len(centers))]
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = float32(c[d] + 0.25*src.NormFloat64())
+		}
+		corpus[i] = v
+		if err := exact.Add(int64(i), v); err != nil {
+			t.Fatal(err)
+		}
+		if err := quant.Add(int64(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var overlap, want int
+	for q := 0; q < nq; q++ {
+		base := corpus[(q*n/nq)%n]
+		query := make([]float32, dim)
+		for d := range query {
+			query[d] = base[d] + float32(0.05*src.NormFloat64())
+		}
+		er, err := exact.Search(query, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qr, err := quant.Search(query, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[int64]bool{}
+		for _, r := range qr {
+			got[r.ID] = true
+		}
+		for _, r := range er {
+			want++
+			if got[r.ID] {
+				overlap++
+			}
+		}
+	}
+	if frac := float64(overlap) / float64(want); frac < 0.95 {
+		t.Fatalf("int8+rerank top-%d overlap %.4f below 0.95", k, frac)
+	}
+}
+
+// TestBlockedCodesLifecycle: block-granular growth, 64-byte row
+// alignment, swap-with-last moves, and block release on truncation.
+func TestBlockedCodesLifecycle(t *testing.T) {
+	const dim = 16
+	b := newBlockedCodes(dim)
+	vec := make([]float32, dim)
+	total := codeBlockRows*2 + 50 // spans three blocks
+	for i := 0; i < total; i++ {
+		for d := range vec {
+			vec[d] = float32(i + d)
+		}
+		b.append(vec)
+	}
+	if len(b.blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(b.blocks))
+	}
+	for _, blk := range b.blocks {
+		if addr := uintptr(unsafe.Pointer(&blk[0])); addr%codeBlockAlign != 0 {
+			t.Fatalf("block start %#x not %d-byte aligned", addr, codeBlockAlign)
+		}
+	}
+	// Row addressing: row i starts i*dim into its block.
+	r := b.row(codeBlockRows + 1)
+	if len(r) != dim {
+		t.Fatalf("row len = %d, want %d", len(r), dim)
+	}
+	// moveRow copies codes and params (swap-with-last deletion).
+	b.moveRow(0, b.n-1)
+	lastRow := b.row(b.n - 1)
+	for i, c := range b.row(0) {
+		if c != lastRow[i] {
+			t.Fatalf("moveRow: code %d diverged", i)
+		}
+	}
+	if b.scales[0] != b.scales[b.n-1] || b.offsets[0] != b.offsets[b.n-1] {
+		t.Fatal("moveRow: params diverged")
+	}
+	// Shrinking below one block's occupancy releases trailing blocks but
+	// keeps one empty block as hysteresis.
+	for b.n > codeBlockRows/2 {
+		b.truncate()
+	}
+	if len(b.blocks) != 2 {
+		t.Fatalf("after shrink to %d rows: blocks = %d, want 2", b.n, len(b.blocks))
+	}
+}
+
+// FuzzQuantizeRoundTrip interprets the input as a packed float32 row
+// and checks the quantization contract on whatever the fuzzer finds:
+// finite rows reconstruct within the error bound with finite
+// parameters. Seeds live in testdata/fuzz/FuzzQuantizeRoundTrip.
+func FuzzQuantizeRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 128, 63, 0, 0, 128, 63}) // [1.0, 1.0]
+	f.Add([]byte{0, 0, 122, 68, 0, 0, 122, 196, 111, 18, 131, 58})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		vec := make([]float32, len(raw)/4)
+		for i := range vec {
+			vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+			if f64 := float64(vec[i]); math.IsNaN(f64) || math.IsInf(f64, 0) {
+				return // out of contract: embedders produce finite vectors
+			}
+		}
+		checkRoundTrip(t, vec)
+	})
+}

@@ -1,0 +1,295 @@
+package vecdb
+
+import "math"
+
+// rowSet is the dense vector storage shared by FlatIndex, IVFIndex and
+// HNSWIndex: exact float32 rows (the re-rank and exact-scan substrate),
+// per-row norms precomputed once at insertion so cosine never
+// recomputes a stored norm per comparison, and — when quantization is
+// configured — a blocked int8 code mirror the scan path reads instead
+// of the floats. Rows are dense and swap-with-last deleted; ids/pos
+// map caller document IDs onto row indexes.
+type rowSet struct {
+	dim   int
+	quant QuantConfig
+
+	ids  []int64
+	pos  map[int64]int
+	vecs [][]float32
+	// norms / normSqs are float64 and computed with exactly the same
+	// accumulation as norm()/l2Squared, so precomputation changes no
+	// score bit anywhere.
+	norms   []float64
+	normSqs []float64
+	codes   *blockedCodes // nil when quant.Kind == QuantNone
+}
+
+func newRowSet(dim int, q QuantConfig) rowSet {
+	rs := rowSet{dim: dim, quant: q, pos: map[int64]int{}}
+	if q.Kind == QuantInt8 {
+		rs.codes = newBlockedCodes(dim)
+	}
+	return rs
+}
+
+func (s *rowSet) len() int { return len(s.ids) }
+
+// quantized reports whether the scan path reads int8 codes.
+func (s *rowSet) quantized() bool { return s.codes != nil }
+
+// add copies vec in under id, replacing an existing row for the same
+// id. It returns the row index.
+func (s *rowSet) add(id int64, vec []float32) int {
+	cp := make([]float32, len(vec))
+	copy(cp, vec)
+	var sq float64
+	for _, v := range cp {
+		sq += float64(v) * float64(v)
+	}
+	n := math.Sqrt(sq)
+	if p, ok := s.pos[id]; ok {
+		s.vecs[p] = cp
+		s.norms[p] = n
+		s.normSqs[p] = sq
+		if s.codes != nil {
+			s.codes.set(p, cp)
+		}
+		return p
+	}
+	p := len(s.ids)
+	s.pos[id] = p
+	s.ids = append(s.ids, id)
+	s.vecs = append(s.vecs, cp)
+	s.norms = append(s.norms, n)
+	s.normSqs = append(s.normSqs, sq)
+	if s.codes != nil {
+		s.codes.append(cp)
+	}
+	return p
+}
+
+// remove deletes id by swapping the last row into its slot. Removing
+// an absent id returns false.
+func (s *rowSet) remove(id int64) bool {
+	p, ok := s.pos[id]
+	if !ok {
+		return false
+	}
+	last := len(s.ids) - 1
+	if p != last {
+		s.ids[p] = s.ids[last]
+		s.vecs[p] = s.vecs[last]
+		s.norms[p] = s.norms[last]
+		s.normSqs[p] = s.normSqs[last]
+		if s.codes != nil {
+			s.codes.moveRow(p, last)
+		}
+		s.pos[s.ids[p]] = p
+	}
+	s.ids = s.ids[:last]
+	s.vecs = s.vecs[:last]
+	s.norms = s.norms[:last]
+	s.normSqs = s.normSqs[:last]
+	if s.codes != nil {
+		s.codes.truncate()
+	}
+	delete(s.pos, id)
+	return true
+}
+
+// vec returns the exact float32 row for id.
+func (s *rowSet) vec(id int64) ([]float32, bool) {
+	p, ok := s.pos[id]
+	if !ok {
+		return nil, false
+	}
+	return s.vecs[p], true
+}
+
+// preparedQuery caches every per-query term the scan reuses across
+// comparisons: the float sums and norms (computed once instead of per
+// stored vector) and, on a quantized set, the symmetric int8
+// quantization of the query feeding the integer dot kernel.
+type preparedQuery struct {
+	vec    []float32
+	sum    float64 // Σ q[d], the offset term of the asymmetric dot
+	norm   float64 // ‖q‖, identical to norm(q)
+	normSq float64
+	qc     []int8  // int8 codes of the query (quantized sets only)
+	qscale float64 // query dequant scale: q[d] ≈ qscale·qc[d]
+}
+
+// prepare builds the query context. The one-off cost is O(dim),
+// amortized over every stored vector the query is compared against.
+func (s *rowSet) prepare(q []float32) preparedQuery {
+	pq := preparedQuery{vec: q}
+	var maxAbs float64
+	for _, v := range q {
+		f := float64(v)
+		pq.sum += f
+		pq.normSq += f * f
+		if a := math.Abs(f); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	pq.norm = math.Sqrt(pq.normSq)
+	if s.codes == nil {
+		return pq
+	}
+	pq.qc = make([]int8, len(q))
+	if maxAbs == 0 {
+		return pq
+	}
+	pq.qscale = maxAbs / 127
+	inv := 1 / pq.qscale
+	for i, v := range q {
+		c := math.Round(float64(v) * inv)
+		switch {
+		case c > 127:
+			c = 127
+		case c < -127:
+			c = -127
+		}
+		pq.qc[i] = int8(c)
+	}
+	return pq
+}
+
+// exactScore is the metric score against the exact float32 row, with
+// stored norms read instead of recomputed — bit-identical to
+// Similarity on the same operands.
+func (s *rowSet) exactScore(m Metric, row int, pq *preparedQuery) float64 {
+	switch m {
+	case Cosine:
+		n := s.norms[row]
+		if n == 0 || pq.norm == 0 {
+			return 0
+		}
+		return dotProduct(pq.vec, s.vecs[row]) / (pq.norm * n)
+	case Dot:
+		return dotProduct(pq.vec, s.vecs[row])
+	default: // L2
+		return -l2Squared(pq.vec, s.vecs[row])
+	}
+}
+
+// approxScore is the asymmetric quantized score: one int8 dot kernel
+// call plus the precomputed offset/norm terms.
+func (s *rowSet) approxScore(m Metric, row int, pq *preparedQuery) float64 {
+	c := s.codes
+	d := pq.qscale*float64(c.scales[row])*float64(dotInt8(pq.qc, c.row(row))) +
+		float64(c.offsets[row])*pq.sum
+	switch m {
+	case Cosine:
+		n := s.norms[row]
+		if n == 0 || pq.norm == 0 {
+			return 0
+		}
+		return d / (pq.norm * n)
+	case Dot:
+		return d
+	default: // L2
+		return -(pq.normSq - 2*d + s.normSqs[row])
+	}
+}
+
+// scoreRow dispatches to the quantized or exact scorer.
+func (s *rowSet) scoreRow(m Metric, row int, pq *preparedQuery) float64 {
+	if s.codes != nil {
+		return s.approxScore(m, row, pq)
+	}
+	return s.exactScore(m, row, pq)
+}
+
+// scanInto pushes every row's scan score into the bounded top-depth
+// heap — the full-scan inner loop of FlatIndex and of each probed IVF
+// list (via scanIDs).
+func (s *rowSet) scanInto(h *resultHeap, depth int, m Metric, pq *preparedQuery) {
+	if s.codes != nil {
+		for row := range s.ids {
+			pushTopK(h, depth, Result{ID: s.ids[row], Score: s.approxScore(m, row, pq)})
+		}
+		return
+	}
+	for row := range s.ids {
+		pushTopK(h, depth, Result{ID: s.ids[row], Score: s.exactScore(m, row, pq)})
+	}
+}
+
+// rerank re-scores candidates against the exact float32 rows and
+// returns the top-k, best first — the second stage of a quantized
+// search. Candidates whose row vanished under a concurrent structural
+// change are skipped.
+func (s *rowSet) rerank(m Metric, pq *preparedQuery, cands []Result, k int) []Result {
+	h := make(resultHeap, 0, k)
+	for _, c := range cands {
+		row, ok := s.pos[c.ID]
+		if !ok {
+			continue
+		}
+		pushTopK(&h, k, Result{ID: c.ID, Score: s.exactScore(m, row, pq)})
+	}
+	return drainSorted(&h)
+}
+
+// memory reports the set's storage footprint for benchmarks and
+// /stats: exact float rows, quantized code blocks, per-row parameters,
+// and the bytes the scan path actually touches per query.
+func (s *rowSet) memory() IndexMemory {
+	n := int64(len(s.ids))
+	m := IndexMemory{
+		Vectors:    len(s.ids),
+		FloatBytes: n * int64(s.dim) * 4,
+		// Per-row norm+normSq (float64 each); the scan reads only the
+		// norm, and only under Cosine.
+		ParamBytes: n * 16,
+	}
+	if s.codes != nil {
+		m.CodeBytes = n * int64(s.dim)
+		m.ParamBytes += n * 8 // scale + offset
+		// Quantized scan: codes + scale/offset + norm.
+		m.ScanBytes = m.CodeBytes + n*16
+	} else {
+		m.ScanBytes = m.FloatBytes + n*8
+	}
+	return m
+}
+
+// IndexMemory describes an index's storage footprint, in bytes.
+type IndexMemory struct {
+	// Vectors is the stored vector count.
+	Vectors int `json:"vectors"`
+	// FloatBytes is the exact float32 rows (kept for re-ranking even
+	// when the scan is quantized).
+	FloatBytes int64 `json:"float_bytes"`
+	// CodeBytes is the int8 code blocks (0 without quantization).
+	CodeBytes int64 `json:"code_bytes"`
+	// ParamBytes is per-vector scalar state: norms, and scale/offset
+	// under quantization.
+	ParamBytes int64 `json:"param_bytes"`
+	// ScanBytes is what a full scan touches per query — the
+	// cache-resident working set: codes+scale/offset+norm when
+	// quantized, floats+norm otherwise.
+	ScanBytes int64 `json:"scan_bytes"`
+	// GraphBytes is index-structure overhead (HNSW links, IVF lists).
+	GraphBytes int64 `json:"graph_bytes"`
+}
+
+// TotalBytes sums every component.
+func (m IndexMemory) TotalBytes() int64 {
+	return m.FloatBytes + m.CodeBytes + m.ParamBytes + m.GraphBytes
+}
+
+// MemoryReporter is implemented by indexes that can account their
+// storage footprint (all three built-ins do).
+type MemoryReporter interface {
+	Memory() IndexMemory
+}
+
+// StageObservable is implemented by indexes that can report internal
+// stage timings (currently the quantized re-rank) to a telemetry
+// sink. The observer is called as fn(stage, seconds) on the search
+// path; a nil fn detaches.
+type StageObservable interface {
+	SetStageObserver(fn func(stage string, seconds float64))
+}
