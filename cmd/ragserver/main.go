@@ -21,6 +21,8 @@
 //	GET  /readyz                                      → 200 | 503                  (recovery + seeding complete)
 //	GET  /stats                                       → serving-layer snapshot
 //	GET  /metrics                                     → Prometheus text exposition
+//	GET  /slo                                         → per-route SLO burn rates + alert states
+//	GET  /debug/traces                                → captured span trees + histogram exemplars
 //
 // /ingest/stream reads NDJSON (one document per line — an object
 // {"text":"...","meta":{...}} or a bare string), indexes it through a
@@ -84,6 +86,9 @@
 //	          [-checkpoint-every 30s]
 //	          [-cluster nodes.json] [-probe-interval 1s]
 //	          [-resync-interval 1s]
+//	          [-breaker-threshold 5] [-breaker-cooldown 2s]
+//	          [-read-retries 1] [-hedge-after 20ms]
+//	          [-trace-capacity 256] [-trace-sample 16] [-slo-latency 500ms]
 //	          [-log-requests] [-debug-addr ""]
 package main
 
@@ -148,6 +153,13 @@ func main() {
 		resyncEvery = flag.Duration("resync-interval", time.Second, "anti-entropy resync sweep period (negative disables background sweeps)")
 		logRequests = flag.Bool("log-requests", false, "log one structured line per completed request")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		traceCap    = flag.Int("trace-capacity", 256, "captured traces retained in memory for /debug/traces")
+		traceSample = flag.Int("trace-sample", 16, "keep 1 in N healthy traces (SLO breaches and errors are always kept; negative = breaches/errors only)")
+		sloLatency  = flag.Duration("slo-latency", 500*time.Millisecond, "per-request latency objective threshold (requests slower than this burn the SLO budget)")
+		breakThresh = flag.Int("breaker-threshold", 5, "consecutive live-read failures that open a backend's circuit breaker (0 disables breakers)")
+		breakCool   = flag.Duration("breaker-cooldown", 2*time.Second, "open-breaker cooldown before a half-open trial request")
+		readRetries = flag.Int("read-retries", 1, "retries with jittered backoff for failed idempotent reads (0 disables)")
+		hedgeAfter  = flag.Duration("hedge-after", 20*time.Millisecond, "arm a hedged read against another replica after this wait (0 disables hedging)")
 	)
 	flag.Parse()
 	policy, err := storage.ParseSyncPolicy(*fsync)
@@ -170,6 +182,23 @@ func main() {
 	// (and the middleware recording into it) must serve from the moment
 	// the listener is up — before the possibly long store recovery.
 	reg := telemetry.NewRegistry()
+	telemetry.RegisterBuildInfo(reg, "ragserver",
+		telemetry.L("index", *indexKind), telemetry.L("quantize", *quantize))
+	tracer := telemetry.NewTracer(telemetry.TracerConfig{
+		Capacity:    *traceCap,
+		SampleEvery: *traceSample,
+	})
+	tracer.Register(reg)
+	slo := telemetry.NewSLO(telemetry.SLOConfig{
+		Default: telemetry.SLOObjective{LatencyThreshold: *sloLatency},
+		Exempt:  []string{"/healthz", "/readyz"},
+	}, reg)
+	resilience := cluster.ResilienceConfig{
+		BreakerThreshold: *breakThresh,
+		BreakerCooldown:  *breakCool,
+		RetryReads:       *readRetries,
+		HedgeAfter:       *hedgeAfter,
+	}
 	cfg := serve.Config{
 		Telemetry:        reg,
 		Shards:           *shards,
@@ -192,7 +221,7 @@ func main() {
 	// The listener comes up before the (possibly long) store recovery
 	// or cluster attach: /healthz answers immediately, /readyz and the
 	// data endpoints flip once init completes.
-	srv := &server{reg: reg, logRequests: *logRequests}
+	srv := &server{reg: reg, tracer: tracer, slo: slo, logRequests: *logRequests}
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.routes(),
@@ -200,7 +229,7 @@ func main() {
 	}
 	initDone := make(chan error, 1)
 	go func() {
-		initDone <- srv.init(cfg, *clusterFile, *probeEvery, *resyncEvery, *seedDemo, *dataDir)
+		initDone <- srv.init(cfg, *clusterFile, *probeEvery, *resyncEvery, resilience, *seedDemo, *dataDir)
 	}()
 	log.Printf("ragserver listening on %s", *addr)
 	if *debugAddr != "" {
@@ -257,15 +286,20 @@ type server struct {
 	// reg is the process-wide metrics registry: the middleware chain
 	// records into it and /metrics renders it, from before init
 	// completes.
-	reg         *telemetry.Registry
+	reg *telemetry.Registry
+	// tracer captures per-request span trees for /debug/traces; slo
+	// tracks per-route burn rates for /slo. Both serve from before init
+	// completes, like the registry.
+	tracer      *telemetry.Tracer
+	slo         *telemetry.SLO
 	logRequests bool
 }
 
 // init builds the serving core (local shards, durable shards, or a
 // remote cluster), seeds the demo corpus if asked, and flips /readyz.
-func (s *server) init(cfg serve.Config, clusterFile string, probeEvery, resyncEvery time.Duration, seedDemo bool, dataDir string) error {
+func (s *server) init(cfg serve.Config, clusterFile string, probeEvery, resyncEvery time.Duration, resilience cluster.ResilienceConfig, seedDemo bool, dataDir string) error {
 	if clusterFile != "" {
-		store, err := attachCluster(clusterFile, probeEvery, resyncEvery, cfg, s.reg)
+		store, err := attachCluster(clusterFile, probeEvery, resyncEvery, resilience, cfg, s.reg)
 		if err != nil {
 			return err
 		}
@@ -297,7 +331,7 @@ func (s *server) init(cfg serve.Config, clusterFile string, probeEvery, resyncEv
 // attachCluster loads the topology file and attaches to the shard
 // nodes, retrying until every node answers (the global ID allocator
 // needs the cluster-wide high-water mark) or clusterBootWait elapses.
-func attachCluster(path string, probeEvery, resyncEvery time.Duration, cfg serve.Config, reg *telemetry.Registry) (*serve.RemoteStore, error) {
+func attachCluster(path string, probeEvery, resyncEvery time.Duration, resilience cluster.ResilienceConfig, cfg serve.Config, reg *telemetry.Registry) (*serve.RemoteStore, error) {
 	shards, err := cluster.LoadNodes(path)
 	if err != nil {
 		return nil, err
@@ -306,6 +340,7 @@ func attachCluster(path string, probeEvery, resyncEvery time.Duration, cfg serve
 		Interval:       probeEvery,
 		ResyncInterval: resyncEvery,
 		Telemetry:      reg,
+		Resilience:     resilience,
 	})
 	if err != nil {
 		return nil, err
@@ -351,6 +386,9 @@ func newServer(cfg serve.Config, seedDemo bool) (*server, error) {
 		}
 	}
 	s := &server{reg: sv.Telemetry()}
+	s.tracer = telemetry.NewTracer(telemetry.TracerConfig{})
+	s.tracer.Register(s.reg)
+	s.slo = telemetry.NewSLO(telemetry.SLOConfig{}, s.reg)
 	s.core.Store(sv)
 	return s, nil
 }
@@ -393,6 +431,8 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/readyz", s.handleReady)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.Handle("/metrics", s.reg.Handler())
+	mux.Handle("/debug/traces", s.tracer.Handler(s.reg))
+	mux.Handle("/slo", s.slo.Handler())
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/ingest/bulk", s.handleIngestBulk)
 	mux.HandleFunc("/ingest/stream", s.handleIngestStream)
@@ -403,10 +443,12 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/admin/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/admin/resync", s.handleResync)
 	// Outermost first: the request ID exists before anything records or
-	// logs; metrics wrap logging so 504s from the deadline layer and
-	// 500s from the recovery layer are counted per route.
+	// logs; tracing wraps metrics so histogram exemplars see the trace
+	// ID; metrics wrap logging so 504s from the deadline layer and 500s
+	// from the recovery layer are counted per route.
 	return telemetry.Chain(mux,
 		telemetry.RequestID(),
+		telemetry.Tracing(s.tracer, s.slo, routeLabel),
 		telemetry.Metrics(s.reg, routeLabel),
 		telemetry.RequestLog(s.logRequests, routeLabel, s.shardCount),
 		telemetry.Deadline(0),
@@ -423,6 +465,7 @@ func routeLabel(r *http.Request) string {
 	}
 	switch p {
 	case "/healthz", "/readyz", "/stats", "/metrics",
+		"/debug/traces", "/slo",
 		"/ingest", "/ingest/bulk", "/ingest/stream",
 		"/ask", "/verify", "/search",
 		"/admin/checkpoint", "/admin/resync":

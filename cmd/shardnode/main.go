@@ -20,6 +20,8 @@
 //	GET  /readyz                — 200 only after WAL recovery completes
 //	GET  /stats                 — node snapshot: docs, seq/checksum, index config, persistence
 //	GET  /metrics               — Prometheus text exposition
+//	GET  /slo                   — node-side SLO burn rates
+//	GET  /debug/traces          — captured span trees (stitched under the router's traceparent)
 //
 // The listener comes up before recovery: a router probing /readyz
 // keeps routing around the node until its WAL is replayed, then
@@ -44,6 +46,7 @@
 //	          [-index flat|ivf|hnsw] [-quantize none|int8] [-rerank-k 0]
 //	          [-nprobe 8] [-ef-search 64]
 //	          [-fsync never|always|interval] [-checkpoint-every 30s]
+//	          [-trace-capacity 256] [-trace-sample 16] [-slo-latency 200ms]
 //	          [-log-requests] [-debug-addr ""]
 package main
 
@@ -86,6 +89,9 @@ func main() {
 		ckEvery     = flag.Duration("checkpoint-every", 30*time.Second, "background checkpoint period (negative disables)")
 		logRequests = flag.Bool("log-requests", false, "log one structured line per completed request")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		traceCap    = flag.Int("trace-capacity", 256, "captured traces retained in memory for /debug/traces")
+		traceSample = flag.Int("trace-sample", 16, "keep 1 in N healthy traces (SLO breaches and errors are always kept; negative = breaches/errors only)")
+		sloLatency  = flag.Duration("slo-latency", 200*time.Millisecond, "per-request latency objective threshold for node-side SLO tracking")
 	)
 	flag.Parse()
 	policy, err := storage.ParseSyncPolicy(*fsync)
@@ -106,10 +112,21 @@ func main() {
 	}
 
 	reg := telemetry.NewRegistry()
+	telemetry.RegisterBuildInfo(reg, "shardnode",
+		telemetry.L("index", *indexKind), telemetry.L("quantize", *quantize))
+	tracer := telemetry.NewTracer(telemetry.TracerConfig{
+		Capacity:    *traceCap,
+		SampleEvery: *traceSample,
+	})
+	tracer.Register(reg)
+	slo := telemetry.NewSLO(telemetry.SLOConfig{
+		Default: telemetry.SLOObjective{LatencyThreshold: *sloLatency},
+		Exempt:  []string{"/healthz", "/readyz"},
+	}, reg)
 	node := &nodeState{reg: reg}
 	httpServer := &http.Server{
 		Addr:              *addr,
-		Handler:           nodeRoutes(node, reg, *logRequests),
+		Handler:           nodeRoutes(node, reg, tracer, slo, *logRequests),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	initDone := make(chan error, 1)
@@ -163,13 +180,16 @@ func main() {
 // wraps everything in the telemetry middleware chain — the same order
 // as ragserver, so a request ID minted at the router is adopted here
 // and the router's X-Deadline-Ms hop header bounds node-side work.
-func nodeRoutes(node *nodeState, reg *telemetry.Registry, logRequests bool) http.Handler {
+func nodeRoutes(node *nodeState, reg *telemetry.Registry, tracer *telemetry.Tracer, slo *telemetry.SLO, logRequests bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/traces", tracer.Handler(reg))
+	mux.Handle("/slo", slo.Handler())
 	mux.HandleFunc("/stats", node.handleStats)
 	mux.Handle("/", cluster.NewNodeHandler(node, node.ready))
 	return telemetry.Chain(mux,
 		telemetry.RequestID(),
+		telemetry.Tracing(tracer, slo, nodeRouteLabel),
 		telemetry.Metrics(reg, nodeRouteLabel),
 		telemetry.RequestLog(logRequests, nodeRouteLabel, node.shardCount),
 		telemetry.Deadline(0),
@@ -186,7 +206,8 @@ func nodeRouteLabel(r *http.Request) string {
 	switch p {
 	case "/shard/search", "/shard/apply", "/shard/stat", "/shard/mutations",
 		"/shard/resync", "/shard/snapshot",
-		"/healthz", "/readyz", "/stats", "/metrics":
+		"/healthz", "/readyz", "/stats", "/metrics",
+		"/debug/traces", "/slo":
 		return p
 	}
 	return "other"

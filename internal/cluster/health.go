@@ -65,6 +65,10 @@ type HealthConfig struct {
 	// stage timings and per-backend RPC metrics. It must be set before
 	// NewRouter so backends are instrumented before the first probe.
 	Telemetry *telemetry.Registry
+	// Resilience tunes the request-level tail-latency layer (circuit
+	// breakers, read retries, hedged reads). The zero value disables
+	// all three; see ResilienceConfig.
+	Resilience ResilienceConfig
 }
 
 func (c HealthConfig) withDefaults() HealthConfig {
@@ -86,6 +90,7 @@ func (c HealthConfig) withDefaults() HealthConfig {
 	if c.ResyncBatch <= 0 {
 		c.ResyncBatch = 256
 	}
+	c.Resilience = c.Resilience.withDefaults()
 	return c
 }
 
@@ -95,6 +100,13 @@ func (c HealthConfig) withDefaults() HealthConfig {
 // round completes.
 type backendHealth struct {
 	backend Backend
+	// br is the request-level circuit breaker, nil when
+	// ResilienceConfig leaves breakers disabled. It is fed only by
+	// live-traffic outcomes — probes stay the health state machine's
+	// evidence — and only gates reads: skipping a write would fork the
+	// replica, which is the resync manager's problem to avoid, not
+	// cause.
+	br *breaker
 
 	mu         sync.Mutex
 	state      State
@@ -214,9 +226,21 @@ func (h *backendHealth) setStat(st ShardStat) {
 
 // snapshot returns the state for /stats.
 func (h *backendHealth) snapshot() BackendHealth {
+	var brState string
+	if h.br != nil {
+		switch h.br.stateValue() {
+		case 1:
+			brState = "open"
+		case 2:
+			brState = "half-open"
+		default:
+			brState = "closed"
+		}
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return BackendHealth{
+		Breaker:             brState,
 		Name:                h.backend.Name(),
 		State:               h.state.String(),
 		ConsecutiveFailures: h.consecFail,

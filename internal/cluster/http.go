@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -67,21 +68,30 @@ func (b *HTTPBackend) Name() string { return b.base }
 // do issues one JSON round-trip. Non-2xx responses become errors; 404
 // maps to vecdb.ErrNotFound so callers keep the typed-miss contract
 // across the transport. out may be nil when the body is irrelevant.
-// The caller's request ID and remaining deadline ride along as
-// X-Request-ID / X-Deadline-Ms hop headers, and instrumented backends
-// record per-backend, per-op duration and outcome.
+// The caller's request ID, remaining deadline and trace position ride
+// along as X-Request-ID / X-Deadline-Ms / traceparent hop headers, and
+// instrumented backends record per-backend, per-op duration and
+// outcome — "ok", "error", or "canceled" when the caller's context
+// (a decided hedge race, an expired budget) pulled the plug mid-RPC.
 func (b *HTTPBackend) do(ctx context.Context, method, path string, in, out interface{}) (err error) {
+	op := pathOp(path)
+	ctx, sp := telemetry.StartSpan(ctx, "rpc."+op)
+	sp.Annotate("backend", b.base)
+	defer func() { sp.End(err) }()
 	if b.tele != nil {
-		op := pathOp(path)
 		start := time.Now()
 		defer func() {
 			outcome := "ok"
-			if err != nil {
+			switch {
+			case err == nil:
+			case ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+				outcome = "canceled"
+			default:
 				outcome = "error"
 			}
 			b.tele.Histogram("backend_request_duration_seconds",
 				"Shard RPC round-trip time by backend and op.", nil,
-				telemetry.L("backend", b.base), telemetry.L("op", op)).ObserveSince(start)
+				telemetry.L("backend", b.base), telemetry.L("op", op)).ObserveSinceCtx(ctx, start)
 			b.tele.Counter("backend_requests_total",
 				"Shard RPCs by backend, op and outcome.",
 				telemetry.L("backend", b.base), telemetry.L("op", op),
@@ -105,6 +115,11 @@ func (b *HTTPBackend) do(ctx context.Context, method, path string, in, out inter
 	}
 	if id := telemetry.RequestIDFrom(ctx); id != "" {
 		req.Header.Set(telemetry.RequestIDHeader, id)
+	}
+	if tp := telemetry.Traceparent(ctx); tp != "" {
+		// The node roots its own span tree under this RPC span, so the
+		// cross-process trace stitches into one tree.
+		req.Header.Set(telemetry.TraceParentHeader, tp)
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		ms := time.Until(dl).Milliseconds()

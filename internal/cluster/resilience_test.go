@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/vecdb"
+)
+
+// TestBreakerStateMachine walks the request-level circuit through
+// every documented transition at the unit level.
+func TestBreakerStateMachine(t *testing.T) {
+	b := newBreaker(ResilienceConfig{BreakerThreshold: 3, BreakerCooldown: time.Minute}.withDefaults())
+	now := time.Unix(1_700_000_000, 0)
+
+	// Closed admits everything; failures below threshold stay closed.
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.allow(now); !ok {
+			t.Fatal("closed breaker denied a request")
+		}
+		if tr := b.failure(now); tr != "" {
+			t.Fatalf("failure %d transitioned to %q early", i+1, tr)
+		}
+	}
+	// Third consecutive failure opens.
+	if ok, _ := b.allow(now); !ok {
+		t.Fatal("still-closed breaker denied a request")
+	}
+	if tr := b.failure(now); tr != "open" {
+		t.Fatalf("threshold failure transitioned to %q, want open", tr)
+	}
+	if b.stateValue() != 1 {
+		t.Fatalf("open stateValue = %v, want 1", b.stateValue())
+	}
+
+	// Open fast-fails until the cooldown elapses.
+	if ok, _ := b.allow(now.Add(time.Second)); ok {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+	if b.fastFails.Load() != 1 {
+		t.Fatalf("fastFails = %d, want 1", b.fastFails.Load())
+	}
+
+	// After the cooldown, exactly one half-open trial is admitted.
+	later := now.Add(2 * time.Minute)
+	ok, tr := b.allow(later)
+	if !ok || tr != "half-open" {
+		t.Fatalf("post-cooldown allow = (%v, %q), want (true, half-open)", ok, tr)
+	}
+	if ok, _ := b.allow(later); ok {
+		t.Fatal("second request admitted while the half-open trial is in flight")
+	}
+
+	// A failed trial re-opens; a later successful trial closes.
+	if tr := b.failure(later); tr != "open" {
+		t.Fatalf("failed trial transitioned to %q, want open", tr)
+	}
+	evenLater := later.Add(2 * time.Minute)
+	if ok, tr := b.allow(evenLater); !ok || tr != "half-open" {
+		t.Fatal("breaker did not re-enter half-open after the second cooldown")
+	}
+	if tr := b.success(); tr != "closed" {
+		t.Fatalf("successful trial transitioned to %q, want closed", tr)
+	}
+	if ok, _ := b.allow(evenLater); !ok {
+		t.Fatal("closed breaker denied a request after recovery")
+	}
+
+	// A success in closed state resets the failure streak.
+	b.failure(evenLater)
+	b.failure(evenLater)
+	b.success()
+	if tr := b.failure(evenLater); tr != "" {
+		t.Fatalf("streak not reset by success: transitioned to %q", tr)
+	}
+
+	// Nil breaker (resilience disabled) admits everything.
+	var nb *breaker
+	if ok, _ := nb.allow(now); !ok {
+		t.Fatal("nil breaker denied a request")
+	}
+	nb.success()
+	nb.failure(now)
+}
+
+func TestJitteredBackoffBounds(t *testing.T) {
+	base := 2 * time.Millisecond
+	for round := 1; round <= 4; round++ {
+		max := base << uint(round-1)
+		for i := 0; i < 50; i++ {
+			d := jitteredBackoff(base, round)
+			if d < 0 || d > max {
+				t.Fatalf("round %d: backoff %v outside [0, %v]", round, d, max)
+			}
+		}
+	}
+	if d := jitteredBackoff(0, 1); d != 0 {
+		t.Fatalf("zero base produced %v", d)
+	}
+}
+
+// countingBackend counts SearchVector arrivals, so a test can prove a
+// breaker-skipped backend was never asked.
+type countingBackend struct {
+	Backend
+	searches atomic.Uint64
+}
+
+func (c *countingBackend) SearchVector(ctx context.Context, vec []float32, k int) ([]vecdb.Hit, error) {
+	c.searches.Add(1)
+	return c.Backend.SearchVector(ctx, vec, k)
+}
+
+// TestRouterBreakerFastFail: after BreakerThreshold live failures the
+// primary's breaker opens and subsequent reads go straight to the
+// replica without sending the primary anything — distinct from health
+// ejection, which here is held off by a high FailThreshold.
+func TestRouterBreakerFastFail(t *testing.T) {
+	const dim = 32
+	primaryDB, replicaDB := newLocalDB(t, dim), newLocalDB(t, dim)
+	pb, _ := NewLocalBackend("primary", primaryDB)
+	rb, _ := NewLocalBackend("replica", replicaDB)
+	flaky := &flakyBackend{Backend: pb}
+	counting := &countingBackend{Backend: flaky}
+	cfg := HealthConfig{
+		Interval:      time.Hour,
+		FailThreshold: 100, // keep health ejection out of this test
+		Resilience:    ResilienceConfig{BreakerThreshold: 2, BreakerCooldown: time.Hour},
+	}
+	r, err := NewRouter([]ShardBackends{{Primary: counting, Replicas: []Backend{rb}}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+
+	ctx := context.Background()
+	seedRouter(t, r, corpus[:3])
+	flaky.broken.Store(true)
+	vec, err := vecdb.NewHashedEmbedder(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := vec.Embed("annual leave")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two failing reads feed the breaker; both still succeed via the
+	// replica.
+	for i := 0; i < 2; i++ {
+		if _, err := r.SearchVector(ctx, v, 2); err != nil {
+			t.Fatalf("read %d failed despite replica: %v", i, err)
+		}
+	}
+	asked := counting.searches.Load()
+	if asked != 2 {
+		t.Fatalf("primary asked %d times while closed, want 2", asked)
+	}
+
+	// Breaker is now open: the next reads must not touch the primary.
+	for i := 0; i < 3; i++ {
+		if _, err := r.SearchVector(ctx, v, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := counting.searches.Load(); got != asked {
+		t.Fatalf("open breaker still sent %d reads to the primary", got-asked)
+	}
+	st := r.Stats()
+	if st.BreakerFastFails < 3 {
+		t.Errorf("BreakerFastFails = %d, want >= 3", st.BreakerFastFails)
+	}
+	if st.Failovers != 2 {
+		t.Errorf("Failovers = %d, want 2 (only the pre-open reads tried the primary first)", st.Failovers)
+	}
+	found := false
+	for _, sh := range r.Health() {
+		for _, b := range sh.Backends {
+			if b.Name == "primary" && b.Breaker == "open" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("primary breaker not reported open in health snapshot")
+	}
+}
+
+// TestRouterReadRetry: a transient single-backend failure is absorbed
+// by one jittered retry round instead of surfacing to the caller.
+func TestRouterReadRetry(t *testing.T) {
+	const dim = 32
+	db := newLocalDB(t, dim)
+	lb, _ := NewLocalBackend("only", db)
+	flaky := &flakyBackend{Backend: lb}
+	cfg := HealthConfig{
+		Interval:      time.Hour,
+		FailThreshold: 100,
+		Resilience:    ResilienceConfig{RetryReads: 1, RetryBaseDelay: time.Millisecond},
+	}
+	r, err := NewRouter([]ShardBackends{{Primary: flaky}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	seedRouter(t, r, corpus[:2])
+
+	// Break the backend for exactly the first attempt of the next read.
+	flaky.broken.Store(true)
+	restored := make(chan struct{})
+	go func() {
+		// The retry waits up to 1ms of jitter; restore the backend as
+		// soon as the first pass has had a chance to fail.
+		time.Sleep(200 * time.Microsecond)
+		flaky.broken.Store(false)
+		close(restored)
+	}()
+
+	vec, _ := vecdb.NewHashedEmbedder(dim)
+	v, err := vec.Embed("working hours")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With RetryReads=1 the read may still lose the restore race once;
+	// a second call after the restore must succeed via retry or first
+	// pass. Loop a few times to keep the test timing-robust.
+	<-restored
+	hits, err := r.SearchVector(context.Background(), v, 2)
+	if err != nil {
+		t.Fatalf("read failed after backend restore: %v", err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	// Force a deterministic retry: break, call, observe the counter
+	// does not move when the retry also fails, then restore.
+	flaky.broken.Store(true)
+	before := r.Stats().ReadRetries
+	if _, err := r.SearchVector(context.Background(), v, 2); err == nil {
+		t.Fatal("read succeeded against a broken single backend")
+	}
+	if got := r.Stats().ReadRetries; got != before+1 {
+		t.Fatalf("ReadRetries = %d, want %d (one extra round)", got, before+1)
+	}
+}
+
+// TestHedgeDisabledBelowBudget: a context about to expire is not
+// hedged — doubling load cannot save a reply due after the deadline.
+func TestHedgeDisabledBelowBudget(t *testing.T) {
+	const dim = 32
+	primaryDB, replicaDB := newLocalDB(t, dim), newLocalDB(t, dim)
+	pb, _ := NewLocalBackend("primary", primaryDB)
+	rb, _ := NewLocalBackend("replica", replicaDB)
+	cfg := HealthConfig{
+		Interval:      time.Hour,
+		FailThreshold: 100,
+		Resilience: ResilienceConfig{
+			HedgeAfter:     5 * time.Millisecond,
+			HedgeMinBudget: time.Hour, // never enough budget
+		},
+	}
+	r, err := NewRouter([]ShardBackends{{Primary: pb, Replicas: []Backend{rb}}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	seedRouter(t, r, corpus[:2])
+
+	vec, _ := vecdb.NewHashedEmbedder(dim)
+	v, _ := vec.Embed("working hours")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := r.SearchVector(ctx, v, 2); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Hedges != 0 {
+		t.Errorf("hedged %d reads under an insufficient budget", st.Hedges)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -55,6 +56,13 @@ type Router struct {
 	writeFailures   atomic.Uint64
 	partialWrites   atomic.Uint64
 
+	// Resilience-layer counters (see ResilienceConfig); all stay zero
+	// when the corresponding feature is disabled.
+	hedges           atomic.Uint64
+	hedgeWins        atomic.Uint64
+	readRetries      atomic.Uint64
+	breakerFastFails atomic.Uint64
+
 	// Query-path stage timers, bound at construction from
 	// cfg.Telemetry; nil (no-op) without a registry.
 	fanoutH *telemetry.Histogram
@@ -88,6 +96,9 @@ func NewRouter(shards []ShardBackends, cfg HealthConfig) (*Router, error) {
 				return nil, fmt.Errorf("cluster: shard %d has a nil backend", i)
 			}
 			h := &backendHealth{backend: b}
+			if cfg.Resilience.BreakerThreshold > 0 {
+				h.br = newBreaker(cfg.Resilience)
+			}
 			bs = append(bs, h)
 			all = append(all, h)
 		}
@@ -105,7 +116,49 @@ func NewRouter(shards []ShardBackends, cfg HealthConfig) (*Router, error) {
 	}
 	r.checker = newChecker(cfg, all)
 	r.resync = newResyncer(r)
+	if cfg.Telemetry != nil {
+		r.registerMetrics(cfg.Telemetry, all)
+	}
 	return r, nil
+}
+
+// registerMetrics bridges the router's (and its resyncer's and
+// breakers') atomic counters into the registry as scrape-time reads,
+// so /metrics carries what until now only /stats showed.
+func (r *Router) registerMetrics(reg *telemetry.Registry, all []*backendHealth) {
+	reg.CounterFunc("router_failovers_total", "Reads served by a non-first backend.", r.failovers.Load)
+	reg.CounterFunc("router_degraded_queries_total", "Searches that lost at least one shard.", r.degradedQueries.Load)
+	reg.CounterFunc("read_hedges_total", "Hedged shard reads launched after HedgeAfter elapsed.", r.hedges.Load)
+	reg.CounterFunc("read_hedge_wins_total", "Hedged reads where the hedge answered first.", r.hedgeWins.Load)
+	reg.CounterFunc("read_retries_total", "Extra read rounds taken after a full failover pass failed.", r.readRetries.Load)
+	reg.CounterFunc("breaker_fast_fails_total", "Reads skipped because a backend's breaker was open.", r.breakerFastFails.Load)
+
+	reg.CounterFunc("cluster_resyncs_total",
+		"Anti-entropy repairs completed (a diverged backend restored to parity).", func() uint64 { return r.resync.resyncs.Load() })
+	reg.CounterFunc("cluster_resync_mutations_shipped_total",
+		"Mutations streamed to lagging replicas by the resync manager.", func() uint64 { return r.resync.shipped.Load() })
+	reg.CounterFunc("cluster_resync_snapshot_fallbacks_total",
+		"Resyncs that fell back to a full snapshot because the WAL delta was truncated.", func() uint64 { return r.resync.snapshots.Load() })
+	reg.CounterFunc("cluster_resync_errors_total",
+		"Resync attempts that failed and will be retried.", func() uint64 { return r.resync.errors.Load() })
+
+	for _, h := range all {
+		if h.br == nil {
+			continue
+		}
+		br, name := h.br, h.backend.Name()
+		reg.GaugeFunc("breaker_state",
+			"Per-backend circuit state: 0 closed, 1 open, 2 half-open.",
+			br.stateValue, telemetry.L("backend", name))
+		for _, t := range []struct {
+			to string
+			v  *atomic.Uint64
+		}{{"open", &br.opens}, {"half-open", &br.halfOpens}, {"closed", &br.closes}} {
+			reg.CounterFunc("breaker_transitions_total",
+				"Circuit breaker state transitions by backend and destination state.",
+				t.v.Load, telemetry.L("backend", name), telemetry.L("to", t.to))
+		}
+	}
 }
 
 // Close stops the health checker and the resync manager. Backends own
@@ -128,35 +181,228 @@ func ctxFailure(ctx context.Context, err error) bool {
 	return ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 }
 
+// allowRead asks h's breaker (when armed) whether a read should even
+// be sent. A denial is a fast-fail: counted, annotated on the current
+// span, and the router moves on to the next backend with zero network
+// wait.
+func (r *Router) allowRead(ctx context.Context, h *backendHealth) bool {
+	ok, transition := h.br.allow(time.Now())
+	if transition != "" {
+		telemetry.SpanFrom(ctx).Event("breaker half-open trial: " + h.backend.Name())
+	}
+	if !ok {
+		r.breakerFastFails.Add(1)
+		telemetry.SpanFrom(ctx).Event("breaker open: skipped " + h.backend.Name())
+	}
+	return ok
+}
+
+// liveSuccess reports one successful live request to the health state
+// machine and the breaker, annotating sp when the breaker closes.
+func (r *Router) liveSuccess(sp *telemetry.Span, h *backendHealth) {
+	h.reportSuccess(r.cfg)
+	if t := h.br.success(); t != "" {
+		sp.Event("breaker " + t + ": " + h.backend.Name())
+	}
+}
+
+// liveFailure reports one failed live request, annotating sp when the
+// breaker opens.
+func (r *Router) liveFailure(sp *telemetry.Span, h *backendHealth, err error) {
+	h.reportFailure(r.cfg, err)
+	if t := h.br.failure(time.Now()); t != "" {
+		sp.Event("breaker " + t + ": " + h.backend.Name())
+	}
+}
+
+// retryWait sleeps the full-jitter backoff before retry round n,
+// returning false when the context (or its remaining deadline budget)
+// does not cover the wait.
+func (r *Router) retryWait(ctx context.Context, round int) bool {
+	d := jitteredBackoff(r.cfg.Resilience.RetryBaseDelay, round)
+	if d == 0 {
+		return ctx.Err() == nil
+	}
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= d {
+		return false
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // searchShard queries one shard, failing over across its backends in
 // order. Ejected backends are skipped without any network wait — that
-// is the early shedding the health checker buys.
+// is the early shedding the health checker buys — and breaker-open
+// backends fast-fail the same way. With hedging enabled the shard goes
+// through the hedged path instead; with RetryReads > 0 a fully failed
+// pass is retried with jittered backoff, since an idempotent read can
+// safely run twice.
 func (r *Router) searchShard(ctx context.Context, si int, vec []float32, k int) ([]vecdb.Hit, error) {
+	if r.cfg.Resilience.HedgeAfter > 0 {
+		if hits, handled, err := r.hedgedSearch(ctx, si, vec, k); handled {
+			return hits, err
+		}
+	}
+	rounds := 1 + r.cfg.Resilience.RetryReads
 	var lastErr error
-	tried := 0
-	for _, h := range r.shards[si] {
-		if !h.serving() {
-			continue
-		}
-		tried++
-		hits, err := h.backend.SearchVector(ctx, vec, k)
-		if err == nil {
-			if tried > 1 {
-				r.failovers.Add(1)
+	attempts := 0
+	for round := 0; round < rounds; round++ {
+		if round > 0 {
+			if !r.retryWait(ctx, round) {
+				break
 			}
-			h.reportSuccess(r.cfg)
-			return hits, nil
+			r.readRetries.Add(1)
+			telemetry.SpanFrom(ctx).Event(fmt.Sprintf("retry shard=%d round=%d", si, round))
 		}
-		if ctxFailure(ctx, err) {
-			return nil, err
+		for _, h := range r.shards[si] {
+			if !h.serving() {
+				continue
+			}
+			if !r.allowRead(ctx, h) {
+				continue
+			}
+			attempts++
+			actx, sp := telemetry.StartSpan(ctx, "shard_read")
+			sp.Annotate("backend", h.backend.Name())
+			sp.Annotate("shard", strconv.Itoa(si))
+			hits, err := h.backend.SearchVector(actx, vec, k)
+			sp.End(err)
+			if err == nil {
+				if attempts > 1 {
+					r.failovers.Add(1)
+				}
+				r.liveSuccess(sp, h)
+				return hits, nil
+			}
+			if ctxFailure(ctx, err) {
+				return nil, err
+			}
+			r.liveFailure(sp, h, err)
+			lastErr = err
 		}
-		h.reportFailure(r.cfg, err)
-		lastErr = err
 	}
 	if lastErr != nil {
 		return nil, lastErr
 	}
 	return nil, fmt.Errorf("%w: shard %d", ErrShardUnavailable, si)
+}
+
+// hedgedSearch races a shard read against its replicas: the first
+// backend is asked immediately, and if it has not answered within
+// HedgeAfter the next candidate is asked too — first success wins,
+// losers are cancelled (a cancellation the loser must not be
+// health-penalized for). An error before the timer fires fails over
+// to the next candidate immediately, so hedging strictly dominates
+// the sequential path. handled is false when the shard has fewer than
+// one admitted backend — the sequential path then produces the error.
+func (r *Router) hedgedSearch(ctx context.Context, si int, vec []float32, k int) (hits []vecdb.Hit, handled bool, err error) {
+	res := r.cfg.Resilience
+	var cands []*backendHealth
+	for _, h := range r.shards[si] {
+		if h.serving() && r.allowRead(ctx, h) {
+			cands = append(cands, h)
+		}
+	}
+	if len(cands) == 0 {
+		return nil, false, nil
+	}
+	// A request about to run out of budget gets no hedge: doubling the
+	// load cannot help a reply that would arrive after the deadline.
+	hedgeArmed := len(cands) > 1
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) < res.HedgeMinBudget {
+		hedgeArmed = false
+	}
+
+	type attemptResult struct {
+		h     *backendHealth
+		hedge bool
+		hits  []vecdb.Hit
+		err   error
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	resCh := make(chan attemptResult, len(cands))
+	next := 0
+	launch := func(hedge bool) {
+		h := cands[next]
+		next++
+		if hedge {
+			r.hedges.Add(1)
+			telemetry.SpanFrom(ctx).Event("hedge launched: " + h.backend.Name())
+		}
+		go func() {
+			actx, sp := telemetry.StartSpan(hctx, "shard_read")
+			sp.Annotate("backend", h.backend.Name())
+			sp.Annotate("shard", strconv.Itoa(si))
+			if hedge {
+				sp.Annotate("hedge", "true")
+			}
+			hits, err := h.backend.SearchVector(actx, vec, k)
+			sp.End(err)
+			switch {
+			case err == nil:
+				r.liveSuccess(sp, h)
+			case hctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+				// The losing attempt of a decided race (or a caller that
+				// gave up): not the backend's fault, no health penalty.
+			default:
+				r.liveFailure(sp, h, err)
+			}
+			resCh <- attemptResult{h: h, hedge: hedge, hits: hits, err: err}
+		}()
+	}
+
+	launch(false)
+	inFlight := 1
+	var timerC <-chan time.Time
+	if hedgeArmed {
+		timer := time.NewTimer(res.HedgeAfter)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	var lastErr error
+	for {
+		select {
+		case <-timerC:
+			timerC = nil
+			if next < len(cands) {
+				launch(true)
+				inFlight++
+			}
+		case ar := <-resCh:
+			inFlight--
+			if ar.err == nil {
+				if ar.h != cands[0] {
+					r.failovers.Add(1)
+				}
+				if ar.hedge {
+					r.hedgeWins.Add(1)
+					telemetry.SpanFrom(ctx).Event("hedge won: " + ar.h.backend.Name())
+				}
+				cancel() // release the losers
+				return ar.hits, true, nil
+			}
+			if ctxFailure(ctx, ar.err) {
+				return nil, true, ar.err
+			}
+			lastErr = ar.err
+			// Failure before the timer: fail over to the next candidate
+			// now rather than waiting out HedgeAfter.
+			if next < len(cands) {
+				launch(false)
+				inFlight++
+			}
+			if inFlight == 0 {
+				return nil, true, lastErr
+			}
+		}
+	}
 }
 
 // SearchVector fans an embedded query out to every shard in parallel
@@ -169,14 +415,14 @@ func (r *Router) SearchVector(ctx context.Context, vec []float32, k int) ([]vecd
 	n := len(r.shards)
 	lists := make([][]vecdb.Hit, n)
 	errs := make([]error, n)
-	var fanoutStart time.Time
-	if r.fanoutH != nil {
-		fanoutStart = time.Now()
-	}
+	fctx, fsp := telemetry.StartSpan(ctx, "shard_fanout")
+	fsp.Annotate("shards", strconv.Itoa(n))
+	fanoutStart := time.Now()
 	parallel.ForWorkers(n, n, func(i int) {
-		lists[i], errs[i] = r.searchShard(ctx, i, vec, k)
+		lists[i], errs[i] = r.searchShard(fctx, i, vec, k)
 	})
-	r.fanoutH.ObserveSince(fanoutStart)
+	r.fanoutH.ObserveSinceCtx(ctx, fanoutStart)
+	fsp.End(nil)
 	failed := 0
 	for _, err := range errs {
 		if err != nil {
@@ -262,32 +508,50 @@ func (r *Router) Apply(ctx context.Context, si int, ms []vecdb.Mutation) error {
 }
 
 // Get fetches one document from its owning shard, failing over across
-// backends. A vecdb.ErrNotFound from a live backend is authoritative
-// and returned immediately.
+// backends (and, like search, retrying a fully failed pass when
+// RetryReads is enabled — a point read is idempotent). A
+// vecdb.ErrNotFound from a live backend is authoritative and returned
+// immediately.
 func (r *Router) Get(ctx context.Context, id int64) (vecdb.Document, error) {
 	si := r.ShardFor(id)
+	rounds := 1 + r.cfg.Resilience.RetryReads
 	var lastErr error
-	tried := 0
-	for _, h := range r.shards[si] {
-		if !h.serving() {
-			continue
-		}
-		tried++
-		doc, err := h.backend.Get(ctx, id)
-		switch {
-		case err == nil:
-			if tried > 1 {
-				r.failovers.Add(1)
+	attempts := 0
+	for round := 0; round < rounds; round++ {
+		if round > 0 {
+			if !r.retryWait(ctx, round) {
+				break
 			}
-			h.reportSuccess(r.cfg)
-			return doc, nil
-		case errors.Is(err, vecdb.ErrNotFound):
-			return vecdb.Document{}, err
-		case ctxFailure(ctx, err):
-			return vecdb.Document{}, err
+			r.readRetries.Add(1)
+			telemetry.SpanFrom(ctx).Event(fmt.Sprintf("retry get shard=%d round=%d", si, round))
 		}
-		h.reportFailure(r.cfg, err)
-		lastErr = err
+		for _, h := range r.shards[si] {
+			if !h.serving() {
+				continue
+			}
+			if !r.allowRead(ctx, h) {
+				continue
+			}
+			attempts++
+			actx, sp := telemetry.StartSpan(ctx, "shard_get")
+			sp.Annotate("backend", h.backend.Name())
+			doc, err := h.backend.Get(actx, id)
+			sp.End(err)
+			switch {
+			case err == nil:
+				if attempts > 1 {
+					r.failovers.Add(1)
+				}
+				r.liveSuccess(sp, h)
+				return doc, nil
+			case errors.Is(err, vecdb.ErrNotFound):
+				return vecdb.Document{}, err
+			case ctxFailure(ctx, err):
+				return vecdb.Document{}, err
+			}
+			r.liveFailure(sp, h, err)
+			lastErr = err
+		}
 	}
 	if lastErr != nil {
 		return vecdb.Document{}, lastErr
@@ -396,6 +660,9 @@ type BackendHealth struct {
 	// the resync manager restores seq/checksum parity with its peers.
 	NeedsResync bool   `json:"needs_resync,omitempty"`
 	LastError   string `json:"last_error,omitempty"`
+	// Breaker is the request-level circuit state (closed / open /
+	// half-open); empty when breakers are disabled.
+	Breaker string `json:"breaker,omitempty"`
 }
 
 // ShardHealth is one shard's health as exposed in /stats: Alive is
@@ -445,15 +712,27 @@ type RouterStats struct {
 	// of a shard while another healthy backend failed them — replicas
 	// that diverged and need resync.
 	PartialWrites uint64 `json:"partial_writes"`
+	// Hedges counts duplicate reads launched after HedgeAfter elapsed;
+	// HedgeWins counts the races the hedge won.
+	Hedges    uint64 `json:"hedges"`
+	HedgeWins uint64 `json:"hedge_wins"`
+	// ReadRetries counts extra read rounds taken after a failed pass.
+	ReadRetries uint64 `json:"read_retries"`
+	// BreakerFastFails counts reads skipped at an open breaker.
+	BreakerFastFails uint64 `json:"breaker_fast_fails"`
 }
 
 // Stats reports the router's counters.
 func (r *Router) Stats() RouterStats {
 	return RouterStats{
-		Failovers:       r.failovers.Load(),
-		DegradedQueries: r.degradedQueries.Load(),
-		ShardsSkipped:   r.shardsSkipped.Load(),
-		WriteFailures:   r.writeFailures.Load(),
-		PartialWrites:   r.partialWrites.Load(),
+		Failovers:        r.failovers.Load(),
+		DegradedQueries:  r.degradedQueries.Load(),
+		ShardsSkipped:    r.shardsSkipped.Load(),
+		WriteFailures:    r.writeFailures.Load(),
+		PartialWrites:    r.partialWrites.Load(),
+		Hedges:           r.hedges.Load(),
+		HedgeWins:        r.hedgeWins.Load(),
+		ReadRetries:      r.readRetries.Load(),
+		BreakerFastFails: r.breakerFastFails.Load(),
 	}
 }

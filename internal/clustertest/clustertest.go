@@ -59,6 +59,10 @@ type ChaosBackend struct {
 	probeErr    error
 	resyncErr   error
 	latency     time.Duration
+	spikeEvery  int
+	spikeDur    time.Duration
+	spikeN      uint64
+	spikes      uint64
 	calls       map[string]uint64
 }
 
@@ -105,6 +109,44 @@ func (c *ChaosBackend) SetLatency(d time.Duration) {
 	c.latency = d
 }
 
+// SetSpike arms a deterministic tail-latency spike: every every-th
+// SearchVector call stalls for d before executing (1-in-every, counted
+// per backend). Unlike SetLatency it models the occasional slow
+// replica — GC pause, page-cache miss, noisy neighbor — that hedged
+// reads exist to cut, and being counter-based rather than random it
+// reproduces the same tail on every run. every <= 0 or d <= 0
+// disarms. The stall respects ctx, so a hedge race that has already
+// been decided cancels the spiked loser instead of waiting it out.
+func (c *ChaosBackend) SetSpike(every int, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.spikeEvery, c.spikeDur = every, d
+	c.spikeN = 0
+}
+
+// Spikes reports how many SearchVector calls were stalled by SetSpike.
+func (c *ChaosBackend) Spikes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spikes
+}
+
+// spikeHit advances the spike counter and returns the stall to apply
+// to this SearchVector call (0 for the fast path).
+func (c *ChaosBackend) spikeHit() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.spikeEvery <= 0 || c.spikeDur <= 0 {
+		return 0
+	}
+	c.spikeN++
+	if c.spikeN%uint64(c.spikeEvery) != 0 {
+		return 0
+	}
+	c.spikes++
+	return c.spikeDur
+}
+
 // Calls reports how many times the named method has been invoked
 // (faulted calls included).
 func (c *ChaosBackend) Calls(method string) uint64 {
@@ -139,6 +181,15 @@ func (c *ChaosBackend) Name() string { return c.inner.Name() }
 func (c *ChaosBackend) SearchVector(ctx context.Context, vec []float32, k int) ([]vecdb.Hit, error) {
 	if err := c.enter("SearchVector", &c.readErr); err != nil {
 		return nil, err
+	}
+	if d := c.spikeHit(); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
 	}
 	return c.inner.SearchVector(ctx, vec, k)
 }

@@ -152,19 +152,23 @@ func (s *RemoteStore) Search(query string, k int) ([]vecdb.Hit, error) {
 }
 
 // SearchContext is Search under the caller's context: the request ID
-// rides the shard RPCs (X-Request-ID) and the caller's deadline, if
-// sooner than opTimeout, bounds them (X-Deadline-Ms).
+// and trace ride the shard RPCs (X-Request-ID / traceparent) and the
+// caller's deadline, if sooner than opTimeout, bounds them
+// (X-Deadline-Ms).
 func (s *RemoteStore) SearchContext(parent context.Context, query string, k int) ([]vecdb.Hit, error) {
-	var start time.Time
-	h := s.embedH.Load()
-	if h != nil {
-		start = time.Now()
+	ectx := parent
+	if ectx == nil {
+		ectx = context.Background()
 	}
+	_, sp := telemetry.StartSpan(ectx, "embed")
+	h := s.embedH.Load()
+	start := time.Now()
 	vec, err := s.embed.Embed(query)
+	sp.End(err)
 	if err != nil {
 		return nil, fmt.Errorf("serve: embed query: %w", err)
 	}
-	h.ObserveSince(start)
+	h.ObserveSinceCtx(ectx, start)
 	ctx, cancel := s.opCtx(parent)
 	defer cancel()
 	return s.router.SearchVector(ctx, vec, k)

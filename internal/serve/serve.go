@@ -298,6 +298,27 @@ func New(cfg Config) (*Server, error) {
 		reg.CounterFunc("cache_misses_total", "Embedding-cache misses.",
 			func() uint64 { _, m := embed.Counters(); return m }, telemetry.L("cache", "embed"))
 	}
+	// Streaming-ingest lifetime totals, until now /stats-only.
+	reg.CounterFunc("ingest_stream_streams_total", "NDJSON ingest streams admitted.", s.stream.streams.Load)
+	reg.CounterFunc("ingest_stream_accepted_docs_total", "Documents parsed off ingest streams.", s.stream.accepted.Load)
+	reg.CounterFunc("ingest_stream_indexed_docs_total", "Documents fully indexed from ingest streams.", s.stream.indexed.Load)
+	reg.CounterFunc("ingest_stream_failed_lines_total", "Malformed lines rejected across ingest streams.", s.stream.failedLines.Load)
+	reg.CounterFunc("ingest_stream_chunks_total", "Passages written from ingest streams.", s.stream.chunks.Load)
+	reg.CounterFunc("ingest_stream_throttle_events_total", "Pipeline blocks on the ingest chunk credit gate.", s.stream.throttled.Load)
+	reg.CounterFunc("ingest_stream_bytes_total", "Stream bytes read off ingest sockets.",
+		func() uint64 { return uint64(s.stream.bytes.Load()) })
+	// The AIMD controllers' live operating points, so dashboards can
+	// overlay batch-limit/linger moves on the latency they cause.
+	for _, c := range []struct {
+		name string
+		ctrl *adaptive.Controller
+	}{{"verify", batcher.Controller()}, {"ingest", s.ingestCtrl}} {
+		ctrl := c.ctrl
+		reg.GaugeFunc("adaptive_batch_limit", "Adaptive controller's current batch size limit.",
+			func() float64 { return float64(ctrl.Stats().Limit) }, telemetry.L("controller", c.name))
+		reg.GaugeFunc("adaptive_linger_wait_seconds", "Adaptive controller's current linger wait.",
+			func() float64 { return float64(ctrl.Stats().WaitMicros) / 1e6 }, telemetry.L("controller", c.name))
+	}
 	return s, nil
 }
 

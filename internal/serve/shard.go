@@ -406,12 +406,34 @@ func (s *ShardedDB) Search(query string, k int) ([]vecdb.Hit, error) {
 // SearchContext is Search honoring ctx cancellation between stages —
 // the handler-facing entry point that keeps request deadlines live on
 // the in-process store. (Shard probes themselves are CPU-bound and
-// non-blocking, so cancellation is checked at stage boundaries.)
+// non-blocking, so cancellation is checked at stage boundaries.) A
+// traced request additionally gets embed and shard_fanout spans, so
+// the in-process store renders the same trace shape as a cluster.
 func (s *ShardedDB) SearchContext(ctx context.Context, query string, k int) ([]vecdb.Hit, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return s.Search(query, k)
+	if telemetry.TraceFrom(ctx) == nil {
+		return s.Search(query, k)
+	}
+	t := s.tele.Load()
+	_, esp := telemetry.StartSpan(ctx, "embed")
+	start := time.Now()
+	vec, err := s.embed.Embed(query)
+	esp.End(err)
+	if err != nil {
+		return nil, fmt.Errorf("serve: embed query: %w", err)
+	}
+	if t != nil {
+		t.embed.ObserveTrace(time.Since(start).Seconds(), telemetry.TraceIDFrom(ctx))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	_, fsp := telemetry.StartSpan(ctx, "shard_fanout")
+	hits, err := s.SearchVector(vec, k)
+	fsp.End(err)
+	return hits, err
 }
 
 // SearchVector queries every shard in parallel with the same vector

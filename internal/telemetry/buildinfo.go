@@ -1,0 +1,24 @@
+package telemetry
+
+import "runtime"
+
+// Version identifies the build in build_info and is meant to be
+// stamped at link time:
+//
+//	go build -ldflags "-X repro/internal/telemetry.Version=v1.2.3"
+var Version = "dev"
+
+// RegisterBuildInfo publishes the conventional build_info gauge: value
+// is always 1 and the interesting content lives in the labels —
+// binary name, stamped version, Go runtime version, plus any extra
+// configuration labels the binary wants discoverable from /metrics
+// (index kind, quantization mode).
+func RegisterBuildInfo(reg *Registry, binary string, extra ...Label) {
+	labels := append([]Label{
+		L("binary", binary),
+		L("version", Version),
+		L("goversion", runtime.Version()),
+	}, extra...)
+	reg.Gauge("build_info",
+		"Build and configuration identity; the value is always 1.", labels...).Set(1)
+}

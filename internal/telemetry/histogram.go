@@ -1,9 +1,11 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 )
@@ -25,6 +27,19 @@ type Histogram struct {
 	bounds []float64       // sorted upper bounds; len(counts) = len(bounds)+1
 	counts []atomic.Uint64 // counts[len(bounds)] is the +Inf bucket
 	sum    atomic.Uint64   // float64 bits, CAS-updated
+	// exemplars holds, per bucket, the most recent traced observation
+	// — the histogram→trace link. Kept out of the Prometheus text
+	// exposition (the 0.0.4 format has no exemplar syntax); rendered
+	// by GET /debug/traces instead.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram bucket to a concrete trace: "the p99
+// bucket last saw 42ms, and here is the trace that spent it".
+type Exemplar struct {
+	Value   float64   `json:"value"`
+	TraceID string    `json:"trace_id"`
+	At      time.Time `json:"at"`
 }
 
 // NewHistogram builds a detached histogram with the given sorted
@@ -37,7 +52,11 @@ func NewHistogram(bounds []float64) *Histogram {
 	bs := make([]float64, len(bounds))
 	copy(bs, bounds)
 	sort.Float64s(bs)
-	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+	return &Histogram{
+		bounds:    bs,
+		counts:    make([]atomic.Uint64, len(bs)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bs)+1),
+	}
 }
 
 // Observe records one value. An observation lands in the first bucket
@@ -63,6 +82,96 @@ func (h *Histogram) ObserveSince(start time.Time) {
 		return
 	}
 	h.Observe(time.Since(start).Seconds())
+}
+
+// ObserveTrace records v and, when traceID is non-empty, stamps the
+// landing bucket's exemplar with it. The exemplar write is a single
+// pointer store — last writer wins, no contention with Observe.
+func (h *Histogram) ObserveTrace(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	h.exemplars[sort.SearchFloat64s(h.bounds, v)].Store(&Exemplar{
+		Value:   v,
+		TraceID: traceID,
+		At:      time.Now(),
+	})
+}
+
+// ObserveSinceCtx records the seconds elapsed since start, tagging the
+// bucket exemplar with ctx's trace ID when the call runs inside a
+// traced request.
+func (h *Histogram) ObserveSinceCtx(ctx context.Context, start time.Time) {
+	if h == nil {
+		return
+	}
+	h.ObserveTrace(time.Since(start).Seconds(), TraceIDFrom(ctx))
+}
+
+// BucketExemplar is one bucket's exemplar as served by /debug/traces.
+type BucketExemplar struct {
+	LE      string    `json:"le"` // bucket upper bound, "+Inf" for the overflow bucket
+	Value   float64   `json:"value"`
+	TraceID string    `json:"trace_id"`
+	At      time.Time `json:"at"`
+}
+
+// bucketExemplars snapshots the buckets that have exemplars.
+func (h *Histogram) bucketExemplars() []BucketExemplar {
+	if h == nil {
+		return nil
+	}
+	var out []BucketExemplar
+	for i := range h.exemplars {
+		e := h.exemplars[i].Load()
+		if e == nil {
+			continue
+		}
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+		}
+		out = append(out, BucketExemplar{LE: le, Value: e.Value, TraceID: e.TraceID, At: e.At})
+	}
+	return out
+}
+
+// SeriesExemplars groups one histogram series' exemplars under its
+// canonical label string.
+type SeriesExemplars struct {
+	Labels  string           `json:"labels,omitempty"`
+	Buckets []BucketExemplar `json:"buckets"`
+}
+
+// Exemplars collects every histogram exemplar in the registry, keyed
+// by family name — the payload /debug/traces serves so a latency
+// bucket can be followed to a captured trace.
+func (r *Registry) Exemplars() map[string][]SeriesExemplars {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string][]SeriesExemplars)
+	for _, f := range r.sortedFamilies() {
+		if f.kind != kindHistogram {
+			continue
+		}
+		for _, s := range f.sortedSeries() {
+			if s.hist == nil {
+				continue
+			}
+			bs := s.hist.bucketExemplars()
+			if len(bs) == 0 {
+				continue
+			}
+			_, key := canonLabels(s.labels)
+			out[f.name] = append(out[f.name], SeriesExemplars{Labels: key, Buckets: bs})
+		}
+	}
+	return out
 }
 
 // Snapshot returns a point-in-time copy. Concurrent Observes may land

@@ -177,10 +177,48 @@ func Deadline(max time.Duration) Middleware {
 	}
 }
 
+// Tracing roots a span tree for each request (adopting an inbound
+// traceparent so node-side spans stitch under the router's RPC span),
+// feeds the finished request into the SLO engine, and hands the trace
+// to the tracer's tail-based keep decision: SLO breaches and 5xx are
+// always captured, the rest sampled. Either tracer or slo may be nil;
+// with both nil the middleware is a pass-through.
+func Tracing(tracer *Tracer, slo *SLO, route func(*http.Request) string) Middleware {
+	return func(next http.Handler) http.Handler {
+		if tracer == nil && slo == nil {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rt := route(r)
+			ctx, root := tracer.StartTrace(r.Context(), rt, r.Header.Get(TraceParentHeader))
+			root.Annotate("method", r.Method)
+			if id := RequestIDFrom(ctx); id != "" {
+				root.Annotate("request_id", id)
+			}
+			start := time.Now()
+			sw := wrapWriter(w)
+			next.ServeHTTP(sw, r.WithContext(ctx))
+			dur := time.Since(start)
+			code := sw.statusCode()
+			slo.Observe(rt, dur, code)
+			root.Annotate("status", strconv.Itoa(code))
+			root.End(nil)
+			// A 5xx on an SLO-exempt probe route is an expected boot
+			// signal (/readyz answers 503 until recovery); keeping every
+			// one would let a fast readiness poller fill the trace ring
+			// before the first real request.
+			errored := code >= 500 && !slo.Exempted(rt)
+			tracer.Finish(TraceFrom(ctx), code, slo.Breached(rt, dur, code), errored)
+		})
+	}
+}
+
 // Metrics records http_requests_total{route,code},
 // http_request_duration_seconds{route} and http_inflight_requests
 // into reg. route maps a request to a bounded label value (use
-// patterns like "/documents/{id}", never raw paths).
+// patterns like "/documents/{id}", never raw paths). Duration
+// observations carry the trace ID as a bucket exemplar when the
+// request is traced (place Metrics inside Tracing in the chain).
 func Metrics(reg *Registry, route func(*http.Request) string) Middleware {
 	inflight := reg.Gauge("http_inflight_requests", "Requests currently being served.")
 	return func(next http.Handler) http.Handler {
@@ -192,7 +230,7 @@ func Metrics(reg *Registry, route func(*http.Request) string) Middleware {
 			defer func() {
 				inflight.Add(-1)
 				reg.Histogram("http_request_duration_seconds",
-					"Wall time per request by route.", nil, L("route", rt)).ObserveSince(start)
+					"Wall time per request by route.", nil, L("route", rt)).ObserveSinceCtx(r.Context(), start)
 				reg.Counter("http_requests_total",
 					"Requests served by route and status code.",
 					L("route", rt), L("code", strconv.Itoa(sw.statusCode()))).Inc()
@@ -203,10 +241,11 @@ func Metrics(reg *Registry, route func(*http.Request) string) Middleware {
 }
 
 // RequestLog emits one structured line per completed request —
-// route, status, request ID, duration, shard count — when enabled.
-// Both binaries share it behind their -log-requests flag; shards
-// reports the serving shard count (0 while a server is still
-// loading).
+// route, status, request ID, trace ID, duration, shard count — when
+// enabled. Both binaries share it behind their -log-requests flag;
+// shards reports the serving shard count (0 while a server is still
+// loading). trace= is "-" for untraced requests so the line shape
+// stays fixed for log parsers.
 func RequestLog(enabled bool, route func(*http.Request) string, shards func() int) Middleware {
 	return func(next http.Handler) http.Handler {
 		if !enabled {
@@ -216,8 +255,12 @@ func RequestLog(enabled bool, route func(*http.Request) string, shards func() in
 			start := time.Now()
 			sw := wrapWriter(w)
 			next.ServeHTTP(sw, r)
-			log.Printf("request id=%s route=%s method=%s status=%d dur=%s shards=%d",
-				RequestIDFrom(r.Context()), route(r), r.Method, sw.statusCode(),
+			trace := TraceIDFrom(r.Context())
+			if trace == "" {
+				trace = "-"
+			}
+			log.Printf("request id=%s trace=%s route=%s method=%s status=%d dur=%s shards=%d",
+				RequestIDFrom(r.Context()), trace, route(r), r.Method, sw.statusCode(),
 				time.Since(start).Round(time.Microsecond), shards())
 		})
 	}

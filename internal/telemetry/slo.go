@@ -1,0 +1,339 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SLOObjective is one route's service-level objective: a latency
+// threshold with a target fraction of requests under it, and an
+// availability (non-5xx) target.
+type SLOObjective struct {
+	// LatencyThreshold is the "fast enough" bound; requests over it
+	// are SLO-bad for the latency objective.
+	LatencyThreshold time.Duration `json:"latency_threshold_ms"`
+	// LatencyTarget is the fraction of requests expected under the
+	// threshold, e.g. 0.99.
+	LatencyTarget float64 `json:"latency_target"`
+	// AvailabilityTarget is the fraction of requests expected to not
+	// fail with a 5xx, e.g. 0.999.
+	AvailabilityTarget float64 `json:"availability_target"`
+}
+
+func (o SLOObjective) withDefaults() SLOObjective {
+	if o.LatencyThreshold <= 0 {
+		o.LatencyThreshold = 500 * time.Millisecond
+	}
+	if o.LatencyTarget <= 0 || o.LatencyTarget >= 1 {
+		o.LatencyTarget = 0.99
+	}
+	if o.AvailabilityTarget <= 0 || o.AvailabilityTarget >= 1 {
+		o.AvailabilityTarget = 0.999
+	}
+	return o
+}
+
+// MarshalJSON renders the threshold in integer milliseconds, matching
+// the field name.
+func (o SLOObjective) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		LatencyThresholdMs int64   `json:"latency_threshold_ms"`
+		LatencyTarget      float64 `json:"latency_target"`
+		AvailabilityTarget float64 `json:"availability_target"`
+	}{o.LatencyThreshold.Milliseconds(), o.LatencyTarget, o.AvailabilityTarget})
+}
+
+// SLOConfig sets the default objective and per-route overrides.
+type SLOConfig struct {
+	Default SLOObjective
+	// Routes overrides the objective for specific route labels (the
+	// same labels the Metrics middleware uses).
+	Routes map[string]SLOObjective
+	// Exempt lists routes excluded from objectives entirely — probe
+	// endpoints whose 5xx answers are expected signals, not failures
+	// (a booting node answers /readyz with 503 by design; counting
+	// that as burned error budget would page on every restart).
+	Exempt []string
+}
+
+// The burn-rate windows. Buckets are 10s wide and one hour is
+// retained, so the 5m/30m/1h windows all read from one ring.
+const (
+	sloBucketWidth = 10 * time.Second
+	sloBuckets     = 360 // 1h of 10s buckets
+)
+
+// burn-rate alert thresholds (Google SRE workbook multiwindow policy,
+// adapted to the 1h of history kept in memory).
+const (
+	burnPage = 14.4 // 2% of a 30-day budget in 1h
+	burnWarn = 6.0  // 5% of a 30-day budget in 6h
+)
+
+type sloBucket struct {
+	epoch  int64 // unix seconds / bucketWidth; stale buckets are skipped
+	total  uint64
+	slow   uint64
+	errors uint64
+}
+
+type routeSLO struct {
+	obj SLOObjective
+
+	mu      sync.Mutex
+	total   uint64
+	slow    uint64
+	errors  uint64
+	buckets [sloBuckets]sloBucket
+}
+
+// SLO tracks per-route compliance and multi-window burn rates. All
+// methods are safe for concurrent use and on a nil receiver, so
+// handlers without an SLO engine pay only a nil check.
+type SLO struct {
+	cfg    SLOConfig
+	reg    *Registry
+	now    func() time.Time
+	exempt map[string]bool
+
+	mu     sync.Mutex
+	routes map[string]*routeSLO
+}
+
+// NewSLO builds the engine. reg, when non-nil, receives
+// slo_burn_rate{route,objective,window} gauges as routes appear.
+func NewSLO(cfg SLOConfig, reg *Registry) *SLO {
+	cfg.Default = cfg.Default.withDefaults()
+	for k, o := range cfg.Routes {
+		cfg.Routes[k] = o.withDefaults()
+	}
+	exempt := make(map[string]bool, len(cfg.Exempt))
+	for _, r := range cfg.Exempt {
+		exempt[r] = true
+	}
+	return &SLO{cfg: cfg, reg: reg, now: time.Now, exempt: exempt, routes: make(map[string]*routeSLO)}
+}
+
+// Exempted reports whether route is excluded from objectives — probe
+// endpoints whose failures are expected boot signals. The Tracing
+// middleware also consults this to keep expected probe 5xx out of the
+// always-capture trace ring.
+func (s *SLO) Exempted(route string) bool {
+	return s != nil && s.exempt[route]
+}
+
+// Objective returns the objective governing route.
+func (s *SLO) Objective(route string) SLOObjective {
+	if s == nil {
+		return SLOObjective{}.withDefaults()
+	}
+	if o, ok := s.cfg.Routes[route]; ok {
+		return o
+	}
+	return s.cfg.Default
+}
+
+// Breached reports whether one finished request is SLO-bad — over the
+// route's latency threshold or a 5xx. The Trace middleware uses it for
+// the tail-based keep decision. Nil-safe: no engine, nothing breaches.
+func (s *SLO) Breached(route string, dur time.Duration, status int) bool {
+	if s == nil || s.exempt[route] {
+		return false
+	}
+	o := s.Objective(route)
+	return dur > o.LatencyThreshold || status >= 500
+}
+
+func (s *SLO) route(route string) *routeSLO {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs := s.routes[route]
+	if rs != nil {
+		return rs
+	}
+	rs = &routeSLO{obj: s.Objective(route)}
+	s.routes[route] = rs
+	if s.reg != nil {
+		for _, w := range []struct {
+			name string
+			d    time.Duration
+		}{{"5m", 5 * time.Minute}, {"30m", 30 * time.Minute}, {"1h", time.Hour}} {
+			w := w
+			s.reg.GaugeFunc("slo_burn_rate",
+				"Error-budget burn rate by route, objective and window (1.0 = burning exactly the budget).",
+				func() float64 { lb, _ := rs.burn(w.d, s.now()); return lb },
+				L("route", route), L("objective", "latency"), L("window", w.name))
+			s.reg.GaugeFunc("slo_burn_rate",
+				"Error-budget burn rate by route, objective and window (1.0 = burning exactly the budget).",
+				func() float64 { _, ab := rs.burn(w.d, s.now()); return ab },
+				L("route", route), L("objective", "availability"), L("window", w.name))
+		}
+	}
+	return rs
+}
+
+// Observe records one finished request. Exempt routes are dropped.
+func (s *SLO) Observe(route string, dur time.Duration, status int) {
+	if s == nil || s.exempt[route] {
+		return
+	}
+	rs := s.route(route)
+	now := s.now()
+	epoch := now.Unix() / int64(sloBucketWidth/time.Second)
+	slot := &rs.buckets[int(epoch)%sloBuckets]
+
+	rs.mu.Lock()
+	rs.total++
+	if slot.epoch != epoch {
+		*slot = sloBucket{epoch: epoch}
+	}
+	slot.total++
+	if dur > rs.obj.LatencyThreshold {
+		rs.slow++
+		slot.slow++
+	}
+	if status >= 500 {
+		rs.errors++
+		slot.errors++
+	}
+	rs.mu.Unlock()
+}
+
+// burn returns the latency and availability burn rates over the
+// trailing window: (bad fraction) / (error budget). 1.0 means the
+// budget is being spent exactly as fast as it accrues; 14.4 sustained
+// for an hour spends 2% of a 30-day budget.
+func (rs *routeSLO) burn(window time.Duration, now time.Time) (latency, availability float64) {
+	nowEpoch := now.Unix() / int64(sloBucketWidth/time.Second)
+	n := int(window / sloBucketWidth)
+	if n > sloBuckets {
+		n = sloBuckets
+	}
+	var total, slow, errors uint64
+	rs.mu.Lock()
+	for i := 0; i < n; i++ {
+		b := &rs.buckets[int(nowEpoch-int64(i))%sloBuckets]
+		if b.epoch != nowEpoch-int64(i) {
+			continue
+		}
+		total += b.total
+		slow += b.slow
+		errors += b.errors
+	}
+	rs.mu.Unlock()
+	if total == 0 {
+		return 0, 0
+	}
+	latency = (float64(slow) / float64(total)) / (1 - rs.obj.LatencyTarget)
+	availability = (float64(errors) / float64(total)) / (1 - rs.obj.AvailabilityTarget)
+	return latency, availability
+}
+
+// BurnRates is one objective's burn over the three windows, plus the
+// alert tier the multiwindow policy assigns: "page" when both the 5m
+// and 1h windows burn over 14.4, "warn" when both the 30m and 1h
+// windows burn over 6, "" otherwise.
+type BurnRates struct {
+	Burn5m  float64 `json:"burn_5m"`
+	Burn30m float64 `json:"burn_30m"`
+	Burn1h  float64 `json:"burn_1h"`
+	Alert   string  `json:"alert,omitempty"`
+}
+
+func (b BurnRates) withAlert() BurnRates {
+	switch {
+	case b.Burn5m > burnPage && b.Burn1h > burnPage:
+		b.Alert = "page"
+	case b.Burn30m > burnWarn && b.Burn1h > burnWarn:
+		b.Alert = "warn"
+	}
+	return b
+}
+
+// RouteSLOStatus is one row of GET /slo.
+type RouteSLOStatus struct {
+	Route     string       `json:"route"`
+	Objective SLOObjective `json:"objective"`
+	Requests  uint64       `json:"requests"`
+	Slow      uint64       `json:"slow"`
+	Errors    uint64       `json:"errors"`
+	// Compliance is the lifetime fraction meeting each objective.
+	LatencyCompliance      float64 `json:"latency_compliance"`
+	AvailabilityCompliance float64 `json:"availability_compliance"`
+	// Burn rates over the in-memory windows.
+	Latency      BurnRates `json:"latency_burn"`
+	Availability BurnRates `json:"availability_burn"`
+}
+
+// Status reports every observed route, sorted by route label.
+func (s *SLO) Status() []RouteSLOStatus {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	names := make([]string, 0, len(s.routes))
+	for name := range s.routes {
+		names = append(names, name)
+	}
+	rss := make(map[string]*routeSLO, len(names))
+	for _, name := range names {
+		rss[name] = s.routes[name]
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+
+	now := s.now()
+	out := make([]RouteSLOStatus, 0, len(names))
+	for _, name := range names {
+		rs := rss[name]
+		rs.mu.Lock()
+		total, slow, errs := rs.total, rs.slow, rs.errors
+		rs.mu.Unlock()
+		st := RouteSLOStatus{
+			Route:     name,
+			Objective: rs.obj,
+			Requests:  total,
+			Slow:      slow,
+			Errors:    errs,
+		}
+		if total > 0 {
+			st.LatencyCompliance = 1 - float64(slow)/float64(total)
+			st.AvailabilityCompliance = 1 - float64(errs)/float64(total)
+		}
+		var lat, avail BurnRates
+		lat.Burn5m, avail.Burn5m = rs.burn(5*time.Minute, now)
+		lat.Burn30m, avail.Burn30m = rs.burn(30*time.Minute, now)
+		lat.Burn1h, avail.Burn1h = rs.burn(time.Hour, now)
+		st.Latency = lat.withAlert()
+		st.Availability = avail.withAlert()
+		out = append(out, st)
+	}
+	return out
+}
+
+// Handler serves GET /slo: the default objective and per-route status.
+func (s *SLO) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		resp := struct {
+			Default SLOObjective     `json:"default_objective"`
+			Routes  []RouteSLOStatus `json:"routes"`
+		}{Routes: []RouteSLOStatus{}}
+		if s != nil {
+			resp.Default = s.cfg.Default
+			if routes := s.Status(); routes != nil {
+				resp.Routes = routes
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+	})
+}

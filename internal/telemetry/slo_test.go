@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the SLO ring deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func newFakeSLO(cfg SLOConfig) (*SLO, *fakeClock) {
+	s := NewSLO(cfg, nil)
+	c := newFakeClock()
+	s.now = c.now
+	return s, c
+}
+
+func TestSLOBreached(t *testing.T) {
+	s, _ := newFakeSLO(SLOConfig{
+		Default: SLOObjective{LatencyThreshold: 100 * time.Millisecond},
+		Routes:  map[string]SLOObjective{"/slow": {LatencyThreshold: time.Second}},
+	})
+	if s.Breached("/ask", 50*time.Millisecond, 200) {
+		t.Error("fast 200 flagged as breach")
+	}
+	if !s.Breached("/ask", 200*time.Millisecond, 200) {
+		t.Error("slow request not flagged")
+	}
+	if !s.Breached("/ask", time.Millisecond, 500) {
+		t.Error("5xx not flagged")
+	}
+	if s.Breached("/slow", 200*time.Millisecond, 200) {
+		t.Error("per-route override ignored: 200ms breaches the 1s route")
+	}
+	var nilSLO *SLO
+	if nilSLO.Breached("/ask", time.Hour, 500) {
+		t.Error("nil SLO must never breach")
+	}
+}
+
+// TestSLOExempt: probe routes opt out of objectives entirely — a
+// booting node's /readyz 503s are expected signals, and must neither
+// burn budget nor flag breaches (which would fill the trace ring).
+func TestSLOExempt(t *testing.T) {
+	s, _ := newFakeSLO(SLOConfig{
+		Default: SLOObjective{LatencyThreshold: 100 * time.Millisecond},
+		Exempt:  []string{"/readyz"},
+	})
+	if s.Breached("/readyz", time.Second, 503) {
+		t.Error("exempt route flagged as breach")
+	}
+	if !s.Exempted("/readyz") || s.Exempted("/ask") {
+		t.Error("Exempted() wrong for configured routes")
+	}
+	s.Observe("/readyz", time.Second, 503)
+	if len(s.Status()) != 0 {
+		t.Errorf("exempt route tracked: %+v", s.Status())
+	}
+	var nilSLO *SLO
+	if nilSLO.Exempted("/readyz") {
+		t.Error("nil SLO claims exemptions")
+	}
+}
+
+// TestSLOBurnRates: 50% bad at a 99% target burns 50x the budget —
+// page territory — and an idle window burns nothing.
+func TestSLOBurnRates(t *testing.T) {
+	s, clock := newFakeSLO(SLOConfig{
+		Default: SLOObjective{
+			LatencyThreshold:   100 * time.Millisecond,
+			LatencyTarget:      0.99,
+			AvailabilityTarget: 0.999,
+		},
+	})
+	// Spread traffic over 2 minutes so several ring buckets fill:
+	// half the requests are slow, one in ten errors.
+	for i := 0; i < 120; i++ {
+		dur := 10 * time.Millisecond
+		if i%2 == 0 {
+			dur = 300 * time.Millisecond
+		}
+		status := 200
+		if i%10 == 0 {
+			status = 502
+		}
+		s.Observe("/search", dur, status)
+		clock.advance(time.Second)
+	}
+
+	st := s.Status()
+	if len(st) != 1 || st[0].Route != "/search" {
+		t.Fatalf("status = %+v", st)
+	}
+	r := st[0]
+	if r.Requests != 120 || r.Slow != 60 || r.Errors != 12 {
+		t.Fatalf("counted requests=%d slow=%d errors=%d", r.Requests, r.Slow, r.Errors)
+	}
+	// Latency burn: 0.5 bad fraction / 0.01 budget = 50.
+	if math.Abs(r.Latency.Burn5m-50) > 0.5 || math.Abs(r.Latency.Burn1h-50) > 0.5 {
+		t.Errorf("latency burn 5m=%.1f 1h=%.1f, want ~50", r.Latency.Burn5m, r.Latency.Burn1h)
+	}
+	if r.Latency.Alert != "page" {
+		t.Errorf("latency alert = %q, want page (both windows over 14.4)", r.Latency.Alert)
+	}
+	// Availability burn: 0.1 bad fraction / 0.001 budget = 100.
+	if math.Abs(r.Availability.Burn5m-100) > 1 {
+		t.Errorf("availability burn 5m=%.1f, want ~100", r.Availability.Burn5m)
+	}
+	if r.LatencyCompliance != 0.5 {
+		t.Errorf("latency compliance %.3f, want 0.5", r.LatencyCompliance)
+	}
+
+	// An hour of silence later, the windows are empty and the alert
+	// clears, while lifetime counters persist.
+	clock.advance(61 * time.Minute)
+	r = s.Status()[0]
+	if r.Latency.Burn5m != 0 || r.Latency.Burn1h != 0 || r.Latency.Alert != "" {
+		t.Errorf("stale windows still burn: %+v", r.Latency)
+	}
+	if r.Requests != 120 {
+		t.Errorf("lifetime counter lost: %d", r.Requests)
+	}
+}
+
+// TestSLOWindowSeparation: a burst that ended 10 minutes ago has left
+// the 5m window but still shows in 30m and 1h.
+func TestSLOWindowSeparation(t *testing.T) {
+	s, clock := newFakeSLO(SLOConfig{
+		Default: SLOObjective{LatencyThreshold: 100 * time.Millisecond},
+	})
+	for i := 0; i < 30; i++ {
+		s.Observe("/ask", 500*time.Millisecond, 200) // all slow
+		clock.advance(time.Second)
+	}
+	clock.advance(10 * time.Minute)
+	r := s.Status()[0]
+	if r.Latency.Burn5m != 0 {
+		t.Errorf("5m window still sees a 10-minute-old burst: %.1f", r.Latency.Burn5m)
+	}
+	if r.Latency.Burn30m == 0 || r.Latency.Burn1h == 0 {
+		t.Errorf("30m/1h windows lost the burst: %+v", r.Latency)
+	}
+	if r.Latency.Alert == "page" {
+		t.Errorf("multiwindow policy paged without 5m burn: %+v", r.Latency)
+	}
+}
+
+// TestSLOGauges: registering with a registry exposes slo_burn_rate
+// gauges per route, objective, and window.
+func TestSLOGauges(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSLO(SLOConfig{Default: SLOObjective{LatencyThreshold: 10 * time.Millisecond}}, reg)
+	c := newFakeClock()
+	s.now = c.now
+	s.Observe("/ask", time.Second, 200)
+
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		`slo_burn_rate{objective="latency",route="/ask",window="5m"}`,
+		`slo_burn_rate{objective="availability",route="/ask",window="1h"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %s", want)
+		}
+	}
+}
+
+// TestSLOHandler: GET /slo round-trips to JSON with the objective in
+// integer milliseconds.
+func TestSLOHandler(t *testing.T) {
+	s, _ := newFakeSLO(SLOConfig{
+		Default: SLOObjective{LatencyThreshold: 250 * time.Millisecond},
+	})
+	s.Observe("/ask", time.Second, 200)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp struct {
+		Default struct {
+			LatencyThresholdMs int64 `json:"latency_threshold_ms"`
+		} `json:"default_objective"`
+		Routes []struct {
+			Route string `json:"route"`
+			Slow  uint64 `json:"slow"`
+		} `json:"routes"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Default.LatencyThresholdMs != 250 {
+		t.Errorf("default threshold %dms, want 250", resp.Default.LatencyThresholdMs)
+	}
+	if len(resp.Routes) != 1 || resp.Routes[0].Route != "/ask" || resp.Routes[0].Slow != 1 {
+		t.Errorf("routes = %+v", resp.Routes)
+	}
+
+	// POST is rejected; a nil engine still serves an empty document.
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/slo", nil))
+	if rec.Code != 405 {
+		t.Errorf("POST status %d, want 405", rec.Code)
+	}
+	var nilSLO *SLO
+	rec = httptest.NewRecorder()
+	nilSLO.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
+	if rec.Code != 200 {
+		t.Errorf("nil engine status %d, want 200", rec.Code)
+	}
+}

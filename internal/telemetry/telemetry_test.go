@@ -16,13 +16,13 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 		v      float64
 		bucket int
 	}{
-		{0, 0},        // below every bound → first bucket
-		{0.001, 0},    // exactly on a bound → that bucket (le semantics)
-		{0.0011, 1},   // just above → next bucket
-		{0.01, 1},     //
-		{0.05, 2},     //
-		{0.1, 2},      // last finite bound
-		{0.11, 3},     // beyond the last bound → +Inf
+		{0, 0},      // below every bound → first bucket
+		{0.001, 0},  // exactly on a bound → that bucket (le semantics)
+		{0.0011, 1}, // just above → next bucket
+		{0.01, 1},   //
+		{0.05, 2},   //
+		{0.1, 2},    // last finite bound
+		{0.11, 3},   // beyond the last bound → +Inf
 		{math.Inf(1), 3},
 	}
 	for _, c := range cases {
