@@ -116,35 +116,55 @@ func newBreaker(cfg ResilienceConfig) *breaker {
 }
 
 // allow reports whether a request may proceed, transitioning an open
-// breaker to half-open once the cooldown has elapsed. transition is
-// the state newly entered ("" when none) so the caller can emit the
-// span annotation.
-func (b *breaker) allow(now time.Time) (ok bool, transition string) {
+// breaker to half-open once the cooldown has elapsed. trial is true
+// when this admission took the single half-open trial slot — the
+// caller then owns the slot and must resolve it with success(),
+// failure(), or release(); leaking it would fast-fail the backend
+// until the next state change. transition is the state newly entered
+// ("" when none) so the caller can emit the span annotation.
+func (b *breaker) allow(now time.Time) (ok, trial bool, transition string) {
 	if b == nil {
-		return true, ""
+		return true, false, ""
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
-		return true, ""
+		return true, false, ""
 	case breakerOpen:
 		if now.Sub(b.openedAt) < b.cooldown {
 			b.fastFails.Add(1)
-			return false, ""
+			return false, false, ""
 		}
 		b.state = breakerHalfOpen
 		b.halfOpens.Add(1)
 		b.trialBusy = true
-		return true, "half-open"
+		return true, true, "half-open"
 	default: // half-open
 		if b.trialBusy {
 			b.fastFails.Add(1)
-			return false, ""
+			return false, false, ""
 		}
 		b.trialBusy = true
-		return true, ""
+		return true, true, ""
 	}
+}
+
+// release hands back a half-open trial slot whose attempt's outcome
+// says nothing about the backend — the caller's context gave up, or a
+// hedge race was decided elsewhere. The state stays half-open so the
+// next allow admits a fresh trial instead of fast-failing forever. A
+// no-op unless the breaker is still half-open: success() and
+// failure() already clear the slot on their transitions.
+func (b *breaker) release() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.state == breakerHalfOpen {
+		b.trialBusy = false
+	}
+	b.mu.Unlock()
 }
 
 // success records one completed request, closing a half-open breaker.

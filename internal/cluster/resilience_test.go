@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -15,17 +16,18 @@ func TestBreakerStateMachine(t *testing.T) {
 	b := newBreaker(ResilienceConfig{BreakerThreshold: 3, BreakerCooldown: time.Minute}.withDefaults())
 	now := time.Unix(1_700_000_000, 0)
 
-	// Closed admits everything; failures below threshold stay closed.
+	// Closed admits everything (no trial slot held); failures below
+	// threshold stay closed.
 	for i := 0; i < 2; i++ {
-		if ok, _ := b.allow(now); !ok {
-			t.Fatal("closed breaker denied a request")
+		if ok, trial, _ := b.allow(now); !ok || trial {
+			t.Fatalf("closed breaker allow = (%v, trial=%v), want (true, false)", ok, trial)
 		}
 		if tr := b.failure(now); tr != "" {
 			t.Fatalf("failure %d transitioned to %q early", i+1, tr)
 		}
 	}
 	// Third consecutive failure opens.
-	if ok, _ := b.allow(now); !ok {
+	if ok, _, _ := b.allow(now); !ok {
 		t.Fatal("still-closed breaker denied a request")
 	}
 	if tr := b.failure(now); tr != "open" {
@@ -36,20 +38,21 @@ func TestBreakerStateMachine(t *testing.T) {
 	}
 
 	// Open fast-fails until the cooldown elapses.
-	if ok, _ := b.allow(now.Add(time.Second)); ok {
+	if ok, _, _ := b.allow(now.Add(time.Second)); ok {
 		t.Fatal("open breaker admitted a request inside the cooldown")
 	}
 	if b.fastFails.Load() != 1 {
 		t.Fatalf("fastFails = %d, want 1", b.fastFails.Load())
 	}
 
-	// After the cooldown, exactly one half-open trial is admitted.
+	// After the cooldown, exactly one half-open trial is admitted, and
+	// the admission hands its holder the trial slot.
 	later := now.Add(2 * time.Minute)
-	ok, tr := b.allow(later)
-	if !ok || tr != "half-open" {
-		t.Fatalf("post-cooldown allow = (%v, %q), want (true, half-open)", ok, tr)
+	ok, trial, tr := b.allow(later)
+	if !ok || !trial || tr != "half-open" {
+		t.Fatalf("post-cooldown allow = (%v, %v, %q), want (true, true, half-open)", ok, trial, tr)
 	}
-	if ok, _ := b.allow(later); ok {
+	if ok, _, _ := b.allow(later); ok {
 		t.Fatal("second request admitted while the half-open trial is in flight")
 	}
 
@@ -58,13 +61,13 @@ func TestBreakerStateMachine(t *testing.T) {
 		t.Fatalf("failed trial transitioned to %q, want open", tr)
 	}
 	evenLater := later.Add(2 * time.Minute)
-	if ok, tr := b.allow(evenLater); !ok || tr != "half-open" {
+	if ok, trial, tr := b.allow(evenLater); !ok || !trial || tr != "half-open" {
 		t.Fatal("breaker did not re-enter half-open after the second cooldown")
 	}
 	if tr := b.success(); tr != "closed" {
 		t.Fatalf("successful trial transitioned to %q, want closed", tr)
 	}
-	if ok, _ := b.allow(evenLater); !ok {
+	if ok, _, _ := b.allow(evenLater); !ok {
 		t.Fatal("closed breaker denied a request after recovery")
 	}
 
@@ -78,11 +81,45 @@ func TestBreakerStateMachine(t *testing.T) {
 
 	// Nil breaker (resilience disabled) admits everything.
 	var nb *breaker
-	if ok, _ := nb.allow(now); !ok {
+	if ok, _, _ := nb.allow(now); !ok {
 		t.Fatal("nil breaker denied a request")
 	}
 	nb.success()
 	nb.failure(now)
+	nb.release()
+}
+
+// TestBreakerRelease: a half-open trial whose outcome says nothing
+// about the backend (caller cancellation, decided hedge race) hands
+// its slot back, so the next request is admitted as a fresh trial
+// instead of fast-failing until a restart.
+func TestBreakerRelease(t *testing.T) {
+	b := newBreaker(ResilienceConfig{BreakerThreshold: 1, BreakerCooldown: time.Minute}.withDefaults())
+	now := time.Unix(1_700_000_000, 0)
+	b.allow(now)
+	if tr := b.failure(now); tr != "open" {
+		t.Fatalf("first failure transitioned to %q, want open", tr)
+	}
+
+	later := now.Add(2 * time.Minute)
+	if ok, trial, _ := b.allow(later); !ok || !trial {
+		t.Fatal("post-cooldown trial not admitted")
+	}
+	// The trial's context dies: released, never reported.
+	b.release()
+	ok, trial, _ := b.allow(later)
+	if !ok || !trial {
+		t.Fatal("breaker wedged: released trial slot not re-admitted")
+	}
+	if tr := b.success(); tr != "closed" {
+		t.Fatalf("second trial's success transitioned to %q, want closed", tr)
+	}
+	// release on a closed breaker is a no-op — it must not clear a
+	// slot it does not hold.
+	b.release()
+	if ok, _, _ := b.allow(later); !ok {
+		t.Fatal("closed breaker denied a request after release no-op")
+	}
 }
 
 func TestJitteredBackoffBounds(t *testing.T) {
@@ -243,6 +280,205 @@ func TestRouterReadRetry(t *testing.T) {
 	}
 	if got := r.Stats().ReadRetries; got != before+1 {
 		t.Fatalf("ReadRetries = %d, want %d (one extra round)", got, before+1)
+	}
+}
+
+// blockingBackend stalls SearchVector until the request context dies
+// while block is set — the shape of an attempt whose caller gave up.
+type blockingBackend struct {
+	Backend
+	block atomic.Bool
+}
+
+func (b *blockingBackend) SearchVector(ctx context.Context, vec []float32, k int) ([]vecdb.Hit, error) {
+	if b.block.Load() {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return b.Backend.SearchVector(ctx, vec, k)
+}
+
+// TestRouterBreakerTrialNotLeakedOnCtxFailure: a half-open trial whose
+// caller context expires mid-flight says nothing about the backend,
+// but it must hand its trial slot back — the regression here left
+// trialBusy set forever, fast-failing the backend until restart.
+func TestRouterBreakerTrialNotLeakedOnCtxFailure(t *testing.T) {
+	const dim = 32
+	db := newLocalDB(t, dim)
+	lb, _ := NewLocalBackend("only", db)
+	flaky := &flakyBackend{Backend: lb}
+	blocking := &blockingBackend{Backend: flaky}
+	cfg := HealthConfig{
+		Interval:      time.Hour,
+		FailThreshold: 100,
+		Resilience:    ResilienceConfig{BreakerThreshold: 1, BreakerCooldown: 10 * time.Millisecond},
+	}
+	r, err := NewRouter([]ShardBackends{{Primary: blocking}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	seedRouter(t, r, corpus[:2])
+	vec, _ := vecdb.NewHashedEmbedder(dim)
+	v, err := vec.Embed("annual leave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// One live failure opens the breaker (threshold 1).
+	flaky.broken.Store(true)
+	if _, err := r.SearchVector(ctx, v, 2); err == nil {
+		t.Fatal("read succeeded against a broken backend")
+	}
+	flaky.broken.Store(false)
+
+	// Past the cooldown, the half-open trial is admitted but the
+	// caller's own deadline expires mid-flight: no verdict either way.
+	time.Sleep(20 * time.Millisecond)
+	blocking.block.Store(true)
+	tctx, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
+	if _, err := r.SearchVector(tctx, v, 2); err == nil {
+		t.Fatal("read succeeded while the backend was stalled")
+	}
+	cancel()
+	blocking.block.Store(false)
+
+	// The slot must have been released: the next read is admitted as a
+	// fresh trial and closes the breaker. With the leak it fast-failed
+	// here forever.
+	hits, err := r.SearchVector(ctx, v, 2)
+	if err != nil {
+		t.Fatalf("breaker wedged after an unresolved trial: %v", err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no hits after breaker recovery")
+	}
+	for _, sh := range r.Health() {
+		for _, b := range sh.Backends {
+			if b.Breaker != "closed" {
+				t.Errorf("backend %s breaker %q after successful trial, want closed", b.Name, b.Breaker)
+			}
+		}
+	}
+}
+
+// TestHedgedSearchAdmitsOnlyLaunchedTrials: hedging must not consume a
+// replica's half-open trial slot for candidates the race never
+// launches. The regression admitted every serving candidate up front;
+// when the primary kept winning before the hedge timer, the replica's
+// trial leaked and the replica was lost to reads until restart.
+func TestHedgedSearchAdmitsOnlyLaunchedTrials(t *testing.T) {
+	const dim = 32
+	primaryDB, replicaDB := newLocalDB(t, dim), newLocalDB(t, dim)
+	pb, _ := NewLocalBackend("primary", primaryDB)
+	rb, _ := NewLocalBackend("replica", replicaDB)
+	flakyP := &flakyBackend{Backend: pb}
+	flakyR := &flakyBackend{Backend: rb}
+	cfg := HealthConfig{
+		Interval:      time.Hour,
+		FailThreshold: 100,
+		Resilience: ResilienceConfig{
+			BreakerThreshold: 1,
+			BreakerCooldown:  10 * time.Millisecond,
+			HedgeAfter:       50 * time.Millisecond,
+		},
+	}
+	r, err := NewRouter([]ShardBackends{{Primary: flakyP, Replicas: []Backend{flakyR}}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	seedRouter(t, r, corpus[:3])
+	vec, _ := vecdb.NewHashedEmbedder(dim)
+	v, err := vec.Embed("shopkeepers required")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Break both backends: one hedged read fails over through both and
+	// opens both breakers.
+	flakyP.broken.Store(true)
+	flakyR.broken.Store(true)
+	if _, err := r.SearchVector(ctx, v, 2); err == nil {
+		t.Fatal("read succeeded with both backends broken")
+	}
+	flakyP.broken.Store(false)
+	time.Sleep(20 * time.Millisecond) // both cooldowns elapse
+
+	// Fast primary reads: each closes/keeps the primary healthy and
+	// must not touch the replica's (still pending) half-open trial.
+	for i := 0; i < 3; i++ {
+		if _, err := r.SearchVector(ctx, v, 2); err != nil {
+			t.Fatalf("read %d failed via healthy primary: %v", i, err)
+		}
+	}
+
+	// Now the primary breaks and the replica recovers: the failover
+	// must be admitted as the replica's half-open trial. With the
+	// up-front admission leak, the slot was already consumed and the
+	// read fast-failed.
+	flakyR.broken.Store(false)
+	flakyP.broken.Store(true)
+	hits, err := r.SearchVector(ctx, v, 2)
+	if err != nil {
+		t.Fatalf("failover to recovered replica failed (leaked trial slot?): %v", err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no hits from replica failover")
+	}
+}
+
+// TestRouterGetMissResetsBreakerStreak: an authoritative not-found is
+// a healthy backend answering correctly, so it must reset the
+// breaker's consecutive-failure streak — sparse transient errors
+// interleaved with healthy misses must not accumulate to the
+// threshold and open the breaker.
+func TestRouterGetMissResetsBreakerStreak(t *testing.T) {
+	const dim = 32
+	db := newLocalDB(t, dim)
+	lb, _ := NewLocalBackend("only", db)
+	flaky := &flakyBackend{Backend: lb}
+	cfg := HealthConfig{
+		Interval:      time.Hour,
+		FailThreshold: 100,
+		Resilience:    ResilienceConfig{BreakerThreshold: 2, BreakerCooldown: time.Hour},
+	}
+	r, err := NewRouter([]ShardBackends{{Primary: flaky}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	ids := seedRouter(t, r, corpus[:2])
+	ctx := context.Background()
+
+	// Transient failure, healthy miss, transient failure: the miss
+	// resets the streak so the breaker (threshold 2) stays closed.
+	flaky.broken.Store(true)
+	if _, err := r.Get(ctx, ids[0]); err == nil {
+		t.Fatal("get succeeded against a broken backend")
+	}
+	flaky.broken.Store(false)
+	if _, err := r.Get(ctx, 999); !errors.Is(err, vecdb.ErrNotFound) {
+		t.Fatalf("get(999) = %v, want ErrNotFound", err)
+	}
+	flaky.broken.Store(true)
+	if _, err := r.Get(ctx, ids[0]); err == nil {
+		t.Fatal("get succeeded against a broken backend")
+	}
+	flaky.broken.Store(false)
+
+	// Still closed: this read must reach the backend and succeed.
+	if _, err := r.Get(ctx, ids[0]); err != nil {
+		t.Fatalf("breaker opened despite a healthy miss resetting the streak: %v", err)
+	}
+	for _, sh := range r.Health() {
+		for _, b := range sh.Backends {
+			if b.Breaker != "closed" {
+				t.Errorf("backend %s breaker %q, want closed", b.Name, b.Breaker)
+			}
+		}
 	}
 }
 

@@ -184,9 +184,13 @@ func ctxFailure(ctx context.Context, err error) bool {
 // allowRead asks h's breaker (when armed) whether a read should even
 // be sent. A denial is a fast-fail: counted, annotated on the current
 // span, and the router moves on to the next backend with zero network
-// wait.
-func (r *Router) allowRead(ctx context.Context, h *backendHealth) bool {
-	ok, transition := h.br.allow(time.Now())
+// wait. trial is true when the admission took the breaker's half-open
+// trial slot — the caller must then resolve the attempt via
+// liveSuccess, liveFailure, or (when the outcome says nothing about
+// the backend) releaseTrial, or the breaker fast-fails the backend
+// until its next state change.
+func (r *Router) allowRead(ctx context.Context, h *backendHealth) (ok, trial bool) {
+	ok, trial, transition := h.br.allow(time.Now())
 	if transition != "" {
 		telemetry.SpanFrom(ctx).Event("breaker half-open trial: " + h.backend.Name())
 	}
@@ -194,7 +198,16 @@ func (r *Router) allowRead(ctx context.Context, h *backendHealth) bool {
 		r.breakerFastFails.Add(1)
 		telemetry.SpanFrom(ctx).Event("breaker open: skipped " + h.backend.Name())
 	}
-	return ok
+	return ok, trial
+}
+
+// releaseTrial returns h's half-open trial slot when this attempt
+// held it but finished without a verdict on the backend (the caller's
+// own context gave up, or the attempt lost a decided hedge race).
+func releaseTrial(h *backendHealth, trial bool) {
+	if trial {
+		h.br.release()
+	}
 }
 
 // liveSuccess reports one successful live request to the health state
@@ -264,7 +277,8 @@ func (r *Router) searchShard(ctx context.Context, si int, vec []float32, k int) 
 			if !h.serving() {
 				continue
 			}
-			if !r.allowRead(ctx, h) {
+			allowed, trial := r.allowRead(ctx, h)
+			if !allowed {
 				continue
 			}
 			attempts++
@@ -281,6 +295,7 @@ func (r *Router) searchShard(ctx context.Context, si int, vec []float32, k int) 
 				return hits, nil
 			}
 			if ctxFailure(ctx, err) {
+				releaseTrial(h, trial)
 				return nil, err
 			}
 			r.liveFailure(sp, h, err)
@@ -305,7 +320,7 @@ func (r *Router) hedgedSearch(ctx context.Context, si int, vec []float32, k int)
 	res := r.cfg.Resilience
 	var cands []*backendHealth
 	for _, h := range r.shards[si] {
-		if h.serving() && r.allowRead(ctx, h) {
+		if h.serving() {
 			cands = append(cands, h)
 		}
 	}
@@ -329,36 +344,59 @@ func (r *Router) hedgedSearch(ctx context.Context, si int, vec []float32, k int)
 	defer cancel()
 	resCh := make(chan attemptResult, len(cands))
 	next := 0
-	launch := func(hedge bool) {
-		h := cands[next]
-		next++
-		if hedge {
-			r.hedges.Add(1)
-			telemetry.SpanFrom(ctx).Event("hedge launched: " + h.backend.Name())
-		}
-		go func() {
-			actx, sp := telemetry.StartSpan(hctx, "shard_read")
-			sp.Annotate("backend", h.backend.Name())
-			sp.Annotate("shard", strconv.Itoa(si))
+	var first *backendHealth
+	// launch starts the next breaker-admitted candidate, reporting
+	// whether an attempt is now in flight. Breaker admission happens
+	// here — at the moment the attempt actually launches — so a
+	// half-open trial slot is only ever taken by an attempt that will
+	// resolve it, never by a candidate the race ends up not needing.
+	launch := func(hedge bool) bool {
+		for next < len(cands) {
+			h := cands[next]
+			next++
+			allowed, trial := r.allowRead(ctx, h)
+			if !allowed {
+				continue
+			}
+			if first == nil {
+				first = h
+			}
 			if hedge {
-				sp.Annotate("hedge", "true")
+				r.hedges.Add(1)
+				telemetry.SpanFrom(ctx).Event("hedge launched: " + h.backend.Name())
 			}
-			hits, err := h.backend.SearchVector(actx, vec, k)
-			sp.End(err)
-			switch {
-			case err == nil:
-				r.liveSuccess(sp, h)
-			case hctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
-				// The losing attempt of a decided race (or a caller that
-				// gave up): not the backend's fault, no health penalty.
-			default:
-				r.liveFailure(sp, h, err)
-			}
-			resCh <- attemptResult{h: h, hedge: hedge, hits: hits, err: err}
-		}()
+			go func() {
+				actx, sp := telemetry.StartSpan(hctx, "shard_read")
+				sp.Annotate("backend", h.backend.Name())
+				sp.Annotate("shard", strconv.Itoa(si))
+				if hedge {
+					sp.Annotate("hedge", "true")
+				}
+				hits, err := h.backend.SearchVector(actx, vec, k)
+				sp.End(err)
+				switch {
+				case err == nil:
+					r.liveSuccess(sp, h)
+				case hctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+					// The losing attempt of a decided race (or a caller that
+					// gave up): not the backend's fault, no health penalty —
+					// but a held half-open trial slot goes back.
+					releaseTrial(h, trial)
+				default:
+					r.liveFailure(sp, h, err)
+				}
+				resCh <- attemptResult{h: h, hedge: hedge, hits: hits, err: err}
+			}()
+			return true
+		}
+		return false
 	}
 
-	launch(false)
+	if !launch(false) {
+		// Every serving candidate fast-failed at its breaker; let the
+		// sequential path (with its retry rounds) produce the error.
+		return nil, false, nil
+	}
 	inFlight := 1
 	var timerC <-chan time.Time
 	if hedgeArmed {
@@ -371,14 +409,13 @@ func (r *Router) hedgedSearch(ctx context.Context, si int, vec []float32, k int)
 		select {
 		case <-timerC:
 			timerC = nil
-			if next < len(cands) {
-				launch(true)
+			if launch(true) {
 				inFlight++
 			}
 		case ar := <-resCh:
 			inFlight--
 			if ar.err == nil {
-				if ar.h != cands[0] {
+				if ar.h != first {
 					r.failovers.Add(1)
 				}
 				if ar.hedge {
@@ -394,8 +431,7 @@ func (r *Router) hedgedSearch(ctx context.Context, si int, vec []float32, k int)
 			lastErr = ar.err
 			// Failure before the timer: fail over to the next candidate
 			// now rather than waiting out HedgeAfter.
-			if next < len(cands) {
-				launch(false)
+			if launch(false) {
 				inFlight++
 			}
 			if inFlight == 0 {
@@ -529,7 +565,8 @@ func (r *Router) Get(ctx context.Context, id int64) (vecdb.Document, error) {
 			if !h.serving() {
 				continue
 			}
-			if !r.allowRead(ctx, h) {
+			allowed, trial := r.allowRead(ctx, h)
+			if !allowed {
 				continue
 			}
 			attempts++
@@ -545,8 +582,13 @@ func (r *Router) Get(ctx context.Context, id int64) (vecdb.Document, error) {
 				r.liveSuccess(sp, h)
 				return doc, nil
 			case errors.Is(err, vecdb.ErrNotFound):
+				// An authoritative miss is a healthy backend answering
+				// correctly: credit it to the breaker and the failure
+				// streak before returning the not-found upward.
+				r.liveSuccess(sp, h)
 				return vecdb.Document{}, err
 			case ctxFailure(ctx, err):
+				releaseTrial(h, trial)
 				return vecdb.Document{}, err
 			}
 			r.liveFailure(sp, h, err)

@@ -425,7 +425,7 @@ func (s *ShardedDB) SearchContext(ctx context.Context, query string, k int) ([]v
 		return nil, fmt.Errorf("serve: embed query: %w", err)
 	}
 	if t != nil {
-		t.embed.ObserveTrace(time.Since(start).Seconds(), telemetry.TraceIDFrom(ctx))
+		t.embed.ObserveSinceCtx(ctx, start)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

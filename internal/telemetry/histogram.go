@@ -27,8 +27,11 @@ type Histogram struct {
 	bounds []float64       // sorted upper bounds; len(counts) = len(bounds)+1
 	counts []atomic.Uint64 // counts[len(bounds)] is the +Inf bucket
 	sum    atomic.Uint64   // float64 bits, CAS-updated
-	// exemplars holds, per bucket, the most recent traced observation
-	// — the histogram→trace link. Kept out of the Prometheus text
+	// exemplars holds, per bucket, the most recent observation from a
+	// trace the tracer kept — the histogram→trace link. Stamped by
+	// Tracer.Finish rather than at observe time, so every exemplar
+	// trace ID resolves in the trace ring instead of dangling when the
+	// sampler drops the trace. Kept out of the Prometheus text
 	// exposition (the 0.0.4 format has no exemplar syntax); rendered
 	// by GET /debug/traces instead.
 	exemplars []atomic.Pointer[Exemplar]
@@ -84,32 +87,52 @@ func (h *Histogram) ObserveSince(start time.Time) {
 	h.Observe(time.Since(start).Seconds())
 }
 
-// ObserveTrace records v and, when traceID is non-empty, stamps the
-// landing bucket's exemplar with it. The exemplar write is a single
-// pointer store — last writer wins, no contention with Observe.
-func (h *Histogram) ObserveTrace(v float64, traceID string) {
+// ObserveCtx records v and, when ctx carries a trace, queues the
+// landing bucket's exemplar against that trace. The exemplar becomes
+// visible only if Tracer.Finish keeps the trace — stamped then, with
+// the observation's original timestamp — so /debug/traces never links
+// a bucket to a trace ID the sampler dropped from the ring.
+func (h *Histogram) ObserveCtx(ctx context.Context, v float64) {
 	if h == nil {
 		return
 	}
 	h.Observe(v)
-	if traceID == "" {
-		return
+	if tr := TraceFrom(ctx); tr != nil {
+		tr.addExemplar(pendingExemplar{
+			hist:   h,
+			bucket: sort.SearchFloat64s(h.bounds, v),
+			value:  v,
+			at:     time.Now(),
+		})
 	}
-	h.exemplars[sort.SearchFloat64s(h.bounds, v)].Store(&Exemplar{
-		Value:   v,
-		TraceID: traceID,
-		At:      time.Now(),
-	})
 }
 
-// ObserveSinceCtx records the seconds elapsed since start, tagging the
-// bucket exemplar with ctx's trace ID when the call runs inside a
-// traced request.
+// ObserveSinceCtx records the seconds elapsed since start, queuing a
+// bucket exemplar against ctx's trace as ObserveCtx does.
 func (h *Histogram) ObserveSinceCtx(ctx context.Context, start time.Time) {
 	if h == nil {
 		return
 	}
-	h.ObserveTrace(time.Since(start).Seconds(), TraceIDFrom(ctx))
+	h.ObserveCtx(ctx, time.Since(start).Seconds())
+}
+
+// pendingExemplar is one observation waiting on the tracer's keep
+// decision for its trace; stampExemplar writes it into the bucket.
+type pendingExemplar struct {
+	hist   *Histogram
+	bucket int
+	value  float64
+	at     time.Time
+}
+
+// stampExemplar publishes a kept trace's observation as the bucket's
+// exemplar. The write is a single pointer store — last writer wins.
+func (p pendingExemplar) stampExemplar(traceID string) {
+	p.hist.exemplars[p.bucket].Store(&Exemplar{
+		Value:   p.value,
+		TraceID: traceID,
+		At:      p.at,
+	})
 }
 
 // BucketExemplar is one bucket's exemplar as served by /debug/traces.

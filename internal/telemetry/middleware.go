@@ -217,8 +217,8 @@ func Tracing(tracer *Tracer, slo *SLO, route func(*http.Request) string) Middlew
 // http_request_duration_seconds{route} and http_inflight_requests
 // into reg. route maps a request to a bounded label value (use
 // patterns like "/documents/{id}", never raw paths). Duration
-// observations carry the trace ID as a bucket exemplar when the
-// request is traced (place Metrics inside Tracing in the chain).
+// observations of traced requests become bucket exemplars when the
+// tracer keeps the trace (place Metrics inside Tracing in the chain).
 func Metrics(reg *Registry, route func(*http.Request) string) Middleware {
 	inflight := reg.Gauge("http_inflight_requests", "Requests currently being served.")
 	return func(next http.Handler) http.Handler {

@@ -131,9 +131,10 @@ func (s *Span) data() spanData {
 type Trace struct {
 	id string
 
-	mu      sync.Mutex
-	spans   []*Span
-	dropped int
+	mu        sync.Mutex
+	spans     []*Span
+	dropped   int
+	exemplars []pendingExemplar
 }
 
 func (t *Trace) add(s *Span) {
@@ -146,9 +147,26 @@ func (t *Trace) add(s *Span) {
 	t.mu.Unlock()
 }
 
+// addExemplar queues a histogram observation made under this trace.
+// It is stamped into the bucket only if the tracer's tail-based
+// decision keeps the trace, so exemplar links always resolve in the
+// ring. Observations landing after Finish already flushed (a hedge
+// loser finishing late) are silently dropped.
+func (t *Trace) addExemplar(p pendingExemplar) {
+	t.mu.Lock()
+	if len(t.exemplars) < maxExemplarsPerTrace {
+		t.exemplars = append(t.exemplars, p)
+	}
+	t.mu.Unlock()
+}
+
 // maxSpansPerTrace bounds a single trace so a pathological fan-out
 // (or a span leak) cannot grow memory without bound.
 const maxSpansPerTrace = 128
+
+// maxExemplarsPerTrace bounds the queued observations the same way; a
+// request touches a handful of stage histograms, so 64 is generous.
+const maxExemplarsPerTrace = 64
 
 type traceKeyType int
 
@@ -406,7 +424,15 @@ func (t *Tracer) Finish(tr *Trace, status int, breached, errored bool) {
 		spans = append(spans, s.data())
 	}
 	dropped := tr.dropped
+	pending := tr.exemplars
+	tr.exemplars = nil
 	tr.mu.Unlock()
+	// Only a kept trace publishes its bucket exemplars: /debug/traces
+	// must never link a histogram bucket to a trace ID that was
+	// sampled out of the ring.
+	for _, p := range pending {
+		p.stampExemplar(tr.id)
+	}
 
 	ct := &CapturedTrace{
 		ID:      tr.id,

@@ -196,7 +196,7 @@ func TestTraceHandler(t *testing.T) {
 	ctx, root := tr.StartTrace(context.Background(), "/ask", "")
 	id := TraceIDFrom(ctx)
 	reg.Histogram("stage_duration_seconds", "stage latency", nil, L("stage", "embed")).
-		ObserveTrace(0.2, id)
+		ObserveCtx(ctx, 0.2)
 	root.End(nil)
 	tr.Finish(TraceFrom(ctx), 504, true, false)
 
@@ -244,6 +244,54 @@ func TestTraceHandler(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("no bucket exemplar links to trace %s", id)
+	}
+}
+
+// TestExemplarsOnlyForKeptTraces: a histogram observation under a
+// trace the sampler drops must not publish a bucket exemplar, so
+// every exemplar link served by /debug/traces resolves in the ring.
+func TestExemplarsOnlyForKeptTraces(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(TracerConfig{SampleEvery: -1}) // keep breaches only
+	h := reg.Histogram("stage_duration_seconds", "stage latency", nil, L("stage", "embed"))
+
+	// Healthy trace: sampled out, so its observation counts in the
+	// bucket but leaves no exemplar behind.
+	ctx, root := tr.StartTrace(context.Background(), "/ask", "")
+	h.ObserveCtx(ctx, 0.2)
+	root.End(nil)
+	tr.Finish(TraceFrom(ctx), 200, false, false)
+	if ex := reg.Exemplars(); len(ex) != 0 {
+		t.Fatalf("dropped trace published exemplars: %v", ex)
+	}
+	if got := h.Snapshot().Count; got != 1 {
+		t.Fatalf("observation count = %d, want 1 (only the exemplar is withheld)", got)
+	}
+
+	// Breaching trace: kept, so its observation is stamped.
+	bctx, broot := tr.StartTrace(context.Background(), "/ask", "")
+	bid := TraceIDFrom(bctx)
+	h.ObserveCtx(bctx, 0.2)
+	broot.End(nil)
+	tr.Finish(TraceFrom(bctx), 504, true, false)
+	series := reg.Exemplars()["stage_duration_seconds"]
+	if len(series) == 0 {
+		t.Fatal("kept trace published no exemplars")
+	}
+	found := false
+	for _, b := range series[0].Buckets {
+		if b.TraceID == bid {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("kept trace %s not linked from any bucket exemplar", bid)
+	}
+
+	// Outside any trace, ObserveCtx records plain observations.
+	h.ObserveCtx(context.Background(), 0.2)
+	if got := h.Snapshot().Count; got != 3 {
+		t.Fatalf("observation count = %d, want 3", got)
 	}
 }
 
