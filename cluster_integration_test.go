@@ -15,6 +15,7 @@
 package repro
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -416,5 +417,360 @@ func TestClusterKillRecover(t *testing.T) {
 	}
 	if st := getStats(t, routerAddr); st.Cluster.Router.DegradedQueries == 0 {
 		t.Fatalf("degraded queries not counted: %+v", st)
+	}
+}
+
+// rebalanceStats is the slice of /stats the rebalance smokes assert
+// on: live doc count, ring epoch, and the migration history.
+type rebalanceStats struct {
+	Docs    int `json:"docs"`
+	Cluster struct {
+		Shards []struct {
+			Alive bool `json:"alive"`
+		} `json:"shards"`
+		Router struct {
+			RingEpoch uint64 `json:"ring_epoch"`
+		} `json:"router"`
+		Migrations []struct {
+			Shard   int    `json:"shard"`
+			Target  string `json:"target"`
+			Phase   string `json:"phase"`
+			Outcome string `json:"outcome"`
+			Error   string `json:"error"`
+		} `json:"migrations"`
+	} `json:"cluster"`
+}
+
+func getRebalanceStats(t *testing.T, addr string) rebalanceStats {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st rebalanceStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode /stats: %v", err)
+	}
+	return st
+}
+
+// streamfinal is the last NDJSON frame of a /ingest/stream response.
+type streamFinal struct {
+	Accepted uint64 `json:"accepted"`
+	Indexed  uint64 `json:"indexed"`
+	Failed   uint64 `json:"failed"`
+	Chunks   uint64 `json:"chunks"`
+	Done     bool   `json:"done"`
+	Error    string `json:"error"`
+}
+
+// rebalanceCluster starts three shard nodes and a routing ragserver
+// over them, returning the node procs, their ports, and the router
+// address. The caller owns any extra (spare) nodes.
+func rebalanceCluster(t *testing.T, workDir, ragserverBin, shardnodeBin string) (nodes []*proc, nodePorts []int, routerAddr string) {
+	t.Helper()
+	nodePorts = make([]int, 3)
+	nodes = make([]*proc, 3)
+	for i := range nodes {
+		nodePorts[i] = freePort(t)
+		nodes[i] = startProc(t, shardnodeBin,
+			"-addr", fmt.Sprintf("127.0.0.1:%d", nodePorts[i]),
+			"-data-dir", filepath.Join(workDir, fmt.Sprintf("shard%d", i)))
+	}
+	for _, p := range nodePorts {
+		waitReady(t, fmt.Sprintf("127.0.0.1:%d", p))
+	}
+	topo := struct {
+		Shards []struct {
+			Primary string `json:"primary"`
+		} `json:"shards"`
+	}{}
+	for _, p := range nodePorts {
+		topo.Shards = append(topo.Shards, struct {
+			Primary string `json:"primary"`
+		}{Primary: fmt.Sprintf("http://127.0.0.1:%d", p)})
+	}
+	raw, err := json.Marshal(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodesFile := filepath.Join(workDir, "nodes.json")
+	if err := os.WriteFile(nodesFile, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	routerAddr = fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	startProc(t, ragserverBin, "-addr", routerAddr, "-cluster", nodesFile,
+		"-probe-interval", "200ms", "-resync-interval", "200ms")
+	waitReady(t, routerAddr)
+	return nodes, nodePorts, routerAddr
+}
+
+// TestRebalanceLive is the rebalance-smoke CI job: three real shard
+// node processes behind a router, 10k documents streaming through
+// /ingest/stream, and a POST /admin/rebalance moving a shard onto a
+// fresh node mid-ingest. Zero documents may be lost, the retired
+// source must be killable without changing a single result byte, and
+// the migration must land in the ok counter exactly once.
+func TestRebalanceLive(t *testing.T) {
+	workDir := t.TempDir()
+	ragserverBin, shardnodeBin := buildBinaries(t, workDir)
+	nodes, _, routerAddr := rebalanceCluster(t, workDir, ragserverBin, shardnodeBin)
+
+	// The spare node the shard will move onto: running, durable, but
+	// absent from nodes.json — the router learns about it only through
+	// the rebalance call.
+	sparePort := freePort(t)
+	spareURL := fmt.Sprintf("http://127.0.0.1:%d", sparePort)
+	startProc(t, shardnodeBin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", sparePort),
+		"-data-dir", filepath.Join(workDir, "spare"))
+	waitReady(t, fmt.Sprintf("127.0.0.1:%d", sparePort))
+
+	// Stream 10k documents. The writer paces lightly so the upload is
+	// still in flight when the rebalance starts; the reader drains the
+	// NDJSON progress frames and delivers the final done-frame.
+	const totalDocs = 10000
+	pr, pw := io.Pipe()
+	go func() {
+		for i := 0; i < totalDocs; i++ {
+			line := fmt.Sprintf("{\"text\":\"streaming document %05d about shard rebalancing under live traffic\"}\n", i)
+			if _, err := io.WriteString(pw, line); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+			if i%100 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		pw.Close()
+	}()
+	finalCh := make(chan streamFinal, 1)
+	streamErr := make(chan error, 1)
+	go func() {
+		resp, err := http.Post("http://"+routerAddr+"/ingest/stream", "application/x-ndjson", pr)
+		if err != nil {
+			streamErr <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			streamErr <- fmt.Errorf("stream status %d: %s", resp.StatusCode, body)
+			return
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		var last streamFinal
+		for sc.Scan() {
+			if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+				continue
+			}
+			last = streamFinal{}
+			if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+				streamErr <- fmt.Errorf("bad stream frame %q: %v", sc.Bytes(), err)
+				return
+			}
+		}
+		if err := sc.Err(); err != nil {
+			streamErr <- err
+			return
+		}
+		finalCh <- last
+	}()
+
+	// Wait until ingest is visibly underway, then move shard 1 onto
+	// the spare while documents keep flowing.
+	deadline := time.Now().Add(60 * time.Second)
+	for getRebalanceStats(t, routerAddr).Docs < 1000 {
+		select {
+		case err := <-streamErr:
+			t.Fatalf("stream died before rebalance: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ingest never reached 1000 docs")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	body := postJSON(t, "http://"+routerAddr+"/admin/rebalance",
+		fmt.Sprintf(`{"shard":1,"target":%q,"wait":true}`, spareURL))
+	var mig struct {
+		Outcome string `json:"outcome"`
+		Epoch   uint64 `json:"epoch"`
+		Target  string `json:"target"`
+		Error   string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &mig); err != nil {
+		t.Fatalf("decode rebalance response: %v", err)
+	}
+	if mig.Outcome != "ok" {
+		t.Fatalf("rebalance outcome = %q (error %q), want ok", mig.Outcome, mig.Error)
+	}
+	if mig.Epoch != 2 || mig.Target != spareURL {
+		t.Fatalf("rebalance status = %+v, want epoch 2 onto %s", mig, spareURL)
+	}
+
+	// Drain the stream and prove zero loss: every accepted document is
+	// indexed, and the cluster's live doc count equals the chunk count
+	// the stream acknowledged.
+	var final streamFinal
+	select {
+	case final = <-finalCh:
+	case err := <-streamErr:
+		t.Fatalf("stream failed: %v", err)
+	case <-time.After(120 * time.Second):
+		t.Fatal("stream never finished")
+	}
+	if !final.Done || final.Error != "" {
+		t.Fatalf("bad final frame: %+v", final)
+	}
+	if final.Accepted != totalDocs || final.Indexed != totalDocs || final.Failed != 0 {
+		t.Fatalf("stream counters: %+v, want %d accepted and indexed, 0 failed", final, totalDocs)
+	}
+	if st := getRebalanceStats(t, routerAddr); st.Docs != int(final.Chunks) {
+		t.Fatalf("cluster holds %d docs, stream acknowledged %d chunks — documents lost in the move",
+			st.Docs, final.Chunks)
+	}
+
+	// The retired source must now be dead weight: kill -9 it and every
+	// result byte must survive, because shard 1 lives on the spare.
+	const query = "streaming document about shard rebalancing"
+	hits, before := searchHits(t, routerAddr, query, 10)
+	if hits == 0 {
+		t.Fatal("search returned nothing after ingest")
+	}
+	nodes[1].kill()
+	if _, after := searchHits(t, routerAddr, query, 10); after != before {
+		t.Fatalf("results changed after killing the retired source:\n%s\n%s", after, before)
+	}
+	if alive := aliveShards(getStats(t, routerAddr)); alive != 3 {
+		t.Fatalf("%d alive shards after retiring the source, want 3", alive)
+	}
+
+	st := getRebalanceStats(t, routerAddr)
+	if st.Cluster.Router.RingEpoch != 2 {
+		t.Fatalf("ring epoch = %d, want 2", st.Cluster.Router.RingEpoch)
+	}
+	if len(st.Cluster.Migrations) == 0 || st.Cluster.Migrations[0].Outcome != "ok" {
+		t.Fatalf("migration history: %+v", st.Cluster.Migrations)
+	}
+	if got := metricValue(t, routerAddr, `migrations_total{outcome="ok"}`); got != 1 {
+		t.Fatalf(`migrations_total{outcome="ok"} = %v, want 1`, got)
+	}
+	if got := metricValue(t, routerAddr, `ring_epoch`); got != 2 {
+		t.Fatalf("ring_epoch metric = %v, want 2", got)
+	}
+
+	// Dry-run planner still answers over the new ring.
+	plan := postJSON(t, "http://"+routerAddr+"/admin/rebalance", `{"dry_run":true}`)
+	var planOut struct {
+		Epoch  uint64            `json:"epoch"`
+		Shards []json.RawMessage `json:"shards"`
+		Reason string            `json:"reason"`
+	}
+	if err := json.Unmarshal(plan, &planOut); err != nil {
+		t.Fatalf("decode plan: %v", err)
+	}
+	if planOut.Epoch != 2 || len(planOut.Shards) != 3 || planOut.Reason == "" {
+		t.Fatalf("plan = %s", plan)
+	}
+}
+
+// TestRebalanceAbort proves the failure half of the contract: a
+// migration that cannot finish aborts with the old assignment fully
+// intact — same epoch, same results — and a target killed mid-move
+// yields either a clean abort or a clean cutover, never a torn ring.
+func TestRebalanceAbort(t *testing.T) {
+	workDir := t.TempDir()
+	ragserverBin, shardnodeBin := buildBinaries(t, workDir)
+	_, _, routerAddr := rebalanceCluster(t, workDir, ragserverBin, shardnodeBin)
+
+	corpus, err := json.Marshal(map[string][]string{"texts": smokeCorpus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	postJSON(t, "http://"+routerAddr+"/ingest/bulk", string(corpus))
+	const query = "how many shopkeepers run a shop"
+	_, baseline := searchHits(t, routerAddr, query, 4)
+
+	// A target nobody listens on: the move must start (the orchestrator
+	// cannot know yet), fail during seeding, and roll back. An aborted
+	// migration is a 200 with outcome "aborted" — the abort path IS the
+	// product working — never an HTTP error.
+	deadURL := fmt.Sprintf("http://127.0.0.1:%d", freePort(t))
+	body := postJSON(t, "http://"+routerAddr+"/admin/rebalance",
+		fmt.Sprintf(`{"shard":0,"target":%q,"wait":true}`, deadURL))
+	var mig struct {
+		Outcome string `json:"outcome"`
+		Error   string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &mig); err != nil {
+		t.Fatalf("decode rebalance response: %v", err)
+	}
+	if mig.Outcome != "aborted" || mig.Error == "" {
+		t.Fatalf("rebalance to dead target: %s", body)
+	}
+	if st := getRebalanceStats(t, routerAddr); st.Cluster.Router.RingEpoch != 1 {
+		t.Fatalf("ring epoch moved to %d on an aborted migration", st.Cluster.Router.RingEpoch)
+	}
+	if _, after := searchHits(t, routerAddr, query, 4); after != baseline {
+		t.Fatalf("results changed after aborted migration:\n%s\n%s", after, baseline)
+	}
+	if got := metricValue(t, routerAddr, `migrations_total{outcome="aborted"}`); got != 1 {
+		t.Fatalf(`migrations_total{outcome="aborted"} = %v, want 1`, got)
+	}
+
+	// Kill the target while the migration is running. The orchestrator
+	// may lose the race either way, but both endings must be clean:
+	// "aborted" with the old ring, or "ok" with a fully flipped one.
+	sparePort := freePort(t)
+	spareURL := fmt.Sprintf("http://127.0.0.1:%d", sparePort)
+	spare := startProc(t, shardnodeBin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", sparePort),
+		"-data-dir", filepath.Join(workDir, "spare"))
+	waitReady(t, fmt.Sprintf("127.0.0.1:%d", sparePort))
+	postJSON(t, "http://"+routerAddr+"/admin/rebalance",
+		fmt.Sprintf(`{"shard":0,"target":%q}`, spareURL))
+	spare.kill()
+
+	outcome := ""
+	deadline := time.Now().Add(60 * time.Second)
+	for outcome == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("migration never finished after target kill")
+		}
+		for _, m := range getRebalanceStats(t, routerAddr).Cluster.Migrations {
+			if m.Target == spareURL && m.Outcome != "" {
+				outcome = m.Outcome
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	st := getRebalanceStats(t, routerAddr)
+	switch outcome {
+	case "aborted":
+		if st.Cluster.Router.RingEpoch != 1 {
+			t.Fatalf("aborted but epoch = %d", st.Cluster.Router.RingEpoch)
+		}
+		if _, after := searchHits(t, routerAddr, query, 4); after != baseline {
+			t.Fatalf("results changed after aborted migration:\n%s\n%s", after, baseline)
+		}
+	case "ok":
+		// The kill landed after cutover: the ring flipped, the new
+		// holder died, and the survivors must still answer.
+		if st.Cluster.Router.RingEpoch != 2 {
+			t.Fatalf("completed but epoch = %d", st.Cluster.Router.RingEpoch)
+		}
+		if hits, _ := searchHits(t, routerAddr, query, 4); hits == 0 {
+			t.Fatal("no results at all after post-cutover target death")
+		}
+	default:
+		t.Fatalf("outcome %q, want aborted or ok", outcome)
+	}
+	ok := metricValue(t, routerAddr, `migrations_total{outcome="ok"}`)
+	aborted := metricValue(t, routerAddr, `migrations_total{outcome="aborted"}`)
+	if ok+aborted != 2 {
+		t.Fatalf("migrations_total ok=%v aborted=%v, want 2 finished migrations", ok, aborted)
 	}
 }

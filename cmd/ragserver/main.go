@@ -17,6 +17,7 @@
 //	DELETE /documents/{id}                            → {"deleted": id}
 //	POST /admin/checkpoint                            → persistence counters
 //	POST /admin/resync                                → cluster stats after one anti-entropy sweep
+//	POST /admin/rebalance                             → move a shard to a new node (or dry-run plan)
 //	GET  /healthz                                     → {"status":"ok","ready":b}  (liveness)
 //	GET  /readyz                                      → 200 | 503                  (recovery + seeding complete)
 //	GET  /stats                                       → serving-layer snapshot
@@ -442,6 +443,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/documents/", s.handleDocument)
 	mux.HandleFunc("/admin/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/admin/resync", s.handleResync)
+	mux.HandleFunc("/admin/rebalance", s.handleRebalance)
 	// Outermost first: the request ID exists before anything records or
 	// logs; tracing wraps metrics so histogram exemplars see the trace
 	// ID; metrics wrap logging so 504s from the deadline layer and 500s
@@ -468,7 +470,7 @@ func routeLabel(r *http.Request) string {
 		"/debug/traces", "/slo",
 		"/ingest", "/ingest/bulk", "/ingest/stream",
 		"/ask", "/verify", "/search",
-		"/admin/checkpoint", "/admin/resync":
+		"/admin/checkpoint", "/admin/resync", "/admin/rebalance":
 		return p
 	}
 	return "other"
@@ -801,6 +803,63 @@ func (s *server) handleResync(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, c.Stats().Cluster)
+}
+
+// handleRebalance moves one shard onto a new node with zero downtime
+// (see docs/rebalancing.md). Body:
+//
+//	{"shard": 1, "target": "http://10.0.0.9:9001"}        start and return
+//	{"shard": 1, "target": "...", "wait": true}           block until done
+//	{"dry_run": true}                                     planner only
+//
+// Starting errors map to the caller: 400 for a non-cluster server or
+// a bad shard/target, 409 when a migration is already running. A
+// migration that starts and later aborts is reported through the
+// returned status ("outcome":"aborted") or /stats, not an HTTP error
+// — the abort path restoring the old assignment is the operation
+// working as designed.
+func (s *server) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	c := s.ready(w)
+	if c == nil {
+		return
+	}
+	var req struct {
+		Shard  *int   `json:"shard"`
+		Target string `json:"target"`
+		DryRun bool   `json:"dry_run"`
+		Wait   bool   `json:"wait"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.DryRun {
+		plan, err := c.PlanRebalance(r.Context())
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, plan)
+		return
+	}
+	if req.Shard == nil || req.Target == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("shard and target are required (or dry_run)"))
+		return
+	}
+	st, err := c.Rebalance(r.Context(), *req.Shard, req.Target, req.Wait)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, cluster.ErrMigrationActive) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // verdictJSON is the wire form of a core.Verdict.

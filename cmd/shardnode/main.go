@@ -16,6 +16,8 @@
 //	POST /shard/resync          — apply a delta shipped by the router's resync manager
 //	GET  /shard/snapshot        — full doc set + seq (snapshot-transfer source)
 //	POST /shard/snapshot        — adopt a full doc set + seq (snapshot-transfer target)
+//	GET  /shard/epoch           — ring epoch + serving flag the node holds
+//	POST /shard/epoch           — install a newer ring (rebalance cutover / retirement)
 //	GET  /healthz               — liveness (always 200 once listening)
 //	GET  /readyz                — 200 only after WAL recovery completes
 //	GET  /stats                 — node snapshot: docs, seq/checksum, index config, persistence
@@ -186,7 +188,9 @@ func nodeRoutes(node *nodeState, reg *telemetry.Registry, tracer *telemetry.Trac
 	mux.Handle("/debug/traces", tracer.Handler(reg))
 	mux.Handle("/slo", slo.Handler())
 	mux.HandleFunc("/stats", node.handleStats)
-	mux.Handle("/", cluster.NewNodeHandler(node, node.ready))
+	nh := cluster.NewNodeHandler(node, node.ready)
+	node.handler = nh
+	mux.Handle("/", nh)
 	return telemetry.Chain(mux,
 		telemetry.RequestID(),
 		telemetry.Tracing(tracer, slo, nodeRouteLabel),
@@ -205,7 +209,7 @@ func nodeRouteLabel(r *http.Request) string {
 	}
 	switch p {
 	case "/shard/search", "/shard/apply", "/shard/stat", "/shard/mutations",
-		"/shard/resync", "/shard/snapshot",
+		"/shard/resync", "/shard/snapshot", "/shard/epoch",
 		"/healthz", "/readyz", "/stats", "/metrics",
 		"/debug/traces", "/slo":
 		return p
@@ -219,6 +223,10 @@ func nodeRouteLabel(r *http.Request) string {
 type nodeState struct {
 	store atomic.Pointer[serve.ShardedDB]
 	reg   *telemetry.Registry
+	// handler is the shard-protocol handler, kept so /stats can echo
+	// the ring epoch the node currently holds (set once in nodeRoutes,
+	// before the listener starts).
+	handler *cluster.NodeHandler
 }
 
 func (n *nodeState) ready() bool { return n.store.Load() != nil }
@@ -283,12 +291,21 @@ func (n *nodeState) handleStats(w http.ResponseWriter, r *http.Request) {
 		Checksum string             `json:"checksum"`
 		Index    serve.IndexStats   `json:"index"`
 		Persist  serve.PersistStats `json:"persist"`
+		// RingEpoch/Serving echo the ring update the node holds: epoch 0
+		// and serving=true until a router pushes one via /shard/epoch.
+		RingEpoch uint64 `json:"ring_epoch"`
+		Serving   bool   `json:"serving"`
 	}{
 		Docs:     st.Len(),
 		Seq:      st.Seq(),
 		Checksum: fmt.Sprintf("%016x", st.Checksum()),
 		Index:    st.IndexStats(),
 		Persist:  st.PersistStats(),
+		Serving:  true,
+	}
+	if up, ok := n.handler.Ring(); ok {
+		out.RingEpoch = up.Epoch
+		out.Serving = up.Serving
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(out); err != nil {

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 
 	"repro/internal/vecdb"
 )
@@ -78,6 +79,11 @@ type Backend interface {
 type LocalBackend struct {
 	name  string
 	store NodeStore
+	// ring mirrors NodeHandler's held ring update: a LocalBackend
+	// handed Serving=false is retired and answers every data call with
+	// StaleEpochError, so the in-process chaos harness exercises the
+	// same stale-epoch handshake a remote node does.
+	ring atomic.Pointer[RingUpdate]
 }
 
 // NewLocalBackend wraps store as a Backend.
@@ -93,8 +99,48 @@ func NewLocalBackend(name string, store NodeStore) (*LocalBackend, error) {
 
 func (b *LocalBackend) Name() string { return b.name }
 
+// InstallRing installs a ring update, monotonic by epoch (an equal
+// epoch is accepted so a retired backend can be re-activated as a
+// migration target without minting a new epoch).
+func (b *LocalBackend) InstallRing(ctx context.Context, up RingUpdate) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := up.Ring.Validate(); err != nil {
+		return err
+	}
+	for {
+		cur := b.ring.Load()
+		if cur != nil && up.Epoch < cur.Epoch {
+			return &StaleEpochError{Ring: cur.Ring}
+		}
+		if b.ring.CompareAndSwap(cur, &up) {
+			return nil
+		}
+	}
+}
+
+// gateEpoch mirrors NodeHandler's data-path epoch gate: retired (or
+// provably stale-routed) calls get the typed 409 equivalent.
+func (b *LocalBackend) gateEpoch(ctx context.Context) error {
+	cur := b.ring.Load()
+	if cur == nil {
+		return nil
+	}
+	if !cur.Serving {
+		return &StaleEpochError{Ring: cur.Ring}
+	}
+	if ep, ok := ringEpochFrom(ctx); ok && ep < cur.Epoch {
+		return &StaleEpochError{Ring: cur.Ring}
+	}
+	return nil
+}
+
 func (b *LocalBackend) SearchVector(ctx context.Context, vec []float32, k int) ([]vecdb.Hit, error) {
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := b.gateEpoch(ctx); err != nil {
 		return nil, err
 	}
 	return b.store.SearchVector(vec, k)
@@ -104,6 +150,9 @@ func (b *LocalBackend) Apply(ctx context.Context, ms []vecdb.Mutation) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if err := b.gateEpoch(ctx); err != nil {
+		return err
+	}
 	return b.store.ApplyAll(ms)
 }
 
@@ -111,11 +160,17 @@ func (b *LocalBackend) Get(ctx context.Context, id int64) (vecdb.Document, error
 	if err := ctx.Err(); err != nil {
 		return vecdb.Document{}, err
 	}
+	if err := b.gateEpoch(ctx); err != nil {
+		return vecdb.Document{}, err
+	}
 	return b.store.Get(id)
 }
 
 func (b *LocalBackend) Stat(ctx context.Context) (ShardStat, error) {
 	if err := ctx.Err(); err != nil {
+		return ShardStat{}, err
+	}
+	if err := b.gateEpoch(ctx); err != nil {
 		return ShardStat{}, err
 	}
 	return ShardStat{
@@ -158,4 +213,7 @@ func (b *LocalBackend) ApplySnapshot(ctx context.Context, seq uint64, docs []vec
 	return b.store.ApplySnapshot(seq, docs)
 }
 
-var _ Backend = (*LocalBackend)(nil)
+var (
+	_ Backend      = (*LocalBackend)(nil)
+	_ RingReceiver = (*LocalBackend)(nil)
+)

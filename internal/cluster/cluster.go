@@ -23,10 +23,21 @@
 //     (or silently diverged by content checksum), streams them the
 //     journaled mutations they missed — full snapshot when the WAL
 //     has been truncated past the gap — and only then releases them
-//     back into the read path.
+//     back into the read path;
+//   - versioned ring epochs (epoch.go): the shard assignment carries
+//     a monotonic epoch on every RPC (X-Ring-Epoch), retired or
+//     ahead-of-the-caller nodes answer 409 with the newer ring, and
+//     the router self-heals by adopting it; and
+//   - an online migration orchestrator (migrate.go) that moves one
+//     shard onto a fresh backend with zero read downtime — snapshot
+//     seed, delta catch-up, a dual-write window at exact
+//     seq+checksum parity, an atomic epoch-bumping ring flip, and
+//     source retirement — aborting with the old assignment fully
+//     intact on any pre-flip failure.
 //
 // See docs/cluster.md for the wire protocol, the health state
-// machine, and a three-node quickstart.
+// machine, and a three-node quickstart, and docs/rebalancing.md for
+// shard moves and the epoch handshake.
 package cluster
 
 import (

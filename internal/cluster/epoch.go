@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Versioned ring epochs. The shard→backend assignment is no longer
+// fixed for a deployment's lifetime: an online migration (migrate.go)
+// moves a shard onto a new backend and bumps the ring's epoch. The
+// epoch is a monotonically increasing version number for the whole
+// assignment, carried on every shard RPC as the X-Ring-Epoch header:
+//
+//   - A node that has been retired from the ring (the migration
+//     orchestrator pushed it a ring it no longer appears in) answers
+//     every data request with 409 Conflict plus the new ring, so a
+//     client still routing by the old assignment learns the truth
+//     from the very request that would have gone stale.
+//   - A node that is still serving additionally rejects requests
+//     whose X-Ring-Epoch is older than the ring it was handed — the
+//     sender is provably routing by a superseded assignment.
+//   - The router maps those 409s to StaleEpochError and self-heals by
+//     adopting the ring carried in the error (adoptRing), without an
+//     operator in the loop.
+//
+// Nodes that were never handed a ring (the common single-epoch
+// deployment) accept everything: the epoch machinery costs nothing
+// until the first migration.
+
+// RingEpochHeader carries the sender's ring epoch on shard RPCs.
+const RingEpochHeader = "X-Ring-Epoch"
+
+// Ring limits: a parsed ring is rejected beyond these bounds, so a
+// malformed or hostile epoch payload cannot balloon memory or smuggle
+// an absurd topology into a router.
+const (
+	maxRingShards      = 1024
+	maxShardBackends   = 16
+	maxBackendNameLen  = 512
+	maxRingPayloadSize = 1 << 20
+)
+
+// Ring is the wire form of a versioned shard assignment: for each
+// shard, the backend names (URLs for HTTP backends) serving it,
+// primary first. It travels in /shard/epoch installs and inside
+// stale-epoch 409 bodies.
+type Ring struct {
+	Epoch  uint64     `json:"epoch"`
+	Shards [][]string `json:"shards"`
+}
+
+// Validate checks structural sanity: a positive epoch, a bounded
+// non-empty shard list, every shard served by at least one backend,
+// and no backend name empty, oversized, or assigned twice.
+func (rg Ring) Validate() error {
+	if rg.Epoch == 0 {
+		return errors.New("cluster: ring epoch must be positive")
+	}
+	if len(rg.Shards) == 0 {
+		return errors.New("cluster: ring has no shards")
+	}
+	if len(rg.Shards) > maxRingShards {
+		return fmt.Errorf("cluster: ring lists %d shards (max %d)", len(rg.Shards), maxRingShards)
+	}
+	seen := make(map[string]int, len(rg.Shards))
+	for si, names := range rg.Shards {
+		if len(names) == 0 {
+			return fmt.Errorf("cluster: ring shard %d has no backends", si)
+		}
+		if len(names) > maxShardBackends {
+			return fmt.Errorf("cluster: ring shard %d lists %d backends (max %d)", si, len(names), maxShardBackends)
+		}
+		for _, name := range names {
+			if name == "" {
+				return fmt.Errorf("cluster: ring shard %d has an empty backend name", si)
+			}
+			if len(name) > maxBackendNameLen {
+				return fmt.Errorf("cluster: ring shard %d backend name exceeds %d bytes", si, maxBackendNameLen)
+			}
+			if prev, dup := seen[name]; dup {
+				return fmt.Errorf("cluster: backend %q assigned to both shard %d and shard %d", name, prev, si)
+			}
+			seen[name] = si
+		}
+	}
+	return nil
+}
+
+// ParseRing decodes and validates a wire-form ring.
+func ParseRing(data []byte) (Ring, error) {
+	if len(data) > maxRingPayloadSize {
+		return Ring{}, fmt.Errorf("cluster: ring payload exceeds %d bytes", maxRingPayloadSize)
+	}
+	var rg Ring
+	if err := json.Unmarshal(data, &rg); err != nil {
+		return Ring{}, fmt.Errorf("cluster: parse ring: %w", err)
+	}
+	if err := rg.Validate(); err != nil {
+		return Ring{}, err
+	}
+	return rg, nil
+}
+
+// EncodeRing renders a validated ring to its wire form.
+func EncodeRing(rg Ring) ([]byte, error) {
+	if err := rg.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(rg)
+}
+
+// ParseEpochHeader parses an X-Ring-Epoch header value: a bare
+// base-10 uint64, nothing else.
+func ParseEpochHeader(s string) (uint64, error) {
+	e, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: bad %s header %q", RingEpochHeader, s)
+	}
+	return e, nil
+}
+
+// RingUpdate is the /shard/epoch install payload: the new ring plus
+// whether the receiving node still serves a shard under it. A node
+// handed Serving=false is retired — it 409s all further data requests
+// and hands back this ring so stale clients re-route.
+type RingUpdate struct {
+	Ring
+	Serving bool `json:"serving"`
+}
+
+// RingReceiver is implemented by backends that can be handed a ring
+// update (HTTPBackend forwards it to the node's /shard/epoch;
+// LocalBackend and clustertest.ChaosBackend install it in-process).
+// The migration orchestrator uses it to activate targets and retire
+// sources; backends without it simply never learn about epochs, which
+// only costs the retired node's ability to reject stale traffic.
+type RingReceiver interface {
+	InstallRing(ctx context.Context, up RingUpdate) error
+}
+
+// StaleEpochError is the typed 409 a node returns when the caller is
+// routing by a superseded ring. It carries the node's current ring so
+// the caller can adopt it and retry against the right backend.
+type StaleEpochError struct {
+	Ring Ring
+}
+
+func (e *StaleEpochError) Error() string {
+	return fmt.Sprintf("cluster: stale ring epoch (current %d)", e.Ring.Epoch)
+}
+
+// ringEpochKey carries the router's current epoch on outbound request
+// contexts; HTTPBackend.do turns it into the X-Ring-Epoch header.
+type ringEpochKey struct{}
+
+func withRingEpoch(ctx context.Context, epoch uint64) context.Context {
+	return context.WithValue(ctx, ringEpochKey{}, epoch)
+}
+
+func ringEpochFrom(ctx context.Context) (uint64, bool) {
+	e, ok := ctx.Value(ringEpochKey{}).(uint64)
+	return e, ok
+}

@@ -69,6 +69,9 @@ type HealthConfig struct {
 	// breakers, read retries, hedged reads). The zero value disables
 	// all three; see ResilienceConfig.
 	Resilience ResilienceConfig
+	// Migrate tunes online shard migrations (catch-up lag threshold,
+	// dual-write window, cutover barrier timeout); see MigrateConfig.
+	Migrate MigrateConfig
 }
 
 func (c HealthConfig) withDefaults() HealthConfig {
@@ -91,6 +94,7 @@ func (c HealthConfig) withDefaults() HealthConfig {
 		c.ResyncBatch = 256
 	}
 	c.Resilience = c.Resilience.withDefaults()
+	c.Migrate = c.Migrate.withDefaults()
 	return c
 }
 
@@ -255,15 +259,17 @@ func (h *backendHealth) snapshot() BackendHealth {
 // checker actively probes every backend of every shard each Interval,
 // feeding the per-backend state machines. A successful probe also
 // refreshes the backend's ShardStat, so /stats carries per-shard doc
-// counts without a fan-out per scrape.
+// counts without a fan-out per scrape. The probe list is a provider,
+// not a fixed slice: a migration can swap the ring between rounds,
+// and the checker must probe whoever serves now.
 type checker struct {
 	cfg      HealthConfig
-	backends []*backendHealth
+	backends func() []*backendHealth
 	stop     chan struct{}
 	done     chan struct{}
 }
 
-func newChecker(cfg HealthConfig, backends []*backendHealth) *checker {
+func newChecker(cfg HealthConfig, backends func() []*backendHealth) *checker {
 	c := &checker{
 		cfg:      cfg,
 		backends: backends,
@@ -293,7 +299,7 @@ func (c *checker) run() {
 
 func (c *checker) probeAll() {
 	var wg sync.WaitGroup
-	for _, h := range c.backends {
+	for _, h := range c.backends() {
 		wg.Add(1)
 		go func(h *backendHealth) {
 			defer wg.Done()

@@ -116,6 +116,12 @@ func (b *HTTPBackend) do(ctx context.Context, method, path string, in, out inter
 	if id := telemetry.RequestIDFrom(ctx); id != "" {
 		req.Header.Set(telemetry.RequestIDHeader, id)
 	}
+	if ep, ok := ringEpochFrom(ctx); ok {
+		// The router stamps its ring epoch on the context; a node
+		// holding a newer ring rejects the request with 409 + that ring
+		// so the router self-heals (see epoch.go).
+		req.Header.Set(RingEpochHeader, strconv.FormatUint(ep, 10))
+	}
 	if tp := telemetry.Traceparent(ctx); tp != "" {
 		// The node roots its own span tree under this RPC span, so the
 		// cross-process trace stitches into one tree.
@@ -135,10 +141,12 @@ func (b *HTTPBackend) do(ctx context.Context, method, path string, in, out inter
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var remote struct {
-			Error string `json:"error"`
+			Error string          `json:"error"`
+			Epoch uint64          `json:"epoch"`
+			Ring  json.RawMessage `json:"ring"`
 		}
 		msg := resp.Status
-		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&remote) == nil && remote.Error != "" {
+		if json.NewDecoder(io.LimitReader(resp.Body, maxRingPayloadSize)).Decode(&remote) == nil && remote.Error != "" {
 			msg = remote.Error
 		}
 		if resp.StatusCode == http.StatusNotFound {
@@ -149,6 +157,13 @@ func (b *HTTPBackend) do(ctx context.Context, method, path string, in, out inter
 			// keep the typed snapshot-fallback signal across the
 			// transport.
 			return fmt.Errorf("%w: %s", vecdb.ErrSeqTruncated, msg)
+		}
+		if resp.StatusCode == http.StatusConflict && len(remote.Ring) > 0 {
+			// The node has moved to a newer ring: surface the typed
+			// stale-epoch error so the router can adopt it and re-route.
+			if rg, rerr := ParseRing(remote.Ring); rerr == nil {
+				return &StaleEpochError{Ring: rg}
+			}
 		}
 		return fmt.Errorf("cluster: %s %s: %s (status %d)", method, path, msg, resp.StatusCode)
 	}
@@ -285,4 +300,13 @@ func (b *HTTPBackend) ApplySnapshot(ctx context.Context, seq uint64, docs []vecd
 	return b.do(ctx, http.MethodPost, "/shard/snapshot", req, nil)
 }
 
-var _ Backend = (*HTTPBackend)(nil)
+// InstallRing hands the node its ring-epoch assignment (POST
+// /shard/epoch) — the migration orchestrator's activate/retire push.
+func (b *HTTPBackend) InstallRing(ctx context.Context, up RingUpdate) error {
+	return b.do(ctx, http.MethodPost, "/shard/epoch", up, nil)
+}
+
+var (
+	_ Backend      = (*HTTPBackend)(nil)
+	_ RingReceiver = (*HTTPBackend)(nil)
+)

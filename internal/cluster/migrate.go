@@ -1,0 +1,698 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/vecdb"
+)
+
+// Online shard migration. A migration moves one shard onto a fresh
+// backend with zero read downtime and zero lost or duplicated
+// documents, in phases:
+//
+//	planned → seeding → catchup → dual-write → cutover → done
+//	                └──────────── (any failure) ────────→ aborted
+//
+//   - seeding: the target adopts a full snapshot of the source
+//     (/shard/snapshot), taken while the source keeps serving.
+//   - catchup: delta rounds ship the mutations the source accepted
+//     since the snapshot (/shard/mutations → /shard/resync) until the
+//     target trails by at most MigrateConfig.CatchupLag.
+//   - dual-write: under a brief per-shard write barrier the remaining
+//     delta is drained to exact seq+checksum parity, then every write
+//     is applied to both source and target. A write is acknowledged
+//     only when the source set persists it and — while dual-writing —
+//     the target does too; a failed target leg aborts the migration
+//     rather than acking a write the post-cutover owner doesn't have.
+//   - cutover: the barrier closes again, parity is re-verified, and
+//     the ring flips atomically to a new epoch with the target as the
+//     shard's sole backend. Reads never stop: they serve from the old
+//     assignment up to the flip and the new one after it.
+//   - retire: the new ring is distributed to the nodes; the source
+//     (and any replicas of the moved shard) are handed Serving=false,
+//     after which they 409 stale traffic toward the new ring.
+//
+// Any failure before the ring flip aborts the migration and leaves
+// the old assignment fully intact — the target is garbage to be
+// reused or discarded, never half-authoritative. After the flip the
+// migration is committed; retire-side push failures are logged, not
+// fatal, because stale clients also self-heal through the 409
+// handshake.
+
+// ErrMigrationActive reports that a migration is already running; the
+// router allows one at a time.
+var ErrMigrationActive = errors.New("cluster: a shard migration is already in progress")
+
+// migrationTimeout bounds a background StartRebalance run end to end.
+const migrationTimeout = 15 * time.Minute
+
+// migHistoryMax bounds the finished-migration ring buffer in /stats.
+const migHistoryMax = 8
+
+// MigrateConfig tunes online shard migrations. The zero value takes
+// the documented defaults.
+type MigrateConfig struct {
+	// CatchupLag is the seq gap at which background catch-up stops and
+	// the write-barrier drain takes over (default 64): small enough
+	// that the barrier drains in one round, large enough that a busy
+	// source doesn't keep catch-up spinning forever.
+	CatchupLag int
+	// DualWriteWindow is how long writes go to both source and target
+	// before the read flip (default 150ms). The window proves the
+	// dual-write path under live traffic; parity already holds when it
+	// opens.
+	DualWriteWindow time.Duration
+	// CutoverTimeout bounds each write-barrier critical section
+	// (default 10s): a stuck target aborts the migration instead of
+	// stalling the shard's writes.
+	CutoverTimeout time.Duration
+}
+
+func (c MigrateConfig) withDefaults() MigrateConfig {
+	if c.CatchupLag <= 0 {
+		c.CatchupLag = 64
+	}
+	if c.DualWriteWindow <= 0 {
+		c.DualWriteWindow = 150 * time.Millisecond
+	}
+	if c.CutoverTimeout <= 0 {
+		c.CutoverTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// MigrationPhase numbers the orchestrator's states; the numeric value
+// is what migration_phase{shard} exports.
+type MigrationPhase int32
+
+const (
+	MigIdle MigrationPhase = iota
+	MigPlanned
+	MigSeeding
+	MigCatchup
+	MigDualWrite
+	MigCutover
+	MigDone
+	MigAborted
+)
+
+func (p MigrationPhase) String() string {
+	switch p {
+	case MigIdle:
+		return "idle"
+	case MigPlanned:
+		return "planned"
+	case MigSeeding:
+		return "seeding"
+	case MigCatchup:
+		return "catchup"
+	case MigDualWrite:
+		return "dual-write"
+	case MigCutover:
+		return "cutover"
+	case MigDone:
+		return "done"
+	case MigAborted:
+		return "aborted"
+	}
+	return "unknown"
+}
+
+// migration is one in-flight (or finished) shard move.
+type migration struct {
+	id     int64
+	shard  int
+	src    *backendHealth
+	target Backend
+
+	phase      atomic.Int32
+	dual       atomic.Bool // write path mirrors batches to target
+	shipped    atomic.Uint64
+	dualWrites atomic.Uint64
+	lag        atomic.Uint64
+
+	mu       sync.Mutex
+	abortErr error // first abort request (dual-write failure, fault)
+	lastTgt  ShardStat
+	haveTgt  bool
+	prev     []*backendHealth // shard backends replaced at the flip
+	started  time.Time
+	finished time.Time
+	epoch    uint64 // ring epoch installed at cutover
+	outcome  string
+	errMsg   string
+	retired  bool
+}
+
+func (m *migration) setPhase(p MigrationPhase) { m.phase.Store(int32(p)) }
+
+// requestAbort records the first abort reason; the orchestrator
+// checks it between phases and inside the dual-write window. The
+// write path calls it when a dual-write target leg fails, so a write
+// is never acknowledged with the target silently missing it.
+func (m *migration) requestAbort(err error) {
+	m.mu.Lock()
+	if m.abortErr == nil {
+		m.abortErr = err
+	}
+	m.mu.Unlock()
+}
+
+func (m *migration) abortReason() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.abortErr
+}
+
+// MigrationStatus is one migration's observable state, exposed as
+// cluster.migrations in /stats.
+type MigrationStatus struct {
+	ID     int64  `json:"id"`
+	Shard  int    `json:"shard"`
+	Source string `json:"source"`
+	Target string `json:"target"`
+	Phase  string `json:"phase"`
+	// Epoch is the ring epoch installed at cutover (0 until then).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// ShippedMutations counts delta records streamed to the target.
+	ShippedMutations uint64 `json:"shipped_mutations"`
+	// DualWrites counts live batches mirrored to the target during the
+	// dual-write window.
+	DualWrites uint64 `json:"dual_writes"`
+	// ParityLag is the last observed source−target seq gap.
+	ParityLag uint64 `json:"parity_lag"`
+	// Outcome is "ok" or "aborted" once finished, empty while running.
+	Outcome string `json:"outcome,omitempty"`
+	Error   string `json:"error,omitempty"`
+	// SourceRetired reports that the retired source acknowledged the
+	// new ring (false also while running, or when the push failed and
+	// the 409 handshake is the only self-heal path).
+	SourceRetired bool  `json:"source_retired,omitempty"`
+	StartedAtMS   int64 `json:"started_at_ms"`
+	FinishedAtMS  int64 `json:"finished_at_ms,omitempty"`
+}
+
+func (m *migration) status() MigrationStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := MigrationStatus{
+		ID:               m.id,
+		Shard:            m.shard,
+		Source:           m.src.backend.Name(),
+		Target:           m.target.Name(),
+		Phase:            MigrationPhase(m.phase.Load()).String(),
+		Epoch:            m.epoch,
+		ShippedMutations: m.shipped.Load(),
+		DualWrites:       m.dualWrites.Load(),
+		ParityLag:        m.lag.Load(),
+		Outcome:          m.outcome,
+		Error:            m.errMsg,
+		SourceRetired:    m.retired,
+		StartedAtMS:      m.started.UnixMilli(),
+	}
+	if !m.finished.IsZero() {
+		st.FinishedAtMS = m.finished.UnixMilli()
+	}
+	return st
+}
+
+// Rebalance synchronously moves shard si onto target, returning the
+// finished migration's status. The error is non-nil only when the
+// migration could not start (bad shard, busy router, dead source); a
+// migration that started and aborted reports that through
+// Status.Outcome == "aborted", because the abort path restoring the
+// old assignment is the operation working as designed.
+func (r *Router) Rebalance(ctx context.Context, si int, target Backend) (MigrationStatus, error) {
+	m, err := r.beginMigration(si, target)
+	if err != nil {
+		return MigrationStatus{}, err
+	}
+	return r.runMigration(ctx, m), nil
+}
+
+// StartRebalance begins a migration and returns immediately; progress
+// is observable through Migrations. The run is bounded by
+// migrationTimeout.
+func (r *Router) StartRebalance(si int, target Backend) (MigrationStatus, error) {
+	m, err := r.beginMigration(si, target)
+	if err != nil {
+		return MigrationStatus{}, err
+	}
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), migrationTimeout)
+		defer cancel()
+		r.runMigration(ctx, m)
+	}()
+	return m.status(), nil
+}
+
+// Migrations snapshots the active migration (first, when one runs)
+// plus recently finished ones, newest first.
+func (r *Router) Migrations() []MigrationStatus {
+	var out []MigrationStatus
+	if m := r.mig.Load(); m != nil {
+		out = append(out, m.status())
+	}
+	r.migMu.Lock()
+	for i := len(r.migHistory) - 1; i >= 0; i-- {
+		out = append(out, r.migHistory[i])
+	}
+	r.migMu.Unlock()
+	return out
+}
+
+// beginMigration validates the move and claims the router's single
+// migration slot.
+func (r *Router) beginMigration(si int, target Backend) (*migration, error) {
+	if target == nil {
+		return nil, errors.New("cluster: nil migration target")
+	}
+	if si < 0 || si >= r.nshards {
+		return nil, fmt.Errorf("cluster: shard %d out of range [0,%d)", si, r.nshards)
+	}
+	rs := r.ring.Load()
+	for osi, bs := range rs.shards {
+		for _, h := range bs {
+			if h.backend.Name() == target.Name() {
+				return nil, fmt.Errorf("cluster: target %s already serves shard %d", target.Name(), osi)
+			}
+		}
+	}
+	var src *backendHealth
+	for _, h := range rs.shards[si] {
+		if h.serving() {
+			src = h
+			break
+		}
+	}
+	if src == nil {
+		return nil, fmt.Errorf("%w: shard %d has no serving backend to migrate from", ErrShardUnavailable, si)
+	}
+	m := &migration{id: r.migSeq.Add(1), shard: si, src: src, target: target, started: time.Now()}
+	m.setPhase(MigPlanned)
+	if !r.mig.CompareAndSwap(nil, m) {
+		return nil, ErrMigrationActive
+	}
+	if r.cfg.Telemetry != nil {
+		if ts, ok := target.(telemetrySink); ok {
+			ts.setTelemetry(r.cfg.Telemetry)
+		}
+	}
+	return m, nil
+}
+
+// runMigration drives a claimed migration through its phases. See the
+// package comment at the top of this file for the protocol; every
+// phase transition lands on the migration span as an event, so one
+// trace reads as the full story of the move.
+func (r *Router) runMigration(ctx context.Context, m *migration) MigrationStatus {
+	cfg := r.cfg.Migrate
+	ctx, sp := telemetry.StartSpan(ctx, "migration")
+	sp.Annotate("shard", strconv.Itoa(m.shard))
+	sp.Annotate("source", m.src.backend.Name())
+	sp.Annotate("target", m.target.Name())
+	var failErr error
+	defer func() { sp.End(failErr) }()
+
+	abort := func(stage string, err error) MigrationStatus {
+		m.dual.Store(false)
+		failErr = fmt.Errorf("%s: %w", stage, err)
+		sp.Event("phase aborted: " + stage + ": " + err.Error())
+		r.finishMigration(m, "aborted", failErr)
+		return m.status()
+	}
+
+	// Seeding: (re)activate the target under the current ring, then
+	// ship it a full snapshot. The source keeps serving throughout.
+	m.setPhase(MigSeeding)
+	sp.Event(fmt.Sprintf("phase seeding: snapshot %s → %s", m.src.backend.Name(), m.target.Name()))
+	if rr, ok := m.target.(RingReceiver); ok {
+		ictx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
+		err := rr.InstallRing(ictx, RingUpdate{Ring: r.Ring(), Serving: true})
+		cancel()
+		if err != nil {
+			return abort("activate target", err)
+		}
+	}
+	if err := r.migSnapshot(ctx, m); err != nil {
+		return abort("seed snapshot", err)
+	}
+
+	// Catch-up: delta rounds until the target trails by at most
+	// CatchupLag, still without touching the write path.
+	m.setPhase(MigCatchup)
+	sp.Event("phase catchup: delta rounds to lag ≤ " + strconv.Itoa(cfg.CatchupLag))
+	if err := r.migCatchUp(ctx, m, uint64(cfg.CatchupLag)); err != nil {
+		return abort("catchup", err)
+	}
+
+	// Barrier 1: block the shard's writes, drain to exact seq+checksum
+	// parity, and open the dual-write window. The barrier is bounded
+	// by CutoverTimeout so a stuck target cannot stall live writes.
+	sp.Event("write barrier: drain to parity")
+	r.wmu[m.shard].Lock()
+	bctx, bcancel := context.WithTimeout(ctx, cfg.CutoverTimeout)
+	err := r.migCatchUp(bctx, m, 0)
+	bcancel()
+	if err == nil {
+		m.dual.Store(true)
+		m.setPhase(MigDualWrite)
+	}
+	r.wmu[m.shard].Unlock()
+	if err != nil {
+		return abort("parity drain", err)
+	}
+	sp.Event("phase dual-write: window open at parity")
+
+	// Dual-write window: live batches hit both source and target (see
+	// Router.Apply). A failed target leg requests an abort, checked
+	// here before the cutover commits anything.
+	windowEnd := time.Now().Add(cfg.DualWriteWindow)
+	for {
+		if err := m.abortReason(); err != nil {
+			return abort("dual-write", err)
+		}
+		if err := ctx.Err(); err != nil {
+			return abort("dual-write", err)
+		}
+		rest := time.Until(windowEnd)
+		if rest <= 0 {
+			break
+		}
+		time.Sleep(min(rest, 10*time.Millisecond))
+	}
+
+	// Barrier 2: block writes again, re-verify parity (identical
+	// batches advanced both sides in lockstep, so this is normally a
+	// single stat round), and flip the ring to a new epoch with the
+	// target as the shard's sole backend. Unblocked writes route to
+	// the target from here on.
+	m.setPhase(MigCutover)
+	sp.Event("phase cutover: verify parity and flip ring")
+	r.wmu[m.shard].Lock()
+	if err = m.abortReason(); err == nil {
+		bctx, bcancel = context.WithTimeout(ctx, cfg.CutoverTimeout)
+		err = r.migCatchUp(bctx, m, 0)
+		bcancel()
+	}
+	var epoch uint64
+	if err == nil {
+		epoch = r.flipRing(m)
+	}
+	m.dual.Store(false)
+	r.wmu[m.shard].Unlock()
+	if err != nil {
+		return abort("cutover", err)
+	}
+	m.mu.Lock()
+	m.epoch = epoch
+	m.mu.Unlock()
+	sp.Event(fmt.Sprintf("ring flipped: epoch %d, shard %d → %s", epoch, m.shard, m.target.Name()))
+
+	// Distribute the new ring: the target serves under it, the old
+	// shard backends are retired (Serving=false → they 409 stale
+	// traffic), everyone else just learns the epoch. All best-effort:
+	// the flip is already committed, and the 409 handshake self-heals
+	// clients the push misses.
+	r.distributeRing(ctx, m, sp)
+
+	sp.Event("phase done: source retired")
+	r.finishMigration(m, "ok", nil)
+	return m.status()
+}
+
+// migStat fetches one backend's ShardStat under the probe timeout.
+func (r *Router) migStat(ctx context.Context, b Backend) (ShardStat, error) {
+	sctx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
+	defer cancel()
+	return b.Stat(sctx)
+}
+
+// migCatchUp ships deltas source → target until the target trails the
+// source by at most allowedLag. allowedLag 0 demands exact parity —
+// equal seq and equal checksum — which the caller must make reachable
+// by freezing the source's writes (the write barrier). Snapshot
+// transfer is the fallback when the delta is truncated or when equal
+// seqs hide diverged contents.
+func (r *Router) migCatchUp(ctx context.Context, m *migration, allowedLag uint64) error {
+	for round := 0; round < maxResyncRounds; round++ {
+		if err := m.abortReason(); err != nil {
+			return err
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		srcStat, err := r.migStat(ctx, m.src.backend)
+		if err != nil {
+			return fmt.Errorf("source stat: %w", err)
+		}
+		tgtStat, err := r.migStat(ctx, m.target)
+		if err != nil {
+			return fmt.Errorf("target stat: %w", err)
+		}
+		var lag uint64
+		if srcStat.Seq > tgtStat.Seq {
+			lag = srcStat.Seq - tgtStat.Seq
+		}
+		m.lag.Store(lag)
+		m.mu.Lock()
+		m.lastTgt, m.haveTgt = tgtStat, true
+		m.mu.Unlock()
+		if tgtStat.Seq == srcStat.Seq && tgtStat.Checksum == srcStat.Checksum {
+			return nil
+		}
+		if allowedLag > 0 && lag > 0 && lag <= allowedLag {
+			return nil
+		}
+		// A target at or past the source's seq with different contents
+		// holds state a delta cannot reconcile — only adopting the
+		// source's exact document set can.
+		if tgtStat.Seq >= srcStat.Seq {
+			if err := r.migSnapshot(ctx, m); err != nil {
+				return err
+			}
+			continue
+		}
+		ms, err := r.fetchDelta(ctx, m.src, tgtStat.Seq)
+		if errors.Is(err, errDeltaUnavailable) {
+			if err := r.migSnapshot(ctx, m); err != nil {
+				return err
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		for start := 0; start < len(ms); start += r.cfg.ResyncBatch {
+			end := min(start+r.cfg.ResyncBatch, len(ms))
+			actx, cancel := context.WithTimeout(ctx, resyncShipTimeout)
+			err = m.target.ApplyResync(actx, ms[start:end])
+			cancel()
+			if err != nil {
+				return fmt.Errorf("apply delta: %w", err)
+			}
+			m.shipped.Add(uint64(end - start))
+		}
+	}
+	return fmt.Errorf("no parity after %d rounds (source still advancing?)", maxResyncRounds)
+}
+
+// migSnapshot ships a full snapshot source → target.
+func (r *Router) migSnapshot(ctx context.Context, m *migration) error {
+	fctx, cancel := context.WithTimeout(ctx, resyncShipTimeout)
+	seq, docs, err := m.src.backend.SnapshotDocs(fctx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("fetch snapshot: %w", err)
+	}
+	actx, cancel := context.WithTimeout(ctx, resyncShipTimeout)
+	err = m.target.ApplySnapshot(actx, seq, docs)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("apply snapshot: %w", err)
+	}
+	return nil
+}
+
+// flipRing installs the post-migration ring: a new epoch with the
+// target as the moved shard's sole backend and every other shard
+// untouched. Called with the shard's write barrier held, so no write
+// is in flight across the flip.
+func (r *Router) flipRing(m *migration) uint64 {
+	r.ringMu.Lock()
+	defer r.ringMu.Unlock()
+	old := r.ring.Load()
+	shards := make([][]*backendHealth, len(old.shards))
+	copy(shards, old.shards)
+	th := &backendHealth{backend: m.target}
+	if r.cfg.Resilience.BreakerThreshold > 0 {
+		th.br = newBreaker(r.cfg.Resilience)
+	}
+	m.mu.Lock()
+	if m.haveTgt {
+		th.stat, th.statValid = m.lastTgt, true
+	}
+	m.prev = old.shards[m.shard]
+	m.mu.Unlock()
+	shards[m.shard] = []*backendHealth{th}
+	ns := &ringState{epoch: old.epoch + 1, shards: shards}
+	r.ring.Store(ns)
+	return ns.epoch
+}
+
+// distributeRing pushes the post-cutover ring to the nodes: the
+// retired shard backends get Serving=false, everyone else (target
+// included) Serving=true. Push failures are logged and annotated but
+// never fail the migration — the flip is committed, and nodes the
+// push misses are healed by the stale-epoch 409 handshake.
+func (r *Router) distributeRing(ctx context.Context, m *migration, sp *telemetry.Span) {
+	rg := r.Ring()
+	push := func(b Backend, serving bool) error {
+		rr, ok := b.(RingReceiver)
+		if !ok {
+			return nil
+		}
+		ictx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
+		defer cancel()
+		return rr.InstallRing(ictx, RingUpdate{Ring: rg, Serving: serving})
+	}
+	// Retire the moved shard's old backends first: until they hold the
+	// new ring, a stale client writing through them would still land on
+	// a store nobody reads anymore.
+	m.mu.Lock()
+	prev := m.prev
+	m.mu.Unlock()
+	retired := true
+	for _, h := range prev {
+		if err := push(h.backend, false); err != nil {
+			retired = false
+			log.Printf("cluster: migration %d: retire %s: %v", m.id, h.backend.Name(), err)
+			sp.Event("retire push failed: " + h.backend.Name() + ": " + err.Error())
+		}
+	}
+	m.mu.Lock()
+	m.retired = retired
+	m.mu.Unlock()
+	for _, bs := range r.ring.Load().shards {
+		for _, h := range bs {
+			if err := push(h.backend, true); err != nil {
+				log.Printf("cluster: migration %d: push ring to %s: %v", m.id, h.backend.Name(), err)
+				sp.Event("ring push failed: " + h.backend.Name() + ": " + err.Error())
+			}
+		}
+	}
+}
+
+// finishMigration records the terminal state, releases the migration
+// slot, and appends to the bounded history.
+func (r *Router) finishMigration(m *migration, outcome string, err error) {
+	m.dual.Store(false)
+	m.mu.Lock()
+	m.finished = time.Now()
+	m.outcome = outcome
+	if err != nil {
+		m.errMsg = err.Error()
+	}
+	m.mu.Unlock()
+	if outcome == "ok" {
+		m.setPhase(MigDone)
+		r.migOK.Add(1)
+	} else {
+		m.setPhase(MigAborted)
+		r.migAborted.Add(1)
+	}
+	r.migMu.Lock()
+	r.migHistory = append(r.migHistory, m.status())
+	if len(r.migHistory) > migHistoryMax {
+		r.migHistory = r.migHistory[len(r.migHistory)-migHistoryMax:]
+	}
+	r.migMu.Unlock()
+	r.mig.Store(nil)
+}
+
+// ShardLoad is one shard's load observation in a RebalancePlan.
+type ShardLoad struct {
+	Shard int `json:"shard"`
+	// Docs is the live document count (last observed when the shard is
+	// unreachable).
+	Docs int `json:"docs"`
+	// Reads and Writes count the shard's routed operations since the
+	// router started — the QPS numerator a dry-run planner weighs.
+	Reads    uint64   `json:"reads"`
+	Writes   uint64   `json:"writes"`
+	Backends []string `json:"backends"`
+}
+
+// RebalancePlan is the dry-run planner's output: per-shard load plus
+// the move it would make. It never mutates anything.
+type RebalancePlan struct {
+	Epoch  uint64      `json:"epoch"`
+	Shards []ShardLoad `json:"shards"`
+	// ProposedShard is the shard the planner would move: the one with
+	// the most documents, ties broken by read count.
+	ProposedShard int    `json:"proposed_shard"`
+	Reason        string `json:"reason"`
+}
+
+// Plan reads per-shard document counts and routed-operation counters
+// and proposes which shard a rebalance should move.
+func (r *Router) Plan(ctx context.Context) RebalancePlan {
+	rs := r.ring.Load()
+	lens := r.Lens(ctx)
+	plan := RebalancePlan{Epoch: rs.epoch}
+	best := 0
+	for si, bs := range rs.shards {
+		names := make([]string, len(bs))
+		for i, h := range bs {
+			names[i] = h.backend.Name()
+		}
+		sl := ShardLoad{
+			Shard:    si,
+			Docs:     lens[si],
+			Reads:    r.shardReads[si].Load(),
+			Writes:   r.shardWrites[si].Load(),
+			Backends: names,
+		}
+		plan.Shards = append(plan.Shards, sl)
+		b := plan.Shards[best]
+		if sl.Docs > b.Docs || (sl.Docs == b.Docs && sl.Reads > b.Reads) {
+			best = si
+		}
+	}
+	plan.ProposedShard = best
+	b := plan.Shards[best]
+	plan.Reason = fmt.Sprintf("shard %d carries the most load: %d docs, %d reads, %d writes observed", best, b.Docs, b.Reads, b.Writes)
+	return plan
+}
+
+// applyDual mirrors an acknowledged write batch to an active
+// migration's target. Called by Apply under the shard's write-barrier
+// read lock, after the source set persisted the batch. A target
+// failure does not fail the write — the source has it — but it does
+// abort the migration: continuing would cut over to a backend missing
+// an acknowledged write.
+func (r *Router) applyDual(ctx context.Context, si int, ms []vecdb.Mutation) {
+	m := r.mig.Load()
+	if m == nil || m.shard != si || !m.dual.Load() {
+		return
+	}
+	err := m.target.Apply(ctx, ms)
+	switch {
+	case err == nil:
+		m.dualWrites.Add(1)
+	case errors.Is(err, vecdb.ErrNotFound):
+		// An authoritative miss (deleting an ID the target also lacks)
+		// is agreement, not divergence.
+		m.dualWrites.Add(1)
+	default:
+		m.requestAbort(fmt.Errorf("dual-write to %s: %w", m.target.Name(), err))
+	}
+}

@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/vecdb"
 )
@@ -23,6 +25,8 @@ import (
 //	POST /shard/resync     {"mutations":[{"seq",...}]} → {"applied": n, "seq": s}
 //	GET  /shard/snapshot                               → {"seq": s, "docs":[{"id","text","meta"}]}
 //	POST /shard/snapshot   {"seq": s, "docs":[...]}    → {"docs": n, "seq": s}
+//	GET  /shard/epoch                                  → {"epoch","serving","ring"}
+//	POST /shard/epoch      {"epoch","shards","serving"}→ {"epoch","serving"} | 409
 //	GET  /healthz                                      → 200 {"status":"ok"}        (liveness)
 //	GET  /readyz                                       → 200 | 503                  (recovery complete)
 //
@@ -35,6 +39,16 @@ import (
 // retention is 410 Gone (mapped back to vecdb.ErrSeqTruncated by
 // HTTPBackend), telling the resync manager to fall back to snapshot
 // transfer.
+//
+// /shard/epoch is the ring-epoch control plane (see epoch.go): the
+// migration orchestrator installs the versioned shard assignment on
+// its nodes, monotonic by epoch. A node handed Serving=false has been
+// retired from the ring: it answers every data request with 409
+// Conflict plus its current ring, and a serving node likewise 409s a
+// request whose X-Ring-Epoch header is older than the ring it holds —
+// the typed self-heal signal HTTPBackend maps to StaleEpochError.
+// Nodes never handed a ring accept everything (no epoch machinery in
+// a single-epoch deployment).
 
 // NodeStore is what a shard node must expose to serve the protocol.
 // Both *vecdb.DB (one bare shard) and serve.ShardedDB (the durable
@@ -114,27 +128,46 @@ func fromMutationJSON(m mutationJSON) (vecdb.Mutation, error) {
 // /readyz (and the data endpoints): a node that is still replaying its
 // WAL answers probes with 503 so the router keeps routing around it
 // until recovery completes. A nil ready means always ready.
-func NewNodeHandler(store NodeStore, ready func() bool) http.Handler {
+func NewNodeHandler(store NodeStore, ready func() bool) *NodeHandler {
 	if ready == nil {
 		ready = func() bool { return true }
 	}
-	n := &nodeHandler{store: store, ready: ready}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", n.handleHealthz)
-	mux.HandleFunc("/readyz", n.handleReadyz)
-	mux.HandleFunc("/shard/search", n.handleSearch)
-	mux.HandleFunc("/shard/apply", n.handleApply)
-	mux.HandleFunc("/shard/documents/", n.handleDocument)
-	mux.HandleFunc("/shard/stat", n.handleStat)
-	mux.HandleFunc("/shard/mutations", n.handleMutations)
-	mux.HandleFunc("/shard/resync", n.handleResync)
-	mux.HandleFunc("/shard/snapshot", n.handleSnapshot)
-	return mux
+	n := &NodeHandler{store: store, ready: ready, mux: http.NewServeMux()}
+	n.mux.HandleFunc("/healthz", n.handleHealthz)
+	n.mux.HandleFunc("/readyz", n.handleReadyz)
+	n.mux.HandleFunc("/shard/search", n.handleSearch)
+	n.mux.HandleFunc("/shard/apply", n.handleApply)
+	n.mux.HandleFunc("/shard/documents/", n.handleDocument)
+	n.mux.HandleFunc("/shard/stat", n.handleStat)
+	n.mux.HandleFunc("/shard/mutations", n.handleMutations)
+	n.mux.HandleFunc("/shard/resync", n.handleResync)
+	n.mux.HandleFunc("/shard/snapshot", n.handleSnapshot)
+	n.mux.HandleFunc("/shard/epoch", n.handleEpoch)
+	return n
 }
 
-type nodeHandler struct {
+// NodeHandler serves the shard protocol for one node (see the package
+// comment above for the wire format). It holds the last ring update
+// the node was handed, which is what lets a retired node bounce stale
+// traffic toward the new assignment.
+type NodeHandler struct {
 	store NodeStore
 	ready func() bool
+	mux   *http.ServeMux
+	ring  atomic.Pointer[RingUpdate]
+}
+
+func (n *NodeHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n.mux.ServeHTTP(w, r)
+}
+
+// Ring reports the last installed ring update, ok=false when the node
+// was never handed one.
+func (n *NodeHandler) Ring() (RingUpdate, bool) {
+	if up := n.ring.Load(); up != nil {
+		return *up, true
+	}
+	return RingUpdate{}, false
 }
 
 func nodeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -149,11 +182,11 @@ func nodeError(w http.ResponseWriter, status int, err error) {
 	nodeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-func (n *nodeHandler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (n *NodeHandler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	nodeJSON(w, http.StatusOK, map[string]interface{}{"status": "ok", "ready": n.ready()})
 }
 
-func (n *nodeHandler) handleReadyz(w http.ResponseWriter, r *http.Request) {
+func (n *NodeHandler) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !n.ready() {
 		nodeError(w, http.StatusServiceUnavailable, errors.New("recovering"))
 		return
@@ -163,21 +196,103 @@ func (n *nodeHandler) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // gate rejects data-path requests until recovery completes, so a
 // router that races the probe interval still cannot read a
-// half-replayed shard.
-func (n *nodeHandler) gate(w http.ResponseWriter) bool {
+// half-replayed shard. It then applies the ring-epoch gate: a node
+// retired from the ring, or a request provably routed by an older
+// ring than the node holds, is answered 409 with the current ring so
+// the sender re-routes (the stale-epoch handshake). A node never
+// handed a ring skips the epoch checks entirely.
+func (n *NodeHandler) gate(w http.ResponseWriter, r *http.Request) bool {
 	if !n.ready() {
 		nodeError(w, http.StatusServiceUnavailable, errors.New("recovering"))
+		return false
+	}
+	hdr := r.Header.Get(RingEpochHeader)
+	var reqEpoch uint64
+	if hdr != "" {
+		e, err := ParseEpochHeader(hdr)
+		if err != nil {
+			nodeError(w, http.StatusBadRequest, err)
+			return false
+		}
+		reqEpoch = e
+	}
+	cur := n.ring.Load()
+	if cur == nil {
+		return true
+	}
+	if !cur.Serving || (hdr != "" && reqEpoch < cur.Epoch) {
+		nodeJSON(w, http.StatusConflict, map[string]interface{}{
+			"error": "stale ring epoch",
+			"epoch": cur.Epoch,
+			"ring":  cur.Ring,
+		})
 		return false
 	}
 	return true
 }
 
-func (n *nodeHandler) handleSearch(w http.ResponseWriter, r *http.Request) {
+// handleEpoch is the ring-epoch control plane: GET reports the held
+// ring, POST installs a new one. Installs are monotonic — an older
+// epoch than the held one is refused with 409 plus the held ring —
+// and an equal epoch is accepted so the orchestrator can toggle
+// Serving (re-activating a retired node as a migration target)
+// without minting an epoch. Deliberately not behind gate: a node can
+// learn the ring while still replaying its WAL, and a retired node
+// must accept the ring that re-activates it.
+func (n *NodeHandler) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		cur := n.ring.Load()
+		if cur == nil {
+			nodeJSON(w, http.StatusOK, map[string]interface{}{"epoch": 0, "serving": true})
+			return
+		}
+		nodeJSON(w, http.StatusOK, map[string]interface{}{"epoch": cur.Epoch, "serving": cur.Serving, "ring": cur.Ring})
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxRingPayloadSize+1))
+		if err != nil {
+			nodeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(body) > maxRingPayloadSize {
+			nodeError(w, http.StatusBadRequest, fmt.Errorf("ring payload exceeds %d bytes", maxRingPayloadSize))
+			return
+		}
+		var up RingUpdate
+		if err := json.Unmarshal(body, &up); err != nil {
+			nodeError(w, http.StatusBadRequest, fmt.Errorf("parse ring update: %w", err))
+			return
+		}
+		if err := up.Ring.Validate(); err != nil {
+			nodeError(w, http.StatusBadRequest, err)
+			return
+		}
+		for {
+			cur := n.ring.Load()
+			if cur != nil && up.Epoch < cur.Epoch {
+				nodeJSON(w, http.StatusConflict, map[string]interface{}{
+					"error": "stale ring epoch",
+					"epoch": cur.Epoch,
+					"ring":  cur.Ring,
+				})
+				return
+			}
+			if n.ring.CompareAndSwap(cur, &up) {
+				break
+			}
+		}
+		nodeJSON(w, http.StatusOK, map[string]interface{}{"epoch": up.Epoch, "serving": up.Serving})
+	default:
+		nodeError(w, http.StatusMethodNotAllowed, errors.New("GET or POST required"))
+	}
+}
+
+func (n *NodeHandler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		nodeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
-	if !n.gate(w) {
+	if !n.gate(w, r) {
 		return
 	}
 	var req struct {
@@ -204,12 +319,12 @@ func (n *nodeHandler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	nodeJSON(w, http.StatusOK, map[string]interface{}{"hits": out})
 }
 
-func (n *nodeHandler) handleApply(w http.ResponseWriter, r *http.Request) {
+func (n *NodeHandler) handleApply(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		nodeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
-	if !n.gate(w) {
+	if !n.gate(w, r) {
 		return
 	}
 	var req struct {
@@ -243,12 +358,12 @@ func (n *nodeHandler) handleApply(w http.ResponseWriter, r *http.Request) {
 	nodeJSON(w, http.StatusOK, map[string]int{"applied": len(ms)})
 }
 
-func (n *nodeHandler) handleDocument(w http.ResponseWriter, r *http.Request) {
+func (n *NodeHandler) handleDocument(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		nodeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
-	if !n.gate(w) {
+	if !n.gate(w, r) {
 		return
 	}
 	idStr := strings.TrimPrefix(r.URL.Path, "/shard/documents/")
@@ -269,12 +384,12 @@ func (n *nodeHandler) handleDocument(w http.ResponseWriter, r *http.Request) {
 	nodeJSON(w, http.StatusOK, map[string]interface{}{"id": doc.ID, "text": doc.Text, "meta": doc.Meta})
 }
 
-func (n *nodeHandler) handleStat(w http.ResponseWriter, r *http.Request) {
+func (n *NodeHandler) handleStat(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		nodeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
-	if !n.gate(w) {
+	if !n.gate(w, r) {
 		return
 	}
 	nodeJSON(w, http.StatusOK, ShardStat{
@@ -288,12 +403,12 @@ func (n *nodeHandler) handleStat(w http.ResponseWriter, r *http.Request) {
 // handleMutations serves the journaled delta past ?since= (capped at
 // ?max= records). A journal that no longer retains the range answers
 // 410 Gone — the snapshot-fallback signal.
-func (n *nodeHandler) handleMutations(w http.ResponseWriter, r *http.Request) {
+func (n *NodeHandler) handleMutations(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		nodeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
-	if !n.gate(w) {
+	if !n.gate(w, r) {
 		return
 	}
 	q := r.URL.Query()
@@ -332,12 +447,12 @@ func (n *nodeHandler) handleMutations(w http.ResponseWriter, r *http.Request) {
 
 // handleResync applies a shipped delta under its explicit sequence
 // numbers.
-func (n *nodeHandler) handleResync(w http.ResponseWriter, r *http.Request) {
+func (n *NodeHandler) handleResync(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		nodeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
-	if !n.gate(w) {
+	if !n.gate(w, r) {
 		return
 	}
 	var req struct {
@@ -369,8 +484,8 @@ func (n *nodeHandler) handleResync(w http.ResponseWriter, r *http.Request) {
 
 // handleSnapshot serves the full document set on GET and replaces the
 // node's contents with an uploaded one on POST.
-func (n *nodeHandler) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	if !n.gate(w) {
+func (n *NodeHandler) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !n.gate(w, r) {
 		return
 	}
 	switch r.Method {

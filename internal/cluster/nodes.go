@@ -57,19 +57,37 @@ func LoadNodes(path string) ([]ShardBackends, error) {
 	}
 	client := &http.Client{Timeout: timeout}
 	out := make([]ShardBackends, len(nf.Shards))
+	// One backend URL must serve exactly one role: the same node
+	// behind two shards would interleave both shards' documents in one
+	// store (and seq/checksum parity checks would compare apples to
+	// oranges). Compare by the backend's normalized name so
+	// "10.0.0.1:9001" and "http://10.0.0.1:9001/" collide as they
+	// should.
+	seen := make(map[string]string)
+	addBackend := func(url, role string) (*HTTPBackend, error) {
+		b, err := NewHTTPBackend(url, client)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := seen[b.Name()]; dup {
+			return nil, fmt.Errorf("backend %s assigned twice (%s and %s)", b.Name(), prev, role)
+		}
+		seen[b.Name()] = role
+		return b, nil
+	}
 	for i, ns := range nf.Shards {
 		if ns.Primary == "" {
-			return nil, fmt.Errorf("cluster: shard %d has no primary", i)
+			return nil, fmt.Errorf("cluster: nodes file %s: shard %d has no primary", path, i)
 		}
-		primary, err := NewHTTPBackend(ns.Primary, client)
+		primary, err := addBackend(ns.Primary, fmt.Sprintf("shard %d primary", i))
 		if err != nil {
-			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+			return nil, fmt.Errorf("cluster: nodes file %s: shard %d: %w", path, i, err)
 		}
 		sb := ShardBackends{Primary: primary}
-		for _, rep := range ns.Replicas {
-			b, err := NewHTTPBackend(rep, client)
+		for j, rep := range ns.Replicas {
+			b, err := addBackend(rep, fmt.Sprintf("shard %d replica %d", i, j))
 			if err != nil {
-				return nil, fmt.Errorf("cluster: shard %d replica: %w", i, err)
+				return nil, fmt.Errorf("cluster: nodes file %s: shard %d replica: %w", path, i, err)
 			}
 			sb.Replicas = append(sb.Replicas, b)
 		}

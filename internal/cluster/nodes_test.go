@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeNodesFile drops a nodes.json with the given content into a
+// temp dir and returns its path.
+func writeNodesFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "nodes.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadNodesValid(t *testing.T) {
+	path := writeNodesFile(t, `{
+		"request_timeout_ms": 2500,
+		"shards": [
+			{"primary": "http://10.0.0.1:9001", "replicas": ["http://10.0.0.4:9001"]},
+			{"primary": "http://10.0.0.2:9001"}
+		]
+	}`)
+	shards, err := LoadNodes(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 {
+		t.Fatalf("got %d shards, want 2", len(shards))
+	}
+	if shards[0].Primary.Name() != "http://10.0.0.1:9001" {
+		t.Errorf("shard 0 primary = %q", shards[0].Primary.Name())
+	}
+	if len(shards[0].Replicas) != 1 || shards[0].Replicas[0].Name() != "http://10.0.0.4:9001" {
+		t.Errorf("shard 0 replicas = %v", shards[0].Replicas)
+	}
+	if len(shards[1].Replicas) != 0 {
+		t.Errorf("shard 1 replicas = %v", shards[1].Replicas)
+	}
+}
+
+// TestLoadNodesErrors covers every refusal path, each error naming
+// the file (operators fix topology mistakes from the message alone).
+func TestLoadNodesErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		content string
+		want    string
+	}{
+		{"invalid JSON", `{"shards": [`, "nodes file"},
+		{"no shards", `{"shards": []}`, "lists no shards"},
+		{"missing shards key", `{"request_timeout_ms": 100}`, "lists no shards"},
+		{"missing primary", `{"shards": [{"replicas": ["http://a:1"]}]}`, "has no primary"},
+		{"empty primary URL", `{"shards": [{"primary": ""}]}`, "has no primary"},
+		{"empty replica URL", `{"shards": [{"primary": "http://a:1", "replicas": [""]}]}`, "empty backend URL"},
+		{
+			"duplicate across shards",
+			`{"shards": [{"primary": "http://a:1"}, {"primary": "http://a:1"}]}`,
+			"assigned twice (shard 0 primary and shard 1 primary)",
+		},
+		{
+			// The same node spelled two ways must still collide: names
+			// are normalized before the duplicate check.
+			"duplicate primary and replica, different spellings",
+			`{"shards": [{"primary": "http://a:1", "replicas": ["a:1/"]}]}`,
+			"assigned twice (shard 0 primary and shard 0 replica 0)",
+		},
+		{
+			"duplicate within replicas",
+			`{"shards": [{"primary": "http://a:1", "replicas": ["http://b:1", "http://b:1"]}]}`,
+			"assigned twice (shard 0 replica 0 and shard 0 replica 1)",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeNodesFile(t, tc.content)
+			_, err := LoadNodes(path)
+			if err == nil {
+				t.Fatalf("accepted: %s", tc.content)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+
+	if _, err := LoadNodes(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

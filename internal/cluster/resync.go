@@ -154,7 +154,7 @@ type backendObs struct {
 
 func (r *Router) resyncSweep(ctx context.Context) error {
 	var firstErr error
-	for si := range r.shards {
+	for si := 0; si < r.nshards; si++ {
 		if err := r.resyncShard(ctx, si); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -172,18 +172,22 @@ func (r *Router) resyncSweep(ctx context.Context) error {
 // the best surviving copy must be allowed back first, or nobody can
 // serve.
 func (r *Router) resyncShard(ctx context.Context, si int) error {
-	if len(r.shards[si]) == 1 {
+	// One consistent ring snapshot per shard sweep: a migration cutover
+	// mid-sweep swaps the assignment, and comparing backends across two
+	// assignments would elect nonsense sources.
+	shard := r.ring.Load().shards[si]
+	if len(shard) == 1 {
 		// A replica-less shard has no peer to diverge from; release any
 		// hold so recovery is not deadlocked waiting for a comparison
 		// that can never happen.
-		h := r.shards[si][0]
+		h := shard[0]
 		if h.resyncNeeded() {
 			h.clearResync(r.cfg)
 		}
 		return nil
 	}
 	var obs []backendObs
-	for _, h := range r.shards[si] {
+	for _, h := range shard {
 		sctx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
 		st, err := h.backend.Stat(sctx)
 		cancel()
@@ -218,7 +222,7 @@ func (r *Router) resyncShard(ctx context.Context, si int) error {
 	// must not let a stale held replica elect itself source, self-
 	// clear, and serve reads missing that primary's writes.
 	if !srcServing {
-		for _, h := range r.shards[si] {
+		for _, h := range shard {
 			if h.serving() {
 				return nil // wait for a sweep that can observe the serving peer
 			}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -44,17 +45,53 @@ type ShardBackends struct {
 // mutations it missed from the most advanced backend's WAL — or a
 // full snapshot when that WAL has been truncated past the gap. See
 // resync.go and docs/cluster.md for the convergence semantics.
+//
+// The shard count is fixed for the router's lifetime — it is the
+// modulus of the hash ring — but the backend assignment is not: an
+// online migration (migrate.go) can move a shard onto a new backend,
+// atomically swapping in a new ring under a bumped epoch. Every
+// read/write snapshots the ring once, so it sees one consistent
+// assignment; a request landing on a node that already moved on
+// answers with a typed 409 carrying the new ring, which the router
+// adopts on the spot (adoptRing).
 type Router struct {
 	cfg     HealthConfig
-	shards  [][]*backendHealth // primary first
+	nshards int
+	// ring is the current epoch-versioned shard→backend assignment,
+	// swapped wholesale at a migration cutover (or when a stale-epoch
+	// 409 carries a newer ring). ringMu serializes the swaps.
+	ring    atomic.Pointer[ringState]
+	ringMu  sync.Mutex
 	checker *checker
 	resync  *resyncer
+
+	// wmu is the per-shard write barrier: Apply holds the read side
+	// around its backend writes; a migration's parity drain and ring
+	// flip hold the write side, so no write is in flight across a
+	// cutover and none can miss the dual-write window.
+	wmu []sync.RWMutex
+
+	// mig is the single in-flight migration (nil when none); see
+	// migrate.go for the rest of the migration state.
+	mig        atomic.Pointer[migration]
+	migSeq     atomic.Int64
+	migMu      sync.Mutex
+	migHistory []MigrationStatus
+	migOK      atomic.Uint64
+	migAborted atomic.Uint64
 
 	failovers       atomic.Uint64
 	degradedQueries atomic.Uint64
 	shardsSkipped   atomic.Uint64
 	writeFailures   atomic.Uint64
 	partialWrites   atomic.Uint64
+	staleEpochs     atomic.Uint64
+	epochAdoptions  atomic.Uint64
+
+	// Per-shard routed-operation counters feeding the rebalance
+	// planner's load view (fixed size nshards).
+	shardReads  []atomic.Uint64
+	shardWrites []atomic.Uint64
 
 	// Resilience-layer counters (see ResilienceConfig); all stay zero
 	// when the corresponding feature is disabled.
@@ -69,6 +106,14 @@ type Router struct {
 	mergeH  *telemetry.Histogram
 }
 
+// ringState is one immutable shard→backend assignment. Mutations
+// build a new ringState and swap the pointer; readers load it once
+// per operation and work against that consistent snapshot.
+type ringState struct {
+	epoch  uint64
+	shards [][]*backendHealth // primary first
+}
+
 // telemetrySink is implemented by backends that can be instrumented
 // (HTTPBackend). NewRouter injects the registry before the health
 // checker starts, so backends never see it change mid-flight.
@@ -78,13 +123,21 @@ type telemetrySink interface {
 
 // NewRouter builds a router over the given shard set and starts its
 // health checker (stopped by Close). The shard count — and therefore
-// the hash ring — is fixed for the router's lifetime.
+// the hash ring — is fixed for the router's lifetime; the backend
+// assignment starts at ring epoch 1 and advances by migration.
 func NewRouter(shards []ShardBackends, cfg HealthConfig) (*Router, error) {
 	if len(shards) == 0 {
 		return nil, errors.New("cluster: no shards")
 	}
 	cfg = cfg.withDefaults()
-	r := &Router{cfg: cfg, shards: make([][]*backendHealth, len(shards))}
+	r := &Router{
+		cfg:         cfg,
+		nshards:     len(shards),
+		wmu:         make([]sync.RWMutex, len(shards)),
+		shardReads:  make([]atomic.Uint64, len(shards)),
+		shardWrites: make([]atomic.Uint64, len(shards)),
+	}
+	rs := &ringState{epoch: 1, shards: make([][]*backendHealth, len(shards))}
 	var all []*backendHealth
 	for i, sb := range shards {
 		if sb.Primary == nil {
@@ -102,8 +155,9 @@ func NewRouter(shards []ShardBackends, cfg HealthConfig) (*Router, error) {
 			bs = append(bs, h)
 			all = append(all, h)
 		}
-		r.shards[i] = bs
+		rs.shards[i] = bs
 	}
+	r.ring.Store(rs)
 	if cfg.Telemetry != nil {
 		const help = "Hot-path stage latency in seconds."
 		r.fanoutH = cfg.Telemetry.Histogram("stage_duration_seconds", help, nil, telemetry.L("stage", "shard_fanout"))
@@ -114,12 +168,104 @@ func NewRouter(shards []ShardBackends, cfg HealthConfig) (*Router, error) {
 			}
 		}
 	}
-	r.checker = newChecker(cfg, all)
+	r.checker = newChecker(cfg, r.allHealth)
 	r.resync = newResyncer(r)
 	if cfg.Telemetry != nil {
 		r.registerMetrics(cfg.Telemetry, all)
 	}
 	return r, nil
+}
+
+// allHealth flattens the current ring's backend set — the health
+// checker's probe list, reloaded every round so migrated-in backends
+// are probed and retired ones are not.
+func (r *Router) allHealth() []*backendHealth {
+	rs := r.ring.Load()
+	var all []*backendHealth
+	for _, bs := range rs.shards {
+		all = append(all, bs...)
+	}
+	return all
+}
+
+// Ring renders the current assignment in wire form (backend names per
+// shard, primary first).
+func (r *Router) Ring() Ring {
+	rs := r.ring.Load()
+	shards := make([][]string, len(rs.shards))
+	for si, bs := range rs.shards {
+		names := make([]string, len(bs))
+		for i, h := range bs {
+			names[i] = h.backend.Name()
+		}
+		shards[si] = names
+	}
+	return Ring{Epoch: rs.epoch, Shards: shards}
+}
+
+// Epoch reports the current ring epoch.
+func (r *Router) Epoch() uint64 { return r.ring.Load().epoch }
+
+// noteStale inspects a backend error for the typed stale-epoch 409
+// and self-heals by adopting the newer ring it carries.
+func (r *Router) noteStale(sp *telemetry.Span, err error) {
+	var se *StaleEpochError
+	if !errors.As(err, &se) {
+		return
+	}
+	r.staleEpochs.Add(1)
+	if r.adoptRing(se.Ring) {
+		sp.Event(fmt.Sprintf("adopted ring epoch %d from stale-epoch 409", se.Ring.Epoch))
+	}
+}
+
+// adoptRing installs a ring learned from a stale-epoch 409: same
+// shard count (the hash ring modulus never changes), strictly newer
+// epoch. Backends already in the current ring are reused with their
+// health state intact; names the router has never seen become fresh
+// HTTP backends. Returns false when the ring is not adoptable.
+func (r *Router) adoptRing(rg Ring) bool {
+	if rg.Validate() != nil || len(rg.Shards) != r.nshards {
+		return false
+	}
+	r.ringMu.Lock()
+	defer r.ringMu.Unlock()
+	cur := r.ring.Load()
+	if rg.Epoch <= cur.epoch {
+		return false
+	}
+	known := make(map[string]*backendHealth)
+	for _, bs := range cur.shards {
+		for _, h := range bs {
+			known[h.backend.Name()] = h
+		}
+	}
+	ns := &ringState{epoch: rg.Epoch, shards: make([][]*backendHealth, r.nshards)}
+	for si, names := range rg.Shards {
+		bs := make([]*backendHealth, 0, len(names))
+		for _, name := range names {
+			if h, ok := known[name]; ok {
+				bs = append(bs, h)
+				continue
+			}
+			b, err := NewHTTPBackend(name, nil)
+			if err != nil {
+				return false
+			}
+			if r.cfg.Telemetry != nil {
+				b.setTelemetry(r.cfg.Telemetry)
+			}
+			h := &backendHealth{backend: b}
+			if r.cfg.Resilience.BreakerThreshold > 0 {
+				h.br = newBreaker(r.cfg.Resilience)
+			}
+			bs = append(bs, h)
+		}
+		ns.shards[si] = bs
+	}
+	r.ring.Store(ns)
+	r.epochAdoptions.Add(1)
+	return true
 }
 
 // registerMetrics bridges the router's (and its resyncer's and
@@ -142,6 +288,28 @@ func (r *Router) registerMetrics(reg *telemetry.Registry, all []*backendHealth) 
 	reg.CounterFunc("cluster_resync_errors_total",
 		"Resync attempts that failed and will be retried.", func() uint64 { return r.resync.errors.Load() })
 
+	reg.CounterFunc("migrations_total",
+		"Shard migrations finished, by outcome.", r.migOK.Load, telemetry.L("outcome", "ok"))
+	reg.CounterFunc("migrations_total",
+		"Shard migrations finished, by outcome.", r.migAborted.Load, telemetry.L("outcome", "aborted"))
+	reg.CounterFunc("stale_epoch_rejections_total",
+		"Requests answered with a stale-ring-epoch 409 by a node that moved on.", r.staleEpochs.Load)
+	reg.CounterFunc("ring_epoch_adoptions_total",
+		"Newer rings adopted from stale-epoch 409 responses.", r.epochAdoptions.Load)
+	reg.GaugeFunc("ring_epoch", "Current ring epoch.",
+		func() float64 { return float64(r.ring.Load().epoch) })
+	for si := 0; si < r.nshards; si++ {
+		si := si
+		reg.GaugeFunc("migration_phase",
+			"Active migration phase for the shard (0 idle, 1 planned, 2 seeding, 3 catchup, 4 dual-write, 5 cutover).",
+			func() float64 {
+				if m := r.mig.Load(); m != nil && m.shard == si {
+					return float64(m.phase.Load())
+				}
+				return 0
+			}, telemetry.L("shard", strconv.Itoa(si)))
+	}
+
 	for _, h := range all {
 		if h.br == nil {
 			continue
@@ -161,19 +329,22 @@ func (r *Router) registerMetrics(reg *telemetry.Registry, all []*backendHealth) 
 	}
 }
 
-// Close stops the health checker and the resync manager. Backends own
-// no connections beyond their http.Client pools, so there is nothing
-// else to release.
+// Close stops the health checker and the resync manager, and asks any
+// in-flight migration to abort. Backends own no connections beyond
+// their http.Client pools, so there is nothing else to release.
 func (r *Router) Close() {
+	if m := r.mig.Load(); m != nil {
+		m.requestAbort(errors.New("router closing"))
+	}
 	r.checker.Close()
 	r.resync.Close()
 }
 
 // Shards reports the shard count (the modulus of the hash ring).
-func (r *Router) Shards() int { return len(r.shards) }
+func (r *Router) Shards() int { return r.nshards }
 
 // ShardFor maps a document ID onto its owning shard.
-func (r *Router) ShardFor(id int64) int { return ShardIndex(id, len(r.shards)) }
+func (r *Router) ShardFor(id int64) int { return ShardIndex(id, r.nshards) }
 
 // ctxFailure reports whether err is the caller's own context giving
 // up, which must not count against the backend's health.
@@ -220,12 +391,14 @@ func (r *Router) liveSuccess(sp *telemetry.Span, h *backendHealth) {
 }
 
 // liveFailure reports one failed live request, annotating sp when the
-// breaker opens.
+// breaker opens. A stale-epoch 409 additionally hands the router the
+// newer ring to adopt.
 func (r *Router) liveFailure(sp *telemetry.Span, h *backendHealth, err error) {
 	h.reportFailure(r.cfg, err)
 	if t := h.br.failure(time.Now()); t != "" {
 		sp.Event("breaker " + t + ": " + h.backend.Name())
 	}
+	r.noteStale(sp, err)
 }
 
 // retryWait sleeps the full-jitter backoff before retry round n,
@@ -273,7 +446,11 @@ func (r *Router) searchShard(ctx context.Context, si int, vec []float32, k int) 
 			r.readRetries.Add(1)
 			telemetry.SpanFrom(ctx).Event(fmt.Sprintf("retry shard=%d round=%d", si, round))
 		}
-		for _, h := range r.shards[si] {
+		// Reload the ring each round so a cutover mid-retry fails over
+		// to the shard's new owner instead of hammering a retired node.
+		rs := r.ring.Load()
+		rctx := withRingEpoch(ctx, rs.epoch)
+		for _, h := range rs.shards[si] {
 			if !h.serving() {
 				continue
 			}
@@ -282,7 +459,7 @@ func (r *Router) searchShard(ctx context.Context, si int, vec []float32, k int) 
 				continue
 			}
 			attempts++
-			actx, sp := telemetry.StartSpan(ctx, "shard_read")
+			actx, sp := telemetry.StartSpan(rctx, "shard_read")
 			sp.Annotate("backend", h.backend.Name())
 			sp.Annotate("shard", strconv.Itoa(si))
 			hits, err := h.backend.SearchVector(actx, vec, k)
@@ -318,8 +495,10 @@ func (r *Router) searchShard(ctx context.Context, si int, vec []float32, k int) 
 // one admitted backend — the sequential path then produces the error.
 func (r *Router) hedgedSearch(ctx context.Context, si int, vec []float32, k int) (hits []vecdb.Hit, handled bool, err error) {
 	res := r.cfg.Resilience
+	rs := r.ring.Load()
+	ctx = withRingEpoch(ctx, rs.epoch)
 	var cands []*backendHealth
-	for _, h := range r.shards[si] {
+	for _, h := range rs.shards[si] {
 		if h.serving() {
 			cands = append(cands, h)
 		}
@@ -448,13 +627,14 @@ func (r *Router) hedgedSearch(ctx context.Context, si int, vec []float32, k int)
 // runs one worker per shard regardless of core count: remote shards
 // are I/O-bound, so the requests must all be in flight at once.
 func (r *Router) SearchVector(ctx context.Context, vec []float32, k int) ([]vecdb.Hit, error) {
-	n := len(r.shards)
+	n := r.nshards
 	lists := make([][]vecdb.Hit, n)
 	errs := make([]error, n)
 	fctx, fsp := telemetry.StartSpan(ctx, "shard_fanout")
 	fsp.Annotate("shards", strconv.Itoa(n))
 	fanoutStart := time.Now()
 	parallel.ForWorkers(n, n, func(i int) {
+		r.shardReads[i].Add(1)
 		lists[i], errs[i] = r.searchShard(fctx, i, vec, k)
 	})
 	r.fanoutH.ObserveSinceCtx(ctx, fanoutStart)
@@ -491,17 +671,30 @@ func (r *Router) SearchVector(ctx context.Context, vec []float32, k int) ([]vecd
 // ErrShardUnavailable. A vecdb.ErrNotFound (deleting an absent ID) is
 // an authoritative answer, not a node failure, and carries no health
 // penalty.
+//
+// The whole write runs under the shard's write-barrier read lock:
+// uncontended it costs an atomic, but during a migration cutover it
+// guarantees no batch is in flight while the orchestrator drains to
+// parity and flips the ring — so every write lands entirely before or
+// entirely after the flip, and every write acknowledged during the
+// dual-write window also reached the migration target (or aborted the
+// migration; see applyDual).
 func (r *Router) Apply(ctx context.Context, si int, ms []vecdb.Mutation) error {
-	if si < 0 || si >= len(r.shards) {
-		return fmt.Errorf("cluster: shard %d out of range [0,%d)", si, len(r.shards))
+	if si < 0 || si >= r.nshards {
+		return fmt.Errorf("cluster: shard %d out of range [0,%d)", si, r.nshards)
 	}
+	r.wmu[si].RLock()
+	defer r.wmu[si].RUnlock()
+	r.shardWrites[si].Add(1)
+	rs := r.ring.Load()
+	ctx = withRingEpoch(ctx, rs.epoch)
 	var (
 		ok       int
 		notFound error
 		lastErr  error
 		failed   []*backendHealth
 	)
-	for _, h := range r.shards[si] {
+	for _, h := range rs.shards[si] {
 		if !h.serving() {
 			continue
 		}
@@ -516,6 +709,7 @@ func (r *Router) Apply(ctx context.Context, si int, ms []vecdb.Mutation) error {
 			return err
 		default:
 			h.reportFailure(r.cfg, err)
+			r.noteStale(telemetry.SpanFrom(ctx), err)
 			r.writeFailures.Add(1)
 			failed = append(failed, h)
 			lastErr = err
@@ -534,8 +728,10 @@ func (r *Router) Apply(ctx context.Context, si int, ms []vecdb.Mutation) error {
 			}
 			r.resync.nudge()
 		}
+		r.applyDual(ctx, si, ms)
 		return nil
 	case notFound != nil:
+		r.applyDual(ctx, si, ms)
 		return notFound
 	case lastErr != nil:
 		return lastErr
@@ -550,6 +746,7 @@ func (r *Router) Apply(ctx context.Context, si int, ms []vecdb.Mutation) error {
 // immediately.
 func (r *Router) Get(ctx context.Context, id int64) (vecdb.Document, error) {
 	si := r.ShardFor(id)
+	r.shardReads[si].Add(1)
 	rounds := 1 + r.cfg.Resilience.RetryReads
 	var lastErr error
 	attempts := 0
@@ -561,7 +758,9 @@ func (r *Router) Get(ctx context.Context, id int64) (vecdb.Document, error) {
 			r.readRetries.Add(1)
 			telemetry.SpanFrom(ctx).Event(fmt.Sprintf("retry get shard=%d round=%d", si, round))
 		}
-		for _, h := range r.shards[si] {
+		rs := r.ring.Load()
+		rctx := withRingEpoch(ctx, rs.epoch)
+		for _, h := range rs.shards[si] {
 			if !h.serving() {
 				continue
 			}
@@ -570,7 +769,7 @@ func (r *Router) Get(ctx context.Context, id int64) (vecdb.Document, error) {
 				continue
 			}
 			attempts++
-			actx, sp := telemetry.StartSpan(ctx, "shard_get")
+			actx, sp := telemetry.StartSpan(rctx, "shard_get")
 			sp.Annotate("backend", h.backend.Name())
 			doc, err := h.backend.Get(actx, id)
 			sp.End(err)
@@ -611,7 +810,9 @@ func (r *Router) Delete(ctx context.Context, id int64) error {
 // to the first healthy backend, falling back to the checker's cached
 // observation.
 func (r *Router) statShard(ctx context.Context, si int) (ShardStat, bool) {
-	for _, h := range r.shards[si] {
+	rs := r.ring.Load()
+	ctx = withRingEpoch(ctx, rs.epoch)
+	for _, h := range rs.shards[si] {
 		if !h.serving() {
 			continue
 		}
@@ -620,7 +821,7 @@ func (r *Router) statShard(ctx context.Context, si int) (ShardStat, bool) {
 			return st, true
 		}
 	}
-	for _, h := range r.shards[si] {
+	for _, h := range rs.shards[si] {
 		h.mu.Lock()
 		st, valid := h.stat, h.statValid
 		h.mu.Unlock()
@@ -634,8 +835,8 @@ func (r *Router) statShard(ctx context.Context, si int) (ShardStat, bool) {
 // Lens reports per-shard document counts (live where a backend
 // answers, last-observed otherwise; zero for shards never reached).
 func (r *Router) Lens(ctx context.Context) []int {
-	lens := make([]int, len(r.shards))
-	parallel.ForWorkers(len(r.shards), len(r.shards), func(i int) {
+	lens := make([]int, r.nshards)
+	parallel.ForWorkers(r.nshards, r.nshards, func(i int) {
 		if st, ok := r.statShard(ctx, i); ok {
 			lens[i] = st.Len
 		}
@@ -658,7 +859,7 @@ func (r *Router) Len(ctx context.Context) int {
 // high-water mark would collide when that shard returns.
 func (r *Router) MaxNextID(ctx context.Context) (int64, error) {
 	var next int64 = 1
-	for si := range r.shards {
+	for si := 0; si < r.nshards; si++ {
 		st, ok := r.statShard(ctx, si)
 		if !ok {
 			return 0, fmt.Errorf("%w: shard %d unreachable, cannot restore ID allocator", ErrShardUnavailable, si)
@@ -675,7 +876,7 @@ func (r *Router) MaxNextID(ctx context.Context) (int64, error) {
 // otherwise. The serving layer's admission gate calls this on every
 // request, so a fully dead cluster sheds in microseconds.
 func (r *Router) Available() error {
-	for _, bs := range r.shards {
+	for _, bs := range r.ring.Load().shards {
 		for _, h := range bs {
 			if h.serving() {
 				return nil
@@ -719,8 +920,9 @@ type ShardHealth struct {
 
 // Health snapshots per-shard, per-backend health for /stats.
 func (r *Router) Health() []ShardHealth {
-	out := make([]ShardHealth, len(r.shards))
-	for si, bs := range r.shards {
+	rs := r.ring.Load()
+	out := make([]ShardHealth, len(rs.shards))
+	for si, bs := range rs.shards {
 		sh := ShardHealth{Shard: si}
 		for _, h := range bs {
 			b := h.snapshot()
@@ -762,6 +964,13 @@ type RouterStats struct {
 	ReadRetries uint64 `json:"read_retries"`
 	// BreakerFastFails counts reads skipped at an open breaker.
 	BreakerFastFails uint64 `json:"breaker_fast_fails"`
+	// RingEpoch is the current assignment version; it starts at 1 and
+	// bumps on every migration cutover (or adopted ring).
+	RingEpoch uint64 `json:"ring_epoch"`
+	// StaleEpochs counts requests a node rejected with a stale-ring
+	// 409; EpochAdoptions counts the newer rings adopted from them.
+	StaleEpochs    uint64 `json:"stale_epochs"`
+	EpochAdoptions uint64 `json:"epoch_adoptions"`
 }
 
 // Stats reports the router's counters.
@@ -776,5 +985,8 @@ func (r *Router) Stats() RouterStats {
 		HedgeWins:        r.hedgeWins.Load(),
 		ReadRetries:      r.readRetries.Load(),
 		BreakerFastFails: r.breakerFastFails.Load(),
+		RingEpoch:        r.ring.Load().epoch,
+		StaleEpochs:      r.staleEpochs.Load(),
+		EpochAdoptions:   r.epochAdoptions.Load(),
 	}
 }

@@ -42,10 +42,14 @@ var (
 // writes while probes still succeed (a diverging-but-alive replica)
 // or cut everything (a network partition):
 //
-//	reads   — SearchVector, Get
-//	writes  — Apply
-//	probes  — Probe
-//	resync  — Stat, MutationsSince, ApplyResync, SnapshotDocs, ApplySnapshot
+//	reads     — SearchVector, Get
+//	writes    — Apply
+//	probes    — Probe
+//	resync    — Stat, MutationsSince, ApplyResync, SnapshotDocs, ApplySnapshot
+//	migration — the transfer surface a shard move rides on: snapshot
+//	            read/apply, delta read/apply, and InstallRing — armed
+//	            separately from resync so a test can break a migration
+//	            mid-cutover while background anti-entropy stays healthy
 //
 // Partition(true) fails every class. All methods are safe for
 // concurrent use; fault state changes take effect on the next call.
@@ -58,6 +62,9 @@ type ChaosBackend struct {
 	readErr     error
 	probeErr    error
 	resyncErr   error
+	migErr      error
+	migAfter    int
+	migDelay    time.Duration
 	latency     time.Duration
 	spikeEvery  int
 	spikeDur    time.Duration
@@ -95,6 +102,62 @@ func (c *ChaosBackend) FailProbes(err error) { c.setErr(&c.probeErr, err) }
 // snapshot transfer), for tests that pin a backend in its
 // needs-resync hold.
 func (c *ChaosBackend) FailResync(err error) { c.setErr(&c.resyncErr, err) }
+
+// FailMigration arms (or, with nil, disarms) a fault on the migration
+// transfer surface — SnapshotDocs, ApplySnapshot, MutationsSince,
+// ApplyResync and InstallRing — dropping a shard move's seeding,
+// catch-up or ring push while ordinary reads, writes and probes keep
+// working.
+func (c *ChaosBackend) FailMigration(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.migErr, c.migAfter = err, 0
+}
+
+// FailMigrationAfter lets n migration-surface calls through and then
+// arms err — the "node died mid-cutover" script: seeding starts,
+// some batches land, and the transfer dies partway. err == nil
+// disarms.
+func (c *ChaosBackend) FailMigrationAfter(n int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.migErr, c.migAfter = err, n
+}
+
+// DelayMigration stalls every migration-surface call by d (0
+// disarms), stretching the seeding/catch-up window so concurrent
+// writes provably overlap it. The stall respects ctx.
+func (c *ChaosBackend) DelayMigration(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.migDelay = d
+}
+
+// migEnter applies the migration fault class on top of the resync
+// class: the armed delay first (ctx-aware), then the countdown fault.
+func (c *ChaosBackend) migEnter(ctx context.Context) error {
+	c.mu.Lock()
+	d := c.migDelay
+	var err error
+	if c.migErr != nil {
+		if c.migAfter > 0 {
+			c.migAfter--
+		} else {
+			err = c.migErr
+		}
+	}
+	c.mu.Unlock()
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	return err
+}
 
 func (c *ChaosBackend) setErr(slot *error, err error) {
 	c.mu.Lock()
@@ -226,11 +289,17 @@ func (c *ChaosBackend) MutationsSince(ctx context.Context, since uint64, max int
 	if err := c.enter("MutationsSince", &c.resyncErr); err != nil {
 		return nil, err
 	}
+	if err := c.migEnter(ctx); err != nil {
+		return nil, err
+	}
 	return c.inner.MutationsSince(ctx, since, max)
 }
 
 func (c *ChaosBackend) ApplyResync(ctx context.Context, ms []vecdb.SeqMutation) error {
 	if err := c.enter("ApplyResync", &c.resyncErr); err != nil {
+		return err
+	}
+	if err := c.migEnter(ctx); err != nil {
 		return err
 	}
 	return c.inner.ApplyResync(ctx, ms)
@@ -240,6 +309,9 @@ func (c *ChaosBackend) SnapshotDocs(ctx context.Context) (uint64, []vecdb.Docume
 	if err := c.enter("SnapshotDocs", &c.resyncErr); err != nil {
 		return 0, nil, err
 	}
+	if err := c.migEnter(ctx); err != nil {
+		return 0, nil, err
+	}
 	return c.inner.SnapshotDocs(ctx)
 }
 
@@ -247,10 +319,34 @@ func (c *ChaosBackend) ApplySnapshot(ctx context.Context, seq uint64, docs []vec
 	if err := c.enter("ApplySnapshot", &c.resyncErr); err != nil {
 		return err
 	}
+	if err := c.migEnter(ctx); err != nil {
+		return err
+	}
 	return c.inner.ApplySnapshot(ctx, seq, docs)
 }
 
-var _ cluster.Backend = (*ChaosBackend)(nil)
+// InstallRing forwards a ring update to the inner backend when it
+// participates in the epoch handshake (LocalBackend and HTTPBackend
+// both do), subject to the partition and migration fault classes — a
+// chaos target can refuse the activation push exactly like a dead
+// node would.
+func (c *ChaosBackend) InstallRing(ctx context.Context, up cluster.RingUpdate) error {
+	if err := c.enter("InstallRing", nil); err != nil {
+		return err
+	}
+	if err := c.migEnter(ctx); err != nil {
+		return err
+	}
+	if rr, ok := c.inner.(cluster.RingReceiver); ok {
+		return rr.InstallRing(ctx, up)
+	}
+	return nil
+}
+
+var (
+	_ cluster.Backend      = (*ChaosBackend)(nil)
+	_ cluster.RingReceiver = (*ChaosBackend)(nil)
+)
 
 // Node is one in-process shard node: a real single-shard durable
 // store (its own WAL + checkpoint dir, background checkpointer
@@ -338,4 +434,15 @@ func RequireSameTopK(t testing.TB, a, b cluster.NodeStore, vec []float32, k int)
 			t.Fatalf("hit %d diverged: {%d %v} vs {%d %v}", i, ah[i].ID, ah[i].Score, bh[i].ID, bh[i].Score)
 		}
 	}
+}
+
+// RequireMigrated is the lossless-move acceptance check: after a
+// shard migration retires src in favor of tgt, both must hold
+// byte-identical state (seq, checksum, full document set) and answer
+// the identical top-k — the retired source serves as the oracle for
+// what the target was supposed to receive.
+func RequireMigrated(t testing.TB, src, tgt cluster.NodeStore, vec []float32, k int) {
+	t.Helper()
+	RequireConverged(t, src, tgt)
+	RequireSameTopK(t, src, tgt, vec, k)
 }

@@ -37,6 +37,19 @@ func newPair(t *testing.T, cfg cluster.HealthConfig) (*cluster.Router, *Node, *N
 		t.Fatal(err)
 	}
 	t.Cleanup(r.Close)
+	// The checker fires one probe round at startup from its own
+	// goroutine. Wait for it to land on both backends: the scripted
+	// scenarios assume no probe runs between their steps (Interval is
+	// an hour), and under a loaded machine the startup round could
+	// otherwise slip past a Partition call and eject a backend the
+	// script expects to fail in-band.
+	deadline := time.Now().Add(10 * time.Second)
+	for primary.Chaos.Calls("Probe") == 0 || replica.Chaos.Calls("Probe") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("startup probe round never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
 	return r, primary, replica
 }
 

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/adaptive"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/parallel"
 	"repro/internal/rag"
@@ -675,6 +676,7 @@ func (s *Server) Stats() Snapshot {
 			Router:          r.Stats(),
 			Resync:          r.ResyncStats(),
 			ShedUnavailable: s.unavailableShed.Value(),
+			Migrations:      r.Migrations(),
 		}
 	}
 	return snap
@@ -727,4 +729,36 @@ func (s *Server) Resync(ctx context.Context) error {
 		return ErrNoCluster
 	}
 	return rs.Router().ResyncNow(ctx)
+}
+
+// Rebalance moves shard si onto the node at targetURL — the operation
+// behind POST /admin/rebalance. With wait=true it blocks until the
+// migration finishes (the returned status then carries the outcome);
+// otherwise it returns as soon as the migration is underway and
+// /stats tracks its progress. The error is non-nil only when the
+// migration could not start.
+func (s *Server) Rebalance(ctx context.Context, si int, targetURL string, wait bool) (cluster.MigrationStatus, error) {
+	rs, ok := s.store.(*RemoteStore)
+	if !ok {
+		return cluster.MigrationStatus{}, ErrNoCluster
+	}
+	target, err := cluster.NewHTTPBackend(targetURL, nil)
+	if err != nil {
+		return cluster.MigrationStatus{}, err
+	}
+	if wait {
+		return rs.Router().Rebalance(ctx, si, target)
+	}
+	return rs.Router().StartRebalance(si, target)
+}
+
+// PlanRebalance runs the dry-run rebalance planner: per-shard doc
+// counts and routed-operation counters plus the move it would make,
+// with nothing mutated.
+func (s *Server) PlanRebalance(ctx context.Context) (cluster.RebalancePlan, error) {
+	rs, ok := s.store.(*RemoteStore)
+	if !ok {
+		return cluster.RebalancePlan{}, ErrNoCluster
+	}
+	return rs.Router().Plan(ctx), nil
 }

@@ -78,6 +78,10 @@ type ClusterStats struct {
 	// ShedUnavailable counts requests shed at admission because no
 	// shard had a healthy backend.
 	ShedUnavailable uint64 `json:"shed_unavailable"`
+	// Migrations lists the active shard migration (first, when one is
+	// running) plus recently finished ones: phase, shipped mutations,
+	// parity lag, outcome. Empty until the first POST /admin/rebalance.
+	Migrations []cluster.MigrationStatus `json:"migrations,omitempty"`
 }
 
 // RequestStats counts admitted requests by endpoint kind.
