@@ -7,14 +7,25 @@
 //
 // Endpoints (JSON):
 //
-//	POST /ingest           {"text": "..."}            → {"chunks": n}
-//	POST /ingest/bulk      {"texts": ["...", ...]}    → {"docs": n, "chunks": m}
-//	POST /ingest/stream    NDJSON body (one doc/line) → NDJSON progress frames + final {"done":true,...}
-//	POST /ask              {"question": "..."}        → answer + verdict
-//	POST /verify           {"question","context","response"} → verdict
-//	POST /search           {"query": "...", "k": 3}   → {"hits": [...]}
-//	GET  /documents/{id}                              → stored document
-//	DELETE /documents/{id}                            → {"deleted": id}
+//	POST /ingest           {"text": "...", "collection": "...", "meta": {...}} → {"chunks": n}
+//	POST /ingest/bulk      {"texts": ["...", ...], "collection": "..."}        → {"docs": n, "chunks": m}
+//	POST /ingest/stream    NDJSON body (one doc/line) [?collection=t]          → NDJSON progress frames + final {"done":true,...}
+//	POST /ask              {"question": "...", "collection": "..."}            → answer + verdict
+//	POST /verify           {"question","context","response"[,"collection"]}    → verdict
+//	POST /search           {"query","k","collection","filter":{tag:...}}       → {"hits": [...]}
+//	GET  /documents/{id}                                                       → stored document
+//	DELETE /documents/{id} [?collection=t]                                     → {"deleted": id}
+//
+// Collections scope documents to tenants: ingest writes land under the
+// named collection ("default" when omitted), search/ask retrieval is
+// restricted to it, and metadata filters restrict further by exact
+// key=value match. When per-tenant limits are configured
+// (-tenant-rate / -tenant-burst / -tenant-inflight), each collection
+// is admitted through its own token bucket and in-flight quota before
+// the global gate — a saturating tenant gets 429s while everyone else
+// is untouched — and /stats grows a "tenants" block with per-tenant
+// admitted/throttled/in-flight counts. See docs/serving.md.
+//
 //	POST /admin/checkpoint                            → persistence counters
 //	POST /admin/resync                                → cluster stats after one anti-entropy sweep
 //	POST /admin/rebalance                             → move a shard to a new node (or dry-run plan)
@@ -117,6 +128,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
+	"repro/internal/vecdb"
 
 	// Registers the profiling handlers on http.DefaultServeMux, which
 	// only the optional -debug-addr listener serves.
@@ -161,6 +173,9 @@ func main() {
 		breakCool   = flag.Duration("breaker-cooldown", 2*time.Second, "open-breaker cooldown before a half-open trial request")
 		readRetries = flag.Int("read-retries", 1, "retries with jittered backoff for failed idempotent reads (0 disables)")
 		hedgeAfter  = flag.Duration("hedge-after", 20*time.Millisecond, "arm a hedged read against another replica after this wait (0 disables hedging)")
+		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant sustained request rate in req/s (0 disables per-tenant rate limiting)")
+		tenantBurst = flag.Int("tenant-burst", 0, "per-tenant token-bucket burst depth (0 = no burst above -tenant-rate)")
+		tenantInfl  = flag.Int("tenant-inflight", 0, "per-tenant concurrently-executing request cap (0 disables)")
 	)
 	flag.Parse()
 	policy, err := storage.ParseSyncPolicy(*fsync)
@@ -201,18 +216,21 @@ func main() {
 		HedgeAfter:       *hedgeAfter,
 	}
 	cfg := serve.Config{
-		Telemetry:        reg,
-		Shards:           *shards,
-		TopK:             *topK,
-		Threshold:        *threshold,
-		MaxBatch:         *maxBatch,
-		MaxWait:          *maxWait,
-		StaticBatch:      *staticBatch,
-		StreamMaxPending: *ingestPend,
-		MaxInFlight:      *maxInflight,
-		MaxQueue:         *maxQueue,
-		Index:            indexCfg,
-		DataDir:          *dataDir,
+		Telemetry:         reg,
+		Shards:            *shards,
+		TopK:              *topK,
+		Threshold:         *threshold,
+		MaxBatch:          *maxBatch,
+		MaxWait:           *maxWait,
+		StaticBatch:       *staticBatch,
+		StreamMaxPending:  *ingestPend,
+		MaxInFlight:       *maxInflight,
+		MaxQueue:          *maxQueue,
+		TenantRate:        *tenantRate,
+		TenantBurst:       *tenantBurst,
+		TenantMaxInFlight: *tenantInfl,
+		Index:             indexCfg,
+		DataDir:           *dataDir,
 		Persist: serve.PersistConfig{
 			Fsync:           policy,
 			CheckpointEvery: *ckEvery,
@@ -568,13 +586,26 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req struct {
-		Text string `json:"text"`
+		Text       string            `json:"text"`
+		Collection string            `json:"collection"`
+		Meta       map[string]string `json:"meta"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	n, err := c.Ingest(r.Context(), req.Text)
+	ctx := serve.WithTenant(r.Context(), req.Collection)
+	var n int
+	var err error
+	if req.Collection == "" && len(req.Meta) == 0 {
+		n, err = c.Ingest(ctx, req.Text)
+	} else {
+		if req.Text == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("empty text"))
+			return
+		}
+		n, err = c.IngestDocs(ctx, []vecdb.Document{{Collection: req.Collection, Text: req.Text, Meta: req.Meta}})
+	}
 	if err != nil {
 		writeError(w, statusFor(err, http.StatusBadRequest), err)
 		return
@@ -592,22 +623,42 @@ func (s *server) handleIngestBulk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req struct {
-		Texts []string `json:"texts"`
+		Texts      []string `json:"texts"`
+		Collection string   `json:"collection"`
+		Docs       []struct {
+			Text string            `json:"text"`
+			Meta map[string]string `json:"meta"`
+		} `json:"docs"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if len(req.Texts) == 0 {
+	if len(req.Texts) == 0 && len(req.Docs) == 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("empty texts array"))
 		return
 	}
-	chunks, err := c.IngestBulk(r.Context(), req.Texts)
+	ctx := serve.WithTenant(r.Context(), req.Collection)
+	var chunks int
+	var err error
+	ndocs := len(req.Texts) + len(req.Docs)
+	if req.Collection == "" && len(req.Docs) == 0 {
+		chunks, err = c.IngestBulk(ctx, req.Texts)
+	} else {
+		docs := make([]vecdb.Document, 0, ndocs)
+		for _, t := range req.Texts {
+			docs = append(docs, vecdb.Document{Collection: req.Collection, Text: t})
+		}
+		for _, d := range req.Docs {
+			docs = append(docs, vecdb.Document{Collection: req.Collection, Text: d.Text, Meta: d.Meta})
+		}
+		chunks, err = c.IngestDocs(ctx, docs)
+	}
 	if err != nil {
 		writeError(w, statusFor(err, http.StatusBadRequest), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"docs": len(req.Texts), "chunks": chunks})
+	writeJSON(w, http.StatusOK, map[string]int{"docs": ndocs, "chunks": chunks})
 }
 
 // streamFrame is one NDJSON line of the /ingest/stream response:
@@ -663,7 +714,9 @@ func (s *server) handleIngestStream(w http.ResponseWriter, r *http.Request) {
 	if fullDuplex {
 		progress = func(p ingest.Stats) { writeFrame(streamFrame{Stats: p}) }
 	}
-	st, err := c.IngestStream(r.Context(), r.Body, progress)
+	collection := r.URL.Query().Get("collection")
+	ctx := serve.WithTenant(r.Context(), collection)
+	st, err := c.IngestStreamIn(ctx, collection, r.Body, progress)
 	mu.Lock()
 	headerSent := wrote
 	mu.Unlock()
@@ -690,8 +743,10 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req struct {
-		Query string `json:"query"`
-		K     int    `json:"k"`
+		Query      string            `json:"query"`
+		K          int               `json:"k"`
+		Collection string            `json:"collection"`
+		Filter     map[string]string `json:"filter"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -704,19 +759,22 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if req.K <= 0 {
 		req.K = 3
 	}
-	hits, err := c.Search(r.Context(), req.Query, req.K)
+	ctx := serve.WithTenant(r.Context(), req.Collection)
+	f := vecdb.Filter{Collection: req.Collection, Meta: req.Filter}
+	hits, err := c.SearchFiltered(ctx, req.Query, req.K, f)
 	if err != nil {
 		writeError(w, statusFor(err, http.StatusInternalServerError), err)
 		return
 	}
 	type hitJSON struct {
-		ID    int64   `json:"id"`
-		Score float64 `json:"score"`
-		Text  string  `json:"text"`
+		ID         int64   `json:"id"`
+		Score      float64 `json:"score"`
+		Text       string  `json:"text"`
+		Collection string  `json:"collection,omitempty"`
 	}
 	out := make([]hitJSON, 0, len(hits))
 	for _, h := range hits {
-		out = append(out, hitJSON{ID: h.ID, Score: h.Score, Text: h.Text})
+		out = append(out, hitJSON{ID: h.ID, Score: h.Score, Text: h.Text, Collection: h.Collection})
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{"hits": out})
 }
@@ -734,18 +792,26 @@ func (s *server) handleDocument(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad document id %q", idStr))
 		return
 	}
+	collection := r.URL.Query().Get("collection")
+	ctx := serve.WithTenant(r.Context(), collection)
 	switch r.Method {
 	case http.MethodGet:
-		doc, err := c.GetDocument(r.Context(), id)
+		doc, err := c.GetDocument(ctx, id)
 		if err != nil {
 			writeError(w, statusFor(err, http.StatusInternalServerError), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]interface{}{
-			"id": doc.ID, "text": doc.Text, "meta": doc.Meta,
+			"id": doc.ID, "collection": doc.Collection, "text": doc.Text, "meta": doc.Meta,
 		})
 	case http.MethodDelete:
-		if err := c.DeleteDocument(r.Context(), id); err != nil {
+		var err error
+		if collection != "" {
+			err = c.DeleteDocumentIn(ctx, collection, id)
+		} else {
+			err = c.DeleteDocument(ctx, id)
+		}
+		if err != nil {
 			writeError(w, statusFor(err, http.StatusInternalServerError), err)
 			return
 		}
@@ -895,7 +961,8 @@ func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req struct {
-		Question string `json:"question"`
+		Question   string `json:"question"`
+		Collection string `json:"collection"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -905,7 +972,7 @@ func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("empty question"))
 		return
 	}
-	ans, err := c.Ask(r.Context(), req.Question)
+	ans, err := c.AskIn(serve.WithTenant(r.Context(), req.Collection), req.Collection, req.Question)
 	if err != nil {
 		writeError(w, statusFor(err, http.StatusInternalServerError), err)
 		return
@@ -928,15 +995,16 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req struct {
-		Question string `json:"question"`
-		Context  string `json:"context"`
-		Response string `json:"response"`
+		Question   string `json:"question"`
+		Context    string `json:"context"`
+		Response   string `json:"response"`
+		Collection string `json:"collection"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	v, err := c.Verify(r.Context(), req.Question, req.Context, req.Response)
+	v, err := c.Verify(serve.WithTenant(r.Context(), req.Collection), req.Question, req.Context, req.Response)
 	if err != nil {
 		writeError(w, statusFor(err, http.StatusBadRequest), err)
 		return

@@ -286,22 +286,24 @@ func (n *nodeState) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := struct {
-		Docs     int                `json:"docs"`
-		Seq      uint64             `json:"seq"`
-		Checksum string             `json:"checksum"`
-		Index    serve.IndexStats   `json:"index"`
-		Persist  serve.PersistStats `json:"persist"`
+		Docs        int                `json:"docs"`
+		Collections map[string]int     `json:"collections,omitempty"`
+		Seq         uint64             `json:"seq"`
+		Checksum    string             `json:"checksum"`
+		Index       serve.IndexStats   `json:"index"`
+		Persist     serve.PersistStats `json:"persist"`
 		// RingEpoch/Serving echo the ring update the node holds: epoch 0
 		// and serving=true until a router pushes one via /shard/epoch.
 		RingEpoch uint64 `json:"ring_epoch"`
 		Serving   bool   `json:"serving"`
 	}{
-		Docs:     st.Len(),
-		Seq:      st.Seq(),
-		Checksum: fmt.Sprintf("%016x", st.Checksum()),
-		Index:    st.IndexStats(),
-		Persist:  st.PersistStats(),
-		Serving:  true,
+		Docs:        st.Len(),
+		Collections: st.CollectionCounts(),
+		Seq:         st.Seq(),
+		Checksum:    fmt.Sprintf("%016x", st.Checksum()),
+		Index:       st.IndexStats(),
+		Persist:     st.PersistStats(),
+		Serving:     true,
 	}
 	if up, ok := n.handler.Ring(); ok {
 		out.RingEpoch = up.Epoch
@@ -315,6 +317,14 @@ func (n *nodeState) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (n *nodeState) SearchVector(vec []float32, k int) ([]vecdb.Hit, error) {
 	return n.store.Load().SearchVector(vec, k)
+}
+
+func (n *nodeState) SearchVectorFiltered(vec []float32, k int, f vecdb.Filter) ([]vecdb.Hit, error) {
+	return n.store.Load().SearchVectorFiltered(vec, k, f)
+}
+
+func (n *nodeState) CollectionCounts() map[string]int {
+	return n.store.Load().CollectionCounts()
 }
 
 func (n *nodeState) ApplyAll(ms []vecdb.Mutation) error {

@@ -55,7 +55,7 @@ func TestNodeServesAfterOpen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, err := b.SearchVector(ctx, vec, 2)
+	hits, err := b.SearchVector(ctx, vec, 2, vecdb.Filter{})
 	if err != nil || len(hits) != 2 {
 		t.Fatalf("search = %d hits, %v", len(hits), err)
 	}

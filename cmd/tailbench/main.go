@@ -209,7 +209,7 @@ func (h *harness) run(ctx context.Context, hedging bool) (runResult, error) {
 		}
 		qctx, cancel := context.WithTimeout(ctx, 2*time.Second)
 		start := time.Now()
-		_, err = router.SearchVector(qctx, vec, h.p.TopK)
+		_, err = router.SearchVector(qctx, vec, h.p.TopK, vecdb.Filter{})
 		lats = append(lats, time.Since(start))
 		cancel()
 		if err != nil {

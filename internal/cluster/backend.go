@@ -21,6 +21,9 @@ type ShardStat struct {
 	NextID   int64  `json:"next_id"`
 	Seq      uint64 `json:"seq"`
 	Checksum uint64 `json:"checksum"`
+	// Collections maps collection name to the shard's document count
+	// for it — the per-shard slice of /stats' per-collection totals.
+	Collections map[string]int `json:"collections,omitempty"`
 }
 
 // Backend abstracts the per-shard store operations the sharded
@@ -36,8 +39,10 @@ type Backend interface {
 	// address for remote backends).
 	Name() string
 	// SearchVector returns the shard's top-k hits for an
-	// already-embedded query, best first.
-	SearchVector(ctx context.Context, vec []float32, k int) ([]vecdb.Hit, error)
+	// already-embedded query, best first. A non-zero filter is applied
+	// on the shard before its top-k is taken, so the merged result
+	// equals an unfiltered search over the matching subset.
+	SearchVector(ctx context.Context, vec []float32, k int, f vecdb.Filter) ([]vecdb.Hit, error)
 	// Apply executes a batch of mutations (adds and deletes) that all
 	// route to this shard. Deleting an absent ID reports
 	// vecdb.ErrNotFound.
@@ -136,14 +141,17 @@ func (b *LocalBackend) gateEpoch(ctx context.Context) error {
 	return nil
 }
 
-func (b *LocalBackend) SearchVector(ctx context.Context, vec []float32, k int) ([]vecdb.Hit, error) {
+func (b *LocalBackend) SearchVector(ctx context.Context, vec []float32, k int, f vecdb.Filter) ([]vecdb.Hit, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if err := b.gateEpoch(ctx); err != nil {
 		return nil, err
 	}
-	return b.store.SearchVector(vec, k)
+	if f.IsZero() {
+		return b.store.SearchVector(vec, k)
+	}
+	return b.store.SearchVectorFiltered(vec, k, f)
 }
 
 func (b *LocalBackend) Apply(ctx context.Context, ms []vecdb.Mutation) error {
@@ -174,10 +182,11 @@ func (b *LocalBackend) Stat(ctx context.Context) (ShardStat, error) {
 		return ShardStat{}, err
 	}
 	return ShardStat{
-		Len:      b.store.Len(),
-		NextID:   b.store.NextID(),
-		Seq:      b.store.Seq(),
-		Checksum: b.store.Checksum(),
+		Len:         b.store.Len(),
+		NextID:      b.store.NextID(),
+		Seq:         b.store.Seq(),
+		Checksum:    b.store.Checksum(),
+		Collections: b.store.CollectionCounts(),
 	}, nil
 }
 

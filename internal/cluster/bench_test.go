@@ -51,7 +51,7 @@ func BenchmarkClusterSearch(b *testing.B) {
 		ctx := context.Background()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			hits, err := r.SearchVector(ctx, vec, topK)
+			hits, err := r.SearchVector(ctx, vec, topK, vecdb.Filter{})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -135,7 +135,7 @@ func TestNodeEpochHandshake(t *testing.T) {
 	if err := b.InstallRing(ctx, RingUpdate{Ring: validRing(4), Serving: false}); err != nil {
 		t.Fatalf("retire: %v", err)
 	}
-	if _, err := b.SearchVector(withRingEpoch(ctx, 4), make([]float32, 16), 1); !errors.As(err, &stale) {
+	if _, err := b.SearchVector(withRingEpoch(ctx, 4), make([]float32, 16), 1, vecdb.Filter{}); !errors.As(err, &stale) {
 		t.Fatalf("search on retired node = %v, want StaleEpochError", err)
 	}
 	if err := b.Apply(ctx, []vecdb.Mutation{{Op: vecdb.OpAdd, ID: 9, Text: "x"}}); !errors.As(err, &stale) {
@@ -229,6 +229,10 @@ func TestRouterAdoptRing(t *testing.T) {
 type epochStubStore struct{}
 
 func (epochStubStore) SearchVector(vec []float32, k int) ([]vecdb.Hit, error) { return nil, nil }
+func (epochStubStore) SearchVectorFiltered(vec []float32, k int, f vecdb.Filter) ([]vecdb.Hit, error) {
+	return nil, nil
+}
+func (epochStubStore) CollectionCounts() map[string]int { return nil }
 func (epochStubStore) ApplyAll(ms []vecdb.Mutation) error                     { return nil }
 func (epochStubStore) Get(id int64) (vecdb.Document, error) {
 	return vecdb.Document{}, vecdb.ErrNotFound

@@ -4,6 +4,8 @@ import (
 	"context"
 	"testing"
 	"time"
+
+	"repro/internal/vecdb"
 )
 
 // waitFor polls cond until it holds or the deadline passes.
@@ -174,7 +176,7 @@ func TestHealthPassiveEjection(t *testing.T) {
 	// Two degraded queries reach the threshold; after that the backend
 	// is ejected and skipped without I/O.
 	for i := 0; i < 2; i++ {
-		if _, err := r.SearchVector(ctx, v, 1); err != nil {
+		if _, err := r.SearchVector(ctx, v, 1, vecdb.Filter{}); err != nil {
 			t.Fatalf("degraded query %d: %v", i, err)
 		}
 	}

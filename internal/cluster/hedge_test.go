@@ -103,7 +103,7 @@ func TestHedgedReadPropagation(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	hits, err := r.SearchVector(ctx, v, 2)
+	hits, err := r.SearchVector(ctx, v, 2, vecdb.Filter{})
 	if err != nil {
 		t.Fatal(err)
 	}

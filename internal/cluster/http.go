@@ -177,21 +177,23 @@ func (b *HTTPBackend) do(ctx context.Context, method, path string, in, out inter
 	return nil
 }
 
-func (b *HTTPBackend) SearchVector(ctx context.Context, vec []float32, k int) ([]vecdb.Hit, error) {
+func (b *HTTPBackend) SearchVector(ctx context.Context, vec []float32, k int, f vecdb.Filter) ([]vecdb.Hit, error) {
 	var resp struct {
 		Hits []hitJSON `json:"hits"`
 	}
 	req := struct {
-		Vec []float32 `json:"vec"`
-		K   int       `json:"k"`
-	}{Vec: vec, K: k}
+		Vec        []float32         `json:"vec"`
+		K          int               `json:"k"`
+		Collection string            `json:"collection,omitempty"`
+		Filter     map[string]string `json:"filter,omitempty"`
+	}{Vec: vec, K: k, Collection: f.Collection, Filter: f.Meta}
 	if err := b.do(ctx, http.MethodPost, "/shard/search", req, &resp); err != nil {
 		return nil, err
 	}
 	hits := make([]vecdb.Hit, 0, len(resp.Hits))
 	for _, h := range resp.Hits {
 		hits = append(hits, vecdb.Hit{
-			Document: vecdb.Document{ID: h.ID, Text: h.Text, Meta: h.Meta},
+			Document: vecdb.Document{ID: h.ID, Collection: h.Collection, Text: h.Text, Meta: h.Meta},
 			Score:    h.Score,
 		})
 	}
@@ -214,15 +216,11 @@ func (b *HTTPBackend) Apply(ctx context.Context, ms []vecdb.Mutation) error {
 }
 
 func (b *HTTPBackend) Get(ctx context.Context, id int64) (vecdb.Document, error) {
-	var doc struct {
-		ID   int64             `json:"id"`
-		Text string            `json:"text"`
-		Meta map[string]string `json:"meta"`
-	}
+	var doc docJSON
 	if err := b.do(ctx, http.MethodGet, fmt.Sprintf("/shard/documents/%d", id), nil, &doc); err != nil {
 		return vecdb.Document{}, err
 	}
-	return vecdb.Document{ID: doc.ID, Text: doc.Text, Meta: doc.Meta}, nil
+	return vecdb.Document{ID: doc.ID, Collection: doc.Collection, Text: doc.Text, Meta: doc.Meta}, nil
 }
 
 func (b *HTTPBackend) Stat(ctx context.Context) (ShardStat, error) {
@@ -283,7 +281,7 @@ func (b *HTTPBackend) SnapshotDocs(ctx context.Context) (uint64, []vecdb.Documen
 	}
 	docs := make([]vecdb.Document, len(resp.Docs))
 	for i, d := range resp.Docs {
-		docs[i] = vecdb.Document{ID: d.ID, Text: d.Text, Meta: d.Meta}
+		docs[i] = vecdb.Document{ID: d.ID, Collection: d.Collection, Text: d.Text, Meta: d.Meta}
 	}
 	return resp.Seq, docs, nil
 }
@@ -291,7 +289,7 @@ func (b *HTTPBackend) SnapshotDocs(ctx context.Context) (uint64, []vecdb.Documen
 func (b *HTTPBackend) ApplySnapshot(ctx context.Context, seq uint64, docs []vecdb.Document) error {
 	wire := make([]docJSON, len(docs))
 	for i, d := range docs {
-		wire[i] = docJSON{ID: d.ID, Text: d.Text, Meta: d.Meta}
+		wire[i] = docJSON{ID: d.ID, Collection: d.Collection, Text: d.Text, Meta: d.Meta}
 	}
 	req := struct {
 		Seq  uint64    `json:"seq"`

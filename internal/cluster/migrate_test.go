@@ -63,7 +63,7 @@ func TestMigrateHappyPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before, err := r.SearchVector(ctx, vec, 3)
+	before, err := r.SearchVector(ctx, vec, 3, vecdb.Filter{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestMigrateHappyPath(t *testing.T) {
 	}
 
 	// Reads through the router are byte-identical to pre-migration.
-	after, err := r.SearchVector(ctx, vec, 3)
+	after, err := r.SearchVector(ctx, vec, 3, vecdb.Filter{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestMigrateAbortLeavesRingIntact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.SearchVector(ctx, vec, 3); err != nil {
+	if _, err := r.SearchVector(ctx, vec, 3, vecdb.Filter{}); err != nil {
 		t.Fatalf("search after aborted migration: %v", err)
 	}
 	if err := r.Apply(ctx, 0, []vecdb.Mutation{{Op: vecdb.OpAdd, ID: 50, Text: "still writable"}}); err != nil {

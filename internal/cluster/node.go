@@ -17,7 +17,9 @@ import (
 // Shard protocol (compact JSON over HTTP), served by NewNodeHandler
 // and spoken by HTTPBackend:
 //
-//	POST /shard/search     {"vec":[...], "k":3}        → {"hits":[{"id","score","text","meta"}]}
+//	POST /shard/search     {"vec":[...], "k":3,
+//	                        "collection":"t","filter":{...}}
+//	                                                   → {"hits":[{"id","score","collection","text","meta"}]}
 //	POST /shard/apply      {"mutations":[...]}         → {"applied": n}
 //	GET  /shard/documents/{id}                         → {"id","text","meta"} | 404
 //	GET  /shard/stat                                   → {"len","next_id","seq","checksum"}
@@ -30,7 +32,9 @@ import (
 //	GET  /healthz                                      → 200 {"status":"ok"}        (liveness)
 //	GET  /readyz                                       → 200 | 503                  (recovery complete)
 //
-// Mutations use {"op":"add"|"delete","id":n,"text":"...","meta":{...}};
+// Mutations use {"op":"add"|"delete","id":n,"collection":"...",
+// "text":"...","meta":{...}} — collection omitted means the default
+// collection, so pre-collection peers interoperate unchanged;
 // the resync endpoints carry the same shape plus the per-shard "seq"
 // each mutation was applied at. Scores and vectors travel as JSON
 // float64s, which round-trip exactly, so a remote shard returns
@@ -59,12 +63,14 @@ import (
 // the full-transfer read.
 type NodeStore interface {
 	SearchVector(vec []float32, k int) ([]vecdb.Hit, error)
+	SearchVectorFiltered(vec []float32, k int, f vecdb.Filter) ([]vecdb.Hit, error)
 	ApplyAll(ms []vecdb.Mutation) error
 	Get(id int64) (vecdb.Document, error)
 	Len() int
 	NextID() int64
 	Seq() uint64
 	Checksum() uint64
+	CollectionCounts() map[string]int
 	MutationsSince(since uint64, max int) ([]vecdb.SeqMutation, error)
 	ApplyResync(ms []vecdb.SeqMutation) error
 	SnapshotDocs() (uint64, []vecdb.Document, error)
@@ -75,18 +81,20 @@ var _ NodeStore = (*vecdb.DB)(nil)
 
 // hitJSON is the wire form of a vecdb.Hit.
 type hitJSON struct {
-	ID    int64             `json:"id"`
-	Score float64           `json:"score"`
-	Text  string            `json:"text"`
-	Meta  map[string]string `json:"meta,omitempty"`
+	ID         int64             `json:"id"`
+	Score      float64           `json:"score"`
+	Collection string            `json:"collection,omitempty"`
+	Text       string            `json:"text"`
+	Meta       map[string]string `json:"meta,omitempty"`
 }
 
 // mutationJSON is the wire form of a vecdb.Mutation.
 type mutationJSON struct {
-	Op   string            `json:"op"`
-	ID   int64             `json:"id"`
-	Text string            `json:"text,omitempty"`
-	Meta map[string]string `json:"meta,omitempty"`
+	Op         string            `json:"op"`
+	ID         int64             `json:"id"`
+	Collection string            `json:"collection,omitempty"`
+	Text       string            `json:"text,omitempty"`
+	Meta       map[string]string `json:"meta,omitempty"`
 }
 
 // seqMutationJSON is the wire form of a vecdb.SeqMutation (the resync
@@ -99,17 +107,18 @@ type seqMutationJSON struct {
 // docJSON is the wire form of a stored document in snapshot
 // transfers.
 type docJSON struct {
-	ID   int64             `json:"id"`
-	Text string            `json:"text"`
-	Meta map[string]string `json:"meta,omitempty"`
+	ID         int64             `json:"id"`
+	Collection string            `json:"collection,omitempty"`
+	Text       string            `json:"text"`
+	Meta       map[string]string `json:"meta,omitempty"`
 }
 
 func toMutationJSON(m vecdb.Mutation) (mutationJSON, error) {
 	switch m.Op {
 	case vecdb.OpAdd:
-		return mutationJSON{Op: "add", ID: m.ID, Text: m.Text, Meta: m.Meta}, nil
+		return mutationJSON{Op: "add", ID: m.ID, Collection: m.Collection, Text: m.Text, Meta: m.Meta}, nil
 	case vecdb.OpDelete:
-		return mutationJSON{Op: "delete", ID: m.ID}, nil
+		return mutationJSON{Op: "delete", ID: m.ID, Collection: m.Collection}, nil
 	}
 	return mutationJSON{}, fmt.Errorf("cluster: unknown mutation op %d", m.Op)
 }
@@ -117,9 +126,9 @@ func toMutationJSON(m vecdb.Mutation) (mutationJSON, error) {
 func fromMutationJSON(m mutationJSON) (vecdb.Mutation, error) {
 	switch m.Op {
 	case "add":
-		return vecdb.Mutation{Op: vecdb.OpAdd, ID: m.ID, Text: m.Text, Meta: m.Meta}, nil
+		return vecdb.Mutation{Op: vecdb.OpAdd, ID: m.ID, Collection: m.Collection, Text: m.Text, Meta: m.Meta}, nil
 	case "delete":
-		return vecdb.Mutation{Op: vecdb.OpDelete, ID: m.ID}, nil
+		return vecdb.Mutation{Op: vecdb.OpDelete, ID: m.ID, Collection: m.Collection}, nil
 	}
 	return vecdb.Mutation{}, fmt.Errorf("cluster: unknown mutation op %q", m.Op)
 }
@@ -296,8 +305,10 @@ func (n *NodeHandler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req struct {
-		Vec []float32 `json:"vec"`
-		K   int       `json:"k"`
+		Vec        []float32         `json:"vec"`
+		K          int               `json:"k"`
+		Collection string            `json:"collection,omitempty"`
+		Filter     map[string]string `json:"filter,omitempty"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		nodeError(w, http.StatusBadRequest, err)
@@ -307,14 +318,21 @@ func (n *NodeHandler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		nodeError(w, http.StatusBadRequest, errors.New("empty vector or non-positive k"))
 		return
 	}
-	hits, err := n.store.SearchVector(req.Vec, req.K)
+	f := vecdb.Filter{Collection: req.Collection, Meta: req.Filter}
+	var hits []vecdb.Hit
+	var err error
+	if f.IsZero() {
+		hits, err = n.store.SearchVector(req.Vec, req.K)
+	} else {
+		hits, err = n.store.SearchVectorFiltered(req.Vec, req.K, f)
+	}
 	if err != nil {
 		nodeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	out := make([]hitJSON, 0, len(hits))
 	for _, h := range hits {
-		out = append(out, hitJSON{ID: h.ID, Score: h.Score, Text: h.Text, Meta: h.Meta})
+		out = append(out, hitJSON{ID: h.ID, Score: h.Score, Collection: h.Collection, Text: h.Text, Meta: h.Meta})
 	}
 	nodeJSON(w, http.StatusOK, map[string]interface{}{"hits": out})
 }
@@ -381,7 +399,7 @@ func (n *NodeHandler) handleDocument(w http.ResponseWriter, r *http.Request) {
 		nodeError(w, status, err)
 		return
 	}
-	nodeJSON(w, http.StatusOK, map[string]interface{}{"id": doc.ID, "text": doc.Text, "meta": doc.Meta})
+	nodeJSON(w, http.StatusOK, docJSON{ID: doc.ID, Collection: doc.Collection, Text: doc.Text, Meta: doc.Meta})
 }
 
 func (n *NodeHandler) handleStat(w http.ResponseWriter, r *http.Request) {
@@ -393,10 +411,11 @@ func (n *NodeHandler) handleStat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	nodeJSON(w, http.StatusOK, ShardStat{
-		Len:      n.store.Len(),
-		NextID:   n.store.NextID(),
-		Seq:      n.store.Seq(),
-		Checksum: n.store.Checksum(),
+		Len:         n.store.Len(),
+		NextID:      n.store.NextID(),
+		Seq:         n.store.Seq(),
+		Checksum:    n.store.Checksum(),
+		Collections: n.store.CollectionCounts(),
 	})
 }
 
@@ -497,7 +516,7 @@ func (n *NodeHandler) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		}
 		out := make([]docJSON, 0, len(docs))
 		for _, d := range docs {
-			out = append(out, docJSON{ID: d.ID, Text: d.Text, Meta: d.Meta})
+			out = append(out, docJSON{ID: d.ID, Collection: d.Collection, Text: d.Text, Meta: d.Meta})
 		}
 		nodeJSON(w, http.StatusOK, map[string]interface{}{"seq": seq, "docs": out})
 	case http.MethodPost:
@@ -511,7 +530,7 @@ func (n *NodeHandler) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		}
 		docs := make([]vecdb.Document, len(req.Docs))
 		for i, d := range req.Docs {
-			docs[i] = vecdb.Document{ID: d.ID, Text: d.Text, Meta: d.Meta}
+			docs[i] = vecdb.Document{ID: d.ID, Collection: d.Collection, Text: d.Text, Meta: d.Meta}
 		}
 		if err := n.store.ApplySnapshot(req.Seq, docs); err != nil {
 			nodeError(w, http.StatusInternalServerError, err)

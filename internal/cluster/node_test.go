@@ -60,7 +60,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := b.SearchVector(ctx, vec, 3)
+	got, err := b.SearchVector(ctx, vec, 3, vecdb.Filter{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,11 +160,11 @@ func TestHTTPRouterEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
-	want, err := lr.SearchVector(ctx, vec, 4)
+	want, err := lr.SearchVector(ctx, vec, 4, vecdb.Filter{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := hr.SearchVector(ctx, vec, 4)
+	got, err := hr.SearchVector(ctx, vec, 4, vecdb.Filter{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -145,9 +145,9 @@ type countingBackend struct {
 	searches atomic.Uint64
 }
 
-func (c *countingBackend) SearchVector(ctx context.Context, vec []float32, k int) ([]vecdb.Hit, error) {
+func (c *countingBackend) SearchVector(ctx context.Context, vec []float32, k int, f vecdb.Filter) ([]vecdb.Hit, error) {
 	c.searches.Add(1)
-	return c.Backend.SearchVector(ctx, vec, k)
+	return c.Backend.SearchVector(ctx, vec, k, f)
 }
 
 // TestRouterBreakerFastFail: after BreakerThreshold live failures the
@@ -187,7 +187,7 @@ func TestRouterBreakerFastFail(t *testing.T) {
 	// Two failing reads feed the breaker; both still succeed via the
 	// replica.
 	for i := 0; i < 2; i++ {
-		if _, err := r.SearchVector(ctx, v, 2); err != nil {
+		if _, err := r.SearchVector(ctx, v, 2, vecdb.Filter{}); err != nil {
 			t.Fatalf("read %d failed despite replica: %v", i, err)
 		}
 	}
@@ -198,7 +198,7 @@ func TestRouterBreakerFastFail(t *testing.T) {
 
 	// Breaker is now open: the next reads must not touch the primary.
 	for i := 0; i < 3; i++ {
-		if _, err := r.SearchVector(ctx, v, 2); err != nil {
+		if _, err := r.SearchVector(ctx, v, 2, vecdb.Filter{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -264,7 +264,7 @@ func TestRouterReadRetry(t *testing.T) {
 	// a second call after the restore must succeed via retry or first
 	// pass. Loop a few times to keep the test timing-robust.
 	<-restored
-	hits, err := r.SearchVector(context.Background(), v, 2)
+	hits, err := r.SearchVector(context.Background(), v, 2, vecdb.Filter{})
 	if err != nil {
 		t.Fatalf("read failed after backend restore: %v", err)
 	}
@@ -275,7 +275,7 @@ func TestRouterReadRetry(t *testing.T) {
 	// does not move when the retry also fails, then restore.
 	flaky.broken.Store(true)
 	before := r.Stats().ReadRetries
-	if _, err := r.SearchVector(context.Background(), v, 2); err == nil {
+	if _, err := r.SearchVector(context.Background(), v, 2, vecdb.Filter{}); err == nil {
 		t.Fatal("read succeeded against a broken single backend")
 	}
 	if got := r.Stats().ReadRetries; got != before+1 {
@@ -290,12 +290,12 @@ type blockingBackend struct {
 	block atomic.Bool
 }
 
-func (b *blockingBackend) SearchVector(ctx context.Context, vec []float32, k int) ([]vecdb.Hit, error) {
+func (b *blockingBackend) SearchVector(ctx context.Context, vec []float32, k int, f vecdb.Filter) ([]vecdb.Hit, error) {
 	if b.block.Load() {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	}
-	return b.Backend.SearchVector(ctx, vec, k)
+	return b.Backend.SearchVector(ctx, vec, k, f)
 }
 
 // TestRouterBreakerTrialNotLeakedOnCtxFailure: a half-open trial whose
@@ -328,7 +328,7 @@ func TestRouterBreakerTrialNotLeakedOnCtxFailure(t *testing.T) {
 
 	// One live failure opens the breaker (threshold 1).
 	flaky.broken.Store(true)
-	if _, err := r.SearchVector(ctx, v, 2); err == nil {
+	if _, err := r.SearchVector(ctx, v, 2, vecdb.Filter{}); err == nil {
 		t.Fatal("read succeeded against a broken backend")
 	}
 	flaky.broken.Store(false)
@@ -338,7 +338,7 @@ func TestRouterBreakerTrialNotLeakedOnCtxFailure(t *testing.T) {
 	time.Sleep(20 * time.Millisecond)
 	blocking.block.Store(true)
 	tctx, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
-	if _, err := r.SearchVector(tctx, v, 2); err == nil {
+	if _, err := r.SearchVector(tctx, v, 2, vecdb.Filter{}); err == nil {
 		t.Fatal("read succeeded while the backend was stalled")
 	}
 	cancel()
@@ -347,7 +347,7 @@ func TestRouterBreakerTrialNotLeakedOnCtxFailure(t *testing.T) {
 	// The slot must have been released: the next read is admitted as a
 	// fresh trial and closes the breaker. With the leak it fast-failed
 	// here forever.
-	hits, err := r.SearchVector(ctx, v, 2)
+	hits, err := r.SearchVector(ctx, v, 2, vecdb.Filter{})
 	if err != nil {
 		t.Fatalf("breaker wedged after an unresolved trial: %v", err)
 	}
@@ -401,7 +401,7 @@ func TestHedgedSearchAdmitsOnlyLaunchedTrials(t *testing.T) {
 	// opens both breakers.
 	flakyP.broken.Store(true)
 	flakyR.broken.Store(true)
-	if _, err := r.SearchVector(ctx, v, 2); err == nil {
+	if _, err := r.SearchVector(ctx, v, 2, vecdb.Filter{}); err == nil {
 		t.Fatal("read succeeded with both backends broken")
 	}
 	flakyP.broken.Store(false)
@@ -410,7 +410,7 @@ func TestHedgedSearchAdmitsOnlyLaunchedTrials(t *testing.T) {
 	// Fast primary reads: each closes/keeps the primary healthy and
 	// must not touch the replica's (still pending) half-open trial.
 	for i := 0; i < 3; i++ {
-		if _, err := r.SearchVector(ctx, v, 2); err != nil {
+		if _, err := r.SearchVector(ctx, v, 2, vecdb.Filter{}); err != nil {
 			t.Fatalf("read %d failed via healthy primary: %v", i, err)
 		}
 	}
@@ -421,7 +421,7 @@ func TestHedgedSearchAdmitsOnlyLaunchedTrials(t *testing.T) {
 	// read fast-failed.
 	flakyR.broken.Store(false)
 	flakyP.broken.Store(true)
-	hits, err := r.SearchVector(ctx, v, 2)
+	hits, err := r.SearchVector(ctx, v, 2, vecdb.Filter{})
 	if err != nil {
 		t.Fatalf("failover to recovered replica failed (leaked trial slot?): %v", err)
 	}
@@ -508,7 +508,7 @@ func TestHedgeDisabledBelowBudget(t *testing.T) {
 	v, _ := vec.Embed("working hours")
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
-	if _, err := r.SearchVector(ctx, v, 2); err != nil {
+	if _, err := r.SearchVector(ctx, v, 2, vecdb.Filter{}); err != nil {
 		t.Fatal(err)
 	}
 	if st := r.Stats(); st.Hedges != 0 {

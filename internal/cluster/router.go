@@ -429,9 +429,9 @@ func (r *Router) retryWait(ctx context.Context, round int) bool {
 // through the hedged path instead; with RetryReads > 0 a fully failed
 // pass is retried with jittered backoff, since an idempotent read can
 // safely run twice.
-func (r *Router) searchShard(ctx context.Context, si int, vec []float32, k int) ([]vecdb.Hit, error) {
+func (r *Router) searchShard(ctx context.Context, si int, vec []float32, k int, f vecdb.Filter) ([]vecdb.Hit, error) {
 	if r.cfg.Resilience.HedgeAfter > 0 {
-		if hits, handled, err := r.hedgedSearch(ctx, si, vec, k); handled {
+		if hits, handled, err := r.hedgedSearch(ctx, si, vec, k, f); handled {
 			return hits, err
 		}
 	}
@@ -462,7 +462,7 @@ func (r *Router) searchShard(ctx context.Context, si int, vec []float32, k int) 
 			actx, sp := telemetry.StartSpan(rctx, "shard_read")
 			sp.Annotate("backend", h.backend.Name())
 			sp.Annotate("shard", strconv.Itoa(si))
-			hits, err := h.backend.SearchVector(actx, vec, k)
+			hits, err := h.backend.SearchVector(actx, vec, k, f)
 			sp.End(err)
 			if err == nil {
 				if attempts > 1 {
@@ -493,7 +493,7 @@ func (r *Router) searchShard(ctx context.Context, si int, vec []float32, k int) 
 // to the next candidate immediately, so hedging strictly dominates
 // the sequential path. handled is false when the shard has fewer than
 // one admitted backend — the sequential path then produces the error.
-func (r *Router) hedgedSearch(ctx context.Context, si int, vec []float32, k int) (hits []vecdb.Hit, handled bool, err error) {
+func (r *Router) hedgedSearch(ctx context.Context, si int, vec []float32, k int, f vecdb.Filter) (hits []vecdb.Hit, handled bool, err error) {
 	res := r.cfg.Resilience
 	rs := r.ring.Load()
 	ctx = withRingEpoch(ctx, rs.epoch)
@@ -551,7 +551,7 @@ func (r *Router) hedgedSearch(ctx context.Context, si int, vec []float32, k int)
 				if hedge {
 					sp.Annotate("hedge", "true")
 				}
-				hits, err := h.backend.SearchVector(actx, vec, k)
+				hits, err := h.backend.SearchVector(actx, vec, k, f)
 				sp.End(err)
 				switch {
 				case err == nil:
@@ -621,12 +621,14 @@ func (r *Router) hedgedSearch(ctx context.Context, si int, vec []float32, k int)
 }
 
 // SearchVector fans an embedded query out to every shard in parallel
-// and merges the per-shard top-k. Shards with no reachable backend
+// and merges the per-shard top-k. A non-zero filter is pushed down to
+// every shard, so each per-shard top-k already contains only matching
+// docs and the merge is exact. Shards with no reachable backend
 // are skipped — the query degrades to the surviving shards — and only
 // a fully unreachable cluster errors with ErrUnavailable. The fan-out
 // runs one worker per shard regardless of core count: remote shards
 // are I/O-bound, so the requests must all be in flight at once.
-func (r *Router) SearchVector(ctx context.Context, vec []float32, k int) ([]vecdb.Hit, error) {
+func (r *Router) SearchVector(ctx context.Context, vec []float32, k int, f vecdb.Filter) ([]vecdb.Hit, error) {
 	n := r.nshards
 	lists := make([][]vecdb.Hit, n)
 	errs := make([]error, n)
@@ -635,7 +637,7 @@ func (r *Router) SearchVector(ctx context.Context, vec []float32, k int) ([]vecd
 	fanoutStart := time.Now()
 	parallel.ForWorkers(n, n, func(i int) {
 		r.shardReads[i].Add(1)
-		lists[i], errs[i] = r.searchShard(fctx, i, vec, k)
+		lists[i], errs[i] = r.searchShard(fctx, i, vec, k, f)
 	})
 	r.fanoutH.ObserveSinceCtx(ctx, fanoutStart)
 	fsp.End(nil)
@@ -842,6 +844,25 @@ func (r *Router) Lens(ctx context.Context) []int {
 		}
 	})
 	return lens
+}
+
+// CollectionCounts merges per-collection document counts across all
+// reachable shards (a shard with no answering backend contributes
+// nothing, mirroring Lens' degradation).
+func (r *Router) CollectionCounts(ctx context.Context) map[string]int {
+	per := make([]map[string]int, r.nshards)
+	parallel.ForWorkers(r.nshards, r.nshards, func(i int) {
+		if st, ok := r.statShard(ctx, i); ok {
+			per[i] = st.Collections
+		}
+	})
+	out := map[string]int{}
+	for _, m := range per {
+		for c, n := range m {
+			out[c] += n
+		}
+	}
+	return out
 }
 
 // Len sums the per-shard document counts.

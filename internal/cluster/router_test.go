@@ -101,7 +101,7 @@ func TestRouterMatchesSingleIndex(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := r.SearchVector(context.Background(), vec, k)
+		got, err := r.SearchVector(context.Background(), vec, k, vecdb.Filter{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,7 +127,7 @@ func TestRouterKLargerThanCorpus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, err := r.SearchVector(context.Background(), v, 50)
+	hits, err := r.SearchVector(context.Background(), v, 50, vecdb.Filter{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestRouterEmptyShard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, err := r.SearchVector(context.Background(), v, 3)
+	hits, err := r.SearchVector(context.Background(), v, 3, vecdb.Filter{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,11 +209,11 @@ type flakyBackend struct {
 
 var errBroken = errors.New("backend broken")
 
-func (f *flakyBackend) SearchVector(ctx context.Context, vec []float32, k int) ([]vecdb.Hit, error) {
+func (f *flakyBackend) SearchVector(ctx context.Context, vec []float32, k int, fl vecdb.Filter) ([]vecdb.Hit, error) {
 	if f.broken.Load() {
 		return nil, errBroken
 	}
-	return f.Backend.SearchVector(ctx, vec, k)
+	return f.Backend.SearchVector(ctx, vec, k, fl)
 }
 
 func (f *flakyBackend) Apply(ctx context.Context, ms []vecdb.Mutation) error {
@@ -273,7 +273,7 @@ func TestRouterFailoverToReplica(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, err := r.SearchVector(ctx, v, 2)
+	hits, err := r.SearchVector(ctx, v, 2, vecdb.Filter{})
 	if err != nil {
 		t.Fatalf("failover search: %v", err)
 	}
@@ -348,7 +348,7 @@ func TestRouterDegradedSearch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, err := r.SearchVector(context.Background(), v, len(corpus))
+	hits, err := r.SearchVector(context.Background(), v, len(corpus), vecdb.Filter{})
 	if err != nil {
 		t.Fatalf("degraded search: %v", err)
 	}
@@ -401,7 +401,7 @@ func TestRouterAllShardsDown(t *testing.T) {
 	flaky.broken.Store(true)
 	emb, _ := vecdb.NewHashedEmbedder(dim)
 	v, _ := emb.Embed("anything")
-	if _, err := r.SearchVector(context.Background(), v, 1); !errors.Is(err, ErrUnavailable) {
+	if _, err := r.SearchVector(context.Background(), v, 1, vecdb.Filter{}); !errors.Is(err, ErrUnavailable) {
 		t.Errorf("search on dead cluster: %v, want ErrUnavailable", err)
 	}
 	// The first failure ejected the backend (FailThreshold 1), so the

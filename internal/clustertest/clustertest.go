@@ -241,7 +241,7 @@ func (c *ChaosBackend) enter(method string, classErr *error) error {
 
 func (c *ChaosBackend) Name() string { return c.inner.Name() }
 
-func (c *ChaosBackend) SearchVector(ctx context.Context, vec []float32, k int) ([]vecdb.Hit, error) {
+func (c *ChaosBackend) SearchVector(ctx context.Context, vec []float32, k int, f vecdb.Filter) ([]vecdb.Hit, error) {
 	if err := c.enter("SearchVector", &c.readErr); err != nil {
 		return nil, err
 	}
@@ -254,7 +254,7 @@ func (c *ChaosBackend) SearchVector(ctx context.Context, vec []float32, k int) (
 		case <-t.C:
 		}
 	}
-	return c.inner.SearchVector(ctx, vec, k)
+	return c.inner.SearchVector(ctx, vec, k, f)
 }
 
 func (c *ChaosBackend) Apply(ctx context.Context, ms []vecdb.Mutation) error {

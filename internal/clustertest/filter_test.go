@@ -1,0 +1,144 @@
+package clustertest
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/vecdb"
+)
+
+// TestFilteredSearchClusterEquivalence is the issue's acceptance check
+// for filtered search: a collection+metadata predicate pushed through
+// a 3-backend cluster router must return byte-identical hits (IDs,
+// scores, order, payloads) to (a) a single-process store holding the
+// full corpus searched with the same filter, and (b) a single-process
+// store holding only the matching subset searched with no filter at
+// all. The predicate is applied before each shard's top-k is taken, so
+// no matching document can be crowded out of a shard's candidate list
+// by non-matching neighbours — that is what (b) proves.
+func TestFilteredSearchClusterEquivalence(t *testing.T) {
+	ctx := context.Background()
+	nodes := []*Node{
+		NewDurableNode(t, "n0"),
+		NewDurableNode(t, "n1"),
+		NewDurableNode(t, "n2"),
+	}
+	shards := make([]cluster.ShardBackends, len(nodes))
+	for i, n := range nodes {
+		shards[i] = cluster.ShardBackends{Primary: n.Chaos}
+	}
+	r, err := cluster.NewRouter(shards, manualHealth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	deadline := time.Now().Add(10 * time.Second)
+	for _, n := range nodes {
+		for n.Chaos.Calls("Probe") == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("startup probe round never completed")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Two tenants × two tags, interleaved across all three shards so
+	// every shard holds matching and non-matching documents.
+	all, err := vecdb.NewDefault(Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matching, err := vecdb.NewDefault(Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter := vecdb.Filter{Collection: "tenant-a", Meta: map[string]string{"tag": "red"}}
+	collections := []string{"tenant-a", "tenant-b"}
+	tags := []string{"red", "blue"}
+	matchCount := 0
+	for id := int64(1); id <= 24; id++ {
+		doc := vecdb.Document{
+			ID:         id,
+			Collection: collections[id%2],
+			Text:       fmt.Sprintf("passage %d on employee leave policy, variant %d", id, (id*id)%7),
+			Meta:       map[string]string{"tag": tags[(id/2)%2]},
+		}
+		m := vecdb.Mutation{Op: vecdb.OpAdd, ID: doc.ID, Collection: doc.Collection, Text: doc.Text, Meta: doc.Meta}
+		if err := r.Apply(ctx, int(id)%len(nodes), []vecdb.Mutation{m}); err != nil {
+			t.Fatalf("apply %d: %v", id, err)
+		}
+		if err := all.AddDocument(doc); err != nil {
+			t.Fatal(err)
+		}
+		if filter.Match(doc) {
+			if err := matching.AddDocument(doc); err != nil {
+				t.Fatal(err)
+			}
+			matchCount++
+		}
+	}
+	if matchCount == 0 {
+		t.Fatal("corpus produced no matching documents")
+	}
+
+	// k exceeds the matching subset, so equality below covers the
+	// entire subset, not just its head.
+	k := matchCount + 3
+	vec := queryVec(t, nodes[0], "employee leave policy")
+	clusterHits, err := r.SearchVector(ctx, vec, k, filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filteredHits, err := all.SearchVectorFiltered(vec, k, filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subsetHits, err := matching.SearchVector(vec, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	requireSameHits(t, "cluster vs single-process filtered", clusterHits, filteredHits)
+	requireSameHits(t, "cluster vs matching-only unfiltered", clusterHits, subsetHits)
+	if len(clusterHits) != matchCount {
+		t.Errorf("cluster returned %d hits, want the full matching subset (%d)", len(clusterHits), matchCount)
+	}
+	for _, h := range clusterHits {
+		if !filter.Match(h.Document) {
+			t.Errorf("hit %d leaked across the filter: collection %q meta %v", h.ID, h.Collection, h.Meta)
+		}
+	}
+
+	// Per-collection doc counts merge across the stat fan-out.
+	counts := r.CollectionCounts(ctx)
+	if counts["tenant-a"] != 12 || counts["tenant-b"] != 12 {
+		t.Errorf("CollectionCounts = %v, want tenant-a:12 tenant-b:12", counts)
+	}
+}
+
+// requireSameHits asserts two result lists are identical: same length,
+// same IDs, scores, order and document payloads.
+func requireSameHits(t *testing.T, what string, a, b []vecdb.Hit) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: hit counts differ: %d vs %d", what, len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.ID != y.ID || x.Score != y.Score || x.Text != y.Text || x.Collection != y.Collection {
+			t.Fatalf("%s: hit %d diverged: {%d %v %q %q} vs {%d %v %q %q}",
+				what, i, x.ID, x.Score, x.Collection, x.Text, y.ID, y.Score, y.Collection, y.Text)
+		}
+		if len(x.Meta) != len(y.Meta) {
+			t.Fatalf("%s: hit %d meta sizes differ: %v vs %v", what, i, x.Meta, y.Meta)
+		}
+		for mk, mv := range x.Meta {
+			if y.Meta[mk] != mv {
+				t.Fatalf("%s: hit %d meta %q differs: %q vs %q", what, i, mk, mv, y.Meta[mk])
+			}
+		}
+	}
+}

@@ -36,7 +36,13 @@ type routerStore struct {
 }
 
 func (s routerStore) SearchVector(vec []float32, k int) ([]vecdb.Hit, error) {
-	return s.r.SearchVector(context.Background(), vec, k)
+	return s.r.SearchVector(context.Background(), vec, k, vecdb.Filter{})
+}
+func (s routerStore) SearchVectorFiltered(vec []float32, k int, f vecdb.Filter) ([]vecdb.Hit, error) {
+	return s.r.SearchVector(context.Background(), vec, k, f)
+}
+func (s routerStore) CollectionCounts() map[string]int {
+	return s.r.CollectionCounts(context.Background())
 }
 func (s routerStore) Get(id int64) (vecdb.Document, error) {
 	return s.r.Get(context.Background(), id)
@@ -66,7 +72,7 @@ func (s routerStore) ApplySnapshot(seq uint64, docs []vecdb.Document) error { pa
 // must still be a document the oracle holds with the same text.
 func requireSameRanking(t *testing.T, r *cluster.Router, oracle *vecdb.DB, vec []float32, k int) {
 	t.Helper()
-	got, err := r.SearchVector(context.Background(), vec, k)
+	got, err := r.SearchVector(context.Background(), vec, k, vecdb.Filter{})
 	if err != nil {
 		t.Fatal(err)
 	}

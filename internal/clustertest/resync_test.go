@@ -163,7 +163,7 @@ func TestEjectionDivergenceResyncConvergence(t *testing.T) {
 		t.Fatal(err)
 	}
 	primary.Chaos.Partition(true)
-	got, err := r.SearchVector(ctx, queryVec(t, primary, "days of leave"), 3)
+	got, err := r.SearchVector(ctx, queryVec(t, primary, "days of leave"), 3, vecdb.Filter{})
 	if err != nil {
 		t.Fatalf("search via recovered replica: %v", err)
 	}

@@ -21,6 +21,15 @@ func FuzzNDJSONLine(f *testing.F) {
 	f.Add([]byte(`["not","an","object"]`))
 	f.Add([]byte("\"unterminated"))
 	f.Add([]byte{0xff, 0xfe, '{', '}'})
+	// Mixed-type meta values: every non-string — number, null, nested
+	// object, or a non-object meta altogether — must reject the line,
+	// never coerce or silently drop the value.
+	f.Add([]byte(`{"text":"x","meta":{"a":1}}`))
+	f.Add([]byte(`{"text":"x","meta":{"a":"ok","b":2}}`))
+	f.Add([]byte(`{"text":"x","meta":{"a":null}}`))
+	f.Add([]byte(`{"text":"x","meta":{"a":{"nested":"y"}}}`))
+	f.Add([]byte(`{"text":"x","meta":{"a":["list"]}}`))
+	f.Add([]byte(`{"text":"x","meta":5}`))
 
 	f.Fuzz(func(t *testing.T, line []byte) {
 		d, err := parseLine(line)

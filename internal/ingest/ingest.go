@@ -6,8 +6,12 @@
 //
 // Wire format (see docs/ingest.md): one document per line, either a
 // JSON object {"text": "...", "meta": {...}} or a bare JSON string.
-// Blank lines are skipped; a malformed line fails alone (counted in
-// Stats.Failed) until MaxErrors is exceeded.
+// Meta values must be JSON strings — a number, null, array, or nested
+// object anywhere under "meta" makes the line malformed, because a
+// silently coerced or dropped value would be invisible until a
+// filtered search misses it. Blank lines are skipped; a malformed
+// line fails alone (counted in Stats.Failed) until MaxErrors is
+// exceeded.
 //
 // Backpressure is credit-based: a fixed pool of MaxPending chunk
 // credits bounds every chunk buffered or in flight anywhere in the
@@ -43,13 +47,13 @@ import (
 
 	"repro/internal/adaptive"
 	"repro/internal/telemetry"
+	"repro/internal/vecdb"
 )
 
-// Doc is one parsed NDJSON line. Meta is accepted for forward
-// compatibility but not yet stored: the bulk write path
-// (Store.AddBulk) carries texts only — plumbing per-chunk metadata
-// through it is a ROADMAP follow-up. Note that a non-string meta
-// value is a JSON type error and fails the line.
+// Doc is one parsed NDJSON line. Meta rides every chunk of the
+// document into the store (stores that implement the docs write
+// surface; see Store). Meta values must be JSON strings — any other
+// type fails the line rather than being silently dropped or coerced.
 type Doc struct {
 	Text string            `json:"text"`
 	Meta map[string]string `json:"meta,omitempty"`
@@ -71,6 +75,20 @@ type ctxStore interface {
 	AddBulkContext(ctx context.Context, texts []string) ([]int64, error)
 }
 
+// docsStore / ctxDocsStore are the optional document write surfaces:
+// batches carry each chunk's collection and metadata instead of bare
+// texts. Both serve stores implement them; a texts-only Store is
+// still accepted but can only be used for meta-less default-collection
+// streams (Run rejects the combination up front rather than dropping
+// fields on the floor).
+type docsStore interface {
+	AddBulkDocs(docs []vecdb.Document) ([]int64, error)
+}
+
+type ctxDocsStore interface {
+	AddBulkDocsContext(ctx context.Context, docs []vecdb.Document) ([]int64, error)
+}
+
 // Chunker splits one document into indexable passages (rag.Chunker
 // satisfies this).
 type Chunker interface {
@@ -90,6 +108,10 @@ var ErrLineTooLong = errors.New("ingest: line exceeds maximum length")
 type Config struct {
 	// Store receives the chunk batches.
 	Store Store
+	// Collection scopes every document in the stream to one collection
+	// (tenant); empty means the default collection. Requires a store
+	// implementing the docs write surface when non-empty.
+	Collection string
 	// Chunker splits documents; required.
 	Chunker Chunker
 	// Workers is the chunking concurrency (default GOMAXPROCS, capped
@@ -195,15 +217,39 @@ func (c *counters) snapshot() Stats {
 }
 
 // parseLine decodes one NDJSON line: an object with a "text" field or
-// a bare JSON string.
+// a bare JSON string. Meta is validated strictly — every value must
+// be a JSON string. Decoding straight into map[string]string would
+// let null values coerce to "" silently; raw messages make the check
+// explicit for every type.
 func parseLine(line []byte) (Doc, error) {
 	var d Doc
 	if len(line) > 0 && line[0] == '"' {
 		if err := json.Unmarshal(line, &d.Text); err != nil {
 			return Doc{}, err
 		}
-	} else if err := json.Unmarshal(line, &d); err != nil {
-		return Doc{}, err
+	} else {
+		var raw struct {
+			Text string                     `json:"text"`
+			Meta map[string]json.RawMessage `json:"meta"`
+		}
+		if err := json.Unmarshal(line, &raw); err != nil {
+			return Doc{}, err
+		}
+		d.Text = raw.Text
+		if len(raw.Meta) > 0 {
+			d.Meta = make(map[string]string, len(raw.Meta))
+			for k, v := range raw.Meta {
+				t := bytes.TrimSpace(v)
+				if len(t) == 0 || t[0] != '"' {
+					return Doc{}, fmt.Errorf("ingest: meta value for %q is not a string", k)
+				}
+				var s string
+				if err := json.Unmarshal(t, &s); err != nil {
+					return Doc{}, fmt.Errorf("ingest: meta value for %q: %w", k, err)
+				}
+				d.Meta[k] = s
+			}
+		}
 	}
 	if d.Text == "" {
 		return Doc{}, errors.New("ingest: document has no text")
@@ -256,10 +302,12 @@ func (g *credits) release(n int) {
 }
 
 // chunkedDoc is one document (or one pool-sized piece of an oversized
-// document) after the chunk stage. docDone marks the piece whose
+// document) after the chunk stage. meta is the source document's
+// metadata, inherited by every chunk; docDone marks the piece whose
 // indexing completes the document, for the Indexed counter.
 type chunkedDoc struct {
 	chunks  []string
+	meta    map[string]string
 	docDone bool
 }
 
@@ -273,6 +321,13 @@ type chunkedDoc struct {
 func Run(ctx context.Context, cfg Config, r io.Reader, progress func(Stats)) (Stats, error) {
 	if cfg.Store == nil || cfg.Chunker == nil {
 		return Stats{}, errors.New("ingest: nil store or chunker")
+	}
+	if cfg.Collection != "" {
+		if _, ok := cfg.Store.(ctxDocsStore); !ok {
+			if _, ok := cfg.Store.(docsStore); !ok {
+				return Stats{}, errors.New("ingest: store cannot scope documents to a collection")
+			}
+		}
 	}
 	cfg = cfg.withDefaults()
 
@@ -323,6 +378,13 @@ func Run(ctx context.Context, cfg Config, r io.Reader, progress func(Stats)) (St
 	chunkH := cfg.Telemetry.Histogram("stage_duration_seconds",
 		"Hot-path stage latency in seconds.", nil, telemetry.L("stage", "ingest_chunk"))
 
+	// canDocs reports whether the store can persist per-chunk metadata;
+	// without it, a line carrying meta is malformed rather than having
+	// its metadata silently dropped.
+	_, canCtxDocs := cfg.Store.(ctxDocsStore)
+	_, canPlainDocs := cfg.Store.(docsStore)
+	canDocs := canCtxDocs || canPlainDocs
+
 	// Stage 2: parse+chunk workers. JSON decoding runs here rather
 	// than on the reader goroutine so it parallelizes across cores —
 	// the reader stays a thin byte pump. Each worker acquires chunk
@@ -348,6 +410,9 @@ func Run(ctx context.Context, cfg Config, r io.Reader, progress func(Stats)) (St
 			for line := range lines {
 				chunkStart := time.Now()
 				d, err := parseLine(line)
+				if err == nil && len(d.Meta) > 0 && !canDocs {
+					err = errors.New("ingest: store cannot persist metadata")
+				}
 				if err != nil {
 					if !lineFailed(err) {
 						return
@@ -377,7 +442,7 @@ func Run(ctx context.Context, cfg Config, r io.Reader, progress func(Stats)) (St
 					if end > len(chunks) {
 						end = len(chunks)
 					}
-					piece := chunkedDoc{chunks: chunks[start:end], docDone: end == len(chunks)}
+					piece := chunkedDoc{chunks: chunks[start:end], meta: d.Meta, docDone: end == len(chunks)}
 					if err := gate.acquire(ctx, len(piece.chunks)); err != nil {
 						return // canceled while throttled
 					}
@@ -401,7 +466,7 @@ func Run(ctx context.Context, cfg Config, r io.Reader, progress func(Stats)) (St
 	go func() {
 		defer assembler.Done()
 		var (
-			batch     []string
+			batch     []vecdb.Document
 			batchDocs uint64
 		)
 		// drain marks the end-of-stream flush: a partial final batch
@@ -414,10 +479,24 @@ func Run(ctx context.Context, cfg Config, r io.Reader, progress func(Stats)) (St
 			}
 			n, nd := len(batch), batchDocs
 			var err error
-			if cs, ok := cfg.Store.(ctxStore); ok {
-				_, err = cs.AddBulkContext(ctx, batch)
-			} else {
-				_, err = cfg.Store.AddBulk(batch)
+			switch st := cfg.Store.(type) {
+			case ctxDocsStore:
+				_, err = st.AddBulkDocsContext(ctx, batch)
+			case docsStore:
+				_, err = st.AddBulkDocs(batch)
+			default:
+				// Texts-only store: reachable only for meta-less
+				// default-collection streams (validated up front and per
+				// line above).
+				texts := make([]string, len(batch))
+				for i, d := range batch {
+					texts[i] = d.Text
+				}
+				if cs, ok := cfg.Store.(ctxStore); ok {
+					_, err = cs.AddBulkContext(ctx, texts)
+				} else {
+					_, err = cfg.Store.AddBulk(texts)
+				}
 			}
 			gate.release(n)
 			batch, batchDocs = nil, 0
@@ -454,7 +533,9 @@ func Run(ctx context.Context, cfg Config, r io.Reader, progress func(Stats)) (St
 					timer = time.NewTimer(wait)
 					timeout = timer.C
 				}
-				batch = append(batch, cd.chunks...)
+				for _, c := range cd.chunks {
+					batch = append(batch, vecdb.Document{Collection: cfg.Collection, Text: c, Meta: cd.meta})
+				}
 				if cd.docDone {
 					batchDocs++
 				}

@@ -12,17 +12,36 @@ import (
 	"time"
 
 	"repro/internal/adaptive"
+	"repro/internal/vecdb"
 )
 
 // memStore collects AddBulk batches, optionally sleeping per call to
 // simulate a slow index (cold shard, saturated disk, slow WAL fsync).
+// It also implements the docs write surface, recording each chunk's
+// collection and metadata, so streams carrying meta are accepted.
 type memStore struct {
 	delay time.Duration
 	fail  error
 
 	mu      sync.Mutex
 	batches [][]string
+	docs    []vecdb.Document
 	chunks  atomic.Uint64
+}
+
+func (m *memStore) AddBulkDocs(docs []vecdb.Document) ([]int64, error) {
+	texts := make([]string, len(docs))
+	for i, d := range docs {
+		texts[i] = d.Text
+	}
+	ids, err := m.AddBulk(texts)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.docs = append(m.docs, docs...)
+	m.mu.Unlock()
+	return ids, nil
 }
 
 func (m *memStore) AddBulk(texts []string) ([]int64, error) {
@@ -412,5 +431,61 @@ func TestConcurrentStreamsShareController(t *testing.T) {
 	wg.Wait()
 	if n := len(store.texts()); n != 600 {
 		t.Fatalf("store holds %d chunks, want 600", n)
+	}
+}
+
+// TestMetaStrictAndStored pins the metadata contract from both sides:
+// non-string meta values are malformed lines (counted against
+// MaxErrors, not coerced), and accepted metadata reaches the store on
+// every chunk of the document, scoped to the stream's collection.
+func TestMetaStrictAndStored(t *testing.T) {
+	store := &memStore{}
+	st, err := Run(context.Background(), Config{Store: store, Chunker: splitChunk{}, Collection: "tenant-a"}, ndjson(
+		`{"text":"alpha|beta","meta":{"tag":"red"}}`,
+		`{"text":"bad1","meta":{"n":1}}`,
+		`{"text":"bad2","meta":{"x":null}}`,
+		`{"text":"bad3","meta":{"o":{"nested":"y"}}}`,
+		`{"text":"bad4","meta":5}`,
+		`{"text":"gamma"}`,
+	), nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Accepted != 2 || st.Indexed != 2 || st.Failed != 4 {
+		t.Fatalf("stats = %+v, want 2 accepted, 2 indexed, 4 failed", st)
+	}
+	store.mu.Lock()
+	docs := append([]vecdb.Document(nil), store.docs...)
+	store.mu.Unlock()
+	if len(docs) != 3 {
+		t.Fatalf("store holds %d chunks: %+v", len(docs), docs)
+	}
+	for _, d := range docs {
+		if d.Collection != "tenant-a" {
+			t.Fatalf("chunk %q stored in collection %q, want tenant-a", d.Text, d.Collection)
+		}
+		switch d.Text {
+		case "alpha", "beta":
+			if d.Meta["tag"] != "red" {
+				t.Fatalf("chunk %q lost its metadata: %+v", d.Text, d.Meta)
+			}
+		case "gamma":
+			if len(d.Meta) != 0 {
+				t.Fatalf("chunk gamma gained metadata: %+v", d.Meta)
+			}
+		default:
+			t.Fatalf("unexpected chunk %q", d.Text)
+		}
+	}
+}
+
+// TestCollectionNeedsDocsStore pins the up-front rejection: a
+// collection-scoped stream into a store without the docs write surface
+// fails before any byte is read.
+func TestCollectionNeedsDocsStore(t *testing.T) {
+	type textsOnly struct{ Store }
+	st := textsOnly{Store: &memStore{}}
+	if _, err := Run(context.Background(), Config{Store: st, Chunker: oneChunk{}, Collection: "t"}, ndjson(`"x"`), nil); err == nil {
+		t.Fatal("collection-scoped stream accepted by texts-only store")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/vecdb"
 )
 
 // Pipeline is the end-to-end system of Fig. 2: ingest documents,
@@ -94,7 +95,14 @@ func (p *Pipeline) Draft(question string) (Answer, error) {
 // with the request's ID and deadline when the store is
 // context-aware (see ContextSearcher).
 func (p *Pipeline) DraftContext(ctx context.Context, question string) (Answer, error) {
-	hits, err := p.retriever.RetrieveContext(ctx, question)
+	return p.DraftFiltered(ctx, question, vecdb.Filter{})
+}
+
+// DraftFiltered is DraftContext with retrieval scoped by a
+// collection/metadata filter (see CollectionSearcher); the zero filter
+// retrieves unscoped.
+func (p *Pipeline) DraftFiltered(ctx context.Context, question string, f vecdb.Filter) (Answer, error) {
+	hits, err := p.retriever.RetrieveFiltered(ctx, question, f)
 	if err != nil {
 		return Answer{}, err
 	}

@@ -78,6 +78,16 @@ type ContextSearcher interface {
 	SearchContext(ctx context.Context, query string, k int) ([]vecdb.Hit, error)
 }
 
+// CollectionSearcher is the optional scoped search surface: stores
+// that can push a collection/metadata predicate into retrieval
+// (serve.ShardedDB, serve.RemoteStore) implement it, so an Ask scoped
+// to one tenant draws context exclusively from that tenant's
+// documents — cross-tenant leakage is structurally impossible rather
+// than probabilistically unlikely.
+type CollectionSearcher interface {
+	SearchFilteredContext(ctx context.Context, query string, k int, f vecdb.Filter) ([]vecdb.Hit, error)
+}
+
 // Retriever answers questions with the top-k most relevant passages
 // from a document store.
 type Retriever struct {
@@ -113,6 +123,25 @@ func (r *Retriever) RetrieveContext(ctx context.Context, question string) ([]vec
 		return r.Retrieve(question)
 	}
 	hits, err := cs.SearchContext(ctx, question, r.topK)
+	if err != nil {
+		return nil, fmt.Errorf("rag: retrieve: %w", err)
+	}
+	return hits, nil
+}
+
+// RetrieveFiltered is RetrieveContext with a collection/metadata
+// predicate pushed into the store. A zero filter falls back to the
+// unscoped path; a non-zero filter on a store without the scoped
+// surface is an error, never a silent widening of scope.
+func (r *Retriever) RetrieveFiltered(ctx context.Context, question string, f vecdb.Filter) ([]vecdb.Hit, error) {
+	if f.IsZero() {
+		return r.RetrieveContext(ctx, question)
+	}
+	cs, ok := r.db.(CollectionSearcher)
+	if !ok {
+		return nil, errors.New("rag: store cannot scope retrieval to a collection")
+	}
+	hits, err := cs.SearchFilteredContext(ctx, question, r.topK, f)
 	if err != nil {
 		return nil, fmt.Errorf("rag: retrieve: %w", err)
 	}

@@ -72,14 +72,27 @@ func (c BatcherConfig) withDefaults() BatcherConfig {
 // core.Detector.ScoreBatch, so the detector's M verifiers score many
 // requests' sentences in one concurrent fan-out instead of
 // sequentially per request.
+//
+// Batches are formed weighted-fair across tenants: queued jobs are
+// parked in per-tenant FIFO queues and each batch takes one job per
+// tenant per round-robin pass, so a tenant flooding the batcher fills
+// at most its share of every batch and everyone else's verify latency
+// stays flat. Unscoped jobs (no tenant on the context) form their own
+// queue and share the same rotation.
 type Batcher struct {
-	det       *core.Detector
-	cfg       BatcherConfig
-	ctrl      *adaptive.Controller
-	jobs      chan batchJob
-	done      chan struct{}
-	loopDone  sync.WaitGroup
-	flushes   sync.WaitGroup
+	det      *core.Detector
+	cfg      BatcherConfig
+	ctrl     *adaptive.Controller
+	jobs     chan batchJob
+	done     chan struct{}
+	loopDone sync.WaitGroup
+	flushes  sync.WaitGroup
+
+	// sendMu fences Verify's channel send against Close's final drain:
+	// Close flips closed under the write lock after the loop exits, so
+	// once the drain starts no new job can be parked in the buffer.
+	sendMu    sync.RWMutex
+	closed    bool
 	closeOnce sync.Once
 
 	batches    atomic.Uint64 // dispatches
@@ -112,7 +125,7 @@ func NewBatcher(det *core.Detector, cfg BatcherConfig) *Batcher {
 			MaxWait:  cfg.MaxWait,
 			Static:   cfg.Static,
 		}),
-		jobs: make(chan batchJob),
+		jobs: make(chan batchJob, batchBuffer(cfg.MaxBatch)),
 		done: make(chan struct{}),
 	}
 	if cfg.Telemetry != nil {
@@ -125,21 +138,29 @@ func NewBatcher(det *core.Detector, cfg BatcherConfig) *Batcher {
 	return b
 }
 
+// batchBuffer sizes the job channel: deep enough that a burst parks in
+// the buffer (where the fair scheduler can see and rotate across
+// tenants) instead of serializing senders FIFO at an unbuffered send.
+func batchBuffer(maxBatch int) int {
+	n := 4 * maxBatch
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
 // Verify schedules one triple, blocking until its batch is scored or
-// ctx expires. A caller whose context dies while queued or mid-batch
-// unblocks immediately with ctx.Err(); the batch itself completes for
-// the other callers.
+// ctx expires. The tenant (if any) rides ctx — see WithTenant. A
+// caller whose context dies while queued or mid-batch unblocks
+// immediately with ctx.Err(); the batch itself completes for the
+// other callers.
 func (b *Batcher) Verify(ctx context.Context, t core.Triple) (core.Verdict, error) {
 	job := batchJob{triple: t, ctx: ctx, out: make(chan core.BatchResult, 1)}
 	if b.waitH != nil {
 		job.enqueued = time.Now()
 	}
-	select {
-	case b.jobs <- job:
-	case <-ctx.Done():
-		return core.Verdict{}, ctx.Err()
-	case <-b.done:
-		return core.Verdict{}, ErrClosed
+	if err := b.submit(job); err != nil {
+		return core.Verdict{}, err
 	}
 	select {
 	case r := <-job.out:
@@ -149,11 +170,41 @@ func (b *Batcher) Verify(ctx context.Context, t core.Triple) (core.Verdict, erro
 	}
 }
 
+func (b *Batcher) submit(job batchJob) error {
+	b.sendMu.RLock()
+	defer b.sendMu.RUnlock()
+	if b.closed {
+		return ErrClosed
+	}
+	select {
+	case b.jobs <- job:
+		return nil
+	case <-job.ctx.Done():
+		return job.ctx.Err()
+	case <-b.done:
+		return ErrClosed
+	}
+}
+
 // Close stops the collection loop and waits for in-flight batches to
-// finish; later Verify calls return ErrClosed.
+// finish; later Verify calls return ErrClosed. Jobs still parked in
+// the buffer when the loop exits are answered ErrClosed rather than
+// left to hang.
 func (b *Batcher) Close() {
 	b.closeOnce.Do(func() { close(b.done) })
 	b.loopDone.Wait()
+	b.sendMu.Lock()
+	b.closed = true
+	b.sendMu.Unlock()
+	for {
+		select {
+		case j := <-b.jobs:
+			j.out <- core.BatchResult{Err: ErrClosed}
+			continue
+		default:
+		}
+		break
+	}
 	b.flushes.Wait()
 }
 
@@ -166,57 +217,150 @@ func (b *Batcher) Stats() (batches, items uint64, maxBatch int) {
 // Controller exposes the AIMD tuning state for /stats.
 func (b *Batcher) Controller() *adaptive.Controller { return b.ctrl }
 
+// pendingJobs parks undispatched jobs in per-tenant FIFO queues and
+// serves them one-per-tenant round-robin — the weighted-fair scheduler
+// behind batch formation. Tenants are keyed by the collection on the
+// job's context ("" for unscoped traffic, which becomes one more
+// queue in the rotation).
+type pendingJobs struct {
+	order  []string
+	queues map[string][]batchJob
+	next   int
+	size   int
+}
+
+func newPendingJobs() *pendingJobs {
+	return &pendingJobs{queues: map[string][]batchJob{}}
+}
+
+func (p *pendingJobs) push(j batchJob) {
+	t := TenantFrom(j.ctx)
+	if _, ok := p.queues[t]; !ok {
+		p.order = append(p.order, t)
+	}
+	p.queues[t] = append(p.queues[t], j)
+	p.size++
+}
+
+// take removes up to limit jobs, one per tenant per rotation pass, so
+// a batch under contention carries every waiting tenant before any
+// tenant's second job.
+func (p *pendingJobs) take(limit int) []batchJob {
+	if limit < 1 {
+		limit = 1
+	}
+	n := limit
+	if p.size < n {
+		n = p.size
+	}
+	batch := make([]batchJob, 0, n)
+	for len(batch) < limit && p.size > 0 {
+		for i := 0; i < len(p.order) && len(batch) < limit; i++ {
+			t := p.order[p.next%len(p.order)]
+			p.next++
+			q := p.queues[t]
+			if len(q) == 0 {
+				continue
+			}
+			batch = append(batch, q[0])
+			p.queues[t] = q[1:]
+			p.size--
+		}
+	}
+	return batch
+}
+
 func (b *Batcher) loop() {
 	defer b.loopDone.Done()
+	pend := newPendingJobs()
+	for {
+		if pend.size == 0 {
+			select {
+			case j := <-b.jobs:
+				pend.push(j)
+			case <-b.done:
+				b.drainPending(pend)
+				return
+			}
+		}
+		// Absorb everything already buffered before forming the batch,
+		// so a burst that arrived while the last batch was collecting is
+		// visible to the fair rotation.
+		b.absorb(pend)
+		limit, wait := b.ctrl.Limits()
+		full := pend.size >= limit
+		if !full {
+			// Linger for company, still absorbing as jobs arrive.
+			timer := time.NewTimer(wait)
+			for pend.size < limit {
+				stop := false
+				select {
+				case j := <-b.jobs:
+					pend.push(j)
+				case <-timer.C:
+					stop = true
+				case <-b.done:
+					timer.Stop()
+					b.drainPending(pend)
+					return
+				}
+				if stop {
+					break
+				}
+			}
+			timer.Stop()
+			full = pend.size >= limit
+		}
+		batch := pend.take(limit)
+		// Backlog behind the batcher: dispatches still scoring when
+		// this batch finished collecting (continuous demand that
+		// batching wider would absorb), jobs left pending by the fair
+		// cut, plus the admission queue.
+		queued := int(b.inflight.Load()) + pend.size
+		if b.cfg.QueueDepth != nil {
+			queued += b.cfg.QueueDepth()
+		}
+		b.ctrl.Observe(len(batch), full, queued)
+		// Dispatch asynchronously so the next batch can collect (and
+		// score) while this one is in flight; admission control
+		// upstream bounds the number of concurrent batches.
+		b.flushes.Add(1)
+		b.inflight.Add(1)
+		go func() {
+			defer b.flushes.Done()
+			defer b.inflight.Add(-1)
+			b.flush(batch)
+		}()
+	}
+}
+
+// absorb moves every job already sitting in the channel buffer into
+// the pending queues without blocking.
+func (b *Batcher) absorb(pend *pendingJobs) {
 	for {
 		select {
-		case first := <-b.jobs:
-			batch, full := b.collect(first)
-			// Backlog behind the batcher: dispatches still scoring when
-			// this batch finished collecting (continuous demand that
-			// batching wider would absorb) plus the admission queue.
-			queued := int(b.inflight.Load())
-			if b.cfg.QueueDepth != nil {
-				queued += b.cfg.QueueDepth()
-			}
-			b.ctrl.Observe(len(batch), full, queued)
-			// Dispatch asynchronously so the next batch can collect (and
-			// score) while this one is in flight; admission control
-			// upstream bounds the number of concurrent batches.
-			b.flushes.Add(1)
-			b.inflight.Add(1)
-			go func() {
-				defer b.flushes.Done()
-				defer b.inflight.Add(-1)
-				b.flush(batch)
-			}()
-		case <-b.done:
+		case j := <-b.jobs:
+			pend.push(j)
+		default:
 			return
 		}
 	}
 }
 
-// collect gathers followers for the first job until the controller's
-// live batch limit is reached (full=true) or its linger wait elapses.
-func (b *Batcher) collect(first batchJob) (batch []batchJob, full bool) {
-	limit, wait := b.ctrl.Limits()
-	batch = []batchJob{first}
-	if limit <= 1 {
-		return batch, true
+// drainPending flushes everything still pending at shutdown in
+// MaxBatch-sized fair batches, so no accepted job is left unanswered.
+func (b *Batcher) drainPending(pend *pendingJobs) {
+	b.absorb(pend)
+	for pend.size > 0 {
+		batch := pend.take(b.cfg.MaxBatch)
+		b.flushes.Add(1)
+		b.inflight.Add(1)
+		go func(batch []batchJob) {
+			defer b.flushes.Done()
+			defer b.inflight.Add(-1)
+			b.flush(batch)
+		}(batch)
 	}
-	timer := time.NewTimer(wait)
-	defer timer.Stop()
-	for len(batch) < limit {
-		select {
-		case j := <-b.jobs:
-			batch = append(batch, j)
-		case <-timer.C:
-			return batch, false
-		case <-b.done:
-			return batch, false
-		}
-	}
-	return batch, true
 }
 
 // flush scores one batch. Jobs whose context already expired are

@@ -151,17 +151,29 @@ func (e *CachedEmbedder) Dim() int { return e.inner.Dim() }
 // Embed implements vecdb.Embedder. The returned slice is always a
 // fresh copy, preserving the Embedder contract even on cache hits.
 func (e *CachedEmbedder) Embed(text string) ([]float32, error) {
-	if vec, ok := e.cache.Get(text); ok {
+	return e.EmbedIn("", text)
+}
+
+// EmbedIn embeds text with the cache and singleflight keyed by
+// (collection, text): identical query text arriving for two tenants
+// gets two independent cache entries, so an entry poisoned or evicted
+// by one tenant's traffic can never surface under another's key. The
+// embedding itself stays a pure function of the text — the collection
+// namespaces only the cache — so query vectors remain bit-identical
+// to ingest vectors regardless of scope.
+func (e *CachedEmbedder) EmbedIn(collection, text string) ([]float32, error) {
+	key := collection + "\x1f" + text
+	if vec, ok := e.cache.Get(key); ok {
 		return cloneVec(vec), nil
 	}
 	// The Embedder interface carries no context; embedding is fast and
 	// local, so followers wait out the leader unconditionally.
-	vec, err, _ := e.flight.Do(context.Background(), text, func() ([]float32, error) {
+	vec, err, _ := e.flight.Do(context.Background(), key, func() ([]float32, error) {
 		v, err := e.inner.Embed(text)
 		if err != nil {
 			return nil, err
 		}
-		e.cache.Put(text, v)
+		e.cache.Put(key, v)
 		return v, nil
 	})
 	if err != nil {

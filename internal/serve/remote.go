@@ -68,14 +68,13 @@ func NewRemoteStore(router *cluster.Router, dim, embedCache int) (*RemoteStore, 
 // reporting and tests).
 func (s *RemoteStore) Router() *cluster.Router { return s.router }
 
-// opCtx bounds one store operation. parent, when non-nil, keeps the
-// caller's cancellation, deadline and request ID flowing into the
-// cluster RPCs (context.WithTimeout keeps whichever deadline is
-// earlier); the context-free rag.Store surface passes nil.
+// opCtx bounds one store operation. parent keeps the caller's
+// cancellation, deadline and request ID flowing into the cluster RPCs
+// (context.WithTimeout keeps whichever deadline is earlier). Callers
+// on the context-free rag.Store surface pass context.Background()
+// explicitly — never nil, so middleware that derives from the parent
+// (tracing spans, deadline propagation) cannot panic on a nil ctx.
 func (s *RemoteStore) opCtx(parent context.Context) (context.Context, context.CancelFunc) {
-	if parent == nil {
-		parent = context.Background()
-	}
 	return context.WithTimeout(parent, s.opTimeout)
 }
 
@@ -96,7 +95,7 @@ func (s *RemoteStore) SetTelemetry(reg *telemetry.Registry) {
 // router uses for queries.
 func (s *RemoteStore) Add(text string, meta map[string]string) (int64, error) {
 	id := s.nextID.Add(1)
-	ctx, cancel := s.opCtx(nil)
+	ctx, cancel := s.opCtx(context.Background())
 	defer cancel()
 	m := vecdb.Mutation{Op: vecdb.OpAdd, ID: id, Text: text, Meta: meta}
 	if err := s.router.Apply(ctx, s.router.ShardFor(id), []vecdb.Mutation{m}); err != nil {
@@ -109,7 +108,7 @@ func (s *RemoteStore) Add(text string, meta map[string]string) (int64, error) {
 // ShardedDB performs — groups the adds by owning shard, and applies
 // each group in one shard RPC, all shards in flight at once.
 func (s *RemoteStore) AddBulk(texts []string) ([]int64, error) {
-	return s.AddBulkContext(nil, texts)
+	return s.AddBulkContext(context.Background(), texts)
 }
 
 // AddBulkContext is AddBulk under the caller's context, so streamed
@@ -145,10 +144,47 @@ func (s *RemoteStore) AddBulkContext(parent context.Context, texts []string) ([]
 	return ids, nil
 }
 
+// AddBulkDocs stores a batch of documents with collection and
+// metadata, same ID allocation and shard grouping as AddBulk.
+func (s *RemoteStore) AddBulkDocs(docs []vecdb.Document) ([]int64, error) {
+	return s.AddBulkDocsContext(context.Background(), docs)
+}
+
+// AddBulkDocsContext is AddBulkDocs under the caller's context.
+func (s *RemoteStore) AddBulkDocsContext(parent context.Context, docs []vecdb.Document) ([]int64, error) {
+	if len(docs) == 0 {
+		return nil, nil
+	}
+	n := s.router.Shards()
+	ids := make([]int64, len(docs))
+	groups := make([][]vecdb.Mutation, n)
+	for i, d := range docs {
+		id := s.nextID.Add(1)
+		ids[i] = id
+		si := cluster.ShardIndex(id, n)
+		groups[si] = append(groups[si], vecdb.Mutation{Op: vecdb.OpAdd, ID: id, Collection: d.Collection, Text: d.Text, Meta: d.Meta})
+	}
+	ctx, cancel := s.opCtx(parent)
+	defer cancel()
+	errs := make([]error, n)
+	parallel.ForWorkers(n, n, func(si int) {
+		if len(groups[si]) == 0 {
+			return
+		}
+		errs[si] = s.router.Apply(ctx, si, groups[si])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ids, nil
+}
+
 // Search embeds the query once (through the router-side cache) and
 // fans the vector out.
 func (s *RemoteStore) Search(query string, k int) ([]vecdb.Hit, error) {
-	return s.SearchContext(nil, query, k)
+	return s.SearchContext(context.Background(), query, k)
 }
 
 // SearchContext is Search under the caller's context: the request ID
@@ -156,36 +192,56 @@ func (s *RemoteStore) Search(query string, k int) ([]vecdb.Hit, error) {
 // caller's deadline, if sooner than opTimeout, bounds them
 // (X-Deadline-Ms).
 func (s *RemoteStore) SearchContext(parent context.Context, query string, k int) ([]vecdb.Hit, error) {
-	ectx := parent
-	if ectx == nil {
-		ectx = context.Background()
-	}
-	_, sp := telemetry.StartSpan(ectx, "embed")
+	return s.SearchFilteredContext(parent, query, k, vecdb.Filter{})
+}
+
+// SearchFilteredContext embeds the query (namespaced to the filter's
+// collection in the router-side cache) and fans it out with the filter
+// pushed down to every shard node.
+func (s *RemoteStore) SearchFilteredContext(parent context.Context, query string, k int, f vecdb.Filter) ([]vecdb.Hit, error) {
+	_, sp := telemetry.StartSpan(parent, "embed")
 	h := s.embedH.Load()
 	start := time.Now()
-	vec, err := s.embed.Embed(query)
+	vec, err := s.embedIn(f.Collection, query)
 	sp.End(err)
 	if err != nil {
 		return nil, fmt.Errorf("serve: embed query: %w", err)
 	}
-	h.ObserveSinceCtx(ectx, start)
+	h.ObserveSinceCtx(parent, start)
 	ctx, cancel := s.opCtx(parent)
 	defer cancel()
-	return s.router.SearchVector(ctx, vec, k)
+	return s.router.SearchVector(ctx, vec, k, f)
+}
+
+// embedIn mirrors ShardedDB.embedIn: collection-namespaced cache key,
+// same raw-text embedding.
+func (s *RemoteStore) embedIn(collection, query string) ([]float32, error) {
+	if ce, ok := s.embed.(interface {
+		EmbedIn(collection, text string) ([]float32, error)
+	}); ok {
+		return ce.EmbedIn(collection, query)
+	}
+	return s.embed.Embed(query)
 }
 
 // SearchVector fans the query out to every shard node and merges,
 // degrading around dead shards (see cluster.Router.SearchVector).
 func (s *RemoteStore) SearchVector(vec []float32, k int) ([]vecdb.Hit, error) {
-	ctx, cancel := s.opCtx(nil)
+	return s.SearchVectorFiltered(vec, k, vecdb.Filter{})
+}
+
+// SearchVectorFiltered is SearchVector with the filter pushed down to
+// the shard nodes before each per-shard top-k is taken.
+func (s *RemoteStore) SearchVectorFiltered(vec []float32, k int, f vecdb.Filter) ([]vecdb.Hit, error) {
+	ctx, cancel := s.opCtx(context.Background())
 	defer cancel()
-	return s.router.SearchVector(ctx, vec, k)
+	return s.router.SearchVector(ctx, vec, k, f)
 }
 
 // Get fetches one document from its owning shard, failing over across
 // that shard's backends.
 func (s *RemoteStore) Get(id int64) (vecdb.Document, error) {
-	return s.GetContext(nil, id)
+	return s.GetContext(context.Background(), id)
 }
 
 // GetContext is Get under the caller's context.
@@ -197,7 +253,7 @@ func (s *RemoteStore) GetContext(parent context.Context, id int64) (vecdb.Docume
 
 // Delete removes one document from its owning shard.
 func (s *RemoteStore) Delete(id int64) error {
-	return s.DeleteContext(nil, id)
+	return s.DeleteContext(context.Background(), id)
 }
 
 // DeleteContext is Delete under the caller's context.
@@ -205,6 +261,24 @@ func (s *RemoteStore) DeleteContext(parent context.Context, id int64) error {
 	ctx, cancel := s.opCtx(parent)
 	defer cancel()
 	return s.router.Delete(ctx, id)
+}
+
+// DeleteIn is Delete scoped to a collection: the checked-delete
+// mutation makes a shard node report ErrNotFound for a document that
+// exists in a different collection.
+func (s *RemoteStore) DeleteIn(collection string, id int64) error {
+	ctx, cancel := s.opCtx(context.Background())
+	defer cancel()
+	m := vecdb.Mutation{Op: vecdb.OpDelete, ID: id, Collection: collection}
+	return s.router.Apply(ctx, s.router.ShardFor(id), []vecdb.Mutation{m})
+}
+
+// CollectionCounts merges per-collection counts across the reachable
+// shard nodes (stat-budget bounded, like Len).
+func (s *RemoteStore) CollectionCounts() map[string]int {
+	ctx, cancel := context.WithTimeout(context.Background(), s.statTimeout)
+	defer cancel()
+	return s.router.CollectionCounts(ctx)
 }
 
 // Len sums live per-shard counts (last-observed for shards that don't

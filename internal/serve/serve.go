@@ -69,6 +69,15 @@ type Config struct {
 	StreamMaxPending int
 	StreamMaxErrors  int
 
+	// TenantRate / TenantBurst / TenantMaxInFlight bound each tenant
+	// (collection) independently, in front of the global gate: a
+	// token-bucket rate limit in requests per second with the given
+	// burst depth, plus a per-tenant in-flight cap. All zero disables
+	// per-tenant admission (the prior behaviour). See TenantLimits.
+	TenantRate        float64
+	TenantBurst       int
+	TenantMaxInFlight int
+
 	// MaxInFlight bounds concurrently executing requests (default 64).
 	MaxInFlight int
 	// MaxQueue bounds requests waiting for a slot; beyond it requests
@@ -156,6 +165,7 @@ type Server struct {
 	pipeline  *rag.Pipeline
 	batcher   *Batcher
 	admission *Admission
+	tenants   *TenantGate
 	verdicts  *lruCache[string, core.Verdict]
 	vflight   flightGroup[string, core.Verdict]
 	// ingestCtrl is the adaptive batch controller shared by every
@@ -253,6 +263,12 @@ func New(cfg Config) (*Server, error) {
 		Telemetry:  cfg.Telemetry,
 	})
 	verdicts := newLRU[string, core.Verdict](cfg.VerdictCacheSize)
+	tenants := NewTenantGate(TenantLimits{
+		Rate:        cfg.TenantRate,
+		Burst:       cfg.TenantBurst,
+		MaxInFlight: cfg.TenantMaxInFlight,
+	})
+	tenants.SetTelemetry(cfg.Telemetry)
 	reg := cfg.Telemetry
 	s := &Server{
 		cfg:       cfg,
@@ -260,6 +276,7 @@ func New(cfg Config) (*Server, error) {
 		pipeline:  pipeline,
 		batcher:   batcher,
 		admission: admission,
+		tenants:   tenants,
 		verdicts:  verdicts,
 		ingestCtrl: adaptive.New(adaptive.Config{
 			// The batch limit must stay acquirable from the credit pool:
@@ -381,7 +398,9 @@ func (s *Server) Calibrate(ctx context.Context, triples []core.Triple) error {
 // returned done func releases the slot and cancels the deadline. A
 // cluster store with no healthy backends sheds here, before any slot
 // or transport work is spent — the per-shard health state feeding
-// admission control.
+// admission control. The per-tenant gate runs before the global one,
+// so a tenant over its own budget is throttled (429) without
+// consuming a shared slot or pressuring anyone else's queue.
 func (s *Server) admit(ctx context.Context) (context.Context, func(), error) {
 	if av, ok := s.store.(availabilityReporter); ok {
 		if err := av.Available(); err != nil {
@@ -389,17 +408,31 @@ func (s *Server) admit(ctx context.Context) (context.Context, func(), error) {
 			return nil, nil, err
 		}
 	}
-	release, err := s.admission.Acquire(ctx)
+	tenantRelease, err := s.tenants.Acquire(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
+	release, err := s.admission.Acquire(ctx)
+	if err != nil {
+		tenantRelease()
+		return nil, nil, err
+	}
 	rctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
-	return rctx, func() { cancel(); release() }, nil
+	return rctx, func() { cancel(); release(); tenantRelease() }, nil
 }
 
 // Ask answers one question through the full serving path. Under
 // overload it fails fast with ErrOverloaded.
 func (s *Server) Ask(ctx context.Context, question string) (rag.Answer, error) {
+	return s.AskIn(ctx, "", question)
+}
+
+// AskIn is Ask scoped to one collection: retrieval draws context only
+// from that collection's documents (empty means unscoped, the default
+// collection plus everything else — the pre-collection behaviour).
+// The verdict cache and batcher read the tenant off ctx (WithTenant),
+// which HTTP handlers set alongside the collection.
+func (s *Server) AskIn(ctx context.Context, collection, question string) (rag.Answer, error) {
 	if question == "" {
 		return rag.Answer{}, errors.New("serve: empty question")
 	}
@@ -413,7 +446,7 @@ func (s *Server) Ask(ctx context.Context, question string) (rag.Answer, error) {
 	// deadline reach the store (and, in cluster mode, the shard RPC
 	// headers); generation is fast local compute, and the deadline is
 	// re-checked at the stage boundary and throughout verification.
-	draft, err := s.pipeline.DraftContext(rctx, question)
+	draft, err := s.pipeline.DraftFiltered(rctx, question, vecdb.Filter{Collection: collection})
 	if err != nil {
 		return rag.Answer{}, err
 	}
@@ -495,6 +528,49 @@ func (s *Server) IngestBulk(ctx context.Context, texts []string) (int, error) {
 	return len(chunks), nil
 }
 
+// IngestDocs is IngestBulk for documents carrying a collection and
+// metadata: every chunk of a document is written under the document's
+// collection with the document's metadata, so filtered search over
+// either dimension sees exactly the passages that came from matching
+// documents. Like IngestBulk, the batch costs one admission slot.
+func (s *Server) IngestDocs(ctx context.Context, docs []vecdb.Document) (int, error) {
+	if len(docs) == 0 {
+		return 0, errors.New("serve: empty bulk ingest")
+	}
+	rctx, done, err := s.admit(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer done()
+	if err := rctx.Err(); err != nil {
+		return 0, err
+	}
+	s.ingests.Add(uint64(len(docs)))
+
+	chunked := make([][]string, len(docs))
+	errs := make([]error, len(docs))
+	parallel.For(len(docs), func(i int) {
+		chunked[i], errs[i] = s.cfg.Chunker.Chunk(docs[i].Text)
+	})
+	if err := errors.Join(errs...); err != nil {
+		return 0, err
+	}
+	var chunks []vecdb.Document
+	for i, cs := range chunked {
+		for _, c := range cs {
+			chunks = append(chunks, vecdb.Document{
+				Collection: docs[i].Collection,
+				Text:       c,
+				Meta:       docs[i].Meta,
+			})
+		}
+	}
+	if _, err := storeAddBulkDocs(rctx, s.store, chunks); err != nil {
+		return 0, err
+	}
+	return len(chunks), nil
+}
+
 // Optional context-aware store surfaces. The Store interface keeps its
 // context-free contract (plain *vecdb.DB satisfies it); stores that
 // can carry a request's ID and deadline further down — ShardedDB into
@@ -512,11 +588,26 @@ type ctxDeleter interface {
 	DeleteContext(ctx context.Context, id int64) error
 }
 
+type ctxDocsBulkAdder interface {
+	AddBulkDocsContext(ctx context.Context, docs []vecdb.Document) ([]int64, error)
+}
+
+type ctxFilteredSearcher interface {
+	SearchFilteredContext(ctx context.Context, query string, k int, f vecdb.Filter) ([]vecdb.Hit, error)
+}
+
 func storeAddBulk(ctx context.Context, st Store, texts []string) ([]int64, error) {
 	if ca, ok := st.(ctxBulkAdder); ok {
 		return ca.AddBulkContext(ctx, texts)
 	}
 	return st.AddBulk(texts)
+}
+
+func storeAddBulkDocs(ctx context.Context, st Store, docs []vecdb.Document) ([]int64, error) {
+	if ca, ok := st.(ctxDocsBulkAdder); ok {
+		return ca.AddBulkDocsContext(ctx, docs)
+	}
+	return st.AddBulkDocs(docs)
 }
 
 // Search retrieves the top-k passages for query through admission
@@ -540,6 +631,36 @@ func (s *Server) Search(ctx context.Context, query string, k int) ([]vecdb.Hit, 
 		return cs.SearchContext(rctx, query, k)
 	}
 	return s.store.Search(query, k)
+}
+
+// SearchFiltered is Search with a collection/metadata predicate pushed
+// down to every shard before the per-shard top-k is taken, so the
+// merged result is exactly what an unfiltered search over a store
+// holding only the matching documents would return.
+func (s *Server) SearchFiltered(ctx context.Context, query string, k int, f vecdb.Filter) ([]vecdb.Hit, error) {
+	if query == "" {
+		return nil, errors.New("serve: empty query")
+	}
+	if f.IsZero() {
+		return s.Search(ctx, query, k)
+	}
+	rctx, done, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	if err := rctx.Err(); err != nil {
+		return nil, err
+	}
+	s.searches.Inc()
+	if fs, ok := s.store.(ctxFilteredSearcher); ok {
+		return fs.SearchFilteredContext(rctx, query, k, f)
+	}
+	vec, err := s.store.Embedder().Embed(query)
+	if err != nil {
+		return nil, err
+	}
+	return s.store.SearchVectorFiltered(vec, k, f)
 }
 
 // GetDocument fetches one stored document through admission control.
@@ -578,10 +699,33 @@ func (s *Server) DeleteDocument(ctx context.Context, id int64) error {
 	return s.store.Delete(id)
 }
 
+// DeleteDocumentIn is DeleteDocument scoped to a collection: a
+// document that exists under a different collection reports
+// ErrNotFound and is left untouched, so one tenant can never delete
+// another's data by guessing IDs.
+func (s *Server) DeleteDocumentIn(ctx context.Context, collection string, id int64) error {
+	if vecdb.NormalizeCollection(collection) == vecdb.DefaultCollection && collection == "" {
+		return s.DeleteDocument(ctx, id)
+	}
+	rctx, done, err := s.admit(ctx)
+	if err != nil {
+		return err
+	}
+	defer done()
+	if err := rctx.Err(); err != nil {
+		return err
+	}
+	s.deletes.Inc()
+	return s.store.DeleteIn(collection, id)
+}
+
 // verdictKey separates fields with unit separators so distinct triples
-// never collide.
-func verdictKey(t core.Triple) string {
-	return t.Question + "\x1f" + t.Context + "\x1f" + t.Response
+// never collide. The tenant leads the key: identical triples arriving
+// for two collections get independent cache entries and independent
+// singleflight leaders, so one tenant's traffic can never warm — or
+// evict — another's verdicts.
+func verdictKey(tenant string, t core.Triple) string {
+	return tenant + "\x1f" + t.Question + "\x1f" + t.Context + "\x1f" + t.Response
 }
 
 // verdict resolves one triple via LRU cache → singleflight → batcher.
@@ -594,7 +738,7 @@ func (s *Server) verdict(ctx context.Context, t core.Triple) (core.Verdict, erro
 	if !s.pipeline.Detector().Calibrated() {
 		return s.batcher.Verify(ctx, t)
 	}
-	key := verdictKey(t)
+	key := verdictKey(TenantFrom(ctx), t)
 	for {
 		if v, ok := s.verdicts.Get(key); ok {
 			return v, nil
@@ -643,9 +787,15 @@ func (s *Server) Stats() Snapshot {
 	for _, n := range sizes {
 		docs += n
 	}
+	colls := s.store.CollectionCounts()
+	if len(colls) == 0 {
+		colls = nil
+	}
 	snap := Snapshot{
-		Docs:       docs,
-		ShardSizes: sizes,
+		Docs:        docs,
+		ShardSizes:  sizes,
+		Collections: colls,
+		Tenants:     s.tenants.Stats(),
 		Requests: RequestStats{
 			Asks:     s.asks.Value(),
 			Verifies: s.verifies.Value(),

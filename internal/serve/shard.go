@@ -183,7 +183,7 @@ func (s *ShardedDB) apply(i int, ms []vecdb.Mutation) error {
 		}
 		for _, d := range restore {
 			if _, err := db.Get(d.ID); err != nil {
-				db.AddWithID(d.ID, d.Text, d.Meta)
+				db.AddDocument(d)
 			}
 		}
 		// The primitive undo calls above do not touch the seq counter;
@@ -237,6 +237,56 @@ func (s *ShardedDB) AddBulk(texts []string) ([]int64, error) {
 		si := s.shardIndex(id)
 		groups[si] = append(groups[si], vecdb.Mutation{Op: vecdb.OpAdd, ID: id, Text: text})
 	}
+	if err := s.applyGroups(groups); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// AddBulkContext is AddBulk checking ctx before starting — the
+// ingest pipeline's write path, so an aborted stream stops spending
+// embedding work at the next batch boundary.
+func (s *ShardedDB) AddBulkContext(ctx context.Context, texts []string) ([]int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.AddBulk(texts)
+}
+
+// AddBulkDocs stores a batch of documents carrying collection and
+// metadata, returning their IDs in input order. IDs are allocated by
+// the store (any ID on the input documents is ignored); grouping and
+// journaling behave exactly like AddBulk.
+func (s *ShardedDB) AddBulkDocs(docs []vecdb.Document) ([]int64, error) {
+	if len(docs) == 0 {
+		return nil, nil
+	}
+	ids := make([]int64, len(docs))
+	groups := make([][]vecdb.Mutation, len(s.shards))
+	for i, d := range docs {
+		id := s.nextID.Add(1)
+		ids[i] = id
+		si := s.shardIndex(id)
+		groups[si] = append(groups[si], vecdb.Mutation{Op: vecdb.OpAdd, ID: id, Collection: d.Collection, Text: d.Text, Meta: d.Meta})
+	}
+	if err := s.applyGroups(groups); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// AddBulkDocsContext is AddBulkDocs checking ctx first — the ingest
+// pipeline's docs-with-metadata write path.
+func (s *ShardedDB) AddBulkDocsContext(ctx context.Context, docs []vecdb.Document) ([]int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.AddBulkDocs(docs)
+}
+
+// applyGroups applies per-shard mutation groups in parallel, returning
+// the first error (shards already applied stay applied).
+func (s *ShardedDB) applyGroups(groups [][]vecdb.Mutation) error {
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -259,20 +309,7 @@ func (s *ShardedDB) AddBulk(texts []string) ([]int64, error) {
 		}(si, ms)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return ids, nil
-}
-
-// AddBulkContext is AddBulk checking ctx before starting — the
-// ingest pipeline's write path, so an aborted stream stops spending
-// embedding work at the next batch boundary.
-func (s *ShardedDB) AddBulkContext(ctx context.Context, texts []string) ([]int64, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return s.AddBulk(texts)
+	return firstErr
 }
 
 // ApplyAll executes a batch of externally-journaled mutations with
@@ -355,6 +392,28 @@ func (s *ShardedDB) Get(id int64) (vecdb.Document, error) {
 func (s *ShardedDB) Delete(id int64) error {
 	m := vecdb.Mutation{Op: vecdb.OpDelete, ID: id}
 	return s.apply(s.shardIndex(id), []vecdb.Mutation{m})
+}
+
+// DeleteIn is Delete scoped to a collection: a document that exists
+// but belongs to a different collection reports ErrNotFound and is
+// left untouched, so one tenant can never delete another's data by
+// guessing IDs. An empty collection is the unscoped Delete.
+func (s *ShardedDB) DeleteIn(collection string, id int64) error {
+	m := vecdb.Mutation{Op: vecdb.OpDelete, ID: id, Collection: collection}
+	return s.apply(s.shardIndex(id), []vecdb.Mutation{m})
+}
+
+// CollectionCounts merges per-collection document counts across
+// shards — the store-level view /stats and the shard-protocol stat
+// endpoint report.
+func (s *ShardedDB) CollectionCounts() map[string]int {
+	out := map[string]int{}
+	for _, sh := range s.shards {
+		for c, n := range sh.CollectionCounts() {
+			out[c] += n
+		}
+	}
+	return out
 }
 
 // Len sums the shard sizes, implementing rag.Store.
@@ -441,13 +500,20 @@ func (s *ShardedDB) SearchContext(ctx context.Context, query string, k int) ([]v
 // the same deterministic (score desc, ID asc) order a single index
 // returns.
 func (s *ShardedDB) SearchVector(vec []float32, k int) ([]vecdb.Hit, error) {
+	return s.SearchVectorFiltered(vec, k, vecdb.Filter{})
+}
+
+// SearchVectorFiltered is SearchVector with the filter pushed down to
+// every shard before its top-k is taken, so the merged result equals
+// an unfiltered search over the matching subset.
+func (s *ShardedDB) SearchVectorFiltered(vec []float32, k int, f vecdb.Filter) ([]vecdb.Hit, error) {
 	t := s.tele.Load()
 	if len(s.shards) == 1 {
 		if t == nil {
-			return s.shards[0].SearchVector(vec, k)
+			return s.shards[0].SearchVectorFiltered(vec, k, f)
 		}
 		start := time.Now()
-		hits, err := s.shards[0].SearchVector(vec, k)
+		hits, err := s.shards[0].SearchVectorFiltered(vec, k, f)
 		t.search.ObserveSince(start)
 		return hits, err
 	}
@@ -465,7 +531,7 @@ func (s *ShardedDB) SearchVector(vec []float32, k int) ([]vecdb.Hit, error) {
 	for i, sh := range s.shards {
 		go func(i int, db *vecdb.DB) {
 			defer wg.Done()
-			hits, err := db.SearchVector(vec, k)
+			hits, err := db.SearchVectorFiltered(vec, k, f)
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -489,6 +555,44 @@ func (s *ShardedDB) SearchVector(vec []float32, k int) ([]vecdb.Hit, error) {
 	hits := cluster.MergeTopK(lists, k)
 	t.merge.ObserveSince(mergeStart)
 	return hits, nil
+}
+
+// SearchFilteredContext embeds the query once and fans it out with the
+// filter pushed down to every shard — the handler-facing filtered
+// search entry point.
+func (s *ShardedDB) SearchFilteredContext(ctx context.Context, query string, k int, f vecdb.Filter) ([]vecdb.Hit, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t := s.tele.Load()
+	var start time.Time
+	if t != nil {
+		start = time.Now()
+	}
+	vec, err := s.embedIn(f.Collection, query)
+	if err != nil {
+		return nil, fmt.Errorf("serve: embed query: %w", err)
+	}
+	if t != nil {
+		t.embed.ObserveSince(start)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.SearchVectorFiltered(vec, k, f)
+}
+
+// embedIn embeds through the collection-namespaced cache entry point
+// when the store's embedder has one, so two tenants with the same
+// query text keep independent cache entries (the vector itself is a
+// pure function of the text either way).
+func (s *ShardedDB) embedIn(collection, query string) ([]float32, error) {
+	if ce, ok := s.embed.(interface {
+		EmbedIn(collection, text string) ([]float32, error)
+	}); ok {
+		return ce.EmbedIn(collection, query)
+	}
+	return s.embed.Embed(query)
 }
 
 var _ rag.Store = (*ShardedDB)(nil)

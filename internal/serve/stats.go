@@ -15,6 +15,14 @@ type Snapshot struct {
 	// a cluster store, each shard node's last-observed count, so
 	// imbalance stays visible across the transport.
 	ShardSizes []int `json:"shard_sizes"`
+	// Collections is the per-collection document count merged across
+	// shards (cluster mode: across shard nodes). Omitted when the store
+	// is empty.
+	Collections map[string]int `json:"collections,omitempty"`
+	// Tenants is the per-tenant admission ledger — admitted, throttled,
+	// and in-flight per collection. Omitted until the per-tenant gate is
+	// configured and has seen scoped traffic.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 
 	// Requests counts admitted calls by kind.
 	Requests RequestStats `json:"requests"`

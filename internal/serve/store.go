@@ -17,13 +17,25 @@ type Store interface {
 	// AddBulk stores a batch of texts, returning their IDs in input
 	// order, with writes grouped per shard.
 	AddBulk(texts []string) ([]int64, error)
+	// AddBulkDocs is AddBulk for documents carrying collection and
+	// metadata (IDs on the inputs are ignored; the store allocates).
+	AddBulkDocs(docs []vecdb.Document) ([]int64, error)
 	// SearchVector answers an already-embedded query with the merged
 	// top-k across shards.
 	SearchVector(vec []float32, k int) ([]vecdb.Hit, error)
+	// SearchVectorFiltered pushes a collection/metadata filter down to
+	// every shard before the per-shard top-k is taken, so the merged
+	// result equals an unfiltered search over the matching subset.
+	SearchVectorFiltered(vec []float32, k int, f vecdb.Filter) ([]vecdb.Hit, error)
 	// Get returns a stored document, or ErrNotFound.
 	Get(id int64) (vecdb.Document, error)
 	// Delete removes a document, or reports ErrNotFound.
 	Delete(id int64) error
+	// DeleteIn is Delete scoped to a collection: a document in a
+	// different collection reports ErrNotFound and is left in place.
+	DeleteIn(collection string, id int64) error
+	// CollectionCounts reports per-collection document counts.
+	CollectionCounts() map[string]int
 	// Embedder exposes the query-path embedder.
 	Embedder() vecdb.Embedder
 	// Shards reports the shard count; ShardSizes the per-shard

@@ -29,6 +29,14 @@ import (
 // replica fan-out and per-node failure accounting as every other
 // write (see docs/cluster.md).
 func (s *Server) IngestStream(ctx context.Context, r io.Reader, progress func(ingest.Stats)) (ingest.Stats, error) {
+	return s.IngestStreamIn(ctx, "", r, progress)
+}
+
+// IngestStreamIn is IngestStream scoped to one collection: every
+// document on the stream lands under that collection (with its meta),
+// so two tenants can stream concurrently and filtered search keeps
+// them fully separate. Empty collection means the default collection.
+func (s *Server) IngestStreamIn(ctx context.Context, collection string, r io.Reader, progress func(ingest.Stats)) (ingest.Stats, error) {
 	if av, ok := s.store.(availabilityReporter); ok {
 		if err := av.Available(); err != nil {
 			s.unavailableShed.Inc()
@@ -43,6 +51,7 @@ func (s *Server) IngestStream(ctx context.Context, r io.Reader, progress func(in
 	s.stream.streams.Add(1)
 	st, runErr := ingest.Run(ctx, ingest.Config{
 		Store:      s.store,
+		Collection: collection,
 		Chunker:    s.cfg.Chunker,
 		Workers:    s.cfg.StreamWorkers,
 		MaxPending: s.cfg.StreamMaxPending,

@@ -1,0 +1,334 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/vecdb"
+)
+
+// TestTenantGateTokenBucket drives the per-tenant token bucket on a
+// fake clock: the burst is admitted, the flood beyond it is throttled
+// with ErrTenantThrottled (a 429 via the ErrOverloaded family), a
+// second tenant's bucket is untouched, and refill restores exactly
+// Rate tokens per second. Outcome counters land both in Stats() and in
+// the labelled telemetry counters /metrics exports.
+func TestTenantGateTokenBucket(t *testing.T) {
+	g := NewTenantGate(TenantLimits{Rate: 1, Burst: 3})
+	now := time.Unix(1000, 0)
+	g.now = func() time.Time { return now }
+	reg := telemetry.NewRegistry()
+	g.SetTelemetry(reg)
+
+	ctxA := WithTenant(context.Background(), "tenant-a")
+	ctxB := WithTenant(context.Background(), "tenant-b")
+
+	// The full burst is admitted back-to-back.
+	for i := 0; i < 3; i++ {
+		rel, err := g.Acquire(ctxA)
+		if err != nil {
+			t.Fatalf("burst admit %d: %v", i, err)
+		}
+		rel()
+	}
+	// The bucket is dry: everything beyond the burst is shed.
+	for i := 0; i < 5; i++ {
+		if _, err := g.Acquire(ctxA); !errors.Is(err, ErrTenantThrottled) {
+			t.Fatalf("flood %d: err = %v, want ErrTenantThrottled", i, err)
+		}
+	}
+	// The throttle error is in the overload family, so the HTTP layer's
+	// existing statusFor mapping turns it into a 429 without new cases.
+	if !errors.Is(ErrTenantThrottled, ErrOverloaded) {
+		t.Fatal("ErrTenantThrottled must wrap ErrOverloaded for the 429 mapping")
+	}
+	// Tenant B has its own bucket — A's flood cost it nothing.
+	relB, err := g.Acquire(ctxB)
+	if err != nil {
+		t.Fatalf("tenant-b admit: %v", err)
+	}
+	relB()
+	// Unscoped requests bypass the gate entirely.
+	if _, err := g.Acquire(context.Background()); err != nil {
+		t.Fatalf("unscoped acquire: %v", err)
+	}
+
+	// Two seconds of refill buys exactly two more admissions.
+	now = now.Add(2 * time.Second)
+	for i := 0; i < 2; i++ {
+		rel, err := g.Acquire(ctxA)
+		if err != nil {
+			t.Fatalf("refill admit %d: %v", i, err)
+		}
+		defer rel()
+	}
+	if _, err := g.Acquire(ctxA); !errors.Is(err, ErrTenantThrottled) {
+		t.Fatalf("post-refill err = %v, want ErrTenantThrottled", err)
+	}
+
+	st := g.Stats()
+	a, b := st["tenant-a"], st["tenant-b"]
+	if a.Admitted != 5 || a.Throttled != 6 || a.InFlight != 2 {
+		t.Errorf("tenant-a stats = %+v, want {Admitted:5 Throttled:6 InFlight:2}", a)
+	}
+	if b.Admitted != 1 || b.Throttled != 0 || b.InFlight != 0 {
+		t.Errorf("tenant-b stats = %+v, want {Admitted:1 Throttled:0 InFlight:0}", b)
+	}
+	if got := reg.CounterValue("tenant_throttled_total", telemetry.L("collection", "tenant-a")); got != 6 {
+		t.Errorf("tenant_throttled_total{tenant-a} = %d, want 6", got)
+	}
+	if got := reg.CounterValue("tenant_throttled_total", telemetry.L("collection", "tenant-b")); got != 0 {
+		t.Errorf("tenant_throttled_total{tenant-b} = %d, want 0", got)
+	}
+	if got := reg.CounterValue("tenant_requests_total",
+		telemetry.L("collection", "tenant-a"), telemetry.L("outcome", "admitted")); got != 5 {
+		t.Errorf("tenant_requests_total{tenant-a,admitted} = %d, want 5", got)
+	}
+	if got := reg.CounterValue("tenant_requests_total",
+		telemetry.L("collection", "tenant-a"), telemetry.L("outcome", "throttled")); got != 6 {
+		t.Errorf("tenant_requests_total{tenant-a,throttled} = %d, want 6", got)
+	}
+}
+
+// TestTenantGateInFlightQuota pins the concurrency quota: a tenant at
+// MaxInFlight is refused until a slot frees, and release is
+// idempotent so a double-released slot cannot drive the count
+// negative.
+func TestTenantGateInFlightQuota(t *testing.T) {
+	g := NewTenantGate(TenantLimits{MaxInFlight: 2})
+	ctx := WithTenant(context.Background(), "tenant-a")
+
+	rel1, err := g.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := g.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Acquire(ctx); !errors.Is(err, ErrTenantThrottled) {
+		t.Fatalf("over-quota err = %v, want ErrTenantThrottled", err)
+	}
+	rel1()
+	rel1() // idempotent: must not free a second slot
+	rel3, err := g.Acquire(ctx)
+	if err != nil {
+		t.Fatalf("post-release acquire: %v", err)
+	}
+	if _, err := g.Acquire(ctx); !errors.Is(err, ErrTenantThrottled) {
+		t.Fatalf("quota must still hold after double release, got err = %v", err)
+	}
+	rel2()
+	rel3()
+	if st := g.Stats()["tenant-a"]; st.InFlight != 0 {
+		t.Errorf("in-flight after all releases = %d, want 0", st.InFlight)
+	}
+}
+
+// TestPendingJobsRoundRobin pins the weighted-fair batch formation as
+// pure data-structure behaviour (no goroutines, no timing): a batch
+// cut from queues holding 6 tenant-a jobs, 2 tenant-b jobs and 1
+// unscoped job must carry every waiting tenant before any tenant's
+// second job.
+func TestPendingJobsRoundRobin(t *testing.T) {
+	job := func(tenant string, n int) batchJob {
+		return batchJob{
+			triple: core.Triple{Question: fmt.Sprintf("%s/%d", tenant, n)},
+			ctx:    WithTenant(context.Background(), tenant),
+		}
+	}
+	p := newPendingJobs()
+	for i := 0; i < 6; i++ {
+		p.push(job("a", i))
+	}
+	p.push(job("b", 0))
+	p.push(job("b", 1))
+	p.push(job("", 0)) // unscoped traffic is one more queue in the rotation
+
+	got := func(batch []batchJob) []string {
+		qs := make([]string, len(batch))
+		for i, j := range batch {
+			qs[i] = j.triple.Question
+		}
+		return qs
+	}
+
+	batch := p.take(6)
+	want := []string{"a/0", "b/0", "/0", "a/1", "b/1", "a/2"}
+	if strings.Join(got(batch), " ") != strings.Join(want, " ") {
+		t.Fatalf("fair batch = %v, want %v", got(batch), want)
+	}
+	if p.size != 3 {
+		t.Fatalf("pending after cut = %d, want 3", p.size)
+	}
+	// The remainder drains in FIFO order for the only non-empty queue.
+	rest := p.take(10)
+	want = []string{"a/3", "a/4", "a/5"}
+	if strings.Join(got(rest), " ") != strings.Join(want, " ") {
+		t.Fatalf("drained remainder = %v, want %v", got(rest), want)
+	}
+	if p.size != 0 {
+		t.Fatalf("pending after drain = %d, want 0", p.size)
+	}
+}
+
+// TestServerTenantFairness is the end-to-end throttle check of the
+// issue: one tenant hammering the server is shed at its own boundary
+// (ErrTenantThrottled, counted in tenant_throttled_total) while a
+// second tenant's requests all succeed, untouched by the flood.
+func TestServerTenantFairness(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := newTestServer(t, Config{
+		Shards:      2,
+		Dim:         64,
+		TopK:        3,
+		TenantRate:  0.001, // negligible refill: the burst is the budget
+		TenantBurst: 3,
+		Telemetry:   reg,
+	})
+	ctx := context.Background()
+	ctxA := WithTenant(ctx, "tenant-a")
+	ctxB := WithTenant(ctx, "tenant-b")
+
+	var admitted, throttled int
+	for i := 0; i < 20; i++ {
+		_, err := s.Search(ctxA, "What are the working hours?", 2)
+		switch {
+		case err == nil:
+			admitted++
+		case errors.Is(err, ErrTenantThrottled):
+			throttled++
+		default:
+			t.Fatalf("search %d: unexpected err %v", i, err)
+		}
+	}
+	if admitted != 3 || throttled != 17 {
+		t.Errorf("tenant-a flood: admitted %d throttled %d, want 3/17", admitted, throttled)
+	}
+	// The other tenant's full burst succeeds during/after the flood.
+	for i := 0; i < 3; i++ {
+		if _, err := s.Search(ctxB, "How many days of annual leave do employees get?", 2); err != nil {
+			t.Fatalf("tenant-b search %d: %v", i, err)
+		}
+	}
+
+	st := s.Stats()
+	a, b := st.Tenants["tenant-a"], st.Tenants["tenant-b"]
+	if a.Admitted != uint64(admitted) || a.Throttled != uint64(throttled) {
+		t.Errorf("tenant-a /stats = %+v, want {Admitted:%d Throttled:%d}", a, admitted, throttled)
+	}
+	if b.Admitted != 3 || b.Throttled != 0 {
+		t.Errorf("tenant-b /stats = %+v, want {Admitted:3 Throttled:0}", b)
+	}
+	if got := reg.CounterValue("tenant_throttled_total", telemetry.L("collection", "tenant-a")); got != uint64(throttled) {
+		t.Errorf("tenant_throttled_total{tenant-a} = %d, want %d", got, throttled)
+	}
+	if got := reg.CounterValue("tenant_throttled_total", telemetry.L("collection", "tenant-b")); got != 0 {
+		t.Errorf("tenant_throttled_total{tenant-b} = %d, want 0", got)
+	}
+}
+
+// countingEmbedder counts raw embeds so cache tests can distinguish
+// hits from recomputation.
+type countingEmbedder struct {
+	inner vecdb.Embedder
+	n     atomic.Int64
+}
+
+func (e *countingEmbedder) Dim() int { return e.inner.Dim() }
+func (e *countingEmbedder) Embed(text string) ([]float32, error) {
+	e.n.Add(1)
+	return e.inner.Embed(text)
+}
+
+// TestEmbedCacheNamespacedByCollection is the cross-tenant cache
+// regression: the same query text under two collections must occupy
+// two independent cache entries (no tenant observes another's
+// residency), while the vectors themselves stay bit-identical —
+// namespacing keys the cache, never the embedding.
+func TestEmbedCacheNamespacedByCollection(t *testing.T) {
+	inner, err := vecdb.NewHashedEmbedder(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce := &countingEmbedder{inner: inner}
+	e := NewCachedEmbedder(ce, 8)
+
+	va, err := e.EmbedIn("tenant-a", "quarterly report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := e.EmbedIn("tenant-b", "quarterly report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ce.n.Load(); got != 2 {
+		t.Fatalf("raw embeds after two collections = %d, want 2 (no cross-tenant hit)", got)
+	}
+	if _, err := e.EmbedIn("tenant-a", "quarterly report"); err != nil {
+		t.Fatal(err)
+	}
+	if got := ce.n.Load(); got != 2 {
+		t.Fatalf("raw embeds after same-collection repeat = %d, want 2 (cache hit)", got)
+	}
+	// Unscoped traffic is its own namespace, not an alias of any tenant.
+	if _, err := e.Embed("quarterly report"); err != nil {
+		t.Fatal(err)
+	}
+	if got := ce.n.Load(); got != 3 {
+		t.Fatalf("raw embeds after unscoped = %d, want 3", got)
+	}
+	// The vector is a function of the text alone: query vectors stay
+	// bit-identical to ingest vectors regardless of tenant.
+	if len(va) != len(vb) {
+		t.Fatalf("vector widths differ: %d vs %d", len(va), len(vb))
+	}
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatalf("vector[%d] differs across collections: %v vs %v", i, va[i], vb[i])
+		}
+	}
+}
+
+// TestVerdictCacheNamespacedByTenant: the identical
+// (question, context, response) triple verified under two tenants must
+// be scored twice — a cached verdict must never leak across the tenant
+// boundary — while a same-tenant repeat is served from cache.
+func TestVerdictCacheNamespacedByTenant(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1, Dim: 64, TopK: 3})
+	ctx := context.Background()
+	q := "What are the working hours?"
+	doc := strings.Join(handbook, " ")
+	resp := handbook[0]
+
+	ctxA := WithTenant(ctx, "tenant-a")
+	ctxB := WithTenant(ctx, "tenant-b")
+	va, err := s.Verify(ctxA, q, doc, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Verify(ctxA, q, doc, resp); err != nil {
+		t.Fatal(err)
+	}
+	vb, err := s.Verify(ctxB, q, doc, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.VerdictCache.Hits != 1 || st.VerdictCache.Misses != 2 {
+		t.Errorf("verdict cache hits/misses = %d/%d, want 1/2 (per-tenant entries)",
+			st.VerdictCache.Hits, st.VerdictCache.Misses)
+	}
+	// Same triple, same frozen detector: the verdicts agree even though
+	// they were computed independently.
+	if va.Score != vb.Score {
+		t.Errorf("scores diverged across tenants for identical triple: %v vs %v", va.Score, vb.Score)
+	}
+}

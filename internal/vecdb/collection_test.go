@@ -1,0 +1,314 @@
+package vecdb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// encodeV1 hand-crafts the pre-collection wire form so the codec tests
+// do not depend on EncodeMutation's own v1 path staying honest.
+func encodeV1(m Mutation) []byte {
+	buf := []byte{byte(m.Op)}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.ID))
+	if m.Op != OpAdd {
+		return buf
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Text)))
+	buf = append(buf, m.Text...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.Meta)))
+	for k, v := range m.Meta {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(k)))
+		buf = append(buf, k...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+		buf = append(buf, v...)
+	}
+	return buf
+}
+
+// TestMutationCodecV1Compat: records written before collections existed
+// decode into the default collection, and default-collection mutations
+// still encode byte-for-byte as v1 so old and new WALs interleave.
+func TestMutationCodecV1Compat(t *testing.T) {
+	v1 := []Mutation{
+		{Op: OpAdd, ID: 12, Text: "legacy doc", Meta: map[string]string{"k": "v"}},
+		{Op: OpDelete, ID: 9},
+	}
+	for _, m := range v1 {
+		raw := encodeV1(m)
+		got, err := DecodeMutation(raw)
+		if err != nil {
+			t.Fatalf("decode v1 %+v: %v", m, err)
+		}
+		if got.Collection != "" {
+			t.Errorf("v1 record decoded with collection %q, want empty (default)", got.Collection)
+		}
+		got.Collection = ""
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("v1 decode = %+v, want %+v", got, m)
+		}
+		// Default-collection encodes are byte-identical to v1 — spelled
+		// either as "" or as the explicit default name.
+		for _, spell := range []string{"", DefaultCollection} {
+			m2 := m
+			m2.Collection = spell
+			enc, err := EncodeMutation(m2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(enc, raw) {
+				t.Errorf("default-collection (%q) encoding diverged from v1 bytes", spell)
+			}
+		}
+	}
+}
+
+// TestMutationCodecV2Roundtrip: non-default collections survive the
+// codec, use the v2 wire ops, and decode back to the public op values.
+func TestMutationCodecV2Roundtrip(t *testing.T) {
+	cases := []Mutation{
+		{Op: OpAdd, ID: 3, Collection: "tenant-a", Text: "scoped doc", Meta: map[string]string{"tag": "x"}},
+		{Op: OpAdd, ID: 1 << 33, Collection: "t", Text: ""},
+		{Op: OpDelete, ID: 8, Collection: "tenant-b"},
+	}
+	for _, want := range cases {
+		buf, err := EncodeMutation(want)
+		if err != nil {
+			t.Fatalf("encode(%+v): %v", want, err)
+		}
+		if op := Op(buf[0]); op != opAddV2 && op != opDeleteV2 {
+			t.Errorf("non-default collection encoded with wire op %d, want v2", op)
+		}
+		got, err := DecodeMutation(buf)
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("roundtrip = %+v, want %+v", got, want)
+		}
+	}
+	// Truncated collection prefix must be rejected, as must trailing
+	// bytes after a v2 delete's collection.
+	enc := mustEncode(t, Mutation{Op: OpDelete, ID: 1, Collection: "tenant-a"})
+	if _, err := DecodeMutation(enc[:10]); err == nil {
+		t.Error("truncated v2 record decoded without error")
+	}
+	if _, err := DecodeMutation(append(enc, 0x00)); err == nil {
+		t.Error("trailing junk after v2 delete decoded without error")
+	}
+}
+
+// TestFilteredSearchEquivalence: a filtered search must return results
+// byte-identical to an unfiltered search over a store holding only the
+// matching docs — the core tenant-isolation invariant.
+func TestFilteredSearchEquivalence(t *testing.T) {
+	corpus := []struct {
+		coll, text string
+		meta       map[string]string
+	}{
+		{"tenant-a", "the store opens at nine in the morning", map[string]string{"lang": "en"}},
+		{"tenant-a", "employees get fourteen days of annual leave", map[string]string{"lang": "en", "tag": "hr"}},
+		{"tenant-a", "uniforms are mandatory on the shop floor", map[string]string{"lang": "de"}},
+		{"tenant-b", "the store opens at nine in the morning", map[string]string{"lang": "en"}},
+		{"tenant-b", "the probation period lasts three months", map[string]string{"tag": "hr"}},
+		{"", "an unscoped document lands in the default collection", nil},
+	}
+	full := newTestDB(t)
+	for _, d := range corpus {
+		if _, err := full.AddIn(d.coll, d.text, d.meta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query, err := full.Embedder().Embed("when does the store open")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	filters := []Filter{
+		{Collection: "tenant-a"},
+		{Collection: "tenant-b"},
+		{Collection: DefaultCollection},
+		{Meta: map[string]string{"lang": "en"}},
+		{Collection: "tenant-a", Meta: map[string]string{"lang": "en"}},
+		{Collection: "tenant-a", Meta: map[string]string{"tag": "hr", "lang": "en"}},
+		{Collection: "absent"},
+	}
+	for _, f := range filters {
+		// Reference store: only the docs matching the filter, same IDs.
+		ref := newTestDB(t)
+		for i, d := range corpus {
+			doc := Document{ID: int64(i + 1), Collection: d.coll, Text: d.text, Meta: d.meta}
+			if !f.Match(Document{ID: doc.ID, Collection: NormalizeCollection(d.coll), Text: d.text, Meta: d.meta}) {
+				continue
+			}
+			if err := ref.AddDocument(doc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := ref.SearchVector(query, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := full.SearchVectorFiltered(query, 10, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Stored docs carry normalized collections; the reference store
+		// normalizes on write too, so results must be deeply equal.
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("filter %+v: filtered results diverged:\n got %+v\nwant %+v", f, got, want)
+		}
+	}
+
+	// Zero filter must be the plain search, bit for bit.
+	want, err := full.SearchVector(query, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := full.SearchVectorFiltered(query, 4, Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("zero filter diverged from unfiltered search")
+	}
+}
+
+// TestCollectionCountsAndCheckedDelete: per-collection counts track
+// adds, replacements and deletes; a checked delete in the wrong
+// collection reports ErrNotFound and changes nothing.
+func TestCollectionCountsAndCheckedDelete(t *testing.T) {
+	db := newTestDB(t)
+	idA, err := db.AddIn("tenant-a", "doc one", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AddIn("tenant-a", "doc two", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Add("unscoped doc", nil); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"tenant-a": 2, DefaultCollection: 1}
+	if got := db.CollectionCounts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("counts = %v, want %v", got, want)
+	}
+
+	// Replacing an ID across collections moves the count.
+	if err := db.AddDocument(Document{ID: idA, Collection: "tenant-b", Text: "moved"}); err != nil {
+		t.Fatal(err)
+	}
+	want = map[string]int{"tenant-a": 1, "tenant-b": 1, DefaultCollection: 1}
+	if got := db.CollectionCounts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("counts after move = %v, want %v", got, want)
+	}
+
+	// Checked delete in the wrong collection: ErrNotFound, no change.
+	if err := db.DeleteIn("tenant-a", idA); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cross-collection delete: err = %v, want ErrNotFound", err)
+	}
+	if _, err := db.Get(idA); err != nil {
+		t.Fatalf("doc vanished after rejected delete: %v", err)
+	}
+	if err := db.DeleteIn("tenant-b", idA); err != nil {
+		t.Fatalf("in-collection checked delete: %v", err)
+	}
+	want = map[string]int{"tenant-a": 1, DefaultCollection: 1}
+	if got := db.CollectionCounts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("counts after delete = %v, want %v", got, want)
+	}
+}
+
+// TestChecksumSeesCollection: two stores holding the same ID/text/meta
+// in different collections must report different content checksums —
+// otherwise resync convergence checks would miss a cross-tenant swap.
+func TestChecksumSeesCollection(t *testing.T) {
+	a := newTestDB(t)
+	b := newTestDB(t)
+	if err := a.AddDocument(Document{ID: 1, Collection: "tenant-a", Text: "same text"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddDocument(Document{ID: 1, Collection: "tenant-b", Text: "same text"}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum() == b.Checksum() {
+		t.Error("checksums equal across differing collections")
+	}
+}
+
+// TestCollectionPersistence: collections survive a checkpoint
+// round-trip, and pre-collection snapshots (docs with empty Collection)
+// load into the default collection.
+func TestCollectionPersistence(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.AddIn("tenant-a", "scoped survives persistence", map[string]string{"k": "v"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Add("default survives persistence", nil); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "colls.snap")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewHashedEmbedder(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := NewFlatIndex(Cosine, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFile(path, e, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.CollectionCounts(), db.CollectionCounts(); !reflect.DeepEqual(got, want) {
+		t.Errorf("restored counts = %v, want %v", got, want)
+	}
+	if got, want := restored.Checksum(), db.Checksum(); got != want {
+		t.Errorf("restored checksum = %x, want %x", got, want)
+	}
+}
+
+// TestResyncCarriesCollection: ApplyResync and ApplySnapshot preserve
+// collection scoping, and converged replicas agree on the checksum.
+func TestResyncCarriesCollection(t *testing.T) {
+	src := newTestDB(t)
+	ms := []SeqMutation{
+		{Seq: 1, Mutation: Mutation{Op: OpAdd, ID: 1, Collection: "tenant-a", Text: "alpha"}},
+		{Seq: 2, Mutation: Mutation{Op: OpAdd, ID: 2, Text: "default beta"}},
+		{Seq: 3, Mutation: Mutation{Op: OpAdd, ID: 3, Collection: "tenant-b", Text: "gamma"}},
+	}
+	if err := src.ApplyResync(ms); err != nil {
+		t.Fatal(err)
+	}
+	tgt := newTestDB(t)
+	if err := tgt.ApplyResync(ms); err != nil {
+		t.Fatal(err)
+	}
+	if src.Checksum() != tgt.Checksum() {
+		t.Fatal("replicas diverged after identical resync")
+	}
+
+	seq, docs, err := src.SnapshotDocs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := newTestDB(t)
+	if err := fresh.ApplySnapshot(seq, docs); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Checksum() != src.Checksum() {
+		t.Error("snapshot transfer lost collection state")
+	}
+	if got, want := fresh.CollectionCounts(), src.CollectionCounts(); !reflect.DeepEqual(got, want) {
+		t.Errorf("snapshot counts = %v, want %v", got, want)
+	}
+}

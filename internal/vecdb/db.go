@@ -10,11 +10,30 @@ import (
 	"repro/internal/storage"
 )
 
-// Document is one stored passage with optional caller metadata.
+// DefaultCollection is the collection documents belong to when the
+// caller names none — including every document written before
+// collections existed, so a pre-collection WAL or checkpoint recovers
+// into it unchanged.
+const DefaultCollection = "default"
+
+// NormalizeCollection maps the empty collection name onto
+// DefaultCollection. Every write path normalizes before storing, so a
+// stored document's Collection is never empty and checksums agree
+// between pre-collection replays and fresh default-collection writes.
+func NormalizeCollection(c string) string {
+	if c == "" {
+		return DefaultCollection
+	}
+	return c
+}
+
+// Document is one stored passage with optional caller metadata,
+// scoped to a named collection (tenant).
 type Document struct {
-	ID   int64
-	Text string
-	Meta map[string]string
+	ID         int64
+	Collection string
+	Text       string
+	Meta       map[string]string
 }
 
 // DB is the vectorized document database: it embeds added passages,
@@ -36,6 +55,10 @@ type DB struct {
 	// check is the XOR of every stored document's docHash — the
 	// order-independent content checksum behind Checksum.
 	check uint64
+	// colls counts stored documents per (normalized) collection,
+	// maintained by addLocked/deleteLocked so CollectionCounts is O(1)
+	// in the document count.
+	colls map[string]int
 }
 
 // New creates a database over the given embedder and index. The index
@@ -44,7 +67,7 @@ func New(embed Embedder, index Index) (*DB, error) {
 	if embed == nil || index == nil {
 		return nil, errors.New("vecdb: nil embedder or index")
 	}
-	return &DB{embed: embed, index: index, docs: map[int64]Document{}, nextID: 1}, nil
+	return &DB{embed: embed, index: index, docs: map[int64]Document{}, colls: map[string]int{}, nextID: 1}, nil
 }
 
 // NewDefault builds a DB with a hashed embedder and a flat cosine
@@ -68,8 +91,15 @@ func (db *DB) Len() int {
 	return len(db.docs)
 }
 
-// Add embeds and stores text, returning the assigned document ID.
+// Add embeds and stores text in the default collection, returning the
+// assigned document ID.
 func (db *DB) Add(text string, meta map[string]string) (int64, error) {
+	return db.AddIn("", text, meta)
+}
+
+// AddIn embeds and stores text in the named collection ("" means the
+// default collection), returning the assigned document ID.
+func (db *DB) AddIn(collection, text string, meta map[string]string) (int64, error) {
 	vec, err := db.embed.Embed(text)
 	if err != nil {
 		return 0, fmt.Errorf("vecdb: embed: %w", err)
@@ -77,33 +107,43 @@ func (db *DB) Add(text string, meta map[string]string) (int64, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	id := db.nextID
-	if err := db.addLocked(id, text, meta, vec); err != nil {
+	if err := db.addLocked(id, collection, text, meta, vec); err != nil {
 		return 0, err
 	}
 	return id, nil
 }
 
-// AddWithID embeds and stores text under a caller-assigned ID,
-// replacing any existing document with that ID. It exists for external
-// routers (e.g. a shard router) that allocate IDs globally; mixing it
-// with Add is safe because the internal counter is advanced past every
-// caller-assigned ID.
+// AddWithID embeds and stores text under a caller-assigned ID in the
+// default collection, replacing any existing document with that ID. It
+// exists for external routers (e.g. a shard router) that allocate IDs
+// globally; mixing it with Add is safe because the internal counter is
+// advanced past every caller-assigned ID.
 func (db *DB) AddWithID(id int64, text string, meta map[string]string) error {
-	if id <= 0 {
-		return fmt.Errorf("vecdb: document ID must be positive, got %d", id)
+	return db.AddDocument(Document{ID: id, Text: text, Meta: meta})
+}
+
+// AddDocument is AddWithID carrying the full document — including its
+// collection — so restore paths (rollback after a failed batch)
+// reinstall a document exactly as it was stored.
+func (db *DB) AddDocument(d Document) error {
+	if d.ID <= 0 {
+		return fmt.Errorf("vecdb: document ID must be positive, got %d", d.ID)
 	}
-	vec, err := db.embed.Embed(text)
+	vec, err := db.embed.Embed(d.Text)
 	if err != nil {
 		return fmt.Errorf("vecdb: embed: %w", err)
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.addLocked(id, text, meta, vec)
+	return db.addLocked(d.ID, d.Collection, d.Text, d.Meta, vec)
 }
 
 // addLocked installs an embedded document under a caller-assigned ID
-// and advances the ID counter past it. Callers hold db.mu.
-func (db *DB) addLocked(id int64, text string, meta map[string]string, vec []float32) error {
+// and advances the ID counter past it. The collection is normalized
+// here — the single chokepoint every write path funnels through, so
+// stored documents never carry an empty collection. Callers hold
+// db.mu.
+func (db *DB) addLocked(id int64, collection, text string, meta map[string]string, vec []float32) error {
 	if err := db.index.Add(id, vec); err != nil {
 		return fmt.Errorf("vecdb: index add: %w", err)
 	}
@@ -116,10 +156,15 @@ func (db *DB) addLocked(id int64, text string, meta map[string]string, vec []flo
 	}
 	if old, ok := db.docs[id]; ok {
 		db.check ^= docHash(old) // replacement: retire the old content hash
+		db.colls[old.Collection]--
+		if db.colls[old.Collection] == 0 {
+			delete(db.colls, old.Collection)
+		}
 	}
-	doc := Document{ID: id, Text: text, Meta: metaCopy}
+	doc := Document{ID: id, Collection: NormalizeCollection(collection), Text: text, Meta: metaCopy}
 	db.docs[id] = doc
 	db.check ^= docHash(doc)
+	db.colls[doc.Collection]++
 	if id >= db.nextID {
 		db.nextID = id + 1
 	}
@@ -158,19 +203,50 @@ func (db *DB) Get(id int64) (Document, error) {
 func (db *DB) Delete(id int64) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.deleteLocked(id)
+	return db.deleteLocked(id, "")
 }
 
-// deleteLocked removes a document. Callers hold db.mu.
-func (db *DB) deleteLocked(id int64) error {
+// DeleteIn removes a document only if it belongs to the named
+// collection — the checked delete a tenant-scoped API needs, so a
+// caller cannot remove another tenant's document by guessing its ID.
+// A mismatched collection reports ErrNotFound, indistinguishable from
+// an absent ID.
+func (db *DB) DeleteIn(collection string, id int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.deleteLocked(id, collection)
+}
+
+// deleteLocked removes a document; a non-empty collection makes the
+// delete checked (the stored document must belong to it). Callers
+// hold db.mu.
+func (db *DB) deleteLocked(id int64, collection string) error {
 	old, ok := db.docs[id]
 	if !ok {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	if collection != "" && old.Collection != NormalizeCollection(collection) {
 		return fmt.Errorf("%w: id %d", ErrNotFound, id)
 	}
 	db.index.Remove(id)
 	delete(db.docs, id)
 	db.check ^= docHash(old)
+	db.colls[old.Collection]--
+	if db.colls[old.Collection] == 0 {
+		delete(db.colls, old.Collection)
+	}
 	return nil
+}
+
+// CollectionCounts reports the stored document count per collection.
+func (db *DB) CollectionCounts() map[string]int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[string]int, len(db.colls))
+	for c, n := range db.colls {
+		out[c] = n
+	}
+	return out
 }
 
 // NextID reports the next ID the internal counter would assign. A
@@ -217,6 +293,77 @@ func (db *DB) SearchVector(vec []float32, k int) ([]Hit, error) {
 		hits = append(hits, Hit{Document: doc, Score: r.Score})
 	}
 	return hits, nil
+}
+
+// Filter restricts a search to documents in one collection and/or
+// matching a set of metadata key=value predicates (all must match).
+// The zero Filter matches every document.
+type Filter struct {
+	// Collection, when non-empty, keeps only documents in that
+	// collection (normalized, so "" in a stored doc never occurs and
+	// "default" matches pre-collection data).
+	Collection string
+	// Meta keeps only documents whose metadata carries every listed
+	// key with exactly the listed value.
+	Meta map[string]string
+}
+
+// IsZero reports whether the filter matches everything.
+func (f Filter) IsZero() bool { return f.Collection == "" && len(f.Meta) == 0 }
+
+// Match reports whether d passes the filter.
+func (f Filter) Match(d Document) bool {
+	if f.Collection != "" && d.Collection != NormalizeCollection(f.Collection) {
+		return false
+	}
+	for k, v := range f.Meta {
+		if d.Meta[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchVectorFiltered is SearchVector restricted to documents passing
+// the filter. The index is probed with an adaptively widened k
+// (starting at 4k, doubling until k survivors or the index is
+// exhausted), then survivors are trimmed to k — so on an exact index
+// the result is byte-identical to searching a store that holds only
+// the matching documents. On approximate indexes (IVF/HNSW) the same
+// over-fetch applies within the index's candidate set.
+func (db *DB) SearchVectorFiltered(vec []float32, k int, f Filter) ([]Hit, error) {
+	if f.IsZero() {
+		return db.SearchVector(vec, k)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	fetch := k * 4
+	for {
+		results, err := db.index.Search(vec, fetch)
+		if err != nil {
+			return nil, err
+		}
+		hits := make([]Hit, 0, k)
+		for _, r := range results {
+			doc, ok := db.docs[r.ID]
+			if !ok || !f.Match(doc) {
+				continue
+			}
+			hits = append(hits, Hit{Document: doc, Score: r.Score})
+			if len(hits) == k {
+				break
+			}
+		}
+		// Enough survivors, or the index returned everything it has —
+		// widening further cannot change the answer.
+		if len(hits) == k || len(results) < fetch {
+			return hits, nil
+		}
+		fetch *= 2
+	}
 }
 
 // Embedder exposes the database's embedder so callers sharing several
@@ -319,8 +466,13 @@ func Load(r io.Reader, embed Embedder, index Index) (*DB, error) {
 		if err := index.Add(d.ID, vecs[i]); err != nil {
 			return nil, err
 		}
+		// Pre-collection snapshots decode with Collection "" (gob's
+		// missing-field zero); normalize so they land in the default
+		// collection with the same checksum a fresh write produces.
+		d.Collection = NormalizeCollection(d.Collection)
 		db.docs[d.ID] = d
 		db.check ^= docHash(d)
+		db.colls[d.Collection]++
 	}
 	db.nextID = snap.NextID
 	db.seq = snap.Seq

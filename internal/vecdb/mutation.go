@@ -16,18 +16,32 @@ const (
 	OpAdd Op = 1
 	// OpDelete removes a document.
 	OpDelete Op = 2
+
+	// opAddV2 / opDeleteV2 are the *wire* op bytes for records that
+	// carry a non-default collection. They never appear in a decoded
+	// Mutation (DecodeMutation maps them back to OpAdd/OpDelete with
+	// Collection set); EncodeMutation only emits them when the
+	// collection is non-default, so a default-collection corpus keeps
+	// writing byte-identical v1 records and pre-collection WALs replay
+	// unchanged.
+	opAddV2    Op = 3
+	opDeleteV2 Op = 4
 )
 
 // Mutation is one deterministic state change to a DB — the unit a
 // write-ahead log journals and replays. Vectors are never part of a
 // mutation: embedders are deterministic, so replay re-embeds, keeping
 // the journal format independent of embedder internals (the same
-// contract Save/Load rely on).
+// contract Save/Load rely on). Collection scopes the mutation: empty
+// means the default collection; on OpDelete a non-empty collection
+// makes the delete checked (a document in another collection reports
+// ErrNotFound, exactly like an absent ID).
 type Mutation struct {
-	Op   Op
-	ID   int64
-	Text string
-	Meta map[string]string
+	Op         Op
+	ID         int64
+	Collection string
+	Text       string
+	Meta       map[string]string
 }
 
 // Apply executes one mutation, advancing the sequence counter with
@@ -71,11 +85,11 @@ func (db *DB) ApplyAll(ms []Mutation) error {
 	for i, m := range ms {
 		switch m.Op {
 		case OpAdd:
-			if err := db.addLocked(m.ID, m.Text, m.Meta, vecs[i]); err != nil {
+			if err := db.addLocked(m.ID, m.Collection, m.Text, m.Meta, vecs[i]); err != nil {
 				return err
 			}
 		case OpDelete:
-			if err := db.deleteLocked(m.ID); err != nil {
+			if err := db.deleteLocked(m.ID, m.Collection); err != nil {
 				return err
 			}
 		}
@@ -109,18 +123,36 @@ func embedAll(embed Embedder, texts []string) ([][]float32, error) {
 
 // Mutation wire form (the WAL payload):
 //
-//	[1B op][8B LE id]                         — OpDelete stops here
-//	[4B LE len][text][2B LE meta count]
-//	then per meta pair: [2B LE len][key][4B LE len][value]
+//	v1 (no collection — the pre-collection format, still written for
+//	default-collection mutations so old and new WALs interleave):
+//	  [1B op=1|2][8B LE id]                   — op 2 (delete) stops here
+//	  [4B LE len][text][2B LE meta count]
+//	  then per meta pair: [2B LE len][key][4B LE len][value]
 //
-// The frame-level CRC lives in the WAL record, not here.
+//	v2 (non-default collection — op 3 = add, op 4 = checked delete):
+//	  [1B op=3|4][8B LE id][2B LE len][collection]   — op 4 stops here
+//	  [4B LE len][text][2B LE meta count][pairs...]
+//
+// Decoding maps v1 records onto the default collection, so a WAL
+// written before collections existed replays byte-for-byte into
+// "default". The frame-level CRC lives in the WAL record, not here.
 
 // EncodeMutation serializes m for journaling. Fields that overflow
 // their length prefixes are rejected here, before anything is applied
 // or appended — a silently truncated prefix would produce a record
 // that fails to decode on every subsequent boot.
 func EncodeMutation(m Mutation) ([]byte, error) {
+	coll := ""
+	if NormalizeCollection(m.Collection) != DefaultCollection {
+		coll = m.Collection
+		if len(coll) > math.MaxUint16 {
+			return nil, fmt.Errorf("vecdb: collection of doc %d exceeds %d bytes", m.ID, math.MaxUint16)
+		}
+	}
 	n := 9
+	if coll != "" {
+		n += 2 + len(coll)
+	}
 	if m.Op == OpAdd {
 		if uint64(len(m.Text)) > math.MaxUint32 {
 			return nil, fmt.Errorf("vecdb: text of doc %d exceeds %d bytes", m.ID, uint32(math.MaxUint32))
@@ -139,9 +171,24 @@ func EncodeMutation(m Mutation) ([]byte, error) {
 			n += 2 + len(k) + 4 + len(v)
 		}
 	}
+	wireOp := m.Op
+	if coll != "" {
+		switch m.Op {
+		case OpAdd:
+			wireOp = opAddV2
+		case OpDelete:
+			wireOp = opDeleteV2
+		default:
+			return nil, fmt.Errorf("vecdb: unknown mutation op %d", m.Op)
+		}
+	}
 	buf := make([]byte, 0, n)
-	buf = append(buf, byte(m.Op))
+	buf = append(buf, byte(wireOp))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.ID))
+	if coll != "" {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(coll)))
+		buf = append(buf, coll...)
+	}
 	if m.Op != OpAdd {
 		return buf, nil
 	}
@@ -157,24 +204,37 @@ func EncodeMutation(m Mutation) ([]byte, error) {
 	return buf, nil
 }
 
-// DecodeMutation parses a journaled mutation.
+// DecodeMutation parses a journaled mutation (v1 or v2 wire form).
 func DecodeMutation(b []byte) (Mutation, error) {
 	var m Mutation
 	if len(b) < 9 {
 		return m, fmt.Errorf("vecdb: mutation record too short (%d bytes)", len(b))
 	}
-	m.Op = Op(b[0])
+	wireOp := Op(b[0])
 	m.ID = int64(binary.LittleEndian.Uint64(b[1:9]))
 	b = b[9:]
-	switch m.Op {
-	case OpDelete:
+	var err error
+	switch wireOp {
+	case OpAdd, OpDelete:
+		m.Op = wireOp
+	case opAddV2:
+		m.Op = OpAdd
+		if m.Collection, b, err = takeString(b, 2); err != nil {
+			return m, err
+		}
+	case opDeleteV2:
+		m.Op = OpDelete
+		if m.Collection, b, err = takeString(b, 2); err != nil {
+			return m, err
+		}
+	default:
+		return m, fmt.Errorf("vecdb: unknown mutation op %d", wireOp)
+	}
+	if m.Op == OpDelete {
 		if len(b) != 0 {
 			return m, fmt.Errorf("vecdb: %d trailing bytes in delete record", len(b))
 		}
 		return m, nil
-	case OpAdd:
-	default:
-		return m, fmt.Errorf("vecdb: unknown mutation op %d", m.Op)
 	}
 	text, b, err := takeString(b, 4)
 	if err != nil {

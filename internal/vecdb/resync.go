@@ -64,15 +64,20 @@ func (db *DB) Checksum() uint64 {
 	return db.check
 }
 
-// docHash folds one document (ID, text, and sorted metadata) into the
-// 64-bit hash the content checksum accumulates. It must be
-// deterministic across processes: FNV-1a over a canonical byte
-// ordering, never map iteration order.
+// docHash folds one document (ID, collection, text, and sorted
+// metadata) into the 64-bit hash the content checksum accumulates. It
+// must be deterministic across processes: FNV-1a over a canonical
+// byte ordering, never map iteration order. Stored documents always
+// carry a normalized (non-empty) collection, so two shards holding
+// the same doc set hash identically regardless of how the collection
+// was spelled at write time.
 func docHash(d Document) uint64 {
 	h := fnv.New64a()
 	var idb [8]byte
 	binary.LittleEndian.PutUint64(idb[:], uint64(d.ID))
 	h.Write(idb[:])
+	h.Write([]byte{0x1d})
+	h.Write([]byte(NormalizeCollection(d.Collection)))
 	h.Write([]byte{0x1f})
 	h.Write([]byte(d.Text))
 	if len(d.Meta) > 0 {
@@ -137,11 +142,11 @@ func (db *DB) ApplyResync(ms []SeqMutation) error {
 	for i, m := range ms {
 		switch m.Op {
 		case OpAdd:
-			if err := db.addLocked(m.ID, m.Text, m.Meta, vecs[i]); err != nil {
+			if err := db.addLocked(m.ID, m.Collection, m.Text, m.Meta, vecs[i]); err != nil {
 				return err
 			}
 		case OpDelete:
-			if err := db.deleteLocked(m.ID); err != nil && !errors.Is(err, ErrNotFound) {
+			if err := db.deleteLocked(m.ID, m.Collection); err != nil && !errors.Is(err, ErrNotFound) {
 				return err
 			}
 		}
@@ -199,12 +204,12 @@ func (db *DB) ApplySnapshot(seq uint64, docs []Document) error {
 		}
 	}
 	for _, id := range drop {
-		if err := db.deleteLocked(id); err != nil {
+		if err := db.deleteLocked(id, ""); err != nil {
 			return err
 		}
 	}
 	for i, d := range docs {
-		if err := db.addLocked(d.ID, d.Text, d.Meta, vecs[i]); err != nil {
+		if err := db.addLocked(d.ID, d.Collection, d.Text, d.Meta, vecs[i]); err != nil {
 			return err
 		}
 	}
